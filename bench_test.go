@@ -1,0 +1,292 @@
+package aces_test
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VI), one per artifact, plus ablations and microbenchmarks of the hot
+// control paths. Figure benches run the Quick()-scale experiment so
+// `go test -bench=.` completes in minutes; `cmd/aces-bench` (no -quick)
+// runs the full paper scale and EXPERIMENTS.md records its output.
+
+import (
+	"testing"
+
+	"aces"
+	"aces/internal/control"
+	"aces/internal/controller"
+	"aces/internal/experiments"
+	"aces/internal/graph"
+	"aces/internal/optimize"
+	"aces/internal/policy"
+	"aces/internal/streamsim"
+)
+
+// BenchmarkFig3LatencyDistribution regenerates Fig. 3: end-to-end latency
+// mean ± σ for ACES vs Lock-Step across buffer sizes.
+func BenchmarkFig3LatencyDistribution(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BufferSweep(o, []int{10, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig4LatencyVsThroughput regenerates Fig. 4: the latency versus
+// weighted-throughput frontier, parametric in buffer size.
+func BenchmarkFig4LatencyVsThroughput(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BufferSweep(o, []int{10, 25, 50, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The frontier is the (wt, lat) pairs per policy per B.
+		_ = rows
+	}
+}
+
+// BenchmarkFig5BurstinessSweep regenerates Fig. 5: weighted throughput of
+// the three systems as burstiness λ_S varies.
+func BenchmarkFig5BurstinessSweep(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BurstinessSweep(o, []float64{1, 10, 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Calibration regenerates the SPC↔simulator calibration
+// points shown in Fig. 5 (and §VI-C's E8).
+func BenchmarkFig5Calibration(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Calibration(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmallBufferAdvantage regenerates the §I claim table: ACES vs
+// traditional approaches in the limit of small buffers.
+func BenchmarkSmallBufferAdvantage(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SmallBufferAdvantage(o, []int{5, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocationErrorRobustness regenerates the §VII robustness
+// claim: weighted throughput under perturbed tier-1 targets.
+func BenchmarkAllocationErrorRobustness(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Robustness(o, []float64{0, 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerConvergence regenerates the §V-C stability result:
+// settling time and steady-state error of the regulated buffer.
+func BenchmarkControllerConvergence(b *testing.B) {
+	o := experiments.Quick()
+	o.Duration = 20
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Stability(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SettleTime < 0 {
+			b.Fatal("controller failed to settle")
+		}
+	}
+}
+
+// BenchmarkMaxFlowFanout regenerates Fig. 2: the 10/20/20/30 fan-out under
+// max-flow versus min-flow.
+func BenchmarkMaxFlowFanout(b *testing.B) {
+	o := experiments.Quick()
+	o.Duration = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fanout(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibration is E8 on its own (also exercised by Fig5).
+func BenchmarkCalibration(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Calibration(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMaxFlowVsMinFlow and BenchmarkAblationTokenBucketVsStrict
+// quantify the two design choices DESIGN.md calls out.
+func BenchmarkAblationMaxFlowVsMinFlow(b *testing.B) {
+	o := experiments.Quick()
+	topo, err := graph.Generate(graph.DefaultGenConfig(o.PEs, o.Nodes, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := optimize.Solve(topo, optimize.Config{MaxIters: 300, Utility: optimize.LinearUtility{}, MinShare: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []policy.Policy{policy.ACES, policy.ACESMinFlow} {
+			eng, err := streamsim.New(streamsim.Config{Topo: topo, Policy: pol, CPU: alloc.CPU, Duration: o.Duration, Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run()
+		}
+	}
+}
+
+func BenchmarkAblationTokenBucketVsStrict(b *testing.B) {
+	o := experiments.Quick()
+	topo, err := graph.Generate(graph.DefaultGenConfig(o.PEs, o.Nodes, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := optimize.Solve(topo, optimize.Config{MaxIters: 300, Utility: optimize.LinearUtility{}, MinShare: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []policy.Policy{policy.ACES, policy.ACESStrictCPU} {
+			eng, err := streamsim.New(streamsim.Config{Topo: topo, Policy: pol, CPU: alloc.CPU, Duration: o.Duration, Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run()
+		}
+	}
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+// BenchmarkFlowControllerUpdate measures one Eq. 7 evaluation — executed
+// once per PE per Δt in both substrates.
+func BenchmarkFlowControllerUpdate(b *testing.B) {
+	g, err := control.Design(control.DefaultDesign(25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fc, err := control.NewFlowController(g, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fc.Update(5, float64(i%50))
+	}
+}
+
+// BenchmarkPlanACES measures the per-node CPU plan for a typical node
+// population (6 PEs).
+func BenchmarkPlanACES(b *testing.B) {
+	pes := make([]controller.PETick, 6)
+	for i := range pes {
+		pes[i] = controller.PETick{Target: 0.15, Tokens: 0.3, Occupancy: float64(10 + i), Work: 0.4, Cap: 0.5}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		controller.PlanACES(pes, 1)
+	}
+}
+
+// BenchmarkLQRDesign measures the full DARE synthesis (done once per PE at
+// deployment).
+func BenchmarkLQRDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := control.Design(control.DefaultDesign(25)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTier1Optimize measures the global optimization at calibration
+// scale (60 PEs / 10 nodes).
+func BenchmarkTier1Optimize(b *testing.B) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(60, 10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.Solve(topo, optimize.Config{MaxIters: 300, Utility: optimize.LinearUtility{}, MinShare: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorTick measures simulator throughput in PE-ticks/sec at
+// calibration scale: one iteration simulates 10 seconds of a 60-PE system
+// (60 000 PE-ticks at Δt = 10 ms).
+func BenchmarkSimulatorTick(b *testing.B) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(60, 10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := optimize.Solve(topo, optimize.Config{MaxIters: 300, Utility: optimize.LinearUtility{}, MinShare: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := streamsim.New(streamsim.Config{Topo: topo, Policy: policy.ACES, CPU: alloc.CPU, Duration: 10, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkTopologyGenerate measures the §VI-A topology tool at paper
+// scale.
+func BenchmarkTopologyGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := aces.Generate(aces.DefaultGenConfig(200, 80, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadShedComparator measures the §II related-work comparator
+// (Aurora-style threshold shedding) against the three headline systems.
+func BenchmarkLoadShedComparator(b *testing.B) {
+	o := experiments.Quick()
+	topo, err := graph.Generate(graph.DefaultGenConfig(o.PEs, o.Nodes, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := optimize.Solve(topo, optimize.Config{MaxIters: 300, Utility: optimize.LinearUtility{}, MinShare: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []policy.Policy{policy.ACES, policy.UDP, policy.LockStep, policy.LoadShed} {
+			eng, err := streamsim.New(streamsim.Config{Topo: topo, Policy: pol, CPU: alloc.CPU, Duration: o.Duration, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run()
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command aces-bench regenerates the paper's evaluation: every figure
+// (Figs. 2–5) and every quantitative claim (small-buffer advantage,
+// robustness to allocation errors, closed-loop stability, simulator↔SPC
+// calibration) as plain-text tables. EXPERIMENTS.md records its output.
+//
+// Usage:
+//
+//	aces-bench                  # full paper-scale suite (minutes)
+//	aces-bench -quick           # reduced scale (seconds)
+//	aces-bench -exp fig4,fig5   # selected experiments only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aces/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "aces-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aces-bench", flag.ContinueOnError)
+	var (
+		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
+		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|all")
+		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
+		pes    = fs.Int("pes", 0, "override topology PE count")
+		nodes  = fs.Int("nodes", 0, "override node count")
+		dur    = fs.Float64("duration", 0, "override per-run simulated seconds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := experiments.Default()
+	if *quick {
+		o = experiments.Quick()
+	}
+	if *pes > 0 {
+		o.PEs = *pes
+	}
+	if *nodes > 0 {
+		o.Nodes = *nodes
+	}
+	if *dur > 0 {
+		o.Duration = *dur
+	}
+
+	writeCSV := func(name string, fn func(w *os.File) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(*csvDir + "/" + name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	w := os.Stdout
+	fmt.Fprintf(w, "ACES evaluation reproduction — %d PEs / %d nodes, %.0fs per run, seeds %v\n\n",
+		o.PEs, o.Nodes, o.Duration, o.Seeds)
+
+	type step struct {
+		name string
+		run  func() error
+	}
+	steps := []step{
+		{"fig2", func() error {
+			rows, err := experiments.Fanout(o)
+			if err != nil {
+				return err
+			}
+			experiments.FormatFanout(w, rows)
+			return writeCSV("fanout.csv", func(f *os.File) error {
+				return experiments.FanoutCSV(f, rows)
+			})
+		}},
+		{"fig3+fig4", func() error {
+			if !sel("fig3") && !sel("fig4") {
+				return nil
+			}
+			rows, err := experiments.BufferSweep(o, nil)
+			if err != nil {
+				return err
+			}
+			if sel("fig3") {
+				experiments.FormatFig3(w, rows)
+			}
+			if sel("fig4") {
+				experiments.FormatFig4(w, rows)
+			}
+			return writeCSV("buffer_sweep.csv", func(f *os.File) error {
+				return experiments.BufferSweepCSV(f, rows)
+			})
+		}},
+		{"fig5", func() error {
+			rows, err := experiments.BurstinessSweep(o, nil)
+			if err != nil {
+				return err
+			}
+			experiments.FormatFig5(w, rows)
+			return writeCSV("burstiness.csv", func(f *os.File) error {
+				return experiments.BurstinessCSV(f, rows)
+			})
+		}},
+		{"smallbuf", func() error {
+			rows, err := experiments.SmallBufferAdvantage(o, nil)
+			if err != nil {
+				return err
+			}
+			experiments.FormatSmallBuffer(w, rows)
+			return nil
+		}},
+		{"robust", func() error {
+			rows, err := experiments.Robustness(o, nil)
+			if err != nil {
+				return err
+			}
+			experiments.FormatRobustness(w, rows)
+			return nil
+		}},
+		{"stability", func() error {
+			res, err := experiments.Stability(o)
+			if err != nil {
+				return err
+			}
+			experiments.FormatStability(w, res)
+			return nil
+		}},
+		{"calibrate", func() error {
+			rows, err := experiments.Calibration(o)
+			if err != nil {
+				return err
+			}
+			experiments.FormatCalibration(w, rows)
+			return nil
+		}},
+		{"ablations", func() error {
+			rows, err := experiments.Ablations(o)
+			if err != nil {
+				return err
+			}
+			experiments.FormatAblations(w, rows)
+			return nil
+		}},
+	}
+
+	start := time.Now()
+	for _, s := range steps {
+		// The buffer-sweep step self-selects on fig3/fig4.
+		if s.name != "fig3+fig4" && !sel(s.name) {
+			continue
+		}
+		t0 := time.Now()
+		if err := s.run(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		if s.name == "fig3+fig4" && !sel("fig3") && !sel("fig4") {
+			continue
+		}
+		fmt.Fprintf(w, "  [%s done in %.1fs]\n\n", s.name, time.Since(t0).Seconds())
+	}
+	fmt.Fprintf(w, "total %.1fs\n", time.Since(start).Seconds())
+	return nil
+}

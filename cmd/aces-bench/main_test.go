@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickSelectedExperiments(t *testing.T) {
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	// fig2 + stability are the cheap ones; they exercise the step loop,
+	// selection logic and CSV writing end to end.
+	if err := run([]string{"-quick", "-duration", "6", "-exp", "fig2,stability", "-csv", csvDir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(csvDir, "fanout.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "policy,consumer,rate") {
+		t.Errorf("fanout CSV malformed: %s", data)
+	}
+}
+
+func TestUnknownExperimentIsIgnored(t *testing.T) {
+	// Selecting only an unknown name runs nothing and succeeds (prints the
+	// header and total only).
+	if err := run([]string{"-quick", "-exp", "nosuch"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Errorf("bad flag accepted")
+	}
+}

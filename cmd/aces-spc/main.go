@@ -1,0 +1,296 @@
+// Command aces-spc runs the live runtime — the reproduction's stand-in
+// for IBM's Stream Processing Core. In local mode it deploys a topology
+// in-process (goroutine PEs, Δt node schedulers) and prints the run
+// report. The send/recv modes demonstrate the TCP transport: a receiver
+// accepts framed SDOs and reports throughput; a sender streams synthetic
+// SDOs at a target rate.
+//
+// Usage:
+//
+//	aces-spc -mode local -pes 60 -nodes 10 -policy aces -duration 20
+//	aces-spc -mode recv -listen :7070
+//	aces-spc -mode send -connect localhost:7070 -rate 5000 -count 20000
+//
+// Node mode runs ONE PARTITION of a shared topology as its own process —
+// a genuinely distributed ACES deployment. One side listens, the other
+// dials; both need the same topology JSON (from aces-topo -solve):
+//
+//	aces-spc -mode node -topo t.json -local-nodes 0,1 -listen :7071 -duration 20
+//	aces-spc -mode node -topo t.json -local-nodes 2,3 -connect host:7071 -duration 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aces"
+	"aces/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "aces-spc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aces-spc", flag.ContinueOnError)
+	var (
+		mode       = fs.String("mode", "local", "local | recv | send")
+		pes        = fs.Int("pes", 60, "PEs when generating (local)")
+		nodes      = fs.Int("nodes", 10, "nodes when generating (local)")
+		seed       = fs.Int64("seed", 1, "seed")
+		polName    = fs.String("policy", "aces", "policy (local)")
+		duration   = fs.Float64("duration", 20, "virtual seconds (local)")
+		scale      = fs.Float64("scale", 10, "time acceleration (local; 1 = real time)")
+		topoFile   = fs.String("topo", "", "topology JSON from aces-topo (local)")
+		listen     = fs.String("listen", "", "listen address (recv/node)")
+		connect    = fs.String("connect", "", "peer address (send)")
+		connect2   = fs.String("peer", "", "peer address (node mode dial side)")
+		localNodes = fs.String("local-nodes", "", "comma-separated node ids hosted by this process (node mode)")
+		rate       = fs.Float64("rate", 1000, "SDOs per second (send)")
+		count      = fs.Int("count", 10000, "SDOs to send (send)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *mode {
+	case "local":
+		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale)
+	case "node":
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale)
+	case "recv":
+		addr := *listen
+		if addr == "" {
+			addr = ":7070"
+		}
+		return runRecv(addr)
+	case "send":
+		addr := *connect
+		if addr == "" {
+			addr = "localhost:7070"
+		}
+		return runSend(addr, *rate, *count)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale float64) error {
+	pol, err := aces.ParsePolicy(polName)
+	if err != nil {
+		return err
+	}
+	var topo *aces.Topology
+	var cpu []float64
+	if topoFile != "" {
+		data, err := os.ReadFile(topoFile)
+		if err != nil {
+			return err
+		}
+		var doc struct {
+			Topology *aces.Topology `json:"topology"`
+			CPU      []float64      `json:"cpu,omitempty"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return err
+		}
+		if doc.Topology == nil {
+			return fmt.Errorf("no topology in %s", topoFile)
+		}
+		if err := doc.Topology.Rebuild(); err != nil {
+			return err
+		}
+		topo, cpu = doc.Topology, doc.CPU
+	} else {
+		topo, err = aces.Generate(aces.DefaultGenConfig(pes, nodes, seed))
+		if err != nil {
+			return err
+		}
+	}
+	if cpu == nil {
+		alloc, err := aces.Optimize(topo, aces.OptimizeConfig{
+			MaxIters: 800, Utility: aces.LinearUtility{}, MinShare: 0.02,
+		})
+		if err != nil {
+			return err
+		}
+		cpu = alloc.CPU
+	}
+	cl, err := aces.NewCluster(aces.ClusterConfig{
+		Topo: topo, Policy: pol, CPU: cpu, TimeScale: scale, Warmup: duration / 5, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running %d PEs on %d nodes under %s for %.0fs virtual (%.0f× wall speed)...\n",
+		topo.NumPEs(), topo.NumNodes, pol, duration, scale)
+	rep, err := cl.Run(duration)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("weighted throughput %.2f /s\n", rep.WeightedThroughput)
+	fmt.Printf("latency mean ± σ    %.1f ± %.1f ms (p95 %.1f)\n", rep.MeanLatency*1e3, rep.StdLatency*1e3, rep.P95*1e3)
+	fmt.Printf("drops               input %d, in-flight %d\n", rep.InputDrops, rep.InFlightDrops)
+	fmt.Printf("buffer occupancy    %.1f ± %.1f\n", rep.MeanBufferOccupancy, rep.StdBufferOccupancy)
+	return nil
+}
+
+func runRecv(addr string) error {
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("listening on %s\n", l.Addr())
+	conn, err := l.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var n int
+	var bytes int
+	start := time.Now()
+	for {
+		msg, err := conn.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if msg.Kind == transport.KindData {
+			n++
+			bytes += msg.SDO.Bytes
+		}
+	}
+	el := time.Since(start).Seconds()
+	fmt.Printf("received %d SDOs (%d bytes) in %.2fs — %.0f SDO/s\n", n, bytes, el, float64(n)/el)
+	return nil
+}
+
+func runSend(addr string, rate float64, count int) error {
+	conn, err := transport.Dial(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	next := start
+	for i := 0; i < count; i++ {
+		s := aces.SDO{Stream: 1, Seq: uint64(i), Origin: time.Now(), Bytes: 64, Payload: make([]byte, 64)}
+		if err := conn.SendSDO(s); err != nil {
+			return err
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	el := time.Since(start).Seconds()
+	fmt.Printf("sent %d SDOs in %.2fs — %.0f SDO/s\n", count, el, float64(count)/el)
+	return nil
+}
+
+// runNode hosts one partition of a shared topology, bridging to exactly
+// one peer process (listen XOR dial).
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64) error {
+	if topoFile == "" {
+		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
+	}
+	if localNodes == "" {
+		return fmt.Errorf("node mode requires -local-nodes")
+	}
+	if (listenAddr == "") == (peerAddr == "") {
+		return fmt.Errorf("node mode needs exactly one of -listen or -peer")
+	}
+	pol, err := aces.ParsePolicy(polName)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(topoFile)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Topology *aces.Topology `json:"topology"`
+		CPU      []float64      `json:"cpu,omitempty"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Topology == nil || doc.CPU == nil {
+		return fmt.Errorf("node mode requires a topology with tier-1 targets (aces-topo -solve)")
+	}
+	if err := doc.Topology.Rebuild(); err != nil {
+		return err
+	}
+	var nodes []aces.NodeID
+	for _, part := range strings.Split(localNodes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -local-nodes entry %q: %w", part, err)
+		}
+		nodes = append(nodes, aces.NodeID(n))
+	}
+
+	var conn *aces.Conn
+	if listenAddr != "" {
+		l, err := aces.Listen(listenAddr)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		fmt.Printf("waiting for peer on %s...\n", l.Addr())
+		conn, err = l.Accept()
+		if err != nil {
+			return err
+		}
+	} else {
+		// The peer may not be listening yet; retry briefly.
+		for attempt := 0; ; attempt++ {
+			conn, err = aces.Dial(peerAddr, 2*time.Second)
+			if err == nil {
+				break
+			}
+			if attempt > 20 {
+				return err
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+	defer conn.Close()
+	link := aces.NewLink(conn)
+
+	cl, err := aces.NewCluster(aces.ClusterConfig{
+		Topo: doc.Topology, Policy: pol, CPU: doc.CPU,
+		TimeScale: scale, Warmup: duration / 5, Seed: seed,
+		LocalNodes: nodes, Uplink: link,
+	})
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- link.Serve(cl) }()
+
+	fmt.Printf("hosting nodes %v of %d-PE topology under %s for %.0fs virtual...\n",
+		nodes, doc.Topology.NumPEs(), pol, duration)
+	rep, err := cl.Run(duration)
+	if err != nil {
+		return err
+	}
+	conn.Close()
+	<-serveDone
+	fmt.Printf("local weighted throughput %.2f /s (egress PEs hosted here only)\n", rep.WeightedThroughput)
+	fmt.Printf("latency %.1f ms (p95 %.1f), drops input %d in-flight %d\n",
+		rep.MeanLatency*1e3, rep.P95*1e3, rep.InputDrops, rep.InFlightDrops)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command aces-topo is the topology generation tool of the paper's
+// evaluation (§VI-A): it emits a randomly generated PE graph — placement,
+// per-PE parameters, calibrated bursty sources — as JSON, optionally with
+// tier-1 CPU targets attached. The output feeds aces-sim and aces-spc.
+//
+// Usage:
+//
+//	aces-topo -pes 200 -nodes 80 -seed 1 -solve -o topo.json
+//	aces-topo -validate topo.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"aces"
+)
+
+// document bundles a topology with optional tier-1 targets for transport
+// between the CLI tools.
+type document struct {
+	Topology *aces.Topology `json:"topology"`
+	CPU      []float64      `json:"cpu,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "aces-topo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aces-topo", flag.ContinueOnError)
+	var (
+		pes      = fs.Int("pes", 60, "total number of PEs")
+		nodes    = fs.Int("nodes", 10, "number of processing nodes")
+		ingress  = fs.Int("ingress", 0, "ingress PEs (0 = ~15%)")
+		egress   = fs.Int("egress", 0, "egress PEs (0 = ~15%)")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		load     = fs.Float64("load", 1.3, "source load factor × fluid capacity")
+		buffer   = fs.Int("buffer", 50, "per-PE input buffer B in SDOs")
+		lambdaS  = fs.Float64("lambda-s", 10, "burstiness dwell scale λ_S")
+		solve    = fs.Bool("solve", false, "attach tier-1 CPU targets")
+		iters    = fs.Int("iters", 1500, "tier-1 solver iterations (with -solve)")
+		out      = fs.String("o", "", "output file (default stdout)")
+		dotOut   = fs.String("dot", "", "also write a Graphviz rendering to this file")
+		validate = fs.String("validate", "", "validate an existing topology JSON instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			return err
+		}
+		var doc document
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parse: %w", err)
+		}
+		if doc.Topology == nil {
+			return fmt.Errorf("no topology in %s", *validate)
+		}
+		if err := doc.Topology.Rebuild(); err != nil {
+			return err
+		}
+		if err := doc.Topology.Validate(); err != nil {
+			return err
+		}
+		capRate, err := doc.Topology.BottleneckIngressRate()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: %d PEs on %d nodes, %d edges, %d sources, fluid capacity %.1f SDO/s per source\n",
+			doc.Topology.NumPEs(), doc.Topology.NumNodes, len(doc.Topology.Edges), len(doc.Topology.Sources), capRate)
+		return nil
+	}
+
+	cfg := aces.DefaultGenConfig(*pes, *nodes, *seed)
+	cfg.NumIngress = *ingress
+	cfg.NumEgress = *egress
+	cfg.LoadFactor = *load
+	cfg.BufferSize = *buffer
+	cfg.Service.LambdaS = *lambdaS
+	topo, err := aces.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("%d PEs / %d nodes (seed %d)", topo.NumPEs(), topo.NumNodes, *seed)
+		if err := topo.WriteDOT(f, title); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	doc := document{Topology: topo}
+	if *solve {
+		alloc, err := aces.Optimize(topo, aces.OptimizeConfig{
+			MaxIters: *iters, Utility: aces.LinearUtility{}, MinShare: 0.02,
+		})
+		if err != nil {
+			return err
+		}
+		doc.CPU = alloc.CPU
+		fmt.Fprintf(os.Stderr, "tier-1: fluid weighted throughput %.2f in %d iterations\n",
+			alloc.WeightedThroughput, alloc.Iterations)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}

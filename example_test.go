@@ -1,0 +1,79 @@
+package aces_test
+
+import (
+	"fmt"
+
+	"aces"
+)
+
+// ExampleSimulate builds the smallest useful deployment — two pipeline
+// stages on two nodes — solves tier 1, and simulates it under ACES.
+func ExampleSimulate() {
+	topo := aces.NewTopology(2, 50)
+	svc := aces.ServiceParams{T0: 0.002, T1: 0.002, Rho: 0, LambdaS: 10, DwellUnit: 0.01, MeanMult: 1}
+	parse := topo.AddPE(aces.PE{Name: "parse", Service: svc, Node: 0})
+	score := topo.AddPE(aces.PE{Name: "score", Service: svc, Node: 1, Weight: 1})
+	if err := topo.Connect(parse, score); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := topo.AddSource(aces.Source{
+		Stream: 1, Target: parse, Rate: 100,
+		Burst: aces.BurstSpec{Kind: aces.BurstDeterministic},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	alloc, err := aces.Optimize(topo, aces.OptimizeConfig{MaxIters: 300})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := aces.Simulate(aces.SimConfig{
+		Topo: topo, Policy: aces.PolicyACES, CPU: alloc.CPU, Duration: 20, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The pipeline is underloaded: the full 100 SDO/s arrive losslessly.
+	fmt.Printf("carried full load: %v\n", rep.WeightedThroughput > 95 && rep.InFlightDrops == 0)
+	// Output:
+	// carried full load: true
+}
+
+// ExampleDesignFlowGains synthesizes the paper's Eq. 7 controller for a
+// buffer target of 25 SDOs and shows its structure.
+func ExampleDesignFlowGains() {
+	gains, err := aces.DesignFlowGains(aces.DefaultFlowDesign(25))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("lambda taps: %d, mu taps: %d, b0: %.0f\n",
+		len(gains.Lambda), len(gains.Mu), gains.B0)
+	fc, err := aces.NewFlowController(gains, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// At the target occupancy with matched rates, advertise exactly ρ.
+	fmt.Printf("r_max at equilibrium: %.1f\n", fc.Update(4, 25))
+	// Output:
+	// lambda taps: 2, mu taps: 1, b0: 25
+	// r_max at equilibrium: 4.0
+}
+
+// ExampleGenerate reproduces the paper's random-topology tool at the
+// calibration scale (§VI-C: 60 PEs on 10 nodes).
+func ExampleGenerate() {
+	topo, err := aces.Generate(aces.DefaultGenConfig(60, 10, 1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("PEs: %d, nodes: %d, fan-in ≤ 3: %v, fan-out ≤ 4: %v\n",
+		topo.NumPEs(), topo.NumNodes, topo.MaxFanIn() <= 3, topo.MaxFanOut() <= 4)
+	// Output:
+	// PEs: 60, nodes: 10, fan-in ≤ 3: true, fan-out ≤ 4: true
+}

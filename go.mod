@@ -1,0 +1,3 @@
+module aces
+
+go 1.22

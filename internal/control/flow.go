@@ -1,0 +1,99 @@
+package control
+
+import "fmt"
+
+// FlowController executes the paper's Eq. 7 for one PE: every control tick
+// it turns the PE's current processing rate and buffer occupancy into the
+// maximum sustainable input rate r_max to advertise upstream.
+//
+// All rates are expressed in SDOs per tick (the paper's r·Δt quantities);
+// callers convert to SDOs/sec at the boundary if needed. The zero value is
+// not usable; construct with NewFlowController.
+type FlowController struct {
+	gains FlowGains
+	// errHist[0] is the most recent buffer error b(n) − b0.
+	errHist []float64
+	// devHist[0] is the most recent control deviation r_max(n) − ρ(n).
+	devHist []float64
+	// maxRate optionally clamps the advertised rate from above (e.g. to
+	// the buffer vacancy plus one tick's drain); ≤ 0 disables the clamp.
+	maxRate float64
+	primed  int
+}
+
+// NewFlowController builds a controller from designed gains. maxRate > 0
+// bounds the advertised rate from above (a physical safety clamp — the
+// upstream cannot usefully send more than free buffer space plus one
+// tick's worth of drain anyway); pass 0 to disable.
+func NewFlowController(g FlowGains, maxRate float64) (*FlowController, error) {
+	if len(g.Lambda) == 0 {
+		return nil, fmt.Errorf("control: gains need at least λ₀")
+	}
+	if g.B0 < 0 {
+		return nil, fmt.Errorf("control: negative buffer target %g", g.B0)
+	}
+	return &FlowController{
+		gains:   g,
+		errHist: make([]float64, len(g.Lambda)),
+		devHist: make([]float64, len(g.Mu)),
+		maxRate: maxRate,
+	}, nil
+}
+
+// Gains returns the controller's gain set.
+func (f *FlowController) Gains() FlowGains { return f.gains }
+
+// Update advances one control tick: rho is the PE's processing rate this
+// tick (SDOs/tick) and buf the current input-buffer occupancy (SDOs). It
+// returns the maximum input rate to advertise upstream for the next tick,
+// clamped to [0, maxRate].
+func (f *FlowController) Update(rho, buf float64) float64 {
+	// Shift histories: newest at index 0.
+	copy(f.errHist[1:], f.errHist)
+	f.errHist[0] = buf - f.gains.B0
+	if f.primed < len(f.errHist) {
+		// Until the history is primed, replicate the newest sample so a
+		// cold start from a deep or empty buffer does not see phantom
+		// zero-error history.
+		for i := f.primed + 1; i < len(f.errHist); i++ {
+			f.errHist[i] = f.errHist[0]
+		}
+		f.primed++
+	}
+
+	r := rho
+	for k, lam := range f.gains.Lambda {
+		r -= lam * f.errHist[k]
+	}
+	for l, mu := range f.gains.Mu {
+		r -= mu * f.devHist[l]
+	}
+	if r < 0 {
+		r = 0
+	}
+	if f.maxRate > 0 && r > f.maxRate {
+		r = f.maxRate
+	}
+
+	// Record the control deviation for the μ taps.
+	if len(f.devHist) > 0 {
+		copy(f.devHist[1:], f.devHist)
+		f.devHist[0] = r - rho
+	}
+	return r
+}
+
+// SetMaxRate adjusts the safety clamp (e.g. when the buffer size changes).
+func (f *FlowController) SetMaxRate(m float64) { f.maxRate = m }
+
+// Reset clears the controller history (used when a PE is migrated or its
+// upstream edge is rewired).
+func (f *FlowController) Reset() {
+	for i := range f.errHist {
+		f.errHist[i] = 0
+	}
+	for i := range f.devHist {
+		f.devHist[i] = 0
+	}
+	f.primed = 0
+}

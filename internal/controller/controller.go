@@ -1,0 +1,435 @@
+// Package controller implements ACES tier 2's CPU-control side (paper
+// §V-D): per-PE token buckets that hold long-term allocations at the tier-1
+// targets, an occupancy-proportional per-tick CPU planner, and the
+// downstream feedback bound (Eq. 8) that embodies the max-flow policy.
+//
+// The package is substrate-agnostic: both the discrete-time simulator
+// (internal/streamsim) and the live runtime (internal/spc) feed it the same
+// per-tick PE snapshots and apply the allocations it returns.
+package controller
+
+import (
+	"fmt"
+	"math"
+)
+
+// TokenBucket accumulates CPU entitlement for one PE: it earns tokens at
+// the tier-1 target rate c̄_j (fractions of a node-tick) and spends them
+// when the PE is scheduled. Accumulation is capped so a long-idle PE cannot
+// later monopolize the node ("if a PE does not use its tokens for a period
+// of time, it accumulates these tokens up to a maximum value" — §V-D).
+type TokenBucket struct {
+	level float64
+	rate  float64
+	cap   float64
+}
+
+// NewTokenBucket creates a bucket earning rate tokens per tick with a
+// capacity of burstTicks ticks' worth of earnings (minimum one tick). The
+// bucket starts with one tick of tokens so a fresh PE can run immediately.
+func NewTokenBucket(rate float64, burstTicks float64) *TokenBucket {
+	if rate < 0 {
+		panic("controller: negative token rate")
+	}
+	if burstTicks < 1 {
+		burstTicks = 1
+	}
+	return &TokenBucket{level: rate, rate: rate, cap: rate * burstTicks}
+}
+
+// Refill adds one tick of earnings.
+func (b *TokenBucket) Refill() { b.RefillFor(1) }
+
+// RefillFor adds `ticks` ticks of earnings (fractional ticks allowed) —
+// used by the live runtime, whose scheduler measures real elapsed time so
+// late or coalesced timer ticks do not lose entitlement.
+func (b *TokenBucket) RefillFor(ticks float64) {
+	if ticks < 0 {
+		ticks = 0
+	}
+	b.level += b.rate * ticks
+	if b.level > b.cap {
+		b.level = b.cap
+	}
+}
+
+// Spend removes x tokens (clamped at zero; overspending is a programmer
+// error upstream but must not corrupt the bucket).
+func (b *TokenBucket) Spend(x float64) {
+	b.level -= x
+	if b.level < 0 {
+		b.level = 0
+	}
+}
+
+// Level returns the current token balance.
+func (b *TokenBucket) Level() float64 { return b.level }
+
+// Rate returns the per-tick earning rate (the tier-1 target c̄_j).
+func (b *TokenBucket) Rate() float64 { return b.rate }
+
+// SetRate changes the earning rate and rescales the cap, preserving the
+// burst horizon — used when tier 1 publishes new targets.
+func (b *TokenBucket) SetRate(rate float64) {
+	if rate < 0 {
+		panic("controller: negative token rate")
+	}
+	horizon := 1.0
+	if b.rate > 0 {
+		horizon = b.cap / b.rate
+	}
+	b.rate = rate
+	b.cap = rate * horizon
+	if b.level > b.cap {
+		b.level = b.cap
+	}
+}
+
+// PETick is one PE's per-tick snapshot handed to the planner.
+type PETick struct {
+	// Target is the tier-1 CPU target c̄_j (fraction of the node).
+	Target float64
+	// Tokens is the PE's accumulated entitlement in node-tick fractions.
+	Tokens float64
+	// Occupancy is the input-buffer fill in SDOs (the congestion signal
+	// the planner shares CPU proportionally to).
+	Occupancy float64
+	// Work is the CPU fraction that would drain the entire input buffer
+	// this tick; the planner never allocates beyond it.
+	Work float64
+	// Cap is the CPU fraction implied by the downstream feedback bound
+	// (Eq. 8 mapped through g⁻¹); math.Inf(1) when unconstrained.
+	Cap float64
+	// Blocked marks a PE that cannot run this tick regardless of budget
+	// (Lock-Step senders waiting on a full downstream buffer).
+	Blocked bool
+}
+
+// PlanACES computes the per-tick CPU allocations for one node under the
+// ACES policy: each PE may spend up to min(tokens, work, cap); when the
+// node is oversubscribed, capacity is divided proportionally to input
+// buffer occupancy by progressive filling (§V-D: "PEs are allowed to
+// expend their tokens for CPU cycles proportional to their input buffer
+// occupancies"). The returned allocations sum to at most capacity.
+func PlanACES(pes []PETick, capacity float64) []float64 {
+	alloc := make([]float64, len(pes))
+	want := make([]float64, len(pes))
+	var total float64
+	for i := range pes {
+		w := math.Min(pes[i].Tokens, math.Min(pes[i].Work, pes[i].Cap))
+		if w < 0 || pes[i].Blocked {
+			w = 0
+		}
+		want[i] = w
+		total += w
+	}
+	if total <= capacity {
+		copy(alloc, want)
+		return alloc
+	}
+	// Progressive filling proportional to occupancy: PEs that hit their
+	// want drop out and their share is re-divided among the rest.
+	remaining := capacity
+	active := make([]bool, len(pes))
+	nActive := 0
+	for i := range pes {
+		if want[i] > 0 {
+			active[i] = true
+			nActive++
+		}
+	}
+	for iter := 0; iter < len(pes)+1 && nActive > 0 && remaining > 1e-15; iter++ {
+		var occSum float64
+		for i := range pes {
+			if active[i] {
+				occSum += math.Max(pes[i].Occupancy, 1e-9)
+			}
+		}
+		progressed := false
+		grant := remaining
+		for i := range pes {
+			if !active[i] {
+				continue
+			}
+			share := grant * math.Max(pes[i].Occupancy, 1e-9) / occSum
+			room := want[i] - alloc[i]
+			if share >= room {
+				share = room
+				active[i] = false
+				nActive--
+			}
+			if share > 0 {
+				alloc[i] += share
+				remaining -= share
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}
+
+// PlanFairShare computes per-tick allocations for the baseline systems
+// (UDP and Lock-Step): every runnable PE receives its long-term target, and
+// capacity freed by blocked or idle PEs is redistributed among runnable
+// PEs in proportion to their targets, capped by their remaining work
+// ("while a PE sleeps, the CPU is redistributed among the other PEs
+// residing on the node; the long-term CPU targets of the PEs are met" —
+// §VI). The Cap field is ignored: the baselines have no downstream
+// feedback.
+func PlanFairShare(pes []PETick, capacity float64) []float64 {
+	alloc := make([]float64, len(pes))
+	// First pass: base grants, capped by work.
+	var used float64
+	runnable := make([]bool, len(pes))
+	for i := range pes {
+		if pes[i].Blocked || pes[i].Work <= 0 {
+			continue
+		}
+		runnable[i] = true
+		g := math.Min(pes[i].Target, pes[i].Work)
+		alloc[i] = g
+		used += g
+	}
+	// Defensive: tier-1 targets are per-node feasible by construction, but
+	// a caller may hand over-subscribed targets (e.g. perturbed
+	// allocations); scale down proportionally rather than overshoot.
+	if used > capacity {
+		scale := capacity / used
+		for i := range alloc {
+			alloc[i] *= scale
+		}
+		return alloc
+	}
+	// Redistribute leftover proportionally to targets, progressive fill.
+	remaining := capacity - used
+	for iter := 0; iter < len(pes)+1 && remaining > 1e-15; iter++ {
+		var tSum float64
+		for i := range pes {
+			if runnable[i] && alloc[i] < pes[i].Work {
+				tSum += math.Max(pes[i].Target, 1e-9)
+			}
+		}
+		if tSum == 0 {
+			break
+		}
+		progressed := false
+		grant := remaining
+		for i := range pes {
+			if !runnable[i] || alloc[i] >= pes[i].Work {
+				continue
+			}
+			share := grant * math.Max(pes[i].Target, 1e-9) / tSum
+			room := pes[i].Work - alloc[i]
+			if share > room {
+				share = room
+			}
+			if share > 0 {
+				alloc[i] += share
+				remaining -= share
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}
+
+// PlanLockStep allocates per the paper's System 3 (§VI): every runnable PE
+// receives at most its long-term target per tick (strict enforcement, no
+// banking), and ONLY the slices of sleeping (blocked) PEs are redistributed
+// — proportionally to targets — among runnable PEs with remaining work
+// ("while a PE sleeps, the CPU is redistributed among the other PEs
+// residing on the node; the long-term CPU targets of the PEs are met").
+// Idle slack (a PE with no work) is simply lost, as under traditional
+// enforcement.
+func PlanLockStep(pes []PETick, capacity float64) []float64 {
+	alloc := make([]float64, len(pes))
+	var blockedBudget float64
+	var used float64
+	for i := range pes {
+		if pes[i].Blocked {
+			blockedBudget += pes[i].Target
+			continue
+		}
+		g := math.Min(pes[i].Target, pes[i].Work)
+		if g < 0 {
+			g = 0
+		}
+		alloc[i] = g
+		used += g
+	}
+	if used > capacity {
+		scale := capacity / used
+		for i := range alloc {
+			alloc[i] *= scale
+		}
+		return alloc
+	}
+	// Redistribute only the sleeping PEs' entitlement, capped by remaining
+	// work and the node budget.
+	remaining := math.Min(blockedBudget, capacity-used)
+	for iter := 0; iter < len(pes)+1 && remaining > 1e-15; iter++ {
+		var tSum float64
+		for i := range pes {
+			if !pes[i].Blocked && alloc[i] < pes[i].Work {
+				tSum += math.Max(pes[i].Target, 1e-9)
+			}
+		}
+		if tSum == 0 {
+			break
+		}
+		progressed := false
+		grant := remaining
+		for i := range pes {
+			if pes[i].Blocked || alloc[i] >= pes[i].Work {
+				continue
+			}
+			share := grant * math.Max(pes[i].Target, 1e-9) / tSum
+			room := pes[i].Work - alloc[i]
+			if share > room {
+				share = room
+			}
+			if share > 0 {
+				alloc[i] += share
+				remaining -= share
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}
+
+// PlanStrict enforces the tier-1 targets with no redistribution at all
+// (the "strict/guarantee-limit enforcement" §II describes as traditional
+// practice); used as an ablation baseline.
+func PlanStrict(pes []PETick, capacity float64) []float64 {
+	alloc := make([]float64, len(pes))
+	var used float64
+	for i := range pes {
+		if pes[i].Blocked {
+			continue
+		}
+		g := math.Min(pes[i].Target, pes[i].Work)
+		if used+g > capacity {
+			g = capacity - used
+		}
+		if g < 0 {
+			g = 0
+		}
+		alloc[i] = g
+		used += g
+	}
+	return alloc
+}
+
+// RateToCPU converts an output-rate bound (SDOs per tick) into the CPU
+// fraction that would produce it: the inverse map g⁻¹ of §V-D with per-SDO
+// cost costPerSDO (CPU-seconds), multiplicity mult (output SDOs per input
+// SDO) and tick length dt seconds. A non-positive bound yields 0; an
+// unconstrained bound (math.Inf) passes through.
+func RateToCPU(ratePerTick, costPerSDO, mult, dt float64) float64 {
+	if math.IsInf(ratePerTick, 1) {
+		return math.Inf(1)
+	}
+	if ratePerTick <= 0 || dt <= 0 {
+		return 0
+	}
+	if mult <= 0 {
+		mult = 1
+	}
+	// output SDOs per tick = mult · (c·dt / cost)  ⇒  c = rate·cost/(mult·dt)
+	return ratePerTick * costPerSDO / (mult * dt)
+}
+
+// CPUToRate is the forward map g: CPU fraction to output SDOs per tick.
+func CPUToRate(c, costPerSDO, mult, dt float64) float64 {
+	if c <= 0 || costPerSDO <= 0 {
+		return 0
+	}
+	if mult <= 0 {
+		mult = 1
+	}
+	return mult * c * dt / costPerSDO
+}
+
+// Feedback tracks the most recent r_max advertisements from every PE and
+// answers the Eq. 8 query: a PE's output-rate bound is the maximum of its
+// downstream PEs' advertised maximum input rates (the max-flow policy:
+// "forward packets to all downstream PEs if there is a vacancy in the
+// input buffer of its fastest downstream PE").
+type Feedback struct {
+	rmax map[int32]float64
+}
+
+// NewFeedback returns an empty feedback board.
+func NewFeedback() *Feedback {
+	return &Feedback{rmax: make(map[int32]float64)}
+}
+
+// Publish records PE j's advertised maximum input rate (SDOs/tick).
+func (f *Feedback) Publish(j int32, r float64) {
+	if r < 0 {
+		r = 0
+	}
+	f.rmax[j] = r
+}
+
+// RMax returns PE j's last advertisement and whether one exists.
+func (f *Feedback) RMax(j int32) (float64, bool) {
+	r, ok := f.rmax[j]
+	return r, ok
+}
+
+// OutputBound implements Eq. 8 for a PE with the given downstream set:
+// max over downstream advertisements. PEs that have not advertised yet are
+// treated as unconstrained (cold start must not stall the pipeline), so the
+// bound is +Inf if any downstream is silent; egress PEs (no downstream) are
+// unconstrained.
+func (f *Feedback) OutputBound(downstream []int32) float64 {
+	if len(downstream) == 0 {
+		return math.Inf(1)
+	}
+	bound := 0.0
+	for _, d := range downstream {
+		r, ok := f.rmax[d]
+		if !ok {
+			return math.Inf(1)
+		}
+		if r > bound {
+			bound = r
+		}
+	}
+	return bound
+}
+
+// MinBound is the min-flow counterpart of OutputBound, used by the
+// Lock-Step ablation: the slowest downstream PE gates the sender.
+func (f *Feedback) MinBound(downstream []int32) float64 {
+	if len(downstream) == 0 {
+		return math.Inf(1)
+	}
+	bound := math.Inf(1)
+	for _, d := range downstream {
+		r, ok := f.rmax[d]
+		if !ok {
+			continue
+		}
+		if r < bound {
+			bound = r
+		}
+	}
+	return bound
+}
+
+// String renders the board for debugging.
+func (f *Feedback) String() string {
+	return fmt.Sprintf("feedback{%d PEs}", len(f.rmax))
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"aces/internal/policy"
+)
+
+// CSV writers: plotting-ready exports of every experiment's rows, one
+// record per (x, policy) sample. cmd/aces-bench -csv writes them next to
+// the text tables.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// BufferSweepCSV exports the Fig. 3 / Fig. 4 sweep.
+func BufferSweepCSV(w io.Writer, rows []BufferRow) error {
+	out := make([][]string, 0, len(rows)*2)
+	for _, r := range rows {
+		for _, pol := range []policy.Policy{policy.ACES, policy.LockStep} {
+			s := r.Stat[pol]
+			out = append(out, []string{
+				strconv.Itoa(r.B), pol.String(),
+				f(s.WT), f(s.WTErr), f(s.Lat), f(s.LatStd), f(s.P95), f(s.InFlight), f(s.BufOcc),
+			})
+		}
+	}
+	return writeCSV(w, []string{"buffer", "policy", "wt", "wt_ci95", "lat_s", "lat_std_s", "p95_s", "inflight_drops", "buf_occ"}, out)
+}
+
+// BurstinessCSV exports the Fig. 5 sweep.
+func BurstinessCSV(w io.Writer, rows []BurstinessRow) error {
+	out := make([][]string, 0, len(rows)*3)
+	for _, r := range rows {
+		for _, pol := range policy.All() {
+			s := r.Stat[pol]
+			out = append(out, []string{
+				f(r.LambdaS), pol.String(), f(s.WT), f(s.WTErr), f(s.Lat), f(s.P95),
+			})
+		}
+	}
+	return writeCSV(w, []string{"lambda_s", "policy", "wt", "wt_ci95", "lat_s", "p95_s"}, out)
+}
+
+// SmallBufferCSV exports E4.
+func SmallBufferCSV(w io.Writer, rows []SmallBufferRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.B),
+			f(r.Stat[policy.ACES].WT), f(r.Stat[policy.UDP].WT), f(r.Stat[policy.LockStep].WT),
+			f(r.AdvantagePct),
+		})
+	}
+	return writeCSV(w, []string{"buffer", "aces_wt", "udp_wt", "lockstep_wt", "advantage_pct"}, out)
+}
+
+// RobustnessCSV exports E5.
+func RobustnessCSV(w io.Writer, rows []RobustnessRow) error {
+	out := make([][]string, 0, len(rows)*3)
+	for _, r := range rows {
+		for _, pol := range policy.All() {
+			out = append(out, []string{f(r.Eps), pol.String(), f(r.Stat[pol].WT)})
+		}
+	}
+	return writeCSV(w, []string{"eps", "policy", "wt"}, out)
+}
+
+// FanoutCSV exports E7 (Fig. 2).
+func FanoutCSV(w io.Writer, rows []FanoutResult) error {
+	out := make([][]string, 0, len(rows)*4)
+	for _, r := range rows {
+		for i, br := range r.BranchRates {
+			out = append(out, []string{r.Policy.String(), strconv.Itoa(i + 2), f(br)})
+		}
+	}
+	return writeCSV(w, []string{"policy", "consumer", "rate"}, out)
+}
+
+// CalibrationCSV exports E8.
+func CalibrationCSV(w io.Writer, rows []CalibrationRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Policy.String(), f(r.SimWT), f(r.LiveWT), f(r.RatioPct)})
+	}
+	return writeCSV(w, []string{"policy", "sim_wt", "live_wt", "ratio_pct"}, out)
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"aces/internal/policy"
+)
+
+// The experiment suite at Quick scale must run end to end, produce sane
+// numbers, and reproduce the paper's qualitative orderings. These are the
+// integration tests of the whole reproduction.
+
+func TestBufferSweepShapes(t *testing.T) {
+	o := Quick()
+	rows, err := BufferSweep(o, []int{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		a, l := r.Stat[policy.ACES], r.Stat[policy.LockStep]
+		if a.WT <= 0 || l.WT <= 0 {
+			t.Errorf("B=%d: zero throughput: %+v", r.B, r.Stat)
+		}
+		if a.Lat <= 0 || l.Lat <= 0 {
+			t.Errorf("B=%d: zero latency", r.B)
+		}
+		// Fig. 4's headline: ACES trades better — at equal-or-better
+		// throughput its latency must not exceed Lock-Step's.
+		if a.WT >= l.WT*0.95 && a.Lat > l.Lat*1.1 {
+			t.Errorf("B=%d: ACES lat %.1fms > LockStep %.1fms at comparable wt (%.2f vs %.2f)",
+				r.B, a.Lat*1e3, l.Lat*1e3, a.WT, l.WT)
+		}
+	}
+	// Larger buffers → larger Lock-Step latency (Fig. 4's parametric
+	// direction).
+	if rows[1].Stat[policy.LockStep].Lat <= rows[0].Stat[policy.LockStep].Lat {
+		t.Errorf("LockStep latency should grow with B: %.1f → %.1f ms",
+			rows[0].Stat[policy.LockStep].Lat*1e3, rows[1].Stat[policy.LockStep].Lat*1e3)
+	}
+
+	var sb strings.Builder
+	FormatFig3(&sb, rows)
+	FormatFig4(&sb, rows)
+	if !strings.Contains(sb.String(), "Fig. 3") || !strings.Contains(sb.String(), "Fig. 4") {
+		t.Errorf("formatters broken")
+	}
+}
+
+func TestBurstinessSweepShapes(t *testing.T) {
+	o := Quick()
+	rows, err := BurstinessSweep(o, []float64{1, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, pol := range policy.All() {
+			if r.Stat[pol].WT <= 0 {
+				t.Errorf("λ=%g %v: zero throughput", r.LambdaS, pol)
+			}
+		}
+	}
+	// Fig. 5's headline: at high burstiness ACES must be at least
+	// competitive with the best baseline (paper: strictly better).
+	last := rows[len(rows)-1]
+	best := last.Stat[policy.UDP].WT
+	if last.Stat[policy.LockStep].WT > best {
+		best = last.Stat[policy.LockStep].WT
+	}
+	if last.Stat[policy.ACES].WT < best*0.9 {
+		t.Errorf("λ=%g: ACES %.2f well below best baseline %.2f",
+			last.LambdaS, last.Stat[policy.ACES].WT, best)
+	}
+	var sb strings.Builder
+	FormatFig5(&sb, rows)
+	if !strings.Contains(sb.String(), "lambda_S") {
+		t.Errorf("formatter broken")
+	}
+}
+
+func TestFanoutReproducesFig2(t *testing.T) {
+	o := Quick()
+	o.Duration = 20
+	rows, err := Fanout(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := make(map[policy.Policy]FanoutResult)
+	for _, r := range rows {
+		byPol[r.Policy] = r
+	}
+	aces, lock := byPol[policy.ACES], byPol[policy.LockStep]
+	// Max-flow: the fast branch (30/s) stays near full rate.
+	if aces.BranchRates[3] < 24 {
+		t.Errorf("ACES fast branch = %.1f/s, want ≈30", aces.BranchRates[3])
+	}
+	// Min-flow: the fast branch is dragged toward the slowest (10/s).
+	if lock.BranchRates[3] > 16 {
+		t.Errorf("LockStep fast branch = %.1f/s, want ≈10", lock.BranchRates[3])
+	}
+	if aces.TotalWT <= lock.TotalWT*1.3 {
+		t.Errorf("ACES total %.1f should clearly beat LockStep %.1f", aces.TotalWT, lock.TotalWT)
+	}
+	var sb strings.Builder
+	FormatFanout(&sb, rows)
+	if !strings.Contains(sb.String(), "pe5(30)") {
+		t.Errorf("formatter broken")
+	}
+}
+
+func TestStabilityConverges(t *testing.T) {
+	o := Quick()
+	o.Duration = 20
+	res, err := Stability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SettleTime < 0 {
+		t.Fatalf("controller never settled: %+v", res)
+	}
+	if res.SettleTime > 10 {
+		t.Errorf("settling took %.1fs, too slow", res.SettleTime)
+	}
+	if res.SteadyMean < res.B0*0.7 || res.SteadyMean > res.B0*1.3 {
+		t.Errorf("steady buffer %.1f not near b0 = %g", res.SteadyMean, res.B0)
+	}
+	var sb strings.Builder
+	FormatStability(&sb, res)
+	if !strings.Contains(sb.String(), "settle_s") {
+		t.Errorf("formatter broken")
+	}
+}
+
+func TestRobustnessDegradesGracefully(t *testing.T) {
+	o := Quick()
+	rows, err := Robustness(o, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rows[0].Stat[policy.ACES].WT
+	pert := rows[1].Stat[policy.ACES].WT
+	if base <= 0 {
+		t.Fatal("zero baseline throughput")
+	}
+	// ACES self-stabilizes: a 30% allocation error must not halve
+	// throughput.
+	if pert < base*0.5 {
+		t.Errorf("30%% allocation error dropped wt from %.2f to %.2f", base, pert)
+	}
+	var sb strings.Builder
+	FormatRobustness(&sb, rows)
+	if !strings.Contains(sb.String(), "aces_retained") {
+		t.Errorf("formatter broken")
+	}
+}
+
+func TestSmallBufferAdvantageRuns(t *testing.T) {
+	o := Quick()
+	rows, err := SmallBufferAdvantage(o, []int{5, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Stat[policy.ACES].WT <= 0 {
+			t.Errorf("B=%d: zero ACES throughput", r.B)
+		}
+	}
+	// The ACES advantage should be larger (or at least not smaller by
+	// much) at the smaller buffer — the paper's limit-of-small-buffers
+	// claim.
+	if rows[0].AdvantagePct < rows[1].AdvantagePct-15 {
+		t.Errorf("advantage at B=5 (%.1f%%) ≪ at B=25 (%.1f%%)", rows[0].AdvantagePct, rows[1].AdvantagePct)
+	}
+	var sb strings.Builder
+	FormatSmallBuffer(&sb, rows)
+	if !strings.Contains(sb.String(), "aces_vs_best") {
+		t.Errorf("formatter broken")
+	}
+}
+
+func TestCalibrationAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runtime calibration is wall-clock bound")
+	}
+	o := Quick()
+	rows, err := Calibration(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SimWT <= 0 || r.LiveWT <= 0 {
+			t.Errorf("%v: zero throughput (sim %.2f live %.2f)", r.Policy, r.SimWT, r.LiveWT)
+			continue
+		}
+		// The substrates share models but differ in scheduling reality;
+		// at full scale they agree within a few percent (EXPERIMENTS.md).
+		// At Quick scale on real OS timers — possibly under the race
+		// detector — a generous band guards against CI noise.
+		if r.RatioPct < 50 || r.RatioPct > 200 {
+			t.Errorf("%v: live/sim = %.0f%%, outside calibration band", r.Policy, r.RatioPct)
+		}
+	}
+	var sb strings.Builder
+	FormatCalibration(&sb, rows)
+	if !strings.Contains(sb.String(), "live/sim") {
+		t.Errorf("formatter broken")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	o := Quick()
+	rows, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stat.WT <= 0 {
+			t.Errorf("%v: zero throughput", r.Policy)
+		}
+	}
+	var sb strings.Builder
+	FormatAblations(&sb, rows)
+	if !strings.Contains(sb.String(), "variant") {
+		t.Errorf("formatter broken")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "demo", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	s := sb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "333") {
+		t.Errorf("table output wrong:\n%s", s)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	o := Quick()
+	o.Duration = 6
+
+	var sb strings.Builder
+	buf, err := BufferSweep(o, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BufferSweepCSV(&sb, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "buffer,policy,wt") || !strings.Contains(sb.String(), "aces") {
+		t.Errorf("buffer CSV malformed:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	burst, err := BurstinessSweep(o, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BurstinessCSV(&sb, burst); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lambda_s,policy,wt") {
+		t.Errorf("burstiness CSV malformed")
+	}
+
+	sb.Reset()
+	fan, err := Fanout(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FanoutCSV(&sb, fan); err != nil {
+		t.Fatal(err)
+	}
+	// 3 policies × 4 consumers + header = 13 lines.
+	if lines := strings.Count(strings.TrimSpace(sb.String()), "\n") + 1; lines != 13 {
+		t.Errorf("fanout CSV has %d lines, want 13", lines)
+	}
+
+	sb.Reset()
+	if err := SmallBufferCSV(&sb, []SmallBufferRow{{B: 5, Stat: buf[0].Stat, AdvantagePct: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RobustnessCSV(&sb, []RobustnessRow{{Eps: 0.1, Stat: burst[0].Stat}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CalibrationCSV(&sb, []CalibrationRow{{Policy: policy.ACES, SimWT: 1, LiveWT: 1, RatioPct: 100}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aces/internal/policy"
+	"aces/internal/sim"
+)
+
+// simRandFor derives a deterministic random stream for a robustness
+// perturbation from the (seed, eps) pair.
+func simRandFor(seed int64, eps float64) *sim.Rand {
+	return sim.Substream(seed, uint64(eps*1000)+31337)
+}
+
+// Table renders an aligned plain-text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+func ms(sec float64) string { return fmt.Sprintf("%.1f", sec*1e3) }
+
+// FormatFig3 renders E1: latency mean ± σ versus buffer size.
+func FormatFig3(w io.Writer, rows []BufferRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		a, l := r.Stat[policy.ACES], r.Stat[policy.LockStep]
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.B),
+			ms(a.Lat), ms(a.LatStd),
+			ms(l.Lat), ms(l.LatStd),
+			fmt.Sprintf("%.2f", safeDiv(l.Lat, a.Lat)),
+		})
+	}
+	Table(w, "Fig. 3 — end-to-end latency, mean ± σ (ms), ACES vs Lock-Step",
+		[]string{"B", "aces_mean", "aces_std", "lock_mean", "lock_std", "lock/aces"}, out)
+}
+
+// FormatFig4 renders E2: the latency-vs-weighted-throughput frontier.
+func FormatFig4(w io.Writer, rows []BufferRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		a, l := r.Stat[policy.ACES], r.Stat[policy.LockStep]
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.B),
+			fmt.Sprintf("%.2f", a.WT), ms(a.Lat),
+			fmt.Sprintf("%.2f", l.WT), ms(l.Lat),
+		})
+	}
+	Table(w, "Fig. 4 — mean latency (ms) vs weighted throughput, parametric in buffer size B",
+		[]string{"B", "aces_wt", "aces_lat", "lock_wt", "lock_lat"}, out)
+}
+
+// FormatFig5 renders E3: weighted throughput versus burstiness.
+func FormatFig5(w io.Writer, rows []BurstinessRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		a, u, l := r.Stat[policy.ACES], r.Stat[policy.UDP], r.Stat[policy.LockStep]
+		best := u.WT
+		if l.WT > best {
+			best = l.WT
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%.0f", r.LambdaS),
+			fmt.Sprintf("%.2f", a.WT),
+			fmt.Sprintf("%.2f", u.WT),
+			fmt.Sprintf("%.2f", l.WT),
+			fmt.Sprintf("%+.1f%%", 100*safeDiv(a.WT-best, best)),
+		})
+	}
+	Table(w, "Fig. 5 — weighted throughput vs burstiness λ_S (ACES / UDP / Lock-Step)",
+		[]string{"lambda_S", "aces", "udp", "lockstep", "aces_adv"}, out)
+}
+
+// FormatSmallBuffer renders E4.
+func FormatSmallBuffer(w io.Writer, rows []SmallBufferRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.B),
+			fmt.Sprintf("%.2f", r.Stat[policy.ACES].WT),
+			fmt.Sprintf("%.2f", r.Stat[policy.UDP].WT),
+			fmt.Sprintf("%.2f", r.Stat[policy.LockStep].WT),
+			fmt.Sprintf("%+.1f%%", r.AdvantagePct),
+		})
+	}
+	Table(w, "E4 — small-buffer advantage (weighted throughput; paper claims >20% for small B)",
+		[]string{"B", "aces", "udp", "lockstep", "aces_vs_best"}, out)
+}
+
+// FormatRobustness renders E5.
+func FormatRobustness(w io.Writer, rows []RobustnessRow) {
+	var base float64
+	out := make([][]string, 0, len(rows))
+	for i, r := range rows {
+		a := r.Stat[policy.ACES].WT
+		if i == 0 {
+			base = a
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%.0f%%", r.Eps*100),
+			fmt.Sprintf("%.2f", a),
+			fmt.Sprintf("%.2f", r.Stat[policy.UDP].WT),
+			fmt.Sprintf("%.2f", r.Stat[policy.LockStep].WT),
+			fmt.Sprintf("%.1f%%", 100*safeDiv(a, base)),
+		})
+	}
+	Table(w, "E5 — robustness to tier-1 allocation errors (weighted throughput vs ±eps perturbation)",
+		[]string{"eps", "aces", "udp", "lockstep", "aces_retained"}, out)
+}
+
+// FormatFanout renders E7.
+func FormatFanout(w io.Writer, rows []FanoutResult) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells := []string{r.Policy.String()}
+		for _, br := range r.BranchRates {
+			cells = append(cells, fmt.Sprintf("%.1f", br))
+		}
+		cells = append(cells, fmt.Sprintf("%.1f", r.TotalWT))
+		out = append(out, cells)
+	}
+	Table(w, "Fig. 2 / E7 — fan-out branch rates (SDO/s; consumers capable of 10/20/20/30)",
+		[]string{"policy", "pe2(10)", "pe3(20)", "pe4(20)", "pe5(30)", "total_wt"}, out)
+}
+
+// FormatCalibration renders E8.
+func FormatCalibration(w io.Writer, rows []CalibrationRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy.String(),
+			fmt.Sprintf("%.2f", r.SimWT),
+			fmt.Sprintf("%.2f", r.LiveWT),
+			fmt.Sprintf("%.0f%%", r.RatioPct),
+		})
+	}
+	Table(w, "E8 — simulator vs live-runtime calibration (60 PEs / 10 nodes, weighted throughput)",
+		[]string{"policy", "sim_wt", "live_wt", "live/sim"}, out)
+}
+
+// FormatStability renders E6.
+func FormatStability(w io.Writer, r StabilityResult) {
+	Table(w, "E6 — closed-loop stability (regulated buffer, b0 = 25, from empty start)",
+		[]string{"settle_s", "steady_mean", "steady_std", "wt_cv"},
+		[][]string{{
+			fmt.Sprintf("%.2f", r.SettleTime),
+			fmt.Sprintf("%.1f", r.SteadyMean),
+			fmt.Sprintf("%.1f", r.SteadyStd),
+			fmt.Sprintf("%.3f", r.ThroughputCV),
+		}})
+}
+
+// FormatAblations renders the design-choice ablations.
+func FormatAblations(w io.Writer, rows []AblationRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy.String(),
+			fmt.Sprintf("%.2f", r.Stat.WT),
+			ms(r.Stat.Lat),
+			fmt.Sprintf("%.0f", r.Stat.InFlight),
+		})
+	}
+	Table(w, "Ablations — full ACES vs min-flow bound vs strict CPU enforcement",
+		[]string{"variant", "wt", "lat_ms", "inflight_drops"}, out)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aces/internal/sdo"
+)
+
+// WriteDOT renders the topology as a Graphviz digraph: PEs clustered by
+// node, sources as diamonds, egress PEs shaded with their weights, edges
+// following the DAG. `dot -Tsvg topo.dot` turns it into the Fig. 1-style
+// picture of the deployment.
+func (t *Topology) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	b.WriteString("digraph aces {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", title)
+	}
+	for n := 0; n < t.NumNodes; n++ {
+		ids := t.OnNode(sdo.NodeID(n))
+		if len(ids) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_n%d {\n    label=\"node %d\";\n    style=dashed;\n", n, n)
+		for _, id := range ids {
+			pe := &t.PEs[id]
+			attrs := ""
+			if t.IsEgress(id) {
+				attrs = fmt.Sprintf(", style=\"rounded,filled\", fillcolor=lightgrey, xlabel=\"w=%.2g\"", pe.Weight)
+			}
+			fmt.Fprintf(&b, "    pe%d [label=%q%s];\n", id, pe.Name, attrs)
+		}
+		b.WriteString("  }\n")
+	}
+	for i, s := range t.Sources {
+		fmt.Fprintf(&b, "  src%d [shape=diamond, label=\"s%d @%.3g/s\"];\n", i, s.Stream, s.Rate)
+		fmt.Fprintf(&b, "  src%d -> pe%d;\n", i, s.Target)
+	}
+	for _, e := range t.Edges {
+		fmt.Fprintf(&b, "  pe%d -> pe%d;\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,485 @@
+// Package graph models the application layer of a distributed stream
+// processing system: processing elements (PEs) interconnected in a directed
+// acyclic graph, placed onto processing nodes (PNs), fed by external source
+// streams (paper §III, Fig. 1). It also implements the random topology
+// generator the paper's evaluation uses (§VI-A): "a topology generation
+// tool that takes as input the number of CPUs in the system, the number of
+// ingress, egress and intermediate PEs and the average degree of
+// interconnectivity, and outputs a PE graph, the assignment of PEs to CPUs,
+// the time-averaged CPU allocations and the parameters for each PE."
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"aces/internal/sdo"
+	"aces/internal/sim"
+	"aces/internal/workload"
+)
+
+// PE describes one processing element.
+type PE struct {
+	ID   sdo.PEID   `json:"id"`
+	Name string     `json:"name"`
+	Node sdo.NodeID `json:"node"`
+	// Weight is w_j, the importance of this PE's output stream in the
+	// weighted-throughput objective (§III-A). By convention only egress PEs
+	// carry positive weight: internal production is not "productive work"
+	// until it reaches a system output.
+	Weight float64 `json:"weight"`
+	// Service holds the two-state processing-cost model (§VI-B).
+	Service workload.ServiceParams `json:"service"`
+	// Overhead is the paper's b in h_j(c̄) = a·c̄ − b: a fixed rate tax
+	// modeling per-invocation setup costs, in SDOs/sec.
+	Overhead float64 `json:"overhead"`
+	// BufferSize overrides the topology-wide default input-buffer capacity
+	// when positive.
+	BufferSize int `json:"buffer_size,omitempty"`
+	// Join makes a multi-input PE consume one SDO from EACH upstream per
+	// firing (a stream join / correlation, the semantics behind the
+	// per-upstream constraint of paper Eq. 5), instead of merging all
+	// inputs into one queue. Join PEs must have at least two upstream PEs
+	// and no external sources; each input gets its own queue of the PE's
+	// buffer capacity, and the output inherits the *oldest* input's origin
+	// so latency reflects the slowest-arriving component.
+	Join bool `json:"join,omitempty"`
+}
+
+// Source describes one external input stream entering the system at an
+// ingress PE.
+type Source struct {
+	Stream sdo.StreamID `json:"stream"`
+	Target sdo.PEID     `json:"target"`
+	// Rate is the long-run mean arrival rate in SDOs/sec.
+	Rate float64 `json:"rate"`
+	// Burst configures the arrival process shape.
+	Burst BurstSpec `json:"burst"`
+}
+
+// BurstKind enumerates source arrival processes.
+type BurstKind int
+
+// Supported arrival processes.
+const (
+	BurstDeterministic BurstKind = iota + 1
+	BurstPoisson
+	BurstOnOff
+	// BurstTrace replays recorded inter-arrival intervals (cycling),
+	// substituting for the production traces the paper's authors had; the
+	// intervals ship inside the topology JSON.
+	BurstTrace
+	// BurstHeavyTail draws inter-arrival gaps from a bounded Pareto law
+	// (tail exponent 1.5, 100:1 truncation) — burstier than any on/off
+	// model at the same mean rate.
+	BurstHeavyTail
+)
+
+// String implements fmt.Stringer.
+func (k BurstKind) String() string {
+	switch k {
+	case BurstDeterministic:
+		return "deterministic"
+	case BurstPoisson:
+		return "poisson"
+	case BurstOnOff:
+		return "onoff"
+	case BurstTrace:
+		return "trace"
+	case BurstHeavyTail:
+		return "heavytail"
+	default:
+		return fmt.Sprintf("BurstKind(%d)", int(k))
+	}
+}
+
+// BurstSpec parameterizes a source arrival process.
+type BurstSpec struct {
+	Kind BurstKind `json:"kind"`
+	// PeakFactor is the ON-state rate divided by the mean rate (only for
+	// BurstOnOff; must be > 1). Duty cycle follows as 1/PeakFactor.
+	PeakFactor float64 `json:"peak_factor,omitempty"`
+	// MeanOn is the mean ON-dwell in seconds (only for BurstOnOff).
+	MeanOn float64 `json:"mean_on,omitempty"`
+	// TraceIntervals are the recorded inter-arrival gaps in seconds (only
+	// for BurstTrace). The trace cycles; its empirical mean rate overrides
+	// the Source's Rate for replay fidelity.
+	TraceIntervals []float64 `json:"trace_intervals,omitempty"`
+}
+
+// Build constructs the arrival process for a source with the given mean
+// rate.
+func (b BurstSpec) Build(rate float64, rng *sim.Rand) (workload.ArrivalProcess, error) {
+	switch b.Kind {
+	case BurstDeterministic:
+		return workload.NewDeterministic(rate), nil
+	case BurstPoisson:
+		return workload.NewPoisson(rate, rng), nil
+	case BurstOnOff:
+		pf := b.PeakFactor
+		if pf <= 1 {
+			return nil, fmt.Errorf("graph: on/off source needs PeakFactor > 1, got %g", pf)
+		}
+		meanOn := b.MeanOn
+		if meanOn <= 0 {
+			meanOn = 0.1
+		}
+		// Duty cycle = 1/pf keeps the mean at rate.
+		duty := 1 / pf
+		meanOff := meanOn * (1 - duty) / duty
+		return workload.NewOnOff(rate*pf, meanOn, meanOff, rng), nil
+	case BurstTrace:
+		return workload.NewTrace(b.TraceIntervals)
+	case BurstHeavyTail:
+		return workload.NewHeavyTail(rate, 1.5, 100, rng), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown burst kind %v", b.Kind)
+	}
+}
+
+// Topology is a complete application deployment: PEs, their DAG, their
+// placement onto nodes, and the external sources.
+type Topology struct {
+	// PEs are indexed by their ID: PEs[i].ID == PEID(i).
+	PEs []PE `json:"pes"`
+	// NumNodes is the number of processing nodes.
+	NumNodes int `json:"num_nodes"`
+	// DefaultBufferSize is the input-buffer capacity B in SDOs for PEs
+	// without an override (paper default: 50).
+	DefaultBufferSize int `json:"default_buffer_size"`
+	// Sources lists the external streams.
+	Sources []Source `json:"sources"`
+	// Edges lists the DAG edges in insertion order. Maintained by Connect;
+	// after JSON unmarshalling call Rebuild to restore the adjacency
+	// indexes.
+	Edges []Edge `json:"edges"`
+
+	down [][]sdo.PEID
+	up   [][]sdo.PEID
+}
+
+// Edge is a directed PE-graph edge.
+type Edge struct {
+	From sdo.PEID `json:"from"`
+	To   sdo.PEID `json:"to"`
+}
+
+// Rebuild reconstructs the adjacency indexes from PEs and Edges, e.g.
+// after JSON unmarshalling. It returns the first edge error encountered.
+func (t *Topology) Rebuild() error {
+	t.down = make([][]sdo.PEID, len(t.PEs))
+	t.up = make([][]sdo.PEID, len(t.PEs))
+	edges := t.Edges
+	t.Edges = nil
+	for _, e := range edges {
+		if err := t.Connect(e.From, e.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// New returns an empty topology with the given node count and default
+// buffer size.
+func New(numNodes, defaultBufferSize int) *Topology {
+	return &Topology{NumNodes: numNodes, DefaultBufferSize: defaultBufferSize}
+}
+
+// AddPE appends a PE and returns its assigned ID. The caller fills Name,
+// Node, Weight and Service; ID is overwritten.
+func (t *Topology) AddPE(pe PE) sdo.PEID {
+	id := sdo.PEID(len(t.PEs))
+	pe.ID = id
+	if pe.Name == "" {
+		pe.Name = fmt.Sprintf("pe%d", id)
+	}
+	t.PEs = append(t.PEs, pe)
+	t.down = append(t.down, nil)
+	t.up = append(t.up, nil)
+	return id
+}
+
+// Connect adds the edge from → to. Duplicate edges and self-loops are
+// rejected; cycles are caught by Validate.
+func (t *Topology) Connect(from, to sdo.PEID) error {
+	if !t.valid(from) || !t.valid(to) {
+		return fmt.Errorf("graph: edge %d→%d references unknown PE", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("graph: self-loop on PE %d", from)
+	}
+	for _, d := range t.down[from] {
+		if d == to {
+			return fmt.Errorf("graph: duplicate edge %d→%d", from, to)
+		}
+	}
+	t.down[from] = append(t.down[from], to)
+	t.up[to] = append(t.up[to], from)
+	t.Edges = append(t.Edges, Edge{From: from, To: to})
+	return nil
+}
+
+// AddSource attaches an external stream to an ingress PE.
+func (t *Topology) AddSource(s Source) error {
+	if !t.valid(s.Target) {
+		return fmt.Errorf("graph: source targets unknown PE %d", s.Target)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("graph: source rate must be positive, got %g", s.Rate)
+	}
+	if s.Stream == 0 {
+		s.Stream = sdo.StreamID(len(t.Sources))
+	}
+	t.Sources = append(t.Sources, s)
+	return nil
+}
+
+func (t *Topology) valid(id sdo.PEID) bool {
+	return id >= 0 && int(id) < len(t.PEs)
+}
+
+// NumPEs returns the PE count.
+func (t *Topology) NumPEs() int { return len(t.PEs) }
+
+// Down returns the downstream PEs D(p_j). The returned slice must not be
+// mutated.
+func (t *Topology) Down(j sdo.PEID) []sdo.PEID { return t.down[j] }
+
+// Up returns the upstream PEs U(p_j). The returned slice must not be
+// mutated.
+func (t *Topology) Up(j sdo.PEID) []sdo.PEID { return t.up[j] }
+
+// IsEgress reports whether PE j has no downstream PEs.
+func (t *Topology) IsEgress(j sdo.PEID) bool { return len(t.down[j]) == 0 }
+
+// IsIngress reports whether PE j is fed by an external source.
+func (t *Topology) IsIngress(j sdo.PEID) bool {
+	for _, s := range t.Sources {
+		if s.Target == j {
+			return true
+		}
+	}
+	return false
+}
+
+// OnNode returns the IDs of the PEs placed on node n (the paper's N_j set).
+func (t *Topology) OnNode(n sdo.NodeID) []sdo.PEID {
+	var out []sdo.PEID
+	for i := range t.PEs {
+		if t.PEs[i].Node == n {
+			out = append(out, sdo.PEID(i))
+		}
+	}
+	return out
+}
+
+// BufferSize returns the input-buffer capacity of PE j.
+func (t *Topology) BufferSize(j sdo.PEID) int {
+	if b := t.PEs[j].BufferSize; b > 0 {
+		return b
+	}
+	return t.DefaultBufferSize
+}
+
+// SourcesFor returns the sources feeding PE j.
+func (t *Topology) SourcesFor(j sdo.PEID) []Source {
+	var out []Source
+	for _, s := range t.Sources {
+		if s.Target == j {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the PE IDs in a topological order (Kahn's algorithm),
+// or an error when the graph has a cycle.
+func (t *Topology) TopoOrder() ([]sdo.PEID, error) {
+	indeg := make([]int, len(t.PEs))
+	for j := range t.PEs {
+		indeg[j] = len(t.up[j])
+	}
+	var queue []sdo.PEID
+	for j := range t.PEs {
+		if indeg[j] == 0 {
+			queue = append(queue, sdo.PEID(j))
+		}
+	}
+	order := make([]sdo.PEID, 0, len(t.PEs))
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		order = append(order, j)
+		for _, d := range t.down[j] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != len(t.PEs) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d PEs ordered)", len(order), len(t.PEs))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: the graph is a DAG, placements
+// reference existing nodes, buffer sizes are sane, every non-ingress PE has
+// an upstream, and every ingress PE has a source.
+func (t *Topology) Validate() error {
+	if t.NumNodes <= 0 {
+		return fmt.Errorf("graph: topology needs at least one node")
+	}
+	if t.DefaultBufferSize <= 0 {
+		return fmt.Errorf("graph: DefaultBufferSize must be positive, got %d", t.DefaultBufferSize)
+	}
+	if len(t.PEs) == 0 {
+		return fmt.Errorf("graph: topology has no PEs")
+	}
+	if _, err := t.TopoOrder(); err != nil {
+		return err
+	}
+	for i := range t.PEs {
+		pe := &t.PEs[i]
+		if pe.Node < 0 || int(pe.Node) >= t.NumNodes {
+			return fmt.Errorf("graph: PE %d placed on invalid node %d (have %d nodes)", i, pe.Node, t.NumNodes)
+		}
+		if pe.Weight < 0 {
+			return fmt.Errorf("graph: PE %d has negative weight %g", i, pe.Weight)
+		}
+		if pe.Service.T0 <= 0 || pe.Service.T1 <= 0 {
+			return fmt.Errorf("graph: PE %d has non-positive service costs", i)
+		}
+		if len(t.up[i]) == 0 && !t.IsIngress(sdo.PEID(i)) {
+			return fmt.Errorf("graph: PE %d has no upstream PE and no source — it would starve", i)
+		}
+	}
+	for _, s := range t.Sources {
+		if !t.valid(s.Target) {
+			return fmt.Errorf("graph: source %d targets unknown PE %d", s.Stream, s.Target)
+		}
+		if len(t.up[s.Target]) > 0 {
+			return fmt.Errorf("graph: PE %d has both a source and upstream PEs", s.Target)
+		}
+	}
+	for j := range t.PEs {
+		if t.PEs[j].Join && len(t.up[j]) < 2 {
+			return fmt.Errorf("graph: join PE %d needs at least 2 upstream PEs, has %d", j, len(t.up[j]))
+		}
+	}
+	return nil
+}
+
+// EgressPEs returns the IDs of all egress PEs.
+func (t *Topology) EgressPEs() []sdo.PEID {
+	var out []sdo.PEID
+	for j := range t.PEs {
+		if t.IsEgress(sdo.PEID(j)) {
+			out = append(out, sdo.PEID(j))
+		}
+	}
+	return out
+}
+
+// IngressPEs returns the IDs of all ingress PEs.
+func (t *Topology) IngressPEs() []sdo.PEID {
+	var out []sdo.PEID
+	for j := range t.PEs {
+		if t.IsIngress(sdo.PEID(j)) {
+			out = append(out, sdo.PEID(j))
+		}
+	}
+	return out
+}
+
+// MaxFanIn returns the largest in-degree in the graph.
+func (t *Topology) MaxFanIn() int {
+	m := 0
+	for _, u := range t.up {
+		if len(u) > m {
+			m = len(u)
+		}
+	}
+	return m
+}
+
+// MaxFanOut returns the largest out-degree in the graph.
+func (t *Topology) MaxFanOut() int {
+	m := 0
+	for _, d := range t.down {
+		if len(d) > m {
+			m = len(d)
+		}
+	}
+	return m
+}
+
+// UnitDemand propagates one SDO/sec from every source through the DAG and
+// returns each PE's input rate under that unit load. The input of a PE is
+// the sum of its upstream outputs (every downstream PE receives a copy of
+// the full stream — §III-D), and outputs scale by the mean multiplicity.
+// Used for capacity estimation and load calibration.
+func (t *Topology) UnitDemand() ([]float64, error) {
+	order, err := t.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	in := make([]float64, len(t.PEs))
+	joinIn := make(map[sdo.PEID][]float64)
+	for _, s := range t.Sources {
+		in[s.Target] += 1
+	}
+	for _, j := range order {
+		if t.PEs[j].Join {
+			// A join fires at the rate of its slowest input.
+			rate := math.Inf(1)
+			for _, v := range joinIn[j] {
+				if v < rate {
+					rate = v
+				}
+			}
+			if len(joinIn[j]) < len(t.up[j]) || math.IsInf(rate, 1) {
+				rate = 0
+			}
+			in[j] = rate
+		}
+		m := t.PEs[j].Service.MeanMult
+		if m <= 0 {
+			m = 1
+		}
+		out := in[j] * m
+		for _, d := range t.down[j] {
+			if t.PEs[d].Join {
+				joinIn[d] = append(joinIn[d], out)
+			} else {
+				in[d] += out
+			}
+		}
+	}
+	return in, nil
+}
+
+// BottleneckIngressRate returns the largest uniform per-source rate r such
+// that, with every PE processed at its stationary mean cost, no node
+// exceeds full CPU utilization. This is the fluid capacity of the deployed
+// graph; the evaluation drives the system at LoadFactor × this rate.
+func (t *Topology) BottleneckIngressRate() (float64, error) {
+	demand, err := t.UnitDemand()
+	if err != nil {
+		return 0, err
+	}
+	nodeLoad := make([]float64, t.NumNodes) // CPU-sec per sec at unit rate
+	for j := range t.PEs {
+		nodeLoad[t.PEs[j].Node] += demand[j] * t.PEs[j].Service.EffectiveCost()
+	}
+	maxLoad := 0.0
+	for _, l := range nodeLoad {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if maxLoad == 0 {
+		return 0, fmt.Errorf("graph: no load reaches any node (no sources?)")
+	}
+	return 1 / maxLoad, nil
+}

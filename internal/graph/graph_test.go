@@ -1,0 +1,476 @@
+package graph
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"aces/internal/sdo"
+	"aces/internal/sim"
+	"aces/internal/workload"
+)
+
+// chain builds src → a → b → c with a source on a.
+func chain(t *testing.T) *Topology {
+	t.Helper()
+	topo := New(1, 50)
+	svc := workload.DefaultServiceParams()
+	a := topo.AddPE(PE{Name: "a", Service: svc})
+	b := topo.AddPE(PE{Name: "b", Service: svc})
+	c := topo.AddPE(PE{Name: "c", Service: svc, Weight: 1})
+	if err := topo.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(Source{Stream: 1, Target: a, Rate: 100, Burst: BurstSpec{Kind: BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestChainStructure(t *testing.T) {
+	topo := chain(t)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumPEs() != 3 {
+		t.Fatalf("NumPEs = %d", topo.NumPEs())
+	}
+	if !topo.IsIngress(0) || topo.IsIngress(1) {
+		t.Errorf("ingress detection wrong")
+	}
+	if !topo.IsEgress(2) || topo.IsEgress(1) {
+		t.Errorf("egress detection wrong")
+	}
+	if len(topo.Down(0)) != 1 || topo.Down(0)[0] != 1 {
+		t.Errorf("Down(0) = %v", topo.Down(0))
+	}
+	if len(topo.Up(2)) != 1 || topo.Up(2)[0] != 1 {
+		t.Errorf("Up(2) = %v", topo.Up(2))
+	}
+	if got := topo.EgressPEs(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("EgressPEs = %v", got)
+	}
+	if got := topo.IngressPEs(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("IngressPEs = %v", got)
+	}
+}
+
+func TestConnectRejectsBadEdges(t *testing.T) {
+	topo := chain(t)
+	if err := topo.Connect(0, 0); err == nil {
+		t.Errorf("self-loop accepted")
+	}
+	if err := topo.Connect(0, 1); err == nil {
+		t.Errorf("duplicate edge accepted")
+	}
+	if err := topo.Connect(0, 99); err == nil {
+		t.Errorf("unknown PE accepted")
+	}
+	if err := topo.Connect(-1, 0); err == nil {
+		t.Errorf("negative PE accepted")
+	}
+}
+
+func TestTopoOrderAndCycleDetection(t *testing.T) {
+	topo := chain(t)
+	order, err := topo.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[sdo.PEID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range topo.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %d→%d violates topo order", e.From, e.To)
+		}
+	}
+	// Force a cycle via the unexported adjacency (Connect rejects none of
+	// a→b→c→a individually).
+	if err := topo.Connect(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.TopoOrder(); err == nil {
+		t.Errorf("cycle not detected")
+	}
+	if err := topo.Validate(); err == nil {
+		t.Errorf("Validate should catch the cycle")
+	}
+}
+
+func TestValidateCatchesBrokenTopologies(t *testing.T) {
+	svc := workload.DefaultServiceParams()
+
+	topo := New(0, 50)
+	topo.AddPE(PE{Service: svc})
+	if err := topo.Validate(); err == nil {
+		t.Errorf("zero nodes accepted")
+	}
+
+	topo = New(1, 0)
+	topo.AddPE(PE{Service: svc})
+	if err := topo.Validate(); err == nil {
+		t.Errorf("zero buffer accepted")
+	}
+
+	if err := New(1, 50).Validate(); err == nil {
+		t.Errorf("empty topology accepted")
+	}
+
+	// Orphan PE: no upstream, no source.
+	topo = New(1, 50)
+	topo.AddPE(PE{Service: svc})
+	if err := topo.Validate(); err == nil {
+		t.Errorf("starving PE accepted")
+	}
+
+	// Bad placement.
+	topo = chain(t)
+	topo.PEs[1].Node = 7
+	if err := topo.Validate(); err == nil {
+		t.Errorf("invalid node placement accepted")
+	}
+
+	// Negative weight.
+	topo = chain(t)
+	topo.PEs[2].Weight = -1
+	if err := topo.Validate(); err == nil {
+		t.Errorf("negative weight accepted")
+	}
+
+	// Source on a PE with upstreams.
+	topo = chain(t)
+	if err := topo.AddSource(Source{Stream: 9, Target: 1, Rate: 5, Burst: BurstSpec{Kind: BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err == nil {
+		t.Errorf("source on internal PE accepted")
+	}
+}
+
+func TestAddSourceValidation(t *testing.T) {
+	topo := chain(t)
+	if err := topo.AddSource(Source{Target: 99, Rate: 1}); err == nil {
+		t.Errorf("unknown target accepted")
+	}
+	if err := topo.AddSource(Source{Target: 0, Rate: 0}); err == nil {
+		t.Errorf("zero rate accepted")
+	}
+}
+
+func TestBufferSizeOverride(t *testing.T) {
+	topo := chain(t)
+	if topo.BufferSize(0) != 50 {
+		t.Errorf("default buffer = %d", topo.BufferSize(0))
+	}
+	topo.PEs[1].BufferSize = 10
+	if topo.BufferSize(1) != 10 {
+		t.Errorf("override buffer = %d", topo.BufferSize(1))
+	}
+}
+
+func TestUnitDemandChain(t *testing.T) {
+	topo := chain(t)
+	d, err := topo.UnitDemand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit rate propagates 1 → 1 → 1 with multiplicity 1.
+	for i, want := range []float64{1, 1, 1} {
+		if math.Abs(d[i]-want) > 1e-12 {
+			t.Errorf("demand[%d] = %g, want %g", i, d[i], want)
+		}
+	}
+}
+
+func TestUnitDemandFanOutDuplicates(t *testing.T) {
+	// a feeds b and c; both feed d. d receives 2× the unit rate.
+	topo := New(1, 50)
+	svc := workload.DefaultServiceParams()
+	a := topo.AddPE(PE{Service: svc})
+	b := topo.AddPE(PE{Service: svc})
+	c := topo.AddPE(PE{Service: svc})
+	d := topo.AddPE(PE{Service: svc, Weight: 1})
+	for _, e := range []Edge{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := topo.Connect(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := topo.AddSource(Source{Stream: 1, Target: a, Rate: 10, Burst: BurstSpec{Kind: BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	dem, err := topo.UnitDemand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dem[d]-2) > 1e-12 {
+		t.Errorf("demand[d] = %g, want 2 (copies from b and c)", dem[d])
+	}
+}
+
+func TestBottleneckIngressRate(t *testing.T) {
+	topo := chain(t)
+	r, err := topo.BottleneckIngressRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One node, three PEs each with effective (harmonic) cost
+	// 1/(0.5/2ms + 0.5/20ms) ≈ 3.64 ms per SDO: capacity ≈ 91.7 SDOs/sec.
+	want := 1 / (3 * workload.DefaultServiceParams().EffectiveCost())
+	if math.Abs(r-want)/want > 1e-9 {
+		t.Errorf("bottleneck rate = %g, want %g", r, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	topo := chain(t)
+	data, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Topology
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPEs() != topo.NumPEs() || len(back.Edges) != len(topo.Edges) {
+		t.Errorf("round trip lost structure")
+	}
+	if len(back.Down(0)) != 1 || back.Down(0)[0] != 1 {
+		t.Errorf("adjacency not rebuilt")
+	}
+}
+
+func TestBurstSpecBuild(t *testing.T) {
+	rng := sim.NewRand(1)
+	for _, spec := range []BurstSpec{
+		{Kind: BurstDeterministic},
+		{Kind: BurstPoisson},
+		{Kind: BurstOnOff, PeakFactor: 2, MeanOn: 0.1},
+	} {
+		p, err := spec.Build(100, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Kind, err)
+		}
+		if math.Abs(p.MeanRate()-100)/100 > 1e-9 {
+			t.Errorf("%v: mean rate %g, want 100", spec.Kind, p.MeanRate())
+		}
+	}
+	if _, err := (BurstSpec{Kind: BurstOnOff, PeakFactor: 1}).Build(10, rng); err == nil {
+		t.Errorf("PeakFactor ≤ 1 accepted")
+	}
+	if _, err := (BurstSpec{}).Build(10, rng); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+	if BurstOnOff.String() != "onoff" || BurstKind(42).String() == "" {
+		t.Errorf("String() broken")
+	}
+}
+
+func TestGenerateDefaultTopology(t *testing.T) {
+	topo, err := Generate(DefaultGenConfig(60, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumPEs() != 60 {
+		t.Errorf("NumPEs = %d, want 60", topo.NumPEs())
+	}
+	if topo.NumNodes != 10 {
+		t.Errorf("NumNodes = %d", topo.NumNodes)
+	}
+	if got := topo.MaxFanIn(); got > 3 {
+		t.Errorf("fan-in %d exceeds paper limit 3", got)
+	}
+	if got := topo.MaxFanOut(); got > 4 {
+		t.Errorf("fan-out %d exceeds paper limit 4", got)
+	}
+	// Every egress PE carries positive weight, intermediates zero.
+	for _, j := range topo.EgressPEs() {
+		if topo.PEs[j].Weight <= 0 {
+			t.Errorf("egress PE %d has weight %g", j, topo.PEs[j].Weight)
+		}
+	}
+	for j := range topo.PEs {
+		if !topo.IsEgress(sdo.PEID(j)) && topo.PEs[j].Weight != 0 {
+			t.Errorf("internal PE %d has nonzero weight", j)
+		}
+	}
+	// Sources drive the system into overload: rate > fluid capacity.
+	capRate, err := topo.BottleneckIngressRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range topo.Sources {
+		if s.Rate <= capRate {
+			t.Errorf("source rate %g not above capacity %g", s.Rate, capRate)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a, err := Generate(DefaultGenConfig(60, 10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultGenConfig(60, 10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("same seed produced different topologies")
+	}
+	c, err := Generate(DefaultGenConfig(60, 10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := json.Marshal(c)
+	if string(ja) == string(jc) {
+		t.Errorf("different seeds produced identical topologies")
+	}
+}
+
+func TestGeneratePaperScale(t *testing.T) {
+	topo, err := Generate(DefaultGenConfig(200, 80, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Placement balance: with LPT placement no node should be empty at
+	// this scale... nodes may exceed PEs/nodes ratio slightly.
+	loaded := 0
+	for n := 0; n < topo.NumNodes; n++ {
+		if len(topo.OnNode(sdo.NodeID(n))) > 0 {
+			loaded++
+		}
+	}
+	if loaded < topo.NumNodes*3/4 {
+		t.Errorf("only %d/%d nodes have PEs", loaded, topo.NumNodes)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{NumPEs: 1, NumNodes: 1}); err == nil {
+		t.Errorf("1 PE accepted")
+	}
+	if _, err := Generate(GenConfig{NumPEs: 10, NumNodes: 0}); err == nil {
+		t.Errorf("0 nodes accepted")
+	}
+	cfg := DefaultGenConfig(10, 2, 1)
+	cfg.NumIngress, cfg.NumEgress = 6, 6
+	if _, err := Generate(cfg); err == nil {
+		t.Errorf("boundary layers exceeding PE count accepted")
+	}
+	cfg = DefaultGenConfig(10, 2, 1)
+	cfg.MultiIOFrac = 1.5
+	if _, err := Generate(cfg); err == nil {
+		t.Errorf("MultiIOFrac > 1 accepted")
+	}
+}
+
+func TestGenerateMultiIOFraction(t *testing.T) {
+	// With MultiIOFrac = 0 multi-input PEs appear only where a layer
+	// narrows and orphan producers must be rescued; that slack is small.
+	cfg := DefaultGenConfig(100, 10, 5)
+	cfg.MultiIOFrac = 0
+	topoLow, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := func(topo *Topology) int {
+		n := 0
+		for j := range topo.PEs {
+			if len(topo.Up(sdo.PEID(j))) > 1 {
+				n++
+			}
+		}
+		return n
+	}
+	low := multi(topoLow)
+	if low > topoLow.NumPEs()/10 {
+		t.Errorf("MultiIOFrac=0 produced %d multi-input PEs", low)
+	}
+	cfg.MultiIOFrac = 0.8
+	topoHigh, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high := multi(topoHigh); high <= low {
+		t.Errorf("MultiIOFrac=0.8 gave %d multi-input PEs, ≤ %d at 0", high, low)
+	}
+}
+
+func TestOnNodePartition(t *testing.T) {
+	topo, err := Generate(DefaultGenConfig(60, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for n := 0; n < topo.NumNodes; n++ {
+		total += len(topo.OnNode(sdo.NodeID(n)))
+	}
+	if total != topo.NumPEs() {
+		t.Errorf("OnNode partitions %d PEs, want %d", total, topo.NumPEs())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	topo := chain(t)
+	var sb strings.Builder
+	if err := topo.WriteDOT(&sb, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph aces", "cluster_n0", "pe0 -> pe1", "src0", "fillcolor=lightgrey"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestBurstTraceBuildAndJSON(t *testing.T) {
+	spec := BurstSpec{Kind: BurstTrace, TraceIntervals: []float64{0.1, 0.3}}
+	p, err := spec.Build(999 /* ignored for traces */, sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.MeanRate()-5) > 1e-9 {
+		t.Errorf("trace mean rate = %g, want 5 (2 SDOs per 0.4s)", p.MeanRate())
+	}
+	if _, err := (BurstSpec{Kind: BurstTrace}).Build(10, sim.NewRand(1)); err == nil {
+		t.Errorf("empty trace accepted")
+	}
+	// The intervals must survive a topology JSON round trip.
+	topo := chain(t)
+	topo.Sources[0].Burst = spec
+	data, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Topology
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sources[0].Burst.TraceIntervals) != 2 {
+		t.Errorf("trace intervals lost in JSON round trip")
+	}
+	if BurstTrace.String() != "trace" {
+		t.Errorf("String wrong")
+	}
+}

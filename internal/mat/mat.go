@@ -1,0 +1,283 @@
+// Package mat implements the small dense-matrix kernel needed by the LQR
+// synthesis in internal/control: multiplication, transpose, linear solves
+// via partial-pivot LU, inversion, and norm/spectral-radius estimation.
+//
+// The matrices involved are tiny (the delay-embedded controller state has
+// dimension K+L+1 ≤ ~8), so clarity and numerical robustness are preferred
+// over cache blocking. The implementation is self-contained (stdlib only).
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero rows×cols matrix. It panics on non-positive dimensions
+// (programmer error — all call sites use static shapes).
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("mat: non-positive dimensions")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, copying the data.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: empty rows")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("mat: ragged rows")
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns a·b. It panics on shape mismatch.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				c.data[i*c.cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return c
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: Add shape mismatch")
+	}
+	c := a.Clone()
+	for i := range c.data {
+		c.data[i] += b.data[i]
+	}
+	return c
+}
+
+// Sub returns a − b.
+func Sub(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: Sub shape mismatch")
+	}
+	c := a.Clone()
+	for i := range c.data {
+		c.data[i] -= b.data[i]
+	}
+	return c
+}
+
+// Scale returns s·a.
+func Scale(s float64, a *Matrix) *Matrix {
+	c := a.Clone()
+	for i := range c.data {
+		c.data[i] *= s
+	}
+	return c
+}
+
+// Solve solves a·x = b for x using LU decomposition with partial pivoting,
+// where a is square and b has matching row count. It returns an error when
+// a is singular to working precision.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: Solve requires square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("mat: Solve shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	x := b.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the row with the largest magnitude in col.
+		p, best := col, math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("mat: singular matrix (pivot %g at column %d)", best, col)
+		}
+		if p != col {
+			swapRows(lu, p, col)
+			swapRows(x, p, col)
+			perm[p], perm[col] = perm[col], perm[p]
+		}
+		piv := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			lu.Set(r, col, 0)
+			for c := col + 1; c < n; c++ {
+				lu.Set(r, c, lu.At(r, c)-f*lu.At(col, c))
+			}
+			for c := 0; c < x.cols; c++ {
+				x.Set(r, c, x.At(r, c)-f*x.At(col, c))
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		piv := lu.At(col, col)
+		for c := 0; c < x.cols; c++ {
+			s := x.At(col, c)
+			for k := col + 1; k < n; k++ {
+				s -= lu.At(col, k) * x.At(k, c)
+			}
+			x.Set(col, c, s/piv)
+		}
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.data[a*m.cols : (a+1)*m.cols]
+	rb := m.data[b*m.cols : (b+1)*m.cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Inverse returns a⁻¹ or an error when a is singular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return Solve(a, Identity(a.rows))
+}
+
+// MaxAbsDiff returns max |a_ij − b_ij|, used as a fixed-point convergence
+// criterion by the Riccati iteration.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: MaxAbsDiff shape mismatch")
+	}
+	var d float64
+	for i := range a.data {
+		if v := math.Abs(a.data[i] - b.data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SpectralRadius estimates the spectral radius of a square matrix via the
+// Gelfand formula ρ(A) = lim ‖Aᵏ‖^{1/k}, evaluated by repeated squaring
+// with normalization to avoid overflow. This is robust for non-symmetric
+// matrices with complex eigenvalue pairs (where plain power iteration
+// oscillates). Matrices here are small, so 30 squarings (k = 2³⁰) are cheap.
+//
+// Invariant maintained in the loop: A^(2^i) = m · exp(logScale), where m is
+// the current normalized matrix. Squaring both sides after normalizing by
+// n = ‖m‖ gives logScale' = 2·(logScale + log n).
+func SpectralRadius(a *Matrix) float64 {
+	if a.rows != a.cols {
+		panic("mat: SpectralRadius requires square matrix")
+	}
+	const squarings = 30
+	m := a.Clone()
+	var logScale float64
+	for i := 0; i < squarings; i++ {
+		n := m.FrobeniusNorm()
+		if n == 0 || math.IsNaN(n) {
+			return 0
+		}
+		m = Scale(1/n, m)
+		logScale = 2 * (logScale + math.Log(n))
+		m = Mul(m, m)
+	}
+	n := m.FrobeniusNorm()
+	if n == 0 {
+		return 0
+	}
+	k := math.Pow(2, squarings)
+	return math.Exp((logScale + math.Log(n)) / k)
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "% .6g", m.At(i, j))
+			if j < m.cols-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

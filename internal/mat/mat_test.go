@@ -1,0 +1,258 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %g", m.At(1, 2))
+	}
+	c := m.Clone()
+	c.Set(1, 2, 9)
+	if m.At(1, 2) != 7 {
+		t.Errorf("Clone aliases data")
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromRowsAndTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{2, -1}, {0, 3}})
+	p := Mul(a, Identity(2))
+	if MaxAbsDiff(a, p) != 0 {
+		t.Errorf("A·I ≠ A")
+	}
+	p = Mul(Identity(2), a)
+	if MaxAbsDiff(a, p) != 0 {
+		t.Errorf("I·A ≠ A")
+	}
+}
+
+func TestMulKnownProduct(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(c, want) > 1e-12 {
+		t.Errorf("product:\n%v want\n%v", c, want)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	s := Add(a, b)
+	want := FromRows([][]float64{{5, 5}, {5, 5}})
+	if MaxAbsDiff(s, want) != 0 {
+		t.Errorf("Add wrong: %v", s)
+	}
+	d := Sub(s, b)
+	if MaxAbsDiff(d, a) != 0 {
+		t.Errorf("Sub wrong: %v", d)
+	}
+	sc := Scale(2, a)
+	if sc.At(1, 1) != 8 {
+		t.Errorf("Scale wrong: %v", sc)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := FromRows([][]float64{{5}, {10}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x.At(0, 0), 1, 1e-12) || !almostEq(x.At(1, 0), 3, 1e-12) {
+		t.Errorf("solution = (%g, %g), want (1, 3)", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	b := FromRows([][]float64{{2}, {3}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x.At(0, 0), 3, 1e-12) || !almostEq(x.At(1, 0), 2, 1e-12) {
+		t.Errorf("pivoted solution = (%g, %g), want (3, 2)", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Identity(2)); err == nil {
+		t.Errorf("expected singular-matrix error")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	rect := New(2, 3)
+	if _, err := Solve(rect, New(2, 1)); err == nil {
+		t.Errorf("expected error for non-square A")
+	}
+	sq := Identity(2)
+	if _, err := Solve(sq, New(3, 1)); err == nil {
+		t.Errorf("expected error for mismatched b")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant → nonsingular
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := MaxAbsDiff(Mul(a, inv), Identity(n)); d > 1e-9 {
+			t.Errorf("trial %d: ‖A·A⁻¹ − I‖∞ = %g", trial, d)
+		}
+	}
+}
+
+func TestSpectralRadiusDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{0.5, 0}, {0, -0.9}})
+	if r := SpectralRadius(a); !almostEq(r, 0.9, 1e-6) {
+		t.Errorf("ρ = %g, want 0.9", r)
+	}
+}
+
+func TestSpectralRadiusRotation(t *testing.T) {
+	// Scaled rotation: eigenvalues are 0.8·e^{±iθ}, so ρ = 0.8. Plain power
+	// iteration oscillates here; Gelfand must not.
+	θ := 0.7
+	a := FromRows([][]float64{
+		{0.8 * math.Cos(θ), -0.8 * math.Sin(θ)},
+		{0.8 * math.Sin(θ), 0.8 * math.Cos(θ)},
+	})
+	if r := SpectralRadius(a); !almostEq(r, 0.8, 1e-5) {
+		t.Errorf("ρ = %g, want 0.8", r)
+	}
+}
+
+func TestSpectralRadiusNilpotent(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {0, 0}})
+	if r := SpectralRadius(a); r > 1e-6 {
+		t.Errorf("ρ(nilpotent) = %g, want 0", r)
+	}
+}
+
+func TestSpectralRadiusUnstable(t *testing.T) {
+	a := FromRows([][]float64{{1.3, 0.2}, {0, 1.1}})
+	if r := SpectralRadius(a); !almostEq(r, 1.3, 1e-5) {
+		t.Errorf("ρ = %g, want 1.3", r)
+	}
+}
+
+// Property: Solve(a, b) actually satisfies a·x = b for random well-
+// conditioned systems.
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+2*float64(n))
+		}
+		b := New(n, 1)
+		for i := 0; i < n; i++ {
+			b.Set(i, 0, rng.NormFloat64()*10)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(Mul(a, x), b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ρ(A) computed by Gelfand matches the max |eigenvalue| for
+// random 2×2 matrices, where the eigenvalues have a closed form.
+func TestSpectralRadius2x2Property(t *testing.T) {
+	f := func(a11, a12, a21, a22 int8) bool {
+		a := FromRows([][]float64{
+			{float64(a11) / 16, float64(a12) / 16},
+			{float64(a21) / 16, float64(a22) / 16},
+		})
+		tr := a.At(0, 0) + a.At(1, 1)
+		det := a.At(0, 0)*a.At(1, 1) - a.At(0, 1)*a.At(1, 0)
+		disc := tr*tr - 4*det
+		var want float64
+		if disc >= 0 {
+			l1 := (tr + math.Sqrt(disc)) / 2
+			l2 := (tr - math.Sqrt(disc)) / 2
+			want = math.Max(math.Abs(l1), math.Abs(l2))
+		} else {
+			want = math.Sqrt(det) // complex pair: |λ| = √det (det > 0 here)
+		}
+		got := SpectralRadius(a)
+		return almostEq(got, want, 1e-4*(1+want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 4}})
+	if n := a.FrobeniusNorm(); !almostEq(n, 5, 1e-12) {
+		t.Errorf("‖A‖F = %g, want 5", n)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	if a.String() == "" {
+		t.Errorf("String should render something")
+	}
+}

@@ -1,0 +1,173 @@
+// Package metrics implements the paper's measures of effectiveness
+// (§III-A, §IV): weighted throughput of system outputs, end-to-end latency
+// distribution, loss accounting split into input loss (cheap — nothing was
+// invested yet) versus in-flight loss of partially processed data
+// (expensive — wasted processing), and buffer/rate stability indicators.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"aces/internal/stats"
+)
+
+// Collector accumulates run metrics for one simulation or live run.
+// Samples before the warm-up horizon are discarded so transients do not
+// bias steady-state estimates. Not safe for concurrent use; the live
+// runtime aggregates per-node collectors.
+type Collector struct {
+	warmup float64
+
+	weighted   float64 // Σ w over delivered egress SDOs after warmup
+	deliveries int64
+
+	lat    stats.Welford
+	latRes *stats.Reservoir
+
+	inputDrops    int64
+	inflightDrops int64
+	wastedHops    int64
+
+	wtSeries stats.TimeSeries // windowed weighted-throughput samples
+
+	bufOcc stats.Welford // pooled buffer-occupancy samples
+}
+
+// NewCollector creates a collector discarding all events before warmup
+// (seconds of run time).
+func NewCollector(warmup float64) *Collector {
+	return &Collector{warmup: warmup, latRes: stats.NewReservoir(8192, 0x5EED)}
+}
+
+// Warmup returns the warm-up horizon.
+func (c *Collector) Warmup() float64 { return c.warmup }
+
+// Egress records the delivery of one SDO on a weighted output stream at
+// time now with the given end-to-end latency (seconds).
+func (c *Collector) Egress(now, weight, latency float64) {
+	if now < c.warmup {
+		return
+	}
+	c.deliveries++
+	c.weighted += weight
+	c.lat.Add(latency)
+	c.latRes.Add(latency)
+}
+
+// InputDrop records the loss of an SDO at a system entry point (ingress
+// buffer overflow).
+func (c *Collector) InputDrop(now float64) {
+	if now < c.warmup {
+		return
+	}
+	c.inputDrops++
+}
+
+// InFlightDrop records the loss of a partially processed SDO (an internal
+// buffer overflow); hops is the processing depth already invested.
+func (c *Collector) InFlightDrop(now float64, hops int) {
+	if now < c.warmup {
+		return
+	}
+	c.inflightDrops++
+	c.wastedHops += int64(hops)
+}
+
+// BufferSample records an input-buffer occupancy observation.
+func (c *Collector) BufferSample(now, occupancy float64) {
+	if now < c.warmup {
+		return
+	}
+	c.bufOcc.Add(occupancy)
+}
+
+// ThroughputSample records a windowed weighted-throughput observation for
+// the stability time series.
+func (c *Collector) ThroughputSample(now, wt float64) {
+	if now < c.warmup {
+		return
+	}
+	c.wtSeries.Append(now, wt)
+}
+
+// Report is the frozen summary of a run.
+type Report struct {
+	// Duration is the measured (post-warmup) horizon in seconds.
+	Duration float64 `json:"duration_s"`
+	// WeightedThroughput is Σ w_j × delivery rate over weighted egress
+	// streams, in weight·SDOs per second (§III-A).
+	WeightedThroughput float64 `json:"weighted_throughput"`
+	// Deliveries counts egress SDOs after warmup.
+	Deliveries int64 `json:"deliveries"`
+	// MeanLatency and StdLatency describe the end-to-end latency
+	// distribution in seconds.
+	MeanLatency float64 `json:"mean_latency_s"`
+	// StdLatency is the latency standard deviation in seconds.
+	StdLatency float64 `json:"std_latency_s"`
+	// P50, P95 and P99 are latency quantiles in seconds.
+	P50 float64 `json:"p50_latency_s"`
+	P95 float64 `json:"p95_latency_s"`
+	P99 float64 `json:"p99_latency_s"`
+	// InputDrops counts SDOs lost at system entry; InFlightDrops counts
+	// partially processed SDOs lost inside the graph; WastedHops is the
+	// total processing depth thrown away with in-flight losses (§IV's
+	// "wasted processing").
+	InputDrops    int64 `json:"input_drops"`
+	InFlightDrops int64 `json:"in_flight_drops"`
+	WastedHops    int64 `json:"wasted_hops"`
+	// MeanBufferOccupancy and StdBufferOccupancy pool all sampled PE
+	// buffers (§IV's stability goal: buffers near target, low variance).
+	MeanBufferOccupancy float64 `json:"mean_buffer_occupancy"`
+	StdBufferOccupancy  float64 `json:"std_buffer_occupancy"`
+	// ThroughputCV is the coefficient of variation of the windowed
+	// weighted-throughput series — the oscillation indicator (§IV).
+	ThroughputCV float64 `json:"throughput_cv"`
+}
+
+// Finalize freezes the collector into a report. now is the end-of-run
+// time; it must be ≥ the warm-up horizon for any rates to be defined.
+func (c *Collector) Finalize(now float64) Report {
+	r := Report{
+		InputDrops:          c.inputDrops,
+		InFlightDrops:       c.inflightDrops,
+		WastedHops:          c.wastedHops,
+		Deliveries:          c.deliveries,
+		MeanLatency:         c.lat.Mean(),
+		StdLatency:          c.lat.Std(),
+		MeanBufferOccupancy: c.bufOcc.Mean(),
+		StdBufferOccupancy:  c.bufOcc.Std(),
+	}
+	if now > c.warmup {
+		r.Duration = now - c.warmup
+		r.WeightedThroughput = c.weighted / r.Duration
+	}
+	qs := c.latRes.Quantiles(0.5, 0.95, 0.99)
+	r.P50, r.P95, r.P99 = qs[0], qs[1], qs[2]
+	if c.wtSeries.Len() > 1 {
+		mean := c.wtSeries.MeanAfter(0)
+		if mean > 0 {
+			r.ThroughputCV = c.wtSeries.StdAfter(0) / mean
+		}
+	}
+	return r
+}
+
+// LossRate returns in-flight drops per delivered SDO — the wasted-work
+// indicator used in the reports.
+func (r Report) LossRate() float64 {
+	if r.Deliveries == 0 {
+		if r.InFlightDrops > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return float64(r.InFlightDrops) / float64(r.Deliveries)
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("wt=%.2f lat=%.1fms±%.1f p95=%.1fms drops(in=%d fly=%d) bufocc=%.1f",
+		r.WeightedThroughput, r.MeanLatency*1e3, r.StdLatency*1e3, r.P95*1e3,
+		r.InputDrops, r.InFlightDrops, r.MeanBufferOccupancy)
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCollectorWarmupDiscards(t *testing.T) {
+	c := NewCollector(10)
+	c.Egress(5, 1, 0.01)     // before warmup: discarded
+	c.InputDrop(5)           // discarded
+	c.InFlightDrop(5, 3)     // discarded
+	c.BufferSample(5, 40)    // discarded
+	c.ThroughputSample(5, 9) // discarded
+	r := c.Finalize(20)
+	if r.Deliveries != 0 || r.InputDrops != 0 || r.InFlightDrops != 0 {
+		t.Errorf("warmup events leaked into report: %+v", r)
+	}
+	if r.MeanBufferOccupancy != 0 {
+		t.Errorf("warmup buffer samples leaked")
+	}
+}
+
+func TestCollectorThroughputAndLatency(t *testing.T) {
+	c := NewCollector(0)
+	// 100 deliveries of weight 2 over 10 seconds → wt = 20/s.
+	for i := 0; i < 100; i++ {
+		c.Egress(float64(i)*0.1, 2, 0.05)
+	}
+	r := c.Finalize(10)
+	if math.Abs(r.WeightedThroughput-20) > 1e-9 {
+		t.Errorf("wt = %g, want 20", r.WeightedThroughput)
+	}
+	if math.Abs(r.MeanLatency-0.05) > 1e-12 || r.StdLatency != 0 {
+		t.Errorf("latency stats wrong: %+v", r)
+	}
+	if math.Abs(r.P50-0.05) > 1e-12 || math.Abs(r.P99-0.05) > 1e-12 {
+		t.Errorf("latency quantiles wrong")
+	}
+	if r.Deliveries != 100 {
+		t.Errorf("deliveries = %d", r.Deliveries)
+	}
+}
+
+func TestCollectorLossAccounting(t *testing.T) {
+	c := NewCollector(0)
+	c.Egress(1, 1, 0.01)
+	c.Egress(2, 1, 0.01)
+	c.InputDrop(1)
+	c.InFlightDrop(1, 4)
+	c.InFlightDrop(2, 2)
+	r := c.Finalize(10)
+	if r.InputDrops != 1 || r.InFlightDrops != 2 || r.WastedHops != 6 {
+		t.Errorf("loss accounting wrong: %+v", r)
+	}
+	if math.Abs(r.LossRate()-1.0) > 1e-12 {
+		t.Errorf("LossRate = %g, want 1.0", r.LossRate())
+	}
+}
+
+func TestLossRateEdgeCases(t *testing.T) {
+	r := Report{Deliveries: 0, InFlightDrops: 0}
+	if r.LossRate() != 0 {
+		t.Errorf("no traffic LossRate = %g", r.LossRate())
+	}
+	r = Report{Deliveries: 0, InFlightDrops: 5}
+	if !math.IsInf(r.LossRate(), 1) {
+		t.Errorf("all-loss LossRate should be +Inf")
+	}
+}
+
+func TestBufferAndThroughputStability(t *testing.T) {
+	c := NewCollector(0)
+	for i := 0; i < 100; i++ {
+		c.BufferSample(float64(i), 25)
+		c.ThroughputSample(float64(i), 10)
+	}
+	r := c.Finalize(100)
+	if math.Abs(r.MeanBufferOccupancy-25) > 1e-12 || r.StdBufferOccupancy != 0 {
+		t.Errorf("buffer stats wrong: %+v", r)
+	}
+	if r.ThroughputCV != 0 {
+		t.Errorf("constant throughput CV = %g, want 0", r.ThroughputCV)
+	}
+	// Oscillating series yields positive CV.
+	c2 := NewCollector(0)
+	for i := 0; i < 100; i++ {
+		v := 5.0
+		if i%2 == 0 {
+			v = 15
+		}
+		c2.ThroughputSample(float64(i), v)
+	}
+	r2 := c2.Finalize(100)
+	if r2.ThroughputCV <= 0.3 {
+		t.Errorf("oscillating CV = %g, want > 0.3", r2.ThroughputCV)
+	}
+}
+
+func TestFinalizeBeforeWarmup(t *testing.T) {
+	c := NewCollector(100)
+	r := c.Finalize(50)
+	if r.Duration != 0 || r.WeightedThroughput != 0 {
+		t.Errorf("pre-warmup finalize should have zero rates: %+v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := NewCollector(0)
+	c.Egress(1, 1, 0.02)
+	r := c.Finalize(2)
+	if s := r.String(); !strings.Contains(s, "wt=") {
+		t.Errorf("String = %q", s)
+	}
+}

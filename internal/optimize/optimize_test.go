@@ -1,0 +1,448 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aces/internal/graph"
+	"aces/internal/sdo"
+	"aces/internal/sim"
+	"aces/internal/workload"
+)
+
+// uniformService returns a deterministic (burst-free) service model with a
+// single cost T for both states.
+func uniformService(t float64) workload.ServiceParams {
+	return workload.ServiceParams{T0: t, T1: t, Rho: 0.5, LambdaS: 10, DwellUnit: 0.01, MeanMult: 1}
+}
+
+// chainTopo builds src → pe0 → pe1 → … → pe(k−1) on one node with the given
+// per-stage costs; the last PE has weight 1.
+func chainTopo(t *testing.T, costs []float64, srcRate float64) *graph.Topology {
+	t.Helper()
+	topo := graph.New(1, 50)
+	prev := sdo.NilPE
+	for i, tc := range costs {
+		w := 0.0
+		if i == len(costs)-1 {
+			w = 1
+		}
+		id := topo.AddPE(graph.PE{Service: uniformService(tc), Weight: w})
+		if prev != sdo.NilPE {
+			if err := topo.Connect(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: 0, Rate: srcRate, Burst: graph.BurstSpec{Kind: graph.BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestUtilities(t *testing.T) {
+	if (LinearUtility{}).Name() != "linear" || (LogUtility{}).Name() != "log" || (ExpUtility{}).Name() != "exp" {
+		t.Errorf("utility names wrong")
+	}
+	if (LinearUtility{}).Value(3) != 3 {
+		t.Errorf("linear utility wrong")
+	}
+	if v := (LogUtility{Scale: 1}).Value(math.E - 1); math.Abs(v-1) > 1e-12 {
+		t.Errorf("log utility = %g, want 1", v)
+	}
+	if v := (ExpUtility{Scale: 1}).Value(1e9); math.Abs(v-1) > 1e-6 {
+		t.Errorf("exp utility should saturate at 1, got %g", v)
+	}
+	// Zero/negative Scale defaults to 1.
+	if (LogUtility{Scale: 0}).Value(1) != (LogUtility{Scale: 1}).Value(1) {
+		t.Errorf("LogUtility zero-scale default broken")
+	}
+	if (ExpUtility{Scale: 0}).Value(1) != (ExpUtility{Scale: 1}).Value(1) {
+		t.Errorf("ExpUtility zero-scale default broken")
+	}
+	// All utilities strictly increasing on a grid.
+	for _, u := range []Utility{LinearUtility{}, LogUtility{Scale: 2}, ExpUtility{Scale: 2}} {
+		prev := u.Value(0)
+		for x := 0.5; x < 20; x += 0.5 {
+			v := u.Value(x)
+			if v <= prev {
+				t.Errorf("%s not strictly increasing at %g", u.Name(), x)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		z    float64
+		want []float64
+	}{
+		{[]float64{0.5, 0.5}, 1, []float64{0.5, 0.5}},           // already on simplex
+		{[]float64{2, 0}, 1, []float64{1.5, 0}},                 // clip: 2→1.5? projection of (2,0) onto sum=1: (1.5,-0.5)→ rho picks only first → (1,0)
+		{[]float64{1, 1}, 1, []float64{0.5, 0.5}},               // symmetric overflow
+		{[]float64{3, 1, 0}, 2, []float64{2, 0, 0}},             // large gap
+		{[]float64{-1, -2, -3}, 1, []float64{1, 0, 0}},          // all negative: mass to largest
+		{[]float64{0.2, 0.3, 0.1}, 3, []float64{0.2, 0.3, 0.1}}, // under budget unchanged? (projectSimplex only called when over)
+	}
+	_ = cases
+	// Verify the fundamental properties instead of hand-computed vectors:
+	// output sums to z (when input sum ≥ z), is non-negative, and is the
+	// closest such point (checked by random probing).
+	rng := sim.NewRand(1)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Uniform(-1, 3)
+		}
+		z := rng.Uniform(0.1, 2)
+		p := projectSimplex(v, z)
+		sum := 0.0
+		for _, x := range p {
+			if x < -1e-12 {
+				t.Fatalf("negative component %g", x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-z) > 1e-9 {
+			t.Fatalf("projection sums to %g, want %g (v=%v)", sum, z, v)
+		}
+		dist := distSq(v, p)
+		// Random feasible probes must not be closer.
+		for probe := 0; probe < 30; probe++ {
+			q := randSimplex(rng, n, z)
+			if distSq(v, q) < dist-1e-9 {
+				t.Fatalf("found closer feasible point: v=%v p=%v q=%v", v, p, q)
+			}
+		}
+	}
+}
+
+func distSq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func randSimplex(rng *sim.Rand, n int, z float64) []float64 {
+	v := make([]float64, n)
+	var sum float64
+	for i := range v {
+		v[i] = -math.Log(1 - rng.Float64())
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] *= z / sum
+	}
+	return v
+}
+
+// Closed-form oracle: a k-stage chain on one node with costs T_j, ample
+// source rate, linear utility and weight only on the last stage. The
+// optimum equalizes stage rates r = c_j/T_j with Σ c_j = 1, giving
+// r* = 1/Σ T_j and c*_j = T_j/Σ T_j.
+func TestSolveChainMatchesClosedForm(t *testing.T) {
+	costs := []float64{0.002, 0.010, 0.004}
+	topo := chainTopo(t, costs, 1e6)
+	alloc, err := Solve(topo, Config{Utility: LinearUtility{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumT float64
+	for _, tc := range costs {
+		sumT += tc
+	}
+	wantRate := 1 / sumT
+	if math.Abs(alloc.WeightedThroughput-wantRate)/wantRate > 0.01 {
+		t.Errorf("throughput = %.2f, want %.2f (±1%%)", alloc.WeightedThroughput, wantRate)
+	}
+	for j, tc := range costs {
+		want := tc / sumT
+		if math.Abs(alloc.CPU[j]-want) > 0.02 {
+			t.Errorf("c[%d] = %.4f, want %.4f", j, alloc.CPU[j], want)
+		}
+	}
+}
+
+// With a finite source rate below capacity, stages should not be allocated
+// more CPU than needed to carry the source rate.
+func TestSolveChainSourceLimited(t *testing.T) {
+	costs := []float64{0.004, 0.004}
+	topo := chainTopo(t, costs, 50) // capacity would be 125/s; source only 50/s
+	alloc, err := Solve(topo, Config{Utility: LinearUtility{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.WeightedThroughput > 50.01 {
+		t.Errorf("throughput %.2f exceeds source rate", alloc.WeightedThroughput)
+	}
+	if alloc.WeightedThroughput < 49 {
+		t.Errorf("throughput %.2f should reach the source rate 50", alloc.WeightedThroughput)
+	}
+}
+
+// Two egress branches with unequal weights competing for one node's CPU
+// under linear utility: all marginal CPU should flow to the branch with
+// the higher weight-per-cost ratio. Brute-force grid search is the oracle.
+func TestSolveFanoutMatchesBruteForce(t *testing.T) {
+	build := func() *graph.Topology {
+		topo := graph.New(1, 50)
+		a := topo.AddPE(graph.PE{Service: uniformService(0.002)})
+		b1 := topo.AddPE(graph.PE{Service: uniformService(0.004), Weight: 2})
+		b2 := topo.AddPE(graph.PE{Service: uniformService(0.004), Weight: 1})
+		if err := topo.Connect(a, b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.Connect(a, b2); err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: 1e6, Burst: graph.BurstSpec{Kind: graph.BurstPoisson}}); err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	topo := build()
+	alloc, err := Solve(topo, Config{Utility: LinearUtility{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force over the 2-simplex (c_a, c_b1, c_b2).
+	bestObj := -1.0
+	const step = 0.005
+	for ca := 0.0; ca <= 1.0; ca += step {
+		for cb1 := 0.0; ca+cb1 <= 1.0; cb1 += step {
+			cb2 := 1.0 - ca - cb1
+			c := []float64{ca, cb1, cb2}
+			_, rout, err := Propagate(topo, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj := 2*rout[1] + rout[2]
+			if obj > bestObj {
+				bestObj = obj
+			}
+		}
+	}
+	if alloc.WeightedThroughput < bestObj*0.99 {
+		t.Errorf("solver objective %.2f below brute force %.2f", alloc.WeightedThroughput, bestObj)
+	}
+}
+
+// Feasibility invariants on generated topologies: node budgets respected,
+// rates non-negative, input never exceeds availability.
+func TestSolveFeasibilityOnGeneratedTopologies(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		topo, err := graph.Generate(graph.DefaultGenConfig(60, 10, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := Solve(topo, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodeSum := make([]float64, topo.NumNodes)
+		for j := range alloc.CPU {
+			if alloc.CPU[j] < -1e-12 {
+				t.Errorf("seed %d: negative allocation c[%d] = %g", seed, j, alloc.CPU[j])
+			}
+			nodeSum[topo.PEs[j].Node] += alloc.CPU[j]
+		}
+		for n, s := range nodeSum {
+			if s > 1+1e-9 {
+				t.Errorf("seed %d: node %d allocated %g > 1", seed, n, s)
+			}
+		}
+		for j := range alloc.RIn {
+			if alloc.RIn[j] < 0 || alloc.ROut[j] < 0 {
+				t.Errorf("seed %d: negative rate at PE %d", seed, j)
+			}
+		}
+		if alloc.WeightedThroughput <= 0 {
+			t.Errorf("seed %d: zero weighted throughput", seed)
+		}
+	}
+}
+
+// The optimizer must beat naive equal-split allocation on generated
+// topologies — otherwise tier 1 adds nothing.
+func TestSolveBeatsEqualSplit(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(60, 10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Solve(topo, Config{Utility: LinearUtility{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal := make([]float64, topo.NumPEs())
+	for n := 0; n < topo.NumNodes; n++ {
+		ids := topo.OnNode(sdo.NodeID(n))
+		for _, id := range ids {
+			equal[id] = 1 / float64(len(ids))
+		}
+	}
+	_, rout, err := Propagate(topo, equal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var equalWT float64
+	for j := range topo.PEs {
+		equalWT += topo.PEs[j].Weight * rout[j]
+	}
+	if alloc.WeightedThroughput < equalWT {
+		t.Errorf("optimizer %.3f worse than equal split %.3f", alloc.WeightedThroughput, equalWT)
+	}
+}
+
+func TestSolveRejectsInvalidTopology(t *testing.T) {
+	topo := graph.New(1, 50)
+	topo.AddPE(graph.PE{Service: uniformService(0.002)}) // starving PE
+	if _, err := Solve(topo, Config{}); err == nil {
+		t.Errorf("invalid topology accepted")
+	}
+}
+
+func TestPerturbStaysFeasible(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(60, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Solve(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(99)
+	for _, eps := range []float64{0.1, 0.3, 0.5} {
+		pert := Perturb(topo, alloc.CPU, eps, rng)
+		nodeSum := make([]float64, topo.NumNodes)
+		changed := false
+		for j := range pert {
+			if pert[j] < -1e-12 {
+				t.Errorf("eps=%g: negative perturbed allocation", eps)
+			}
+			if math.Abs(pert[j]-alloc.CPU[j]) > 1e-15 {
+				changed = true
+			}
+			nodeSum[topo.PEs[j].Node] += pert[j]
+		}
+		for n, s := range nodeSum {
+			if s > 1+1e-9 {
+				t.Errorf("eps=%g: node %d over budget: %g", eps, n, s)
+			}
+		}
+		if !changed {
+			t.Errorf("eps=%g: perturbation changed nothing", eps)
+		}
+	}
+}
+
+// Property: propagation is monotone — more CPU never decreases any output
+// rate (a direct consequence of the concave fluid model that gradient
+// ascent relies on).
+func TestPropagateMonotoneProperty(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(30, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := sim.NewRand(seed)
+		c1 := make([]float64, topo.NumPEs())
+		c2 := make([]float64, topo.NumPEs())
+		for j := range c1 {
+			c1[j] = rng.Uniform(0, 0.2)
+			c2[j] = c1[j] + rng.Uniform(0, 0.1)
+		}
+		_, r1, err := Propagate(topo, c1)
+		if err != nil {
+			return false
+		}
+		_, r2, err := Propagate(topo, c2)
+		if err != nil {
+			return false
+		}
+		for j := range r1 {
+			if r2[j] < r1[j]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeadroomReservesCapacity(t *testing.T) {
+	topo := chainTopo(t, []float64{0.002, 0.002}, 1e6)
+	alloc, err := Solve(topo, Config{Utility: LinearUtility{}, Headroom: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := alloc.CPU[0] + alloc.CPU[1]
+	if total > 0.8+1e-9 {
+		t.Errorf("allocations total %.3f exceed headroom 0.8", total)
+	}
+	// Throughput scales with the reserved budget: 0.8/(2 × 2ms) = 200/s.
+	if math.Abs(alloc.WeightedThroughput-200)/200 > 0.02 {
+		t.Errorf("throughput %.1f, want ≈200 with 0.8 headroom", alloc.WeightedThroughput)
+	}
+}
+
+func TestMinShareFloorsAllocations(t *testing.T) {
+	// Linear utility starves the low-value branch; MinShare must floor it.
+	topo := graph.New(1, 50)
+	a := topo.AddPE(graph.PE{Service: uniformService(0.002)})
+	hi := topo.AddPE(graph.PE{Service: uniformService(0.004), Weight: 10})
+	lo := topo.AddPE(graph.PE{Service: uniformService(0.004), Weight: 0.01})
+	if err := topo.Connect(a, hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(a, lo); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: 1e6, Burst: graph.BurstSpec{Kind: graph.BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Solve(topo, Config{Utility: LinearUtility{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.CPU[lo] > 0.02 {
+		t.Skipf("optimizer did not starve the low branch (c=%.3f); floor untestable here", bare.CPU[lo])
+	}
+	floored, err := Solve(topo, Config{Utility: LinearUtility{}, MinShare: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range floored.CPU {
+		if c < 0.05-1e-9 {
+			t.Errorf("PE %d allocation %.4f below the 0.05 floor", j, c)
+		}
+	}
+	var total float64
+	for _, c := range floored.CPU {
+		total += c
+	}
+	if total > 1+1e-9 {
+		t.Errorf("floored allocations exceed the node budget: %.3f", total)
+	}
+}
+
+func TestSolveWithExpUtility(t *testing.T) {
+	topo := chainTopo(t, []float64{0.002, 0.002}, 1e6)
+	alloc, err := Solve(topo, Config{Utility: ExpUtility{Scale: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.WeightedThroughput < 200 {
+		t.Errorf("exp-utility solve landed at %.1f, want near capacity 250", alloc.WeightedThroughput)
+	}
+}

@@ -1,0 +1,93 @@
+// Package policy enumerates the three flow-control disciplines compared in
+// the paper's evaluation (§VI) and documents their forwarding semantics.
+// The mechanics are implemented in the two substrates (internal/streamsim
+// and internal/spc); this package is the shared vocabulary.
+package policy
+
+import "fmt"
+
+// Policy selects the forwarding and CPU-control discipline.
+type Policy int
+
+// The three systems of §VI, plus ablation variants.
+const (
+	// ACES is System 1: LQR flow control advertising r_max upstream every
+	// Δt, token-bucket CPU control with occupancy-proportional sharing,
+	// and the max-flow forwarding rule (send when the fastest downstream
+	// has room; slower branches drop on overflow).
+	ACES Policy = iota + 1
+	// UDP is System 2: fire-and-forget. Each PE forwards SDOs regardless
+	// of downstream buffer state; a full buffer drops the arriving SDO.
+	// CPU follows the static targets with work-conserving redistribution.
+	UDP
+	// LockStep is System 3: min-flow, TCP-like reliable delivery. A PE
+	// forwards only when every downstream buffer has room, otherwise it
+	// sleeps and its CPU is redistributed on the node.
+	LockStep
+	// ACESMinFlow is an ablation: ACES CPU control and LQR feedback, but
+	// Eq. 8 computed with min instead of max — isolates the contribution
+	// of the max-flow rule.
+	ACESMinFlow
+	// ACESStrictCPU is an ablation: ACES flow control but strict
+	// (non-redistributing, bucket-less) CPU enforcement — isolates the
+	// contribution of token-bucket CPU control.
+	ACESStrictCPU
+	// LoadShed is the §II related-work comparator [19] (Aurora-style load
+	// shedding): UDP forwarding and strict CPU enforcement, but receivers
+	// shed arriving SDOs once their buffer crosses a threshold (80% of B),
+	// keeping headroom instead of drop-tail at the brim.
+	LoadShed
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case ACES:
+		return "aces"
+	case UDP:
+		return "udp"
+	case LockStep:
+		return "lockstep"
+	case ACESMinFlow:
+		return "aces-minflow"
+	case ACESStrictCPU:
+		return "aces-strictcpu"
+	case LoadShed:
+		return "loadshed"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Parse converts a name produced by String back into a Policy.
+func Parse(s string) (Policy, error) {
+	switch s {
+	case "aces":
+		return ACES, nil
+	case "udp":
+		return UDP, nil
+	case "lockstep":
+		return LockStep, nil
+	case "aces-minflow":
+		return ACESMinFlow, nil
+	case "aces-strictcpu":
+		return ACESStrictCPU, nil
+	case "loadshed":
+		return LoadShed, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown policy %q", s)
+	}
+}
+
+// UsesFeedback reports whether the policy runs the tier-2 LQR feedback
+// loop (the ACES family does; UDP and Lock-Step do not).
+func (p Policy) UsesFeedback() bool {
+	return p == ACES || p == ACESMinFlow || p == ACESStrictCPU
+}
+
+// Blocking reports whether senders block on full downstream buffers
+// (Lock-Step) instead of dropping.
+func (p Policy) Blocking() bool { return p == LockStep }
+
+// All returns the three headline systems in presentation order.
+func All() []Policy { return []Policy{ACES, UDP, LockStep} }

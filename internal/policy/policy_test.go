@@ -1,0 +1,39 @@
+package policy
+
+import "testing"
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, p := range []Policy{ACES, UDP, LockStep, ACESMinFlow, ACESStrictCPU} {
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got != p {
+			t.Errorf("round trip %v → %v", p, got)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Errorf("unknown name accepted")
+	}
+	if Policy(99).String() == "" {
+		t.Errorf("unknown policy String empty")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !ACES.UsesFeedback() || !ACESMinFlow.UsesFeedback() || !ACESStrictCPU.UsesFeedback() {
+		t.Errorf("ACES family must use feedback")
+	}
+	if UDP.UsesFeedback() || LockStep.UsesFeedback() {
+		t.Errorf("baselines must not use feedback")
+	}
+	if !LockStep.Blocking() {
+		t.Errorf("LockStep must block")
+	}
+	if ACES.Blocking() || UDP.Blocking() {
+		t.Errorf("only LockStep blocks")
+	}
+	if got := All(); len(got) != 3 || got[0] != ACES || got[1] != UDP || got[2] != LockStep {
+		t.Errorf("All() = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+// Package sdo defines the Stream Data Object (SDO), the fundamental
+// information unit flowing through a distributed stream processing system,
+// along with stream identifiers and lightweight timestamp plumbing used for
+// end-to-end latency accounting.
+//
+// The paper (§I) defines a data stream as "a sequence of Stream Data Objects
+// (SDOs), the fundamental information unit of the data stream". SDOs here
+// carry an origin timestamp (set when the SDO enters the system), a byte
+// size, and an opaque payload. The control plane never inspects payloads.
+package sdo
+
+import (
+	"fmt"
+	"time"
+)
+
+// StreamID identifies a stream. External input streams of the system are
+// numbered s_0 .. s_{S-1} (paper §V-A); internal streams are derived from
+// the producing PE.
+type StreamID int32
+
+// PEID identifies a processing element p_0 .. p_{P-1}.
+type PEID int32
+
+// NodeID identifies a processing node n_0 .. n_{N-1}.
+type NodeID int32
+
+// NilPE is the sentinel for "no PE" (e.g. the producer of an external
+// stream, or the consumer beyond an egress PE).
+const NilPE PEID = -1
+
+// NilNode is the sentinel for "no node".
+const NilNode NodeID = -1
+
+// SDO is a stream data object. SDOs are treated as values by the data
+// plane: forwarding an SDO to multiple downstream PEs copies the struct
+// (cheap — the payload is shared, never mutated).
+type SDO struct {
+	// Stream is the stream this SDO currently belongs to. An SDO that is
+	// transformed by a PE is re-stamped with the PE's output stream.
+	Stream StreamID
+	// Seq is a per-stream sequence number assigned by the producer.
+	Seq uint64
+	// Origin is the time the ancestral input SDO entered the system.
+	// Derived SDOs inherit the origin of the input SDO that produced them,
+	// so egress timestamps measure true end-to-end latency.
+	Origin time.Time
+	// Bytes is the size of the SDO used for rate accounting. The paper
+	// measures rates in bytes (§V-A); the simulator uses 1-byte SDOs so
+	// that SDO counts and byte counts coincide, matching the paper's
+	// SDO-denominated buffer sizes.
+	Bytes int
+	// Hops counts the number of PEs that have processed ancestors of this
+	// SDO. Used for wasted-work accounting: dropping an SDO with Hops > 0
+	// discards partially processed data.
+	Hops int
+	// Payload is opaque application data. The control plane and both
+	// substrates never inspect it.
+	Payload any
+}
+
+// Derive returns an output SDO produced from s by a PE writing to stream
+// out: the origin is inherited, the hop count incremented, and the sequence
+// number replaced by seq.
+func (s SDO) Derive(out StreamID, seq uint64, bytes int) SDO {
+	return SDO{
+		Stream:  out,
+		Seq:     seq,
+		Origin:  s.Origin,
+		Bytes:   bytes,
+		Hops:    s.Hops + 1,
+		Payload: s.Payload,
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (s SDO) String() string {
+	return fmt.Sprintf("sdo{stream=%d seq=%d hops=%d bytes=%d}", s.Stream, s.Seq, s.Hops, s.Bytes)
+}

@@ -1,0 +1,56 @@
+package sdo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDeriveInheritsOriginAndIncrementsHops(t *testing.T) {
+	origin := time.Unix(100, 0)
+	in := SDO{Stream: 1, Seq: 7, Origin: origin, Bytes: 4, Hops: 2, Payload: "x"}
+	out := in.Derive(9, 42, 8)
+	if out.Stream != 9 || out.Seq != 42 || out.Bytes != 8 {
+		t.Errorf("derived fields wrong: %+v", out)
+	}
+	if !out.Origin.Equal(origin) {
+		t.Errorf("origin not inherited")
+	}
+	if out.Hops != 3 {
+		t.Errorf("hops = %d, want 3", out.Hops)
+	}
+	if out.Payload != "x" {
+		t.Errorf("payload not carried")
+	}
+	// The input must be unchanged (value semantics).
+	if in.Hops != 2 || in.Stream != 1 {
+		t.Errorf("Derive mutated its receiver")
+	}
+}
+
+func TestDeriveChainAccumulatesHops(t *testing.T) {
+	f := func(n uint8) bool {
+		s := SDO{Origin: time.Unix(1, 0)}
+		for i := 0; i < int(n%20); i++ {
+			s = s.Derive(StreamID(i), uint64(i), 1)
+		}
+		return s.Hops == int(n%20)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := SDO{Stream: 3, Seq: 9, Hops: 1, Bytes: 5}
+	if got := s.String(); !strings.Contains(got, "stream=3") || !strings.Contains(got, "seq=9") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	if NilPE != -1 || NilNode != -1 {
+		t.Errorf("sentinels changed: %d %d", NilPE, NilNode)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with the variate generators the simulator needs and
+// deterministic substream derivation, so every simulation component draws
+// from its own independent, reproducible stream.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a deterministic random stream for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Substream derives an independent deterministic stream from seed and a
+// component identifier, using a splitmix64-style mix so nearby ids do not
+// produce correlated streams.
+func Substream(seed int64, id uint64) *Rand {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRand(int64(z))
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Intn returns a uniform integer in [0, n).
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.r.Float64()
+}
+
+// Exp returns an exponential variate with the given mean. A non-positive
+// mean returns 0, which degenerates to a deterministic instant event.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, std float64) float64 {
+	return mean + std*r.r.NormFloat64()
+}
+
+// Poisson returns a Poisson variate with the given mean, using Knuth's
+// method for small means and a normal approximation above 30 (adequate for
+// per-tick arrival counts).
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := int(math.Round(r.Normal(mean, math.Sqrt(mean))))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Geometric returns a geometric variate counting trials until first success
+// (support {1, 2, ...}) with success probability p in (0, 1]. Used for SDO
+// output multiplicities with a given mean 1/p.
+func (r *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("sim: Geometric requires p in (0, 1]")
+	}
+	// Inversion: ceil(ln(1−u) / ln(1−p)).
+	u := r.r.Float64()
+	return int(math.Ceil(math.Log1p(-u) / math.Log1p(-p)))
+}
+
+// BoundedPareto returns a Pareto variate with shape alpha truncated to
+// [lo, hi]; used to model heavy-tailed burst sizes in extension workloads.
+func (r *Rand) BoundedPareto(alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic("sim: BoundedPareto requires 0 < lo < hi and alpha > 0")
+	}
+	u := r.r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Shuffle permutes the integers [0, n) and calls swap like rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.r.Shuffle(n, swap) }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.r.Perm(n) }

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSubstreamIndependence(t *testing.T) {
+	a := Substream(7, 1)
+	b := Substream(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("substreams look correlated: %d identical draws", same)
+	}
+	// Same (seed, id) reproduces.
+	c, d := Substream(7, 3), Substream(7, 3)
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			t.Fatalf("substream not reproducible")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(1)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.5)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exp mean = %g, want 2.5", mean)
+	}
+	if r.Exp(0) != 0 || r.Exp(-1) != 0 {
+		t.Errorf("non-positive mean should return 0")
+	}
+}
+
+func TestPoissonMeanAndVariance(t *testing.T) {
+	r := NewRand(2)
+	for _, mean := range []float64{0.5, 4, 50} { // small + Knuth + normal approx
+		var sum, sq float64
+		n := 100000
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sq += v * v
+		}
+		m := sum / float64(n)
+		variance := sq/float64(n) - m*m
+		if math.Abs(m-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%g) mean = %g", mean, m)
+		}
+		if math.Abs(variance-mean)/mean > 0.1 {
+			t.Errorf("Poisson(%g) var = %g", mean, variance)
+		}
+	}
+	if r.Poisson(0) != 0 {
+		t.Errorf("Poisson(0) should be 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(3)
+	p := 0.25
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := r.Geometric(p)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-4)/4 > 0.03 {
+		t.Errorf("Geometric(0.25) mean = %g, want 4", mean)
+	}
+	if r.Geometric(1) != 1 {
+		t.Errorf("Geometric(1) must be 1")
+	}
+}
+
+func TestGeometricPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewRand(1).Geometric(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRand(4)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(5)
+	var sum, sq float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sq += v * v
+	}
+	m := sum / float64(n)
+	sd := math.Sqrt(sq/float64(n) - m*m)
+	if math.Abs(m-10) > 0.05 || math.Abs(sd-3) > 0.05 {
+		t.Errorf("Normal(10,3) moments = %g, %g", m, sd)
+	}
+}
+
+func TestBoundedParetoSupport(t *testing.T) {
+	r := NewRand(6)
+	for i := 0; i < 10000; i++ {
+		v := r.BoundedPareto(1.5, 1, 100)
+		if v < 1 || v > 100 {
+			t.Fatalf("BoundedPareto out of [1,100]: %g", v)
+		}
+	}
+}
+
+func TestBoundedParetoValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewRand(1).BoundedPareto(1, 5, 2)
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	r := NewRand(7)
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{0, 1, 2, 3, 4}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}

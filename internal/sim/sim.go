@@ -1,0 +1,215 @@
+// Package sim is a deterministic discrete-event simulation kernel: the Go
+// substitute for the C-SIM library the paper's authors used (§VI-A). It
+// provides a time-ordered event queue with stable FIFO tie-breaking,
+// cancellable handles, periodic tasks, and seeded random variate streams.
+//
+// The stream-system simulator (internal/streamsim) advances control in
+// fixed Δt ticks (the paper's discrete-time model) but uses this kernel for
+// continuous-time machinery: source arrival processes and Markov state
+// switches. The kernel is also usable standalone and is validated against
+// M/M/1 and M/D/1 queueing closed forms in its tests.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Simulator owns simulated time and the pending-event queue. It is not safe
+// for concurrent use: all events execute on the caller's goroutine, which is
+// what makes runs deterministic.
+type Simulator struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+	nsteps uint64
+}
+
+// New returns a simulator at time 0 with an empty queue.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.nsteps }
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle struct {
+	ev *event
+}
+
+// Valid reports whether the handle refers to a scheduled (not yet executed
+// or cancelled) event.
+func (h Handle) Valid() bool { return h.ev != nil && !h.ev.done }
+
+type event struct {
+	at   float64
+	seq  uint64 // insertion order: stable FIFO among equal times
+	fn   func()
+	done bool
+	idx  int // heap index, -1 when popped
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) is clamped to Now, so the event runs next. fn must not be nil.
+func (s *Simulator) At(t float64, fn func()) Handle {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d seconds from now. Negative d is clamped to 0.
+func (s *Simulator) After(d float64, fn func()) Handle {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-executed or
+// already-cancelled event is a no-op. It returns whether the event was
+// actually cancelled.
+func (s *Simulator) Cancel(h Handle) bool {
+	if !h.Valid() {
+		return false
+	}
+	h.ev.done = true
+	if h.ev.idx >= 0 {
+		heap.Remove(&s.events, h.ev.idx)
+	}
+	return true
+}
+
+// Step executes the next pending event. It returns false when the queue is
+// empty.
+func (s *Simulator) Step() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.done {
+			continue
+		}
+		ev.done = true
+		s.now = ev.at
+		s.nsteps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events up to and including time t, then sets Now to t.
+// Events scheduled exactly at t run; events after t remain queued.
+func (s *Simulator) RunUntil(t float64) {
+	for s.events.Len() > 0 {
+		next := s.events[0]
+		if next.done {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Run executes events until the queue is empty or maxSteps events have run
+// (0 means no limit). It returns the number of events executed.
+func (s *Simulator) Run(maxSteps uint64) uint64 {
+	var n uint64
+	for maxSteps == 0 || n < maxSteps {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.done {
+			n++
+		}
+	}
+	return n
+}
+
+// NextAt returns the time of the next pending event and true, or (+Inf,
+// false) when the queue is empty. Cancel removes events from the heap
+// eagerly, so the heap root is always live.
+func (s *Simulator) NextAt() (float64, bool) {
+	if s.events.Len() == 0 {
+		return math.Inf(1), false
+	}
+	return s.events[0].at, true
+}
+
+// Every schedules fn to run every period seconds, starting at Now + period.
+// The returned stop function cancels future occurrences. fn receives the
+// occurrence time. period must be positive.
+func (s *Simulator) Every(period float64, fn func(t float64)) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every requires positive period")
+	}
+	stopped := false
+	var h Handle
+	var schedule func()
+	schedule = func() {
+		h = s.After(period, func() {
+			if stopped {
+				return
+			}
+			fn(s.now)
+			schedule()
+		})
+	}
+	schedule()
+	return func() {
+		stopped = true
+		s.Cancel(h)
+	}
+}
+
+// eventHeap implements container/heap ordered by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %g, want 3", s.Now())
+	}
+	if s.Steps() != 3 {
+		t.Errorf("Steps = %d, want 3", s.Steps())
+	}
+}
+
+func TestFIFOTieBreakAtEqualTimes(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndPastClamping(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		// Scheduling in the past clamps to now.
+		s.At(5, func() {
+			if s.Now() != 10 {
+				t.Errorf("past event ran at %g, want 10", s.Now())
+			}
+		})
+		s.After(-3, func() {
+			if s.Now() != 10 {
+				t.Errorf("negative After ran at %g, want 10", s.Now())
+			}
+		})
+	})
+	s.Run(0)
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	h := s.At(1, func() { ran = true })
+	if !h.Valid() {
+		t.Fatalf("fresh handle should be valid")
+	}
+	if !s.Cancel(h) {
+		t.Fatalf("Cancel returned false")
+	}
+	if s.Cancel(h) {
+		t.Errorf("double Cancel should return false")
+	}
+	s.Run(0)
+	if ran {
+		t.Errorf("cancelled event executed")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestCancelMiddleOfHeapPreservesOrder(t *testing.T) {
+	s := New()
+	var order []float64
+	var handles []Handle
+	for _, at := range []float64{5, 1, 4, 2, 3} {
+		at := at
+		handles = append(handles, s.At(at, func() { order = append(order, at) }))
+	}
+	s.Cancel(handles[2]) // the event at t=4
+	s.Run(0)
+	want := []float64{1, 2, 3, 5}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var ran []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		s.At(at, func() { ran = append(ran, at) })
+	}
+	s.RunUntil(2)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want events at 1,2", ran)
+	}
+	if s.Now() != 2 {
+		t.Errorf("Now = %g, want 2", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	// RunUntil with no events advances the clock.
+	s.RunUntil(10)
+	if s.Now() != 10 || len(ran) != 4 {
+		t.Errorf("Now = %g ran = %v", s.Now(), ran)
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 0; i < 5; i++ {
+		s.At(float64(i), func() { n++ })
+	}
+	if got := s.Run(3); got != 3 || n != 3 {
+		t.Errorf("Run(3) executed %d/%d", got, n)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	s := New()
+	if _, ok := s.NextAt(); ok {
+		t.Errorf("NextAt on empty queue should be false")
+	}
+	s.At(7, func() {})
+	if at, ok := s.NextAt(); !ok || at != 7 {
+		t.Errorf("NextAt = %g,%v", at, ok)
+	}
+}
+
+func TestEveryPeriodicAndStop(t *testing.T) {
+	s := New()
+	var times []float64
+	stop := s.Every(1, func(at float64) {
+		times = append(times, at)
+		if len(times) == 3 {
+			// stop from within the callback
+		}
+	})
+	s.RunUntil(3.5)
+	stop()
+	s.RunUntil(10)
+	if len(times) != 3 {
+		t.Fatalf("times = %v, want 3 occurrences", times)
+	}
+	for i, at := range times {
+		if math.Abs(at-float64(i+1)) > 1e-12 {
+			t.Errorf("occurrence %d at %g", i, at)
+		}
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	New().Every(0, func(float64) {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	New().At(1, nil)
+}
+
+// Property: for any set of scheduled times, events execute in sorted order.
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var got []float64
+		for _, v := range raw {
+			at := float64(v) / 100
+			s.At(at, func() { got = append(got, at) })
+		}
+		s.Run(0)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// M/M/1 validation: with λ = 0.7, μ = 1.0, the mean number in system is
+// ρ/(1−ρ) = 2.333 and mean sojourn time 1/(μ−λ) = 3.333. This validates the
+// kernel end-to-end as a queueing simulator (the role C-SIM plays in the
+// paper).
+func TestMM1AgainstClosedForm(t *testing.T) {
+	const lambda, mu = 0.7, 1.0
+	s := New()
+	rng := NewRand(12345)
+
+	type customer struct{ arrived float64 }
+	var queue []customer
+	busy := false
+	var totalSojourn float64
+	var served int
+	// Time-average number in system via integration.
+	var area, lastT float64
+	inSystem := 0
+	account := func() {
+		area += float64(inSystem) * (s.Now() - lastT)
+		lastT = s.Now()
+	}
+
+	var depart func()
+	depart = func() {
+		account()
+		c := queue[0]
+		queue = queue[1:]
+		inSystem--
+		totalSojourn += s.Now() - c.arrived
+		served++
+		if len(queue) > 0 {
+			s.After(rng.Exp(1/mu), depart)
+		} else {
+			busy = false
+		}
+	}
+	var arrive func()
+	arrive = func() {
+		account()
+		queue = append(queue, customer{arrived: s.Now()})
+		inSystem++
+		if !busy {
+			busy = true
+			s.After(rng.Exp(1/mu), depart)
+		}
+		s.After(rng.Exp(1/lambda), arrive)
+	}
+	s.After(rng.Exp(1/lambda), arrive)
+	s.RunUntil(200000)
+
+	meanInSystem := area / s.Now()
+	meanSojourn := totalSojourn / float64(served)
+	wantL := lambda / mu / (1 - lambda/mu) // 2.3333
+	wantW := 1 / (mu - lambda)             // 3.3333
+	if math.Abs(meanInSystem-wantL)/wantL > 0.05 {
+		t.Errorf("E[N] = %.3f, want %.3f ± 5%%", meanInSystem, wantL)
+	}
+	if math.Abs(meanSojourn-wantW)/wantW > 0.05 {
+		t.Errorf("E[W] = %.3f, want %.3f ± 5%%", meanSojourn, wantW)
+	}
+}
+
+// M/D/1 validation: deterministic service halves queueing delay relative to
+// M/M/1 (Pollaczek–Khinchine): Wq = ρ/(2μ(1−ρ)).
+func TestMD1AgainstPollaczekKhinchine(t *testing.T) {
+	const lambda, mu = 0.6, 1.0
+	s := New()
+	rng := NewRand(99)
+	var queue []float64
+	busy := false
+	var totalWait float64
+	var served int
+	var depart func()
+	depart = func() {
+		arrivedAt := queue[0]
+		queue = queue[1:]
+		totalWait += s.Now() - arrivedAt - 1/mu
+		served++
+		if len(queue) > 0 {
+			s.After(1/mu, depart)
+		} else {
+			busy = false
+		}
+	}
+	var arrive func()
+	arrive = func() {
+		queue = append(queue, s.Now())
+		if !busy {
+			busy = true
+			s.After(1/mu, depart)
+		}
+		s.After(rng.Exp(1/lambda), arrive)
+	}
+	s.After(rng.Exp(1/lambda), arrive)
+	s.RunUntil(200000)
+
+	rho := lambda / mu
+	wantWq := rho / (2 * mu * (1 - rho)) // 0.75
+	gotWq := totalWait / float64(served)
+	if math.Abs(gotWq-wantWq)/wantWq > 0.07 {
+		t.Errorf("E[Wq] = %.3f, want %.3f ± 7%%", gotWq, wantWq)
+	}
+}

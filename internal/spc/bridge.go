@@ -1,0 +1,117 @@
+package spc
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"aces/internal/sdo"
+	"aces/internal/transport"
+)
+
+// Link is a transport.Conn-backed RemoteLink: SDOs go out as routed
+// frames, advertisements as feedback frames. One Link serves one peer; a
+// deployment partitioned across k processes uses a Link per neighbour and
+// a Router to pick the right one per destination PE.
+type Link struct {
+	conn *transport.Conn
+}
+
+// NewLink wraps a framed connection as a RemoteLink.
+func NewLink(conn *transport.Conn) *Link { return &Link{conn: conn} }
+
+// SendSDO implements RemoteLink. Payloads must be nil or []byte (the wire
+// constraint of the transport).
+func (l *Link) SendSDO(to sdo.PEID, s sdo.SDO) error {
+	if _, ok := s.Payload.([]byte); !ok && s.Payload != nil {
+		// Cross-process SDOs cannot carry arbitrary in-memory payloads;
+		// drop the payload rather than the SDO (control experiments use
+		// empty payloads throughout).
+		s.Payload = nil
+	}
+	return l.conn.SendRouted(to, s)
+}
+
+// SendFeedback implements RemoteLink.
+func (l *Link) SendFeedback(pe int32, rmax float64) error {
+	return l.conn.SendFeedback(transport.Feedback{PE: pe, RMax: rmax})
+}
+
+// Serve pumps incoming frames from the peer into the cluster until the
+// connection closes or errors. Run it on its own goroutine; it returns nil
+// on orderly EOF.
+func (l *Link) Serve(c *Cluster) error {
+	for {
+		msg, err := l.conn.Recv()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case transport.KindRouted:
+			c.InjectSDO(msg.To, msg.SDO)
+		case transport.KindData:
+			// Unrouted data has no destination in a partitioned
+			// deployment; ignore rather than guess.
+		case transport.KindFeedback:
+			c.InjectFeedback(msg.Feedback.PE, msg.Feedback.RMax)
+		}
+	}
+}
+
+// Router fans a partitioned deployment out to several Links, choosing by
+// destination PE. It implements RemoteLink itself.
+type Router struct {
+	mu     sync.RWMutex
+	routes map[sdo.PEID]RemoteLink
+	peers  []RemoteLink
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{routes: make(map[sdo.PEID]RemoteLink)}
+}
+
+// AddPeer registers a link and the set of PEs it reaches.
+func (r *Router) AddPeer(link RemoteLink, pes ...sdo.PEID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers = append(r.peers, link)
+	for _, pe := range pes {
+		r.routes[pe] = link
+	}
+}
+
+// SendSDO implements RemoteLink.
+func (r *Router) SendSDO(to sdo.PEID, s sdo.SDO) error {
+	r.mu.RLock()
+	link, ok := r.routes[to]
+	r.mu.RUnlock()
+	if !ok {
+		return errors.New("spc: no route to PE")
+	}
+	return link.SendSDO(to, s)
+}
+
+// SendFeedback implements RemoteLink: advertisements are broadcast to all
+// peers (any of them may host an upstream of the advertising PE).
+func (r *Router) SendFeedback(pe int32, rmax float64) error {
+	r.mu.RLock()
+	peers := r.peers
+	r.mu.RUnlock()
+	var firstErr error
+	for _, p := range peers {
+		if err := p.SendFeedback(pe, rmax); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Interface compliance checks.
+var (
+	_ RemoteLink = (*Link)(nil)
+	_ RemoteLink = (*Router)(nil)
+)

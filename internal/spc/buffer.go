@@ -1,0 +1,128 @@
+package spc
+
+import (
+	"context"
+	"sync"
+
+	"aces/internal/sdo"
+)
+
+// Buffer is a bounded FIFO of SDOs guarding one PE's input. TryPush never
+// blocks (UDP / max-flow semantics: a full buffer drops); Push blocks until
+// space or context cancellation (lock-step semantics). Pop blocks until an
+// SDO is available or the context is done.
+type Buffer struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []sdo.SDO
+	head     int
+	capacity int
+	closed   bool
+}
+
+// NewBuffer creates a buffer with the given capacity in SDOs.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("spc: buffer capacity must be positive")
+	}
+	b := &Buffer{capacity: capacity}
+	b.notFull = sync.NewCond(&b.mu)
+	b.notEmpty = sync.NewCond(&b.mu)
+	return b
+}
+
+// Len returns the current occupancy.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items) - b.head
+}
+
+// Cap returns the capacity.
+func (b *Buffer) Cap() int { return b.capacity }
+
+// TryPush appends s if space is available and reports success.
+func (b *Buffer) TryPush(s sdo.SDO) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || len(b.items)-b.head >= b.capacity {
+		return false
+	}
+	b.push(s)
+	return true
+}
+
+// Push blocks until space is available or ctx is done; it returns false
+// when the buffer closed or the context was cancelled.
+func (b *Buffer) Push(ctx context.Context, s sdo.SDO) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !b.closed && len(b.items)-b.head >= b.capacity {
+		if ctx.Err() != nil {
+			return false
+		}
+		// Cond has no context support: wake-ups come from Pop and from
+		// Close; the runtime closes buffers on shutdown, so this cannot
+		// hang. A courtesy waker goroutine is not needed because every
+		// cancel path closes the buffer.
+		b.notFull.Wait()
+	}
+	if b.closed {
+		return false
+	}
+	b.push(s)
+	return true
+}
+
+// Pop blocks until an SDO is available; ok is false when the buffer is
+// closed and drained, or the context is done.
+func (b *Buffer) Pop(ctx context.Context) (s sdo.SDO, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.items)-b.head == 0 {
+		if b.closed || ctx.Err() != nil {
+			return sdo.SDO{}, false
+		}
+		b.notEmpty.Wait()
+	}
+	s = b.items[b.head]
+	b.items[b.head] = sdo.SDO{} // release payload reference
+	b.head++
+	if b.head > 256 && b.head*2 >= len(b.items) {
+		n := copy(b.items, b.items[b.head:])
+		b.items = b.items[:n]
+		b.head = 0
+	}
+	b.notFull.Signal()
+	return s, true
+}
+
+// TryPop removes the head SDO without blocking.
+func (b *Buffer) TryPop() (s sdo.SDO, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items)-b.head == 0 {
+		return sdo.SDO{}, false
+	}
+	s = b.items[b.head]
+	b.items[b.head] = sdo.SDO{}
+	b.head++
+	b.notFull.Signal()
+	return s, true
+}
+
+// Close wakes all waiters; subsequent pushes fail and pops drain the
+// remaining items, then fail.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.notFull.Broadcast()
+	b.notEmpty.Broadcast()
+}
+
+func (b *Buffer) push(s sdo.SDO) {
+	b.items = append(b.items, s)
+	b.notEmpty.Signal()
+}

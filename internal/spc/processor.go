@@ -1,0 +1,127 @@
+package spc
+
+import (
+	"sync"
+	"time"
+
+	"aces/internal/sdo"
+	"aces/internal/sim"
+	"aces/internal/workload"
+)
+
+// Processor is the user-facing computation of one PE: consume an input
+// SDO, optionally emit derived SDOs. Implementations must be safe for use
+// from the single PE goroutine that owns them (no cross-PE sharing).
+type Processor interface {
+	// Process handles one SDO. emit forwards a derived SDO downstream; it
+	// may be called zero or more times. Returning an error stops the PE.
+	Process(in sdo.SDO, emit func(sdo.SDO)) error
+}
+
+// CostModeler is an optional Processor extension that declares the virtual
+// CPU cost of the next SDO (seconds of CPU at full allocation). Synthetic
+// workloads implement it so the scheduler charges model costs; processors
+// without it are charged measured wall time (scaled).
+type CostModeler interface {
+	// NextCost returns the virtual CPU cost of processing the next SDO at
+	// virtual time now.
+	NextCost(now float64) float64
+}
+
+// FuncProcessor adapts a function to the Processor interface.
+type FuncProcessor func(in sdo.SDO, emit func(sdo.SDO)) error
+
+// Process implements Processor.
+func (f FuncProcessor) Process(in sdo.SDO, emit func(sdo.SDO)) error { return f(in, emit) }
+
+// Synthetic is the evaluation workload PE (§VI-B): it charges the
+// two-state Markov-modulated cost model and forwards M copies of each
+// input (multiplicity λ_m), doing no real work. It implements CostModeler.
+type Synthetic struct {
+	mu  sync.Mutex
+	svc *workload.Service
+	out sdo.StreamID
+	seq uint64
+}
+
+// NewSynthetic builds a synthetic PE workload with the given service
+// parameters, output stream ID, and random stream.
+func NewSynthetic(params workload.ServiceParams, out sdo.StreamID, rng *sim.Rand) *Synthetic {
+	return &Synthetic{svc: workload.NewService(params, rng), out: out}
+}
+
+// NextCost implements CostModeler.
+func (s *Synthetic) NextCost(now float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc.CostAt(now)
+}
+
+// Process implements Processor: forward M derived SDOs.
+func (s *Synthetic) Process(in sdo.SDO, emit func(sdo.SDO)) error {
+	s.mu.Lock()
+	m := s.svc.Multiplicity()
+	seq := s.seq
+	s.seq += uint64(m)
+	s.mu.Unlock()
+	for k := 0; k < m; k++ {
+		emit(in.Derive(s.out, seq+uint64(k), in.Bytes))
+	}
+	return nil
+}
+
+// Passthrough forwards every SDO unchanged on a new stream; useful in
+// examples and tests.
+type Passthrough struct {
+	out sdo.StreamID
+	seq uint64
+}
+
+// NewPassthrough builds a pass-through processor emitting on stream out.
+func NewPassthrough(out sdo.StreamID) *Passthrough { return &Passthrough{out: out} }
+
+// Process implements Processor.
+func (p *Passthrough) Process(in sdo.SDO, emit func(sdo.SDO)) error {
+	emit(in.Derive(p.out, p.seq, in.Bytes))
+	p.seq++
+	return nil
+}
+
+// measuredCost tracks an EWMA of observed per-SDO processing durations for
+// processors without a cost model.
+type measuredCost struct {
+	ewma   float64
+	primed bool
+}
+
+// observe folds one measured duration (virtual seconds) into the estimate.
+func (m *measuredCost) observe(d float64) {
+	if !m.primed {
+		m.ewma = d
+		m.primed = true
+		return
+	}
+	m.ewma = 0.3*d + 0.7*m.ewma
+}
+
+// estimate returns the current cost estimate with a conservative floor.
+func (m *measuredCost) estimate() float64 {
+	if !m.primed || m.ewma <= 0 {
+		return 50e-6 // 50 µs default until first measurement
+	}
+	return m.ewma
+}
+
+// nowDuration converts a wall-clock duration into virtual seconds under
+// the given scale.
+func nowDuration(d time.Duration, scale float64) float64 {
+	return d.Seconds() * scale
+}
+
+// Interface compliance checks.
+var (
+	_ Processor   = FuncProcessor(nil)
+	_ Processor   = (*Synthetic)(nil)
+	_ CostModeler = (*Synthetic)(nil)
+	_ Processor   = (*Passthrough)(nil)
+)

@@ -1,0 +1,754 @@
+package spc
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aces/internal/control"
+	"aces/internal/controller"
+	"aces/internal/graph"
+	"aces/internal/metrics"
+	"aces/internal/policy"
+	"aces/internal/sdo"
+	"aces/internal/sim"
+	"aces/internal/workload"
+)
+
+// Config parameterizes a cluster deployment.
+type Config struct {
+	// Topo is the deployment (required, must validate).
+	Topo *graph.Topology
+	// Policy selects the flow/CPU discipline (required).
+	Policy policy.Policy
+	// CPU are the tier-1 targets c̄_j (required).
+	CPU []float64
+	// Dt is the control period in virtual seconds (default 0.010).
+	Dt float64
+	// TimeScale runs virtual time this many times faster than wall time
+	// (default 20; 1 = real time).
+	TimeScale float64
+	// Warmup discards metrics before this virtual time (default 2s).
+	Warmup float64
+	// Seed drives synthetic workloads and sources.
+	Seed int64
+	// B0Frac, QWeight, RWeight and BurstTicks mirror the simulator's
+	// controller parameters.
+	B0Frac, QWeight, RWeight, BurstTicks float64
+	// Processors overrides the default synthetic workload per PE.
+	Processors map[sdo.PEID]Processor
+	// LocalNodes restricts this process to hosting the PEs placed on the
+	// listed nodes (empty = host everything). Edges whose target lives in
+	// a peer process are forwarded through Uplink; SDOs and feedback from
+	// peers enter through InjectSDO / InjectFeedback. Blocking policies
+	// (Lock-Step) cannot cross a partition boundary: credits would need a
+	// distributed handshake, and the paper's System 3 is evaluated
+	// unpartitioned.
+	LocalNodes []sdo.NodeID
+	// Uplink carries cross-partition SDOs and r_max advertisements.
+	// Required when LocalNodes is set and edges cross the boundary.
+	Uplink RemoteLink
+}
+
+// RemoteLink transports SDOs and feedback to peer processes hosting the
+// rest of a partitioned topology. Implementations must be safe for
+// concurrent use; transport.Conn-backed links (see Link) qualify.
+type RemoteLink interface {
+	// SendSDO forwards an SDO to the process hosting PE `to`.
+	SendSDO(to sdo.PEID, s sdo.SDO) error
+	// SendFeedback broadcasts a local PE's r_max advertisement to peers.
+	SendFeedback(pe int32, rmax float64) error
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Topo == nil {
+		return fmt.Errorf("spc: Topo is required")
+	}
+	if err := c.Topo.Validate(); err != nil {
+		return fmt.Errorf("spc: %w", err)
+	}
+	if c.Policy == 0 {
+		return fmt.Errorf("spc: Policy is required")
+	}
+	if len(c.CPU) != c.Topo.NumPEs() {
+		return fmt.Errorf("spc: CPU targets have %d entries, topology has %d PEs", len(c.CPU), c.Topo.NumPEs())
+	}
+	if c.Dt <= 0 {
+		c.Dt = 0.010
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 20
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2
+	}
+	if c.B0Frac <= 0 || c.B0Frac >= 1 {
+		c.B0Frac = 0.5
+	}
+	if c.QWeight <= 0 {
+		c.QWeight = 1
+	}
+	if c.RWeight <= 0 {
+		c.RWeight = 8
+	}
+	if c.BurstTicks < 1 {
+		c.BurstTicks = 40
+	}
+	return nil
+}
+
+// peRuntime is the live counterpart of the simulator's peState.
+type peRuntime struct {
+	id     sdo.PEID
+	weight float64
+	buf    *Buffer
+	proc   Processor
+	model  CostModeler // nil → measured costs
+	down   []*peRuntime
+	// remote lists downstream PEs hosted by peer processes.
+	remote []sdo.PEID
+	downID []int32
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	budget float64 // virtual CPU-seconds granted and unspent
+	mcost  measuredCost
+
+	held    atomic.Int32 // 1 while the PE goroutine holds a popped SDO
+	blocked atomic.Bool  // lock-step: waiting on a full downstream buffer
+
+	// Scheduler-owned state (only the node scheduler touches these).
+	bucket *controller.TokenBucket
+	fc     *control.FlowController
+}
+
+// occupancy counts buffered plus held SDOs.
+func (p *peRuntime) occupancy() int { return p.buf.Len() + int(p.held.Load()) }
+
+// cost returns the per-SDO cost estimate at virtual time now.
+func (p *peRuntime) cost(now float64) float64 {
+	if p.model != nil {
+		return p.model.NextCost(now)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mcost.estimate()
+}
+
+// grant deposits CPU budget and wakes the PE goroutine. Budget is capped
+// so a starved PE cannot bank unbounded entitlement (the token bucket is
+// the sanctioned accumulator).
+func (p *peRuntime) grant(b float64) {
+	const budgetCap = 0.25
+	p.mu.Lock()
+	p.budget += b
+	if p.budget > budgetCap {
+		p.budget = budgetCap
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// safeFeedback is a mutex-guarded wrapper of controller.Feedback shared by
+// all node schedulers.
+type safeFeedback struct {
+	mu sync.RWMutex
+	fb *controller.Feedback
+}
+
+func (s *safeFeedback) publish(j int32, r float64) {
+	s.mu.Lock()
+	s.fb.Publish(j, r)
+	s.mu.Unlock()
+}
+
+func (s *safeFeedback) outputBound(down []int32) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fb.OutputBound(down)
+}
+
+func (s *safeFeedback) minBound(down []int32) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fb.MinBound(down)
+}
+
+// safeCollector guards a metrics.Collector for concurrent recording.
+type safeCollector struct {
+	mu  sync.Mutex
+	col *metrics.Collector
+}
+
+func (s *safeCollector) egress(now, w, lat float64) {
+	s.mu.Lock()
+	s.col.Egress(now, w, lat)
+	s.mu.Unlock()
+}
+
+func (s *safeCollector) inputDrop(now float64) {
+	s.mu.Lock()
+	s.col.InputDrop(now)
+	s.mu.Unlock()
+}
+
+func (s *safeCollector) inFlightDrop(now float64, hops int) {
+	s.mu.Lock()
+	s.col.InFlightDrop(now, hops)
+	s.mu.Unlock()
+}
+
+func (s *safeCollector) bufferSample(now, occ float64) {
+	s.mu.Lock()
+	s.col.BufferSample(now, occ)
+	s.mu.Unlock()
+}
+
+func (s *safeCollector) finalize(now float64) metrics.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Finalize(now)
+}
+
+// Cluster is a running deployment: node schedulers, PE goroutines and
+// source generators wired per the topology.
+type Cluster struct {
+	cfg   Config
+	clock Clock
+	scale float64
+	pes   []*peRuntime
+	nodes [][]*peRuntime
+	fb    *safeFeedback
+	col   *safeCollector
+
+	// local[j] reports whether PE j is hosted by this process.
+	local []bool
+	// delivered counts post-warmup egress SDOs per local PE.
+	delivered  []atomic.Int64
+	warmupVirt float64
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started bool
+	mu      sync.Mutex
+}
+
+// NewCluster validates the configuration and builds a cluster; call Run
+// (or Start/Stop) to execute it.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	t := cfg.Topo
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{
+		cfg:    cfg,
+		clock:  NewScaledClock(cfg.TimeScale),
+		scale:  cfg.TimeScale,
+		fb:     &safeFeedback{fb: controller.NewFeedback()},
+		col:    &safeCollector{col: metrics.NewCollector(cfg.Warmup)},
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	c.nodes = make([][]*peRuntime, t.NumNodes)
+	c.pes = make([]*peRuntime, t.NumPEs())
+	c.local = make([]bool, t.NumPEs())
+	c.delivered = make([]atomic.Int64, t.NumPEs())
+	c.warmupVirt = cfg.Warmup
+	localNode := make([]bool, t.NumNodes)
+	if len(cfg.LocalNodes) == 0 {
+		for n := range localNode {
+			localNode[n] = true
+		}
+	} else {
+		for _, n := range cfg.LocalNodes {
+			if n < 0 || int(n) >= t.NumNodes {
+				cancel()
+				return nil, fmt.Errorf("spc: LocalNodes references unknown node %d", n)
+			}
+			localNode[n] = true
+		}
+	}
+	for j := 0; j < t.NumPEs(); j++ {
+		c.local[j] = localNode[t.PEs[j].Node]
+	}
+	partitioned := false
+	for _, l := range c.local {
+		if !l {
+			partitioned = true
+			break
+		}
+	}
+	if partitioned {
+		crossing := false
+		for j := 0; j < t.NumPEs(); j++ {
+			for _, d := range t.Down(sdo.PEID(j)) {
+				if c.local[j] != c.local[d] {
+					crossing = true
+				}
+			}
+		}
+		if crossing && cfg.Uplink == nil {
+			cancel()
+			return nil, fmt.Errorf("spc: partitioned deployment with boundary-crossing edges requires an Uplink")
+		}
+		if crossing && cfg.Policy.Blocking() {
+			cancel()
+			return nil, fmt.Errorf("spc: %v cannot cross a partition boundary (blocking needs local buffers)", cfg.Policy)
+		}
+	}
+	for j := 0; j < t.NumPEs(); j++ {
+		if !c.local[j] {
+			continue
+		}
+		pe := &t.PEs[j]
+		bufCap := t.BufferSize(sdo.PEID(j))
+		pr := &peRuntime{
+			id:     sdo.PEID(j),
+			weight: pe.Weight,
+			buf:    NewBuffer(bufCap),
+			bucket: controller.NewTokenBucket(cfg.CPU[j], cfg.BurstTicks),
+		}
+		pr.cond = sync.NewCond(&pr.mu)
+		if p, ok := cfg.Processors[sdo.PEID(j)]; ok && p != nil {
+			pr.proc = p
+			if m, ok := p.(CostModeler); ok {
+				pr.model = m
+			}
+		} else {
+			syn := NewSynthetic(pe.Service, sdo.StreamID(1000+j), sim.Substream(cfg.Seed, uint64(j)+1000))
+			pr.proc = syn
+			pr.model = syn
+		}
+		if cfg.Policy.UsesFeedback() {
+			gains, err := control.Design(control.DesignConfig{
+				Delay: 2, QWeight: cfg.QWeight, RWeight: cfg.RWeight, Smoothing: 1,
+				B0: cfg.B0Frac * float64(bufCap),
+			})
+			if err != nil {
+				cancel()
+				return nil, fmt.Errorf("spc: PE %d gain design: %w", j, err)
+			}
+			fc, err := control.NewFlowController(gains, 0)
+			if err != nil {
+				cancel()
+				return nil, fmt.Errorf("spc: PE %d controller: %w", j, err)
+			}
+			pr.fc = fc
+		}
+		c.pes[j] = pr
+		c.nodes[pe.Node] = append(c.nodes[pe.Node], pr)
+	}
+	for j := 0; j < t.NumPEs(); j++ {
+		if !c.local[j] {
+			continue
+		}
+		for _, d := range t.Down(sdo.PEID(j)) {
+			if c.local[d] {
+				c.pes[j].down = append(c.pes[j].down, c.pes[d])
+			} else {
+				c.pes[j].remote = append(c.pes[j].remote, d)
+			}
+			// Feedback bounds consider every downstream; remote r_max
+			// arrives via InjectFeedback.
+			c.pes[j].downID = append(c.pes[j].downID, int32(d))
+		}
+	}
+	return c, nil
+}
+
+// Start launches all goroutines. It is an error to start twice.
+func (c *Cluster) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return fmt.Errorf("spc: cluster already started")
+	}
+	c.started = true
+	for _, pr := range c.pes {
+		if pr == nil {
+			continue
+		}
+		pr := pr
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.runPE(pr)
+		}()
+	}
+	for n := range c.nodes {
+		if len(c.nodes[n]) == 0 {
+			continue
+		}
+		n := n
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.runScheduler(n)
+		}()
+	}
+	for si := range c.cfg.Topo.Sources {
+		src := c.cfg.Topo.Sources[si]
+		if !c.local[src.Target] {
+			continue
+		}
+		proc, err := src.Burst.Build(src.Rate, sim.Substream(c.cfg.Seed, uint64(si)+5000))
+		if err != nil {
+			return fmt.Errorf("spc: source %d: %w", si, err)
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.runSource(src, proc)
+		}()
+	}
+	return nil
+}
+
+// Stop cancels all goroutines and waits for them to exit.
+func (c *Cluster) Stop() {
+	c.cancel()
+	for _, pr := range c.pes {
+		if pr == nil {
+			continue
+		}
+		pr.buf.Close()
+		pr.mu.Lock()
+		pr.cond.Broadcast()
+		pr.mu.Unlock()
+	}
+	c.wg.Wait()
+}
+
+// Run starts the cluster, lets it run for the given virtual duration, and
+// returns the metrics report.
+func (c *Cluster) Run(duration float64) (metrics.Report, error) {
+	if err := c.Start(); err != nil {
+		return metrics.Report{}, err
+	}
+	wall := time.Duration(duration / c.scale * float64(time.Second))
+	timer := time.NewTimer(wall)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-c.ctx.Done():
+	}
+	end := c.clock.Now()
+	c.Stop()
+	return c.col.finalize(end), nil
+}
+
+// runPE is one PE's goroutine: pop, wait for budget, process, emit.
+func (c *Cluster) runPE(pr *peRuntime) {
+	emit := c.emitter(pr)
+	for {
+		s, ok := pr.buf.Pop(c.ctx)
+		if !ok {
+			return
+		}
+		pr.held.Store(1)
+		cost := pr.cost(c.clock.Now())
+
+		// Wait until the scheduler has granted enough budget. The cost is
+		// re-sampled at every grant: the two-state model modulates the
+		// PE's processing *rate*, so an SDO whose wait spans a state flip
+		// is charged the price of the regime that actually processes it —
+		// the same fluid semantics the simulator and the tier-1 model use.
+		// Freezing the pop-time price would silently push a PE's capacity
+		// from the harmonic mean toward the arithmetic mean of the state
+		// costs (≈ 3× lower with the paper's T0/T1).
+		pr.mu.Lock()
+		for pr.budget < cost {
+			if c.ctx.Err() != nil {
+				pr.mu.Unlock()
+				pr.held.Store(0)
+				return
+			}
+			pr.cond.Wait()
+			pr.mu.Unlock()
+			cost = pr.cost(c.clock.Now())
+			pr.mu.Lock()
+		}
+		pr.budget -= cost
+		pr.mu.Unlock()
+
+		var start time.Time
+		if pr.model == nil {
+			start = time.Now()
+		}
+		if err := pr.proc.Process(s, emit); err != nil {
+			// A failing processor stops its PE; the rest of the graph keeps
+			// running (§IV: the system degrades, it does not collapse).
+			pr.held.Store(0)
+			return
+		}
+		if pr.model == nil {
+			d := nowDuration(time.Since(start), c.scale)
+			pr.mu.Lock()
+			pr.mcost.observe(d)
+			pr.mu.Unlock()
+		}
+		pr.held.Store(0)
+	}
+}
+
+// emitter builds the policy-appropriate emit callback for a PE.
+func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
+	if len(pr.down) == 0 && len(pr.remote) == 0 {
+		return func(out sdo.SDO) {
+			now := c.clock.Now()
+			lat := time.Since(out.Origin).Seconds() * c.scale
+			c.col.egress(now, pr.weight, lat)
+			if now >= c.warmupVirt {
+				c.delivered[pr.id].Add(1)
+			}
+		}
+	}
+	blocking := c.cfg.Policy.Blocking()
+	shed := c.cfg.Policy == policy.LoadShed
+	return func(out sdo.SDO) {
+		out.Hops++
+		for _, dst := range pr.down {
+			switch {
+			case blocking:
+				pr.blocked.Store(true)
+				ok := dst.buf.Push(c.ctx, out)
+				pr.blocked.Store(false)
+				if !ok {
+					return
+				}
+			case shed && dst.buf.Len() >= dst.buf.Cap()*8/10:
+				// Threshold shedding: refuse before the buffer is brimful.
+				c.col.inFlightDrop(c.clock.Now(), out.Hops)
+			default:
+				if !dst.buf.TryPush(out) {
+					c.col.inFlightDrop(c.clock.Now(), out.Hops)
+				}
+			}
+		}
+		for _, d := range pr.remote {
+			// Cross-partition forwarding is non-blocking by construction;
+			// a failed link counts as in-flight loss at the sender.
+			if err := c.cfg.Uplink.SendSDO(d, out); err != nil {
+				c.col.inFlightDrop(c.clock.Now(), out.Hops)
+			}
+		}
+	}
+}
+
+// runScheduler is one node's Δt control loop.
+func (c *Cluster) runScheduler(n int) {
+	peers := c.nodes[n]
+	tick, stopTick := c.clock.Tick(c.cfg.Dt)
+	defer stopTick()
+	pol := c.cfg.Policy
+	sample := 0
+	last := c.clock.Now()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-tick:
+		}
+		now := c.clock.Now()
+		// Use measured elapsed virtual time as the effective period: OS
+		// timers are late and coalesce under load, and a fixed Δt would
+		// silently discard the entitlement of every missed tick. Clamp so
+		// a single wild measurement cannot destabilize the controller.
+		dt := now - last
+		last = now
+		if dt < 0.25*c.cfg.Dt {
+			dt = 0.25 * c.cfg.Dt
+		}
+		if dt > 10*c.cfg.Dt {
+			dt = 10 * c.cfg.Dt
+		}
+		elapsedTicks := dt / c.cfg.Dt
+		ticks := make([]controller.PETick, len(peers))
+		costs := make([]float64, len(peers))
+		for i, pr := range peers {
+			cost := pr.cost(now)
+			costs[i] = cost
+			occ := float64(pr.occupancy())
+			work := occ * cost / dt
+			capFrac := math.Inf(1)
+			mult := 1.0
+			if syn, ok := pr.proc.(*Synthetic); ok {
+				mult = syn.svc.Params().MeanMult
+			}
+			// Advertised r_max is in SDOs per nominal Δt; scale it to this
+			// planning period before converting to a CPU fraction.
+			switch pol {
+			case policy.ACES, policy.ACESStrictCPU:
+				capFrac = controller.RateToCPU(c.fb.outputBound(pr.downID)*elapsedTicks, cost, mult, dt)
+			case policy.ACESMinFlow:
+				capFrac = controller.RateToCPU(c.fb.minBound(pr.downID)*elapsedTicks, cost, mult, dt)
+			}
+			ticks[i] = controller.PETick{
+				Target: c.cfg.CPU[pr.id],
+				// Bucket levels are in Δt-fractions; express them as a
+				// fraction of this planning period.
+				Tokens:    pr.bucket.Level() / elapsedTicks,
+				Occupancy: occ,
+				Work:      work,
+				Cap:       capFrac,
+				Blocked:   pr.blocked.Load(),
+			}
+		}
+		var alloc []float64
+		switch pol {
+		case policy.ACES, policy.ACESMinFlow:
+			alloc = controller.PlanACES(ticks, 1)
+		case policy.ACESStrictCPU:
+			for i := range ticks {
+				if ticks[i].Cap < ticks[i].Work {
+					ticks[i].Work = ticks[i].Cap
+				}
+			}
+			alloc = controller.PlanStrict(ticks, 1)
+		case policy.UDP, policy.LoadShed:
+			// System 2 (and the load-shedding comparator): traditional
+			// strict/velocity enforcement — unused slices are lost, no
+			// banking (mirrors the simulator).
+			alloc = controller.PlanStrict(ticks, 1)
+		default:
+			// System 3: targets enforced per tick; only sleeping (blocked)
+			// PEs' slices are redistributed.
+			alloc = controller.PlanLockStep(ticks, 1)
+		}
+		for i, pr := range peers {
+			pr.bucket.RefillFor(elapsedTicks)
+			pr.bucket.Spend(alloc[i] * elapsedTicks)
+			if alloc[i] > 0 {
+				pr.grant(alloc[i] * dt)
+			}
+			if pol.UsesFeedback() {
+				// Flow-controller rates stay in SDOs per nominal Δt — the
+				// LQR gains were designed for that sampling period. Banked
+				// token surplus folds into ρ over a short horizon, exactly
+				// as in the simulator, so throttled PEs advertise the burst
+				// capacity they actually hold.
+				cpuRate := c.cfg.CPU[pr.id]
+				if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
+					cpuRate += surplus / 5
+				}
+				rho := cpuRate * c.cfg.Dt / costs[i]
+				vac := float64(pr.buf.Cap() - pr.occupancy())
+				if vac < 0 {
+					vac = 0
+				}
+				pr.fc.SetMaxRate(vac + rho)
+				rmax := pr.fc.Update(rho, float64(pr.occupancy()))
+				c.fb.publish(int32(pr.id), rmax)
+				if c.cfg.Uplink != nil {
+					// Best effort: a lost advertisement is repaired next
+					// tick; peers treat silence as unconstrained only
+					// before the first one arrives.
+					_ = c.cfg.Uplink.SendFeedback(int32(pr.id), rmax)
+				}
+			}
+		}
+		sample++
+		if sample%10 == 0 {
+			for _, pr := range peers {
+				c.col.bufferSample(now, float64(pr.occupancy()))
+			}
+		}
+	}
+}
+
+// runSource injects SDOs at the arrival process's virtual schedule.
+func (c *Cluster) runSource(src graph.Source, proc workload.ArrivalProcess) {
+	target := c.pes[src.Target]
+	var seq uint64
+	nextV := c.clock.Now()
+	for {
+		nextV += proc.NextInterval()
+		wall := time.Duration((nextV - c.clock.Now()) / c.scale * float64(time.Second))
+		if wall > 0 {
+			timer := time.NewTimer(wall)
+			select {
+			case <-c.ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		} else if c.ctx.Err() != nil {
+			return
+		}
+		s := sdo.SDO{
+			Stream: src.Stream,
+			Seq:    seq,
+			Origin: time.Now(),
+			Bytes:  1,
+		}
+		seq++
+		if c.cfg.Policy == policy.LoadShed && target.buf.Len() >= target.buf.Cap()*8/10 {
+			c.col.inputDrop(c.clock.Now())
+		} else if !target.buf.TryPush(s) {
+			c.col.inputDrop(c.clock.Now())
+		}
+	}
+}
+
+// BufferLen reports PE j's current buffer occupancy (tests and demos);
+// zero for PEs hosted elsewhere.
+func (c *Cluster) BufferLen(j sdo.PEID) int {
+	if pr := c.pes[j]; pr != nil {
+		return pr.buf.Len()
+	}
+	return 0
+}
+
+// Local reports whether PE j is hosted by this process.
+func (c *Cluster) Local(j sdo.PEID) bool {
+	return int(j) >= 0 && int(j) < len(c.local) && c.local[j]
+}
+
+// InjectSDO delivers an SDO arriving from a peer process to local PE `to`,
+// applying the same admission semantics a local sender would (drop on
+// overflow, threshold shedding under LoadShed). Unknown or non-local
+// targets are counted as in-flight loss: the peer routed it here, so the
+// data existed and died.
+func (c *Cluster) InjectSDO(to sdo.PEID, s sdo.SDO) {
+	if int(to) < 0 || int(to) >= len(c.pes) || c.pes[to] == nil {
+		c.col.inFlightDrop(c.clock.Now(), s.Hops)
+		return
+	}
+	dst := c.pes[to]
+	if c.cfg.Policy == policy.LoadShed && dst.buf.Len() >= dst.buf.Cap()*8/10 {
+		c.col.inFlightDrop(c.clock.Now(), s.Hops)
+		return
+	}
+	if !dst.buf.TryPush(s) {
+		c.col.inFlightDrop(c.clock.Now(), s.Hops)
+	}
+}
+
+// InjectFeedback records a peer PE's r_max advertisement on the local
+// board, where Eq. 8 bounds for local senders will see it.
+func (c *Cluster) InjectFeedback(pe int32, rmax float64) {
+	c.fb.publish(pe, rmax)
+}
+
+// Now returns the cluster's current virtual time.
+func (c *Cluster) Now() float64 { return c.clock.Now() }
+
+// Report freezes the metrics collected so far (end-of-run time `now` in
+// virtual seconds). Run calls it implicitly; partitioned deployments using
+// Start/Stop call it per process.
+func (c *Cluster) Report(now float64) metrics.Report { return c.col.finalize(now) }
+
+// DeliveredByPE returns post-warmup egress SDO counts per PE (zero for
+// non-egress and non-local PEs) — parity with the simulator's method.
+func (c *Cluster) DeliveredByPE() []int64 {
+	out := make([]int64, len(c.delivered))
+	for i := range c.delivered {
+		out[i] = c.delivered[i].Load()
+	}
+	return out
+}

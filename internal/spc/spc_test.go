@@ -1,0 +1,436 @@
+package spc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aces/internal/graph"
+	"aces/internal/metrics"
+	"aces/internal/policy"
+	"aces/internal/sdo"
+	"aces/internal/sim"
+	"aces/internal/workload"
+)
+
+func detService(cost float64) workload.ServiceParams {
+	return workload.ServiceParams{T0: cost, T1: cost, Rho: 0, LambdaS: 10, DwellUnit: 0.01, MeanMult: 1}
+}
+
+func buildChain(t *testing.T, stages int, nodes int, cost, srcRate float64) *graph.Topology {
+	t.Helper()
+	topo := graph.New(nodes, 50)
+	prev := sdo.NilPE
+	for i := 0; i < stages; i++ {
+		w := 0.0
+		if i == stages-1 {
+			w = 1
+		}
+		id := topo.AddPE(graph.PE{Service: detService(cost), Weight: w, Node: sdo.NodeID(i % nodes)})
+		if prev != sdo.NilPE {
+			if err := topo.Connect(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: 0, Rate: srcRate, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func runCluster(t *testing.T, topo *graph.Topology, pol policy.Policy, cpu []float64, dur float64) metrics.Report {
+	t.Helper()
+	cl, err := NewCluster(Config{Topo: topo, Policy: pol, CPU: cpu, TimeScale: 20, Warmup: dur / 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cl.Run(dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBufferFIFOAndBounds(t *testing.T) {
+	b := NewBuffer(3)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if !b.TryPush(sdo.SDO{Seq: uint64(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if b.TryPush(sdo.SDO{Seq: 99}) {
+		t.Errorf("push into full buffer succeeded")
+	}
+	if b.Len() != 3 || b.Cap() != 3 {
+		t.Errorf("len/cap = %d/%d", b.Len(), b.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		s, ok := b.Pop(ctx)
+		if !ok || s.Seq != uint64(i) {
+			t.Fatalf("pop %d = %v %v", i, s.Seq, ok)
+		}
+	}
+	if _, ok := b.TryPop(); ok {
+		t.Errorf("TryPop on empty succeeded")
+	}
+}
+
+func TestBufferBlockingPushUnblocksOnPop(t *testing.T) {
+	b := NewBuffer(1)
+	ctx := context.Background()
+	b.TryPush(sdo.SDO{Seq: 1})
+	done := make(chan bool, 1)
+	go func() {
+		done <- b.Push(ctx, sdo.SDO{Seq: 2})
+	}()
+	select {
+	case <-done:
+		t.Fatal("push should have blocked on a full buffer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok := b.Pop(ctx); !ok {
+		t.Fatal("pop failed")
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Errorf("unblocked push returned false")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("push never unblocked")
+	}
+}
+
+func TestBufferCloseUnblocksWaiters(t *testing.T) {
+	b := NewBuffer(1)
+	ctx := context.Background()
+	b.TryPush(sdo.SDO{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if b.Push(ctx, sdo.SDO{}) {
+			t.Errorf("push succeeded after close")
+		}
+	}()
+	empty := NewBuffer(1)
+	go func() {
+		defer wg.Done()
+		if _, ok := empty.Pop(ctx); ok {
+			t.Errorf("pop succeeded after close")
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	empty.Close()
+	wg.Wait()
+}
+
+func TestBufferPopDrainsAfterClose(t *testing.T) {
+	b := NewBuffer(2)
+	b.TryPush(sdo.SDO{Seq: 7})
+	b.Close()
+	if s, ok := b.Pop(context.Background()); !ok || s.Seq != 7 {
+		t.Errorf("closed buffer should drain remaining items")
+	}
+	if _, ok := b.Pop(context.Background()); ok {
+		t.Errorf("drained closed buffer should return false")
+	}
+	if b.TryPush(sdo.SDO{}) {
+		t.Errorf("push after close succeeded")
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for zero capacity")
+		}
+	}()
+	NewBuffer(0)
+}
+
+func TestSyntheticProcessorEmitsMultiplicity(t *testing.T) {
+	params := detService(0.001)
+	params.MeanMult = 1
+	syn := NewSynthetic(params, 42, sim.NewRand(3))
+	var got []sdo.SDO
+	in := sdo.SDO{Stream: 1, Seq: 5, Origin: time.Now(), Hops: 2, Bytes: 1}
+	if err := syn.Process(in, func(s sdo.SDO) { got = append(got, s) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("emitted %d SDOs, want 1", len(got))
+	}
+	if got[0].Stream != 42 || got[0].Hops != 3 || got[0].Origin != in.Origin {
+		t.Errorf("derived SDO wrong: %+v", got[0])
+	}
+	if c := syn.NextCost(0); c != 0.001 {
+		t.Errorf("NextCost = %g", c)
+	}
+}
+
+func TestPassthrough(t *testing.T) {
+	p := NewPassthrough(9)
+	var out []sdo.SDO
+	for i := 0; i < 3; i++ {
+		if err := p.Process(sdo.SDO{Seq: uint64(i)}, func(s sdo.SDO) { out = append(out, s) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) != 3 || out[2].Seq != 2 || out[0].Stream != 9 {
+		t.Errorf("passthrough wrong: %+v", out)
+	}
+}
+
+func TestMeasuredCost(t *testing.T) {
+	var m measuredCost
+	if m.estimate() <= 0 {
+		t.Errorf("default estimate must be positive")
+	}
+	m.observe(0.01)
+	if math.Abs(m.estimate()-0.01) > 1e-12 {
+		t.Errorf("first observation should prime: %g", m.estimate())
+	}
+	m.observe(0.02)
+	if m.estimate() <= 0.01 || m.estimate() >= 0.02 {
+		t.Errorf("EWMA should move between samples: %g", m.estimate())
+	}
+}
+
+func TestClocks(t *testing.T) {
+	w := NewWallClock()
+	time.Sleep(10 * time.Millisecond)
+	if w.Now() < 0.005 {
+		t.Errorf("wall clock too slow: %g", w.Now())
+	}
+	s := NewScaledClock(100)
+	time.Sleep(10 * time.Millisecond)
+	if s.Now() < 0.5 {
+		t.Errorf("scaled clock should be ≈1.0s after 10ms wall: %g", s.Now())
+	}
+	ch, stop := s.Tick(0.05)
+	select {
+	case <-ch:
+	case <-time.After(200 * time.Millisecond):
+		t.Errorf("scaled ticker never ticked")
+	}
+	stop()
+	if NewScaledClock(0.1).scale != 1 {
+		t.Errorf("scale < 1 should clamp to 1")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	topo := buildChain(t, 2, 1, 0.002, 50)
+	if _, err := NewCluster(Config{Policy: policy.ACES, CPU: []float64{1, 1}}); err == nil {
+		t.Errorf("missing topo accepted")
+	}
+	if _, err := NewCluster(Config{Topo: topo, CPU: []float64{1, 1}}); err == nil {
+		t.Errorf("missing policy accepted")
+	}
+	if _, err := NewCluster(Config{Topo: topo, Policy: policy.ACES, CPU: []float64{1}}); err == nil {
+		t.Errorf("wrong CPU length accepted")
+	}
+}
+
+func TestClusterUnderloadDeliversSourceRate(t *testing.T) {
+	topo := buildChain(t, 2, 1, 0.002, 50)
+	cpu := []float64{0.4, 0.4}
+	for _, pol := range policy.All() {
+		r := runCluster(t, topo, pol, cpu, 8)
+		if math.Abs(r.WeightedThroughput-50)/50 > 0.25 {
+			t.Errorf("%v: wt = %.1f, want ≈50", pol, r.WeightedThroughput)
+		}
+		// The live runtime runs on real OS timers; a handful of drops from
+		// startup jitter is tolerable, systematic loss is not.
+		if float64(r.InFlightDrops) > float64(r.Deliveries)/100 {
+			t.Errorf("%v: %d in-flight drops vs %d deliveries in underload", pol, r.InFlightDrops, r.Deliveries)
+		}
+	}
+}
+
+func TestClusterOverloadBottleneck(t *testing.T) {
+	// Stage capacity 0.5/0.002 = 250/s; source 400/s.
+	topo := buildChain(t, 2, 2, 0.002, 400)
+	cpu := []float64{0.5, 0.5}
+	for _, pol := range policy.All() {
+		r := runCluster(t, topo, pol, cpu, 8)
+		if r.WeightedThroughput > 290 {
+			t.Errorf("%v: wt %.1f exceeds bottleneck ≈250", pol, r.WeightedThroughput)
+		}
+		if r.WeightedThroughput < 150 {
+			t.Errorf("%v: wt %.1f far below bottleneck", pol, r.WeightedThroughput)
+		}
+		if r.InputDrops == 0 {
+			t.Errorf("%v: no input drops despite overload", pol)
+		}
+	}
+}
+
+func TestClusterStopIsClean(t *testing.T) {
+	topo := buildChain(t, 3, 2, 0.002, 200)
+	cl, err := NewCluster(Config{Topo: topo, Policy: policy.LockStep, CPU: []float64{0.3, 0.3, 0.3}, TimeScale: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err == nil {
+		t.Errorf("double start accepted")
+	}
+	time.Sleep(100 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		cl.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung (leaked goroutines)")
+	}
+}
+
+func TestClusterCustomProcessor(t *testing.T) {
+	// A user-defined processor that counts SDOs and emits transformed
+	// payloads exercises the real-work path (measured costs).
+	topo := buildChain(t, 2, 1, 0.0001, 100)
+	var mu sync.Mutex
+	count := 0
+	procs := map[sdo.PEID]Processor{
+		0: FuncProcessor(func(in sdo.SDO, emit func(sdo.SDO)) error {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			emit(in.Derive(7, in.Seq, in.Bytes))
+			return nil
+		}),
+	}
+	cl, err := NewCluster(Config{
+		Topo: topo, Policy: policy.ACES, CPU: []float64{0.4, 0.4},
+		TimeScale: 20, Warmup: 1, Seed: 3, Processors: procs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cl.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := count
+	mu.Unlock()
+	if n == 0 {
+		t.Errorf("custom processor never ran")
+	}
+	if r.Deliveries == 0 {
+		t.Errorf("no egress deliveries through custom processor")
+	}
+}
+
+func TestClusterLatencyReasonable(t *testing.T) {
+	topo := buildChain(t, 3, 3, 0.002, 100)
+	cpu := []float64{0.5, 0.5, 0.5}
+	r := runCluster(t, topo, policy.ACES, cpu, 8)
+	if r.MeanLatency <= 0 || r.MeanLatency > 2 {
+		t.Errorf("latency %.4fs implausible", r.MeanLatency)
+	}
+}
+
+// Failure injection: a processor that errors stops its own PE; the rest of
+// the graph keeps running and shutdown stays clean (§IV: degrade, don't
+// collapse).
+func TestClusterSurvivesProcessorFailure(t *testing.T) {
+	topo := graph.New(1, 50)
+	a := topo.AddPE(graph.PE{Service: detService(0.0005), Node: 0})
+	bad := topo.AddPE(graph.PE{Service: detService(0.0005), Node: 0, Weight: 1})
+	good := topo.AddPE(graph.PE{Service: detService(0.0005), Node: 0, Weight: 1})
+	if err := topo.Connect(a, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(a, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: 200, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	var processed atomic.Int64
+	procs := map[sdo.PEID]Processor{
+		bad: FuncProcessor(func(in sdo.SDO, emit func(sdo.SDO)) error {
+			return errors.New("boom")
+		}),
+		good: FuncProcessor(func(in sdo.SDO, emit func(sdo.SDO)) error {
+			processed.Add(1)
+			emit(in.Derive(9, in.Seq, 1))
+			return nil
+		}),
+	}
+	cl, err := NewCluster(Config{
+		Topo: topo, Policy: policy.UDP, CPU: []float64{0.3, 0.3, 0.3},
+		TimeScale: 20, Warmup: 1, Seed: 5, Processors: procs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if processed.Load() == 0 {
+		t.Errorf("healthy branch stopped after sibling failure")
+	}
+	if rep.Deliveries == 0 {
+		t.Errorf("no deliveries despite healthy branch")
+	}
+}
+
+// Lock-Step in the live runtime must never drop in flight: blocking pushes
+// wait for space.
+func TestClusterLockStepNeverDropsInFlight(t *testing.T) {
+	topo := buildChain(t, 3, 2, 0.002, 500) // heavy overload
+	cl, err := NewCluster(Config{
+		Topo: topo, Policy: policy.LockStep, CPU: []float64{0.5, 0.5, 0.5},
+		TimeScale: 20, Warmup: 1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InFlightDrops != 0 {
+		t.Errorf("lockstep dropped %d in flight", rep.InFlightDrops)
+	}
+	if rep.InputDrops == 0 {
+		t.Errorf("overloaded lockstep should drop at the input")
+	}
+}
+
+// ACES must regulate buffers below capacity in the live runtime too.
+func TestClusterACESBufferRegulation(t *testing.T) {
+	topo := buildChain(t, 2, 2, 0.005, 400)
+	cl, err := NewCluster(Config{
+		Topo: topo, Policy: policy.ACES, CPU: []float64{0.8, 0.8},
+		TimeScale: 20, Warmup: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanBufferOccupancy <= 0 || rep.MeanBufferOccupancy >= 45 {
+		t.Errorf("mean occupancy %.1f, want regulated below capacity 50", rep.MeanBufferOccupancy)
+	}
+}

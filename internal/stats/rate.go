@@ -1,0 +1,127 @@
+package stats
+
+// RateTracker estimates a rate (events or bytes per second) with an
+// exponentially weighted moving average over fixed sampling intervals. The
+// tier-2 controller uses it to track per-PE processing and input rates
+// (paper §V: "simple token bucket and rate tracking mechanisms").
+type RateTracker struct {
+	alpha    float64 // EWMA smoothing factor in (0, 1]
+	interval float64 // sampling interval Δt in seconds
+	acc      float64 // accumulated quantity in current interval
+	rate     float64 // smoothed rate (per second)
+	primed   bool
+}
+
+// NewRateTracker creates a tracker sampling every interval seconds with
+// smoothing factor alpha. alpha = 1 disables smoothing (last interval only).
+func NewRateTracker(interval, alpha float64) *RateTracker {
+	if interval <= 0 {
+		panic("stats: RateTracker interval must be positive")
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &RateTracker{alpha: alpha, interval: interval}
+}
+
+// Observe adds quantity q to the current interval.
+func (t *RateTracker) Observe(q float64) { t.acc += q }
+
+// Tick closes the current interval and folds it into the smoothed rate.
+// Call exactly once per Δt.
+func (t *RateTracker) Tick() {
+	sample := t.acc / t.interval
+	t.acc = 0
+	if !t.primed {
+		t.rate = sample
+		t.primed = true
+		return
+	}
+	t.rate = t.alpha*sample + (1-t.alpha)*t.rate
+}
+
+// Rate returns the smoothed rate in quantity per second.
+func (t *RateTracker) Rate() float64 { return t.rate }
+
+// Reset clears all state.
+func (t *RateTracker) Reset() { t.acc, t.rate, t.primed = 0, 0, false }
+
+// TimeSeries records (time, value) pairs for plotting/regression in the
+// experiment harness. Points are appended in time order.
+type TimeSeries struct {
+	T []float64
+	V []float64
+}
+
+// Append adds a point. Times must be non-decreasing; out-of-order points
+// are dropped to keep downstream consumers simple.
+func (s *TimeSeries) Append(t, v float64) {
+	if n := len(s.T); n > 0 && t < s.T[n-1] {
+		return
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *TimeSeries) Len() int { return len(s.T) }
+
+// MeanAfter returns the mean of values with time ≥ t0 — used to discard
+// simulation warm-up transients. Returns 0 if no points qualify.
+func (s *TimeSeries) MeanAfter(t0 float64) float64 {
+	var w Welford
+	for i, t := range s.T {
+		if t >= t0 {
+			w.Add(s.V[i])
+		}
+	}
+	return w.Mean()
+}
+
+// StdAfter returns the standard deviation of values with time ≥ t0.
+func (s *TimeSeries) StdAfter(t0 float64) float64 {
+	var w Welford
+	for i, t := range s.T {
+		if t >= t0 {
+			w.Add(s.V[i])
+		}
+	}
+	return w.Std()
+}
+
+// Last returns the final value, or 0 when empty.
+func (s *TimeSeries) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// AutoCorr returns the lag-k autocorrelation of the series values: +1 for
+// smooth trends, near 0 for noise, negative for tick-to-tick oscillation —
+// the §IV instability signature ("an oscillating input rate leads to an
+// oscillating output rate... and destabilize the system"). Returns 0 when
+// fewer than lag+2 points exist or the series is constant.
+func (s *TimeSeries) AutoCorr(lag int) float64 {
+	n := len(s.V)
+	if lag <= 0 || n < lag+2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range s.V {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := s.V[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (s.V[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

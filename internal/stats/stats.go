@@ -1,0 +1,277 @@
+// Package stats provides the small statistical toolkit used throughout the
+// ACES reproduction: numerically stable streaming moments (Welford),
+// fixed-bucket and P²-free exact percentile trackers, time-windowed rate
+// estimators, and confidence intervals. Everything is allocation-light and
+// safe to embed per-PE in 200+-element simulations.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a mean and variance in a single pass using Welford's
+// online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddN incorporates x with weight n (n identical observations).
+func (w *Welford) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		w.Add(x)
+	}
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel variant).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 if n < 2).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the unbiased sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the minimum observation (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the maximum observation (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Sum returns mean·n.
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation (0 if n < 2).
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// String summarizes the accumulator.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g", w.n, w.Mean(), w.Std(), w.min, w.max)
+}
+
+// Reservoir keeps a bounded uniform sample of a value stream so exact
+// quantiles can be computed over arbitrarily long runs with bounded memory.
+// Sampling uses the caller-provided deterministic source via Skip/Add so the
+// package stays free of global randomness; the common path is AddAll with a
+// cap large enough to hold everything.
+type Reservoir struct {
+	cap  int
+	n    int64
+	vals []float64
+	// rnd is a simple xorshift state for reservoir replacement decisions;
+	// seeded deterministically so runs are reproducible.
+	rnd uint64
+}
+
+// NewReservoir returns a reservoir holding at most capacity samples. A
+// capacity of 0 defaults to 4096.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Reservoir{cap: capacity, vals: make([]float64, 0, capacity), rnd: seed}
+}
+
+func (r *Reservoir) next() uint64 {
+	x := r.rnd
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rnd = x
+	return x
+}
+
+// Add offers x to the reservoir (Vitter's algorithm R).
+func (r *Reservoir) Add(x float64) {
+	r.n++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, x)
+		return
+	}
+	// Replace a random slot with probability cap/n.
+	j := r.next() % uint64(r.n)
+	if j < uint64(r.cap) {
+		r.vals[j] = x
+	}
+}
+
+// N returns the number of values offered.
+func (r *Reservoir) N() int64 { return r.n }
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) over the retained
+// sample using linear interpolation. Returns 0 on an empty reservoir.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.vals) == 0 {
+		return 0
+	}
+	s := make([]float64, len(r.vals))
+	copy(s, r.vals)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// Quantiles returns several quantiles with a single sort.
+func (r *Reservoir) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(r.vals) == 0 {
+		return out
+	}
+	s := make([]float64, len(r.vals))
+	copy(s, r.vals)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi) with overflow
+// and underflow buckets. It is used for latency distributions in reports.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int64
+	under   int64
+	over    int64
+	n       int64
+}
+
+// NewHistogram creates a histogram with nb equal-width buckets spanning
+// [lo, hi). It panics if nb <= 0 or hi <= lo (programmer error).
+func NewHistogram(lo, hi float64, nb int) *Histogram {
+	if nb <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(nb), buckets: make([]int64, nb)}
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // float edge case at hi boundary
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// N returns the total count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bucket returns the count and [lo, hi) range of bucket i.
+func (h *Histogram) Bucket(i int) (count int64, lo, hi float64) {
+	return h.buckets[i], h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}
+
+// NumBuckets returns the number of interior buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int64) { return h.under, h.over }
+
+// Quantile estimates the q-th quantile by linear interpolation within the
+// containing bucket. Underflow mass is attributed to lo and overflow to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}

@@ -1,0 +1,339 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Std() != 0 {
+		t.Fatalf("zero value not empty: %v", w.String())
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", w.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance is
+	// 32/7.
+	if !almostEq(w.Var(), 32.0/7.0, 1e-12) {
+		t.Errorf("Var = %g, want %g", w.Var(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %g/%g, want 2/9", w.Min(), w.Max())
+	}
+	if !almostEq(w.Sum(), 40, 1e-9) {
+		t.Errorf("Sum = %g, want 40", w.Sum())
+	}
+}
+
+func TestWelfordSingleValueVariance(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Var() != 0 || w.Std() != 0 || w.CI95() != 0 {
+		t.Errorf("single observation should have zero spread: %v", w.String())
+	}
+}
+
+func TestWelfordAddN(t *testing.T) {
+	var a, b Welford
+	a.AddN(2.5, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(2.5)
+	}
+	if a.N() != b.N() || !almostEq(a.Mean(), b.Mean(), 1e-12) || !almostEq(a.Var(), b.Var(), 1e-12) {
+		t.Errorf("AddN mismatch: %v vs %v", a.String(), b.String())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+	}
+	var all Welford
+	for _, x := range xs {
+		all.Add(x)
+	}
+	var left, right Welford
+	for _, x := range xs[:357] {
+		left.Add(x)
+	}
+	for _, x := range xs[357:] {
+		right.Add(x)
+	}
+	left.Merge(right)
+	if left.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), all.N())
+	}
+	if !almostEq(left.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean = %g, want %g", left.Mean(), all.Mean())
+	}
+	if !almostEq(left.Var(), all.Var(), 1e-9) {
+		t.Errorf("merged var = %g, want %g", left.Var(), all.Var())
+	}
+	if left.Min() != all.Min() || left.Max() != all.Max() {
+		t.Errorf("merged min/max mismatch")
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	b.Add(4)
+	b.Add(6)
+	a.Merge(b) // empty ← nonempty
+	if a.N() != 2 || !almostEq(a.Mean(), 5, 1e-12) {
+		t.Errorf("merge into empty failed: %v", a.String())
+	}
+	var empty Welford
+	a.Merge(empty) // nonempty ← empty
+	if a.N() != 2 || !almostEq(a.Mean(), 5, 1e-12) {
+		t.Errorf("merge of empty changed state: %v", a.String())
+	}
+}
+
+// Property: Welford mean/variance agree with the two-pass formulas for any
+// input vector.
+func TestWelfordMatchesTwoPassProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 128.0
+		}
+		var w Welford
+		var sum float64
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		return almostEq(w.Mean(), mean, 1e-8*(1+math.Abs(mean))) &&
+			almostEq(w.Var(), variance, 1e-6*(1+variance))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservoirExactWhenUnderCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 99; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.Quantile(0.5); !almostEq(got, 50, 1e-9) {
+		t.Errorf("median = %g, want 50", got)
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g, want 1", got)
+	}
+	if got := r.Quantile(1); got != 99 {
+		t.Errorf("q1 = %g, want 99", got)
+	}
+}
+
+func TestReservoirSamplingApproximatesQuantiles(t *testing.T) {
+	r := NewReservoir(2000, 42)
+	n := 200000
+	for i := 0; i < n; i++ {
+		r.Add(float64(i) / float64(n)) // uniform on [0,1)
+	}
+	if r.N() != int64(n) {
+		t.Fatalf("N = %d, want %d", r.N(), n)
+	}
+	qs := r.Quantiles(0.1, 0.5, 0.9)
+	for i, want := range []float64{0.1, 0.5, 0.9} {
+		if !almostEq(qs[i], want, 0.05) {
+			t.Errorf("quantile %g = %g, want ≈%g", want, qs[i], want)
+		}
+	}
+}
+
+func TestReservoirDefaults(t *testing.T) {
+	r := NewReservoir(0, 0)
+	if r.cap != 4096 {
+		t.Errorf("default capacity = %d, want 4096", r.cap)
+	}
+	r.Add(1)
+	if r.Quantile(0.5) != 1 {
+		t.Errorf("single-element quantile wrong")
+	}
+	empty := NewReservoir(4, 9)
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty reservoir quantile should be 0")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for i := 0; i < 10; i++ {
+		c, lo, hi := h.Bucket(i)
+		if c != 10 {
+			t.Errorf("bucket %d count = %d, want 10", i, c)
+		}
+		if !almostEq(lo, float64(i), 1e-12) || !almostEq(hi, float64(i+1), 1e-12) {
+			t.Errorf("bucket %d bounds = [%g,%g)", i, lo, hi)
+		}
+	}
+	med := h.Quantile(0.5)
+	if !almostEq(med, 5, 0.6) {
+		t.Errorf("median = %g, want ≈5", med)
+	}
+}
+
+func TestHistogramOutliers(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(2)
+	h.Add(0.5)
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Errorf("outliers = %d/%d, want 1/1", under, over)
+	}
+	if h.Quantile(0) != 0 {
+		t.Errorf("q0 with underflow should clamp to lo")
+	}
+	if h.NumBuckets() != 4 {
+		t.Errorf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for inverted bounds")
+		}
+	}()
+	NewHistogram(5, 1, 3)
+}
+
+func TestRateTrackerConvergesToConstantRate(t *testing.T) {
+	tr := NewRateTracker(0.1, 0.3)
+	for i := 0; i < 200; i++ {
+		tr.Observe(5) // 5 units per 0.1s = 50/s
+		tr.Tick()
+	}
+	if !almostEq(tr.Rate(), 50, 1e-6) {
+		t.Errorf("rate = %g, want 50", tr.Rate())
+	}
+	tr.Reset()
+	if tr.Rate() != 0 {
+		t.Errorf("rate after reset = %g", tr.Rate())
+	}
+}
+
+func TestRateTrackerFirstSamplePrimes(t *testing.T) {
+	tr := NewRateTracker(1, 0.1)
+	tr.Observe(30)
+	tr.Tick()
+	if !almostEq(tr.Rate(), 30, 1e-12) {
+		t.Errorf("first sample should prime EWMA directly, got %g", tr.Rate())
+	}
+}
+
+func TestRateTrackerSmoothsSteps(t *testing.T) {
+	tr := NewRateTracker(1, 0.5)
+	tr.Observe(100)
+	tr.Tick() // rate = 100
+	tr.Tick() // sample 0 → rate = 50
+	if !almostEq(tr.Rate(), 50, 1e-12) {
+		t.Errorf("rate = %g, want 50", tr.Rate())
+	}
+}
+
+func TestRateTrackerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for non-positive interval")
+		}
+	}()
+	NewRateTracker(0, 0.5)
+}
+
+func TestTimeSeries(t *testing.T) {
+	var s TimeSeries
+	s.Append(0, 1)
+	s.Append(1, 3)
+	s.Append(0.5, 99) // out of order: dropped
+	s.Append(2, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.MeanAfter(1); !almostEq(got, 4, 1e-12) {
+		t.Errorf("MeanAfter(1) = %g, want 4", got)
+	}
+	if got := s.StdAfter(1); !almostEq(got, math.Sqrt2, 1e-9) {
+		t.Errorf("StdAfter(1) = %g, want √2", got)
+	}
+	if s.Last() != 5 {
+		t.Errorf("Last = %g, want 5", s.Last())
+	}
+	var empty TimeSeries
+	if empty.Last() != 0 || empty.MeanAfter(0) != 0 {
+		t.Errorf("empty series should report zeros")
+	}
+}
+
+func TestQuantileSortedEdges(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if quantileSorted(s, -1) != 1 || quantileSorted(s, 2) != 4 {
+		t.Errorf("clamping failed")
+	}
+	if got := quantileSorted(s, 0.5); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+}
+
+func TestAutoCorr(t *testing.T) {
+	var osc TimeSeries
+	for i := 0; i < 200; i++ {
+		v := 1.0
+		if i%2 == 0 {
+			v = -1
+		}
+		osc.Append(float64(i), v)
+	}
+	if ac := osc.AutoCorr(1); ac > -0.9 {
+		t.Errorf("alternating series lag-1 AC = %g, want ≈ −1", ac)
+	}
+	var smooth TimeSeries
+	for i := 0; i < 200; i++ {
+		smooth.Append(float64(i), math.Sin(float64(i)/30))
+	}
+	if ac := smooth.AutoCorr(1); ac < 0.9 {
+		t.Errorf("smooth series lag-1 AC = %g, want ≈ 1", ac)
+	}
+	var flat TimeSeries
+	flat.Append(0, 5)
+	flat.Append(1, 5)
+	flat.Append(2, 5)
+	if flat.AutoCorr(1) != 0 {
+		t.Errorf("constant series AC should be 0")
+	}
+	if flat.AutoCorr(0) != 0 || flat.AutoCorr(99) != 0 {
+		t.Errorf("degenerate lags should be 0")
+	}
+}

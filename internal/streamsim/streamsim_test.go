@@ -1,0 +1,728 @@
+package streamsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aces/internal/graph"
+	"aces/internal/metrics"
+	"aces/internal/optimize"
+	"aces/internal/policy"
+	"aces/internal/sdo"
+	"aces/internal/sim"
+	"aces/internal/workload"
+)
+
+// detService returns a burst-free service model with fixed per-SDO cost.
+func detService(cost float64) workload.ServiceParams {
+	return workload.ServiceParams{T0: cost, T1: cost, Rho: 0, LambdaS: 10, DwellUnit: 0.01, MeanMult: 1}
+}
+
+// buildChain makes src → pe0 → … → peN−1 across `nodes` nodes (round
+// robin), deterministic cost per stage, weight 1 on the last PE.
+func buildChain(t *testing.T, stages int, nodes int, cost, srcRate float64, burst graph.BurstSpec) *graph.Topology {
+	t.Helper()
+	topo := graph.New(nodes, 50)
+	prev := sdo.NilPE
+	for i := 0; i < stages; i++ {
+		w := 0.0
+		if i == stages-1 {
+			w = 1
+		}
+		id := topo.AddPE(graph.PE{
+			Service: detService(cost),
+			Weight:  w,
+			Node:    sdo.NodeID(i % nodes),
+		})
+		if prev != sdo.NilPE {
+			if err := topo.Connect(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: 0, Rate: srcRate, Burst: burst}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func run(t *testing.T, topo *graph.Topology, pol policy.Policy, cpu []float64, dur float64, seed int64) metrics.Report {
+	t.Helper()
+	eng, err := New(Config{Topo: topo, Policy: pol, CPU: cpu, Duration: dur, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run()
+}
+
+func TestConfigValidation(t *testing.T) {
+	topo := buildChain(t, 2, 1, 0.002, 50, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	if _, err := New(Config{Policy: policy.ACES, CPU: []float64{0.5, 0.5}}); err == nil {
+		t.Errorf("missing topo accepted")
+	}
+	if _, err := New(Config{Topo: topo, CPU: []float64{0.5, 0.5}}); err == nil {
+		t.Errorf("missing policy accepted")
+	}
+	if _, err := New(Config{Topo: topo, Policy: policy.ACES, CPU: []float64{0.5}}); err == nil {
+		t.Errorf("wrong CPU length accepted")
+	}
+}
+
+// Underloaded chain: every policy must deliver the full source rate with
+// no loss anywhere.
+func TestUnderloadAllPoliciesLossless(t *testing.T) {
+	// Two stages at 2 ms/SDO on one node, targets 0.4 each → capacity
+	// 200/s per stage; source 50/s CBR.
+	topo := buildChain(t, 2, 1, 0.002, 50, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	cpu := []float64{0.4, 0.4}
+	for _, pol := range policy.All() {
+		r := run(t, topo, pol, cpu, 20, 1)
+		if math.Abs(r.WeightedThroughput-50) > 2.5 {
+			t.Errorf("%v: wt = %.2f, want ≈50", pol, r.WeightedThroughput)
+		}
+		if r.InputDrops != 0 || r.InFlightDrops != 0 {
+			t.Errorf("%v: drops in underload: %+v", pol, r)
+		}
+		if r.MeanLatency <= 0 || r.MeanLatency > 0.1 {
+			t.Errorf("%v: implausible latency %.4f s", pol, r.MeanLatency)
+		}
+	}
+}
+
+// Overloaded chain: throughput is capped by the bottleneck stage for every
+// policy; losses happen at the system input, and Lock-Step must never drop
+// in flight (it blocks instead).
+func TestOverloadChainBottleneck(t *testing.T) {
+	topo := buildChain(t, 3, 3, 0.002, 400, graph.BurstSpec{Kind: graph.BurstPoisson})
+	// Each stage on its own node with target 0.5 → 250/s capacity;
+	// source 400/s.
+	cpu := []float64{0.5, 0.5, 0.5}
+	for _, pol := range policy.All() {
+		r := run(t, topo, pol, cpu, 20, 2)
+		if r.WeightedThroughput > 260 {
+			t.Errorf("%v: wt %.1f exceeds bottleneck capacity 250", pol, r.WeightedThroughput)
+		}
+		if r.WeightedThroughput < 200 {
+			t.Errorf("%v: wt %.1f far below bottleneck capacity", pol, r.WeightedThroughput)
+		}
+		if r.InputDrops == 0 {
+			t.Errorf("%v: overload must drop at the input", pol)
+		}
+		if pol == policy.LockStep && r.InFlightDrops != 0 {
+			t.Errorf("lockstep dropped %d in flight; blocking must prevent that", r.InFlightDrops)
+		}
+	}
+}
+
+// The Fig. 2 scenario: one producer fanning out to a slow (10/s) and a
+// fast (30/s) consumer. Max-flow (ACES, UDP) keeps the fast branch at full
+// rate; min-flow (Lock-Step) drags everything to the slow branch's rate.
+func TestFig2MaxFlowVersusMinFlow(t *testing.T) {
+	topo := graph.New(2, 50)
+	producer := topo.AddPE(graph.PE{Service: detService(0.002), Node: 0})
+	slow := topo.AddPE(graph.PE{Service: detService(0.050), Node: 1, Weight: 1})
+	fast := topo.AddPE(graph.PE{Service: detService(0.050 / 3), Node: 1, Weight: 1})
+	if err := topo.Connect(producer, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(producer, fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: producer, Rate: 30, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	// Producer can do 30/s at c = 0.06; give 0.2 for headroom. Branches:
+	// slow 0.5/0.050 = 10/s, fast 0.5/(0.050/3) = 30/s.
+	cpu := []float64{0.2, 0.5, 0.5}
+
+	aces := run(t, topo, policy.ACES, cpu, 30, 3)
+	udp := run(t, topo, policy.UDP, cpu, 30, 3)
+	lock := run(t, topo, policy.LockStep, cpu, 30, 3)
+
+	// Max-flow: fast branch ≈30 + slow ≈10 ⇒ wt ≈ 40.
+	if aces.WeightedThroughput < 34 {
+		t.Errorf("ACES wt = %.1f, want ≈40 (max-flow preserves the fast branch)", aces.WeightedThroughput)
+	}
+	if udp.WeightedThroughput < 34 {
+		t.Errorf("UDP wt = %.1f, want ≈40", udp.WeightedThroughput)
+	}
+	// Min-flow: both branches ≈10 ⇒ wt ≈ 20.
+	if lock.WeightedThroughput > 26 {
+		t.Errorf("LockStep wt = %.1f, want ≈20 (min-flow slows the fast branch)", lock.WeightedThroughput)
+	}
+	if aces.WeightedThroughput < lock.WeightedThroughput*1.4 {
+		t.Errorf("ACES %.1f should beat LockStep %.1f by ≥40%% here", aces.WeightedThroughput, lock.WeightedThroughput)
+	}
+}
+
+// ACES holds buffers near b₀ = B/2; Lock-Step runs them essentially full.
+// This is the §IV stability goal and the mechanism behind Fig. 4's latency
+// gap.
+func TestACESBufferRegulationVsLockStep(t *testing.T) {
+	// Ingress feeds a slower second stage: the second stage's buffer is
+	// where policy differences show.
+	topo := graph.New(2, 50)
+	a := topo.AddPE(graph.PE{Service: detService(0.002), Node: 0})
+	b := topo.AddPE(graph.PE{Service: detService(0.005), Node: 1, Weight: 1})
+	if err := topo.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: 300, Burst: graph.BurstSpec{Kind: graph.BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	// a: 0.8/0.002=400/s ≫ b: 0.8/0.005=160/s; source 300/s overloads b.
+	cpu := []float64{0.8, 0.8}
+
+	measure := func(pol policy.Policy) (meanOcc float64) {
+		eng, err := New(Config{Topo: topo, Policy: pol, CPU: cpu, Duration: 30, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var n int
+		eng.Sim().Every(0.05, func(now float64) {
+			if now > 10 {
+				sum += float64(eng.BufferLen(1))
+				n++
+			}
+		})
+		eng.Run()
+		return sum / float64(n)
+	}
+
+	acesOcc := measure(policy.ACES)
+	lockOcc := measure(policy.LockStep)
+	if acesOcc < 10 || acesOcc > 40 {
+		t.Errorf("ACES downstream buffer mean = %.1f, want near b₀ = 25", acesOcc)
+	}
+	if lockOcc < 40 {
+		t.Errorf("LockStep downstream buffer mean = %.1f, want near full (50)", lockOcc)
+	}
+	// The regulated buffer is what cuts latency.
+	aces := run(t, topo, policy.ACES, cpu, 30, 4)
+	lock := run(t, topo, policy.LockStep, cpu, 30, 4)
+	if aces.MeanLatency >= lock.MeanLatency {
+		t.Errorf("ACES latency %.3f should beat LockStep %.3f", aces.MeanLatency, lock.MeanLatency)
+	}
+}
+
+// Identical seeds must give identical reports (full determinism).
+func TestDeterminism(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(30, 5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := equalSplit(topo)
+	r1 := run(t, topo, policy.ACES, cpu, 10, 42)
+	r2 := run(t, topo, policy.ACES, cpu, 10, 42)
+	if r1 != r2 {
+		t.Errorf("same seed, different reports:\n%+v\n%+v", r1, r2)
+	}
+	r3 := run(t, topo, policy.ACES, cpu, 10, 43)
+	if r1 == r3 {
+		t.Errorf("different seeds produced identical reports (suspicious)")
+	}
+}
+
+// equalSplit gives every PE an equal share of its node.
+func equalSplit(topo *graph.Topology) []float64 {
+	cpu := make([]float64, topo.NumPEs())
+	for n := 0; n < topo.NumNodes; n++ {
+		ids := topo.OnNode(sdo.NodeID(n))
+		for _, id := range ids {
+			cpu[id] = 1 / float64(len(ids))
+		}
+	}
+	return cpu
+}
+
+// Smoke test on a paper-style generated topology: all five policies run,
+// deliver data, and produce sane reports.
+func TestGeneratedTopologyAllPolicies(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(60, 10, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := equalSplit(topo)
+	for _, pol := range []policy.Policy{policy.ACES, policy.UDP, policy.LockStep, policy.ACESMinFlow, policy.ACESStrictCPU} {
+		r := run(t, topo, pol, cpu, 12, 5)
+		if r.Deliveries == 0 {
+			t.Errorf("%v: no deliveries", pol)
+		}
+		if r.WeightedThroughput <= 0 {
+			t.Errorf("%v: zero weighted throughput", pol)
+		}
+		if r.MeanLatency <= 0 {
+			t.Errorf("%v: zero latency", pol)
+		}
+		if r.MeanBufferOccupancy < 0 || r.MeanBufferOccupancy > 50 {
+			t.Errorf("%v: implausible buffer occupancy %.1f", pol, r.MeanBufferOccupancy)
+		}
+	}
+}
+
+// Buffers must never exceed capacity: probe a bursty overloaded run.
+func TestBufferNeverExceedsCapacity(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(30, 5, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := equalSplit(topo)
+	for _, pol := range policy.All() {
+		eng, err := New(Config{Topo: topo, Policy: pol, CPU: cpu, Duration: 8, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := false
+		eng.Sim().Every(0.02, func(now float64) {
+			for j := 0; j < topo.NumPEs(); j++ {
+				if eng.BufferLen(sdo.PEID(j)) > topo.BufferSize(sdo.PEID(j)) {
+					bad = true
+				}
+			}
+		})
+		eng.Run()
+		if bad {
+			t.Errorf("%v: buffer exceeded capacity", pol)
+		}
+	}
+}
+
+// The min-flow ablation must not beat full ACES on the Fig. 2 fan-out
+// shape, and strict-CPU must not beat token-bucket CPU under burstiness.
+func TestAblationsOrdering(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(40, 6, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := equalSplit(topo)
+	aces := run(t, topo, policy.ACES, cpu, 15, 7)
+	minf := run(t, topo, policy.ACESMinFlow, cpu, 15, 7)
+	if minf.WeightedThroughput > aces.WeightedThroughput*1.10 {
+		t.Errorf("min-flow ablation (%.2f) markedly beats max-flow (%.2f)",
+			minf.WeightedThroughput, aces.WeightedThroughput)
+	}
+}
+
+// End-to-end latency must be at least one tick per hop (store-and-forward
+// granularity).
+func TestLatencyFloor(t *testing.T) {
+	topo := buildChain(t, 3, 1, 0.001, 20, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	cpu := []float64{0.2, 0.2, 0.2}
+	r := run(t, topo, policy.ACES, cpu, 10, 8)
+	if r.MeanLatency < 2*0.010 {
+		t.Errorf("latency %.4f below the 2-hop store-and-forward floor", r.MeanLatency)
+	}
+}
+
+func TestFifo(t *testing.T) {
+	var q fifo
+	for i := 0; i < 1000; i++ {
+		q.push(item{origin: float64(i)})
+	}
+	for i := 0; i < 1000; i++ {
+		if q.len() != 1000-i {
+			t.Fatalf("len = %d", q.len())
+		}
+		if got := q.pop(); got.origin != float64(i) {
+			t.Fatalf("pop %d = %g", i, got.origin)
+		}
+	}
+	if q.len() != 0 {
+		t.Errorf("final len = %d", q.len())
+	}
+	// Interleaved push/pop exercises compaction.
+	for round := 0; round < 2000; round++ {
+		q.push(item{origin: float64(round)})
+		if round%2 == 1 {
+			q.pop()
+			q.pop()
+		}
+	}
+}
+
+// Conservation law: on a pure chain (multiplicity 1, no fan-out), every
+// admitted SDO is either delivered, dropped in flight, or still buffered
+// when the run ends. Any imbalance means the engine created or destroyed
+// data.
+func TestConservationOnChain(t *testing.T) {
+	for _, pol := range policy.All() {
+		topo := buildChain(t, 4, 2, 0.002, 300, graph.BurstSpec{Kind: graph.BurstPoisson})
+		cpu := []float64{0.4, 0.4, 0.4, 0.4}
+		eng, err := New(Config{Topo: topo, Policy: pol, CPU: cpu, Duration: 12, Seed: 17, Warmup: 0.001})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var admitted int64
+		// Count arrivals that made it into the ingress buffer by sampling
+		// the source-side accounting: admitted = deliveries + inflight
+		// drops + residual buffered. We verify by running and checking the
+		// balance with residuals.
+		r := eng.Run()
+		var residual int64
+		for j := 0; j < topo.NumPEs(); j++ {
+			residual += int64(eng.BufferLen(sdo.PEID(j)))
+		}
+		admitted = r.Deliveries + r.InFlightDrops + residual
+		// Total generated = admitted + input drops; regenerate the source
+		// stream to count exactly.
+		proc, err := topo.Sources[0].Burst.Build(topo.Sources[0].Rate, simSubstream(17, 5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var generated int64
+		for tt := proc.NextInterval(); tt < 12; tt += proc.NextInterval() {
+			generated++
+		}
+		if got := admitted + r.InputDrops; got != generated {
+			t.Errorf("%v: conservation violated: delivered %d + inflight %d + residual %d + inputDrops %d = %d, generated %d",
+				pol, r.Deliveries, r.InFlightDrops, residual, r.InputDrops, got, generated)
+		}
+	}
+}
+
+// Warmup must not affect conservation accounting in the test above, so it
+// uses a near-zero warmup. This companion test pins the default warmup
+// behaviour: deliveries before warmup are excluded.
+func TestWarmupExcludesEarlyDeliveries(t *testing.T) {
+	topo := buildChain(t, 2, 1, 0.002, 50, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	cpu := []float64{0.4, 0.4}
+	full, err := New(Config{Topo: topo, Policy: policy.ACES, CPU: cpu, Duration: 10, Seed: 1, Warmup: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := New(Config{Topo: topo, Policy: policy.ACES, CPU: cpu, Duration: 10, Seed: 1, Warmup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, rw := full.Run(), warm.Run()
+	if rw.Deliveries >= rf.Deliveries {
+		t.Errorf("warmup run should count fewer deliveries: %d vs %d", rw.Deliveries, rf.Deliveries)
+	}
+}
+
+// simSubstream re-derives the engine's source random stream so tests can
+// replay the exact arrival sequence.
+func simSubstream(seed int64, id uint64) *sim.Rand { return sim.Substream(seed, id) }
+
+// Tier-1 retargeting mid-run (§I: the global optimization re-runs
+// periodically): starting from badly skewed targets, pushing the correct
+// targets halfway through must recover throughput.
+func TestSetTargetsMidRunRecovers(t *testing.T) {
+	topo := buildChain(t, 2, 1, 0.002, 150, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	// Skewed: stage 1 starved (capacity 50/s), stage 0 over-provisioned.
+	skewed := []float64{0.8, 0.1}
+	good := []float64{0.45, 0.45} // 225/s per stage — carries the full 150/s
+
+	baseline := run(t, topo, policy.ACES, good, 30, 5)
+
+	eng, err := New(Config{Topo: topo, Policy: policy.ACES, CPU: append([]float64(nil), skewed...), Duration: 30, Seed: 5, Warmup: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Sim().At(15, func() {
+		if err := eng.SetTargets(good); err != nil {
+			t.Errorf("SetTargets: %v", err)
+		}
+	})
+	recovered := eng.Run()
+
+	// Post-warmup (t ≥ 20) the retargeted run must be close to the
+	// always-good baseline.
+	if recovered.WeightedThroughput < baseline.WeightedThroughput*0.85 {
+		t.Errorf("retargeted wt %.1f ≪ baseline %.1f", recovered.WeightedThroughput, baseline.WeightedThroughput)
+	}
+
+	// And without the fix the skewed targets stay bad.
+	stuck, err := New(Config{Topo: topo, Policy: policy.ACES, CPU: skewed, Duration: 30, Seed: 5, Warmup: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuckRep := stuck.Run()
+	if stuckRep.WeightedThroughput > baseline.WeightedThroughput*0.6 {
+		t.Errorf("skewed targets unexpectedly healthy: %.1f vs %.1f", stuckRep.WeightedThroughput, baseline.WeightedThroughput)
+	}
+
+	// Validation path.
+	if err := eng.SetTargets([]float64{1}); err == nil {
+		t.Errorf("wrong-length targets accepted")
+	}
+}
+
+// LoadShed keeps headroom: under overload its buffers stay below the 80%
+// threshold and its latency beats UDP's drop-tail at the brim, at some
+// throughput cost.
+func TestLoadShedKeepsHeadroom(t *testing.T) {
+	topo := buildChain(t, 2, 2, 0.005, 400, graph.BurstSpec{Kind: graph.BurstPoisson})
+	cpu := []float64{0.8, 0.8}
+	eng, err := New(Config{Topo: topo, Policy: policy.LoadShed, CPU: cpu, Duration: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOcc := 0
+	eng.Sim().Every(0.02, func(now float64) {
+		for j := 0; j < topo.NumPEs(); j++ {
+			if l := eng.BufferLen(sdo.PEID(j)); l > maxOcc {
+				maxOcc = l
+			}
+		}
+	})
+	shedRep := eng.Run()
+	if maxOcc > 40 {
+		t.Errorf("loadshed max occupancy %d exceeds the 80%% threshold of B=50", maxOcc)
+	}
+	udpRep := run(t, topo, policy.UDP, cpu, 20, 9)
+	if shedRep.MeanLatency >= udpRep.MeanLatency {
+		t.Errorf("loadshed latency %.3f should beat UDP %.3f (smaller standing queues)",
+			shedRep.MeanLatency, udpRep.MeanLatency)
+	}
+	if shedRep.Deliveries == 0 {
+		t.Errorf("loadshed delivered nothing")
+	}
+}
+
+// The paper's Eq. 6 overhead term b: a PE with overhead b delivers
+// h(c) = c/T − b SDOs/sec when backlogged; with b = 0 it delivers c/T.
+func TestOverheadReducesThroughputPerEq6(t *testing.T) {
+	build := func(overhead float64) *graph.Topology {
+		topo := graph.New(1, 50)
+		topo.AddPE(graph.PE{Service: detService(0.002), Weight: 1, Overhead: overhead})
+		if err := topo.AddSource(graph.Source{Stream: 1, Target: 0, Rate: 500, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	// c = 0.5, T = 2ms → a·c = 250/s. With b = 60/s → h = 190/s.
+	clean := run(t, build(0), policy.UDP, []float64{0.5}, 20, 3)
+	taxed := run(t, build(60), policy.UDP, []float64{0.5}, 20, 3)
+	if math.Abs(clean.WeightedThroughput-250) > 12 {
+		t.Errorf("b=0 throughput = %.1f, want ≈250", clean.WeightedThroughput)
+	}
+	if math.Abs(taxed.WeightedThroughput-190) > 15 {
+		t.Errorf("b=60 throughput = %.1f, want ≈190 (h = a·c − b)", taxed.WeightedThroughput)
+	}
+}
+
+// Property: for a single deterministic PE under every policy, measured
+// throughput matches fluid theory min(source rate, c/T) within a few
+// percent, across random parameterizations.
+func TestSinglePEMatchesTheoryProperty(t *testing.T) {
+	f := func(tRaw, cRaw, rRaw uint8) bool {
+		cost := 0.001 + float64(tRaw%40)/4000.0 // 1–11 ms
+		share := 0.1 + float64(cRaw%80)/100.0   // 0.1–0.9
+		rate := 20 + float64(rRaw)*2            // 20–530 /s
+		capacity := share / cost
+		want := math.Min(rate, capacity)
+
+		topo := graph.New(1, 50)
+		topo.AddPE(graph.PE{Service: detService(cost), Weight: 1})
+		if err := topo.AddSource(graph.Source{Stream: 1, Target: 0, Rate: rate, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+			return false
+		}
+		for _, pol := range []policy.Policy{policy.ACES, policy.UDP, policy.LockStep} {
+			eng, err := New(Config{Topo: topo, Policy: pol, CPU: []float64{share}, Duration: 12, Seed: 5})
+			if err != nil {
+				return false
+			}
+			got := eng.Run().WeightedThroughput
+			if math.Abs(got-want)/want > 0.08 {
+				t.Logf("%v cost=%.4f share=%.2f rate=%.0f: got %.1f want %.1f", pol, cost, share, rate, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Join semantics (Eq. 5's per-upstream form): a join PE fires at the rate
+// of its slowest input, and its output latency reflects the
+// slowest-arriving component.
+func TestJoinFiresAtSlowestInputRate(t *testing.T) {
+	topo := graph.New(3, 50)
+	fastSrc := topo.AddPE(graph.PE{Service: detService(0.002), Node: 0})
+	slowSrc := topo.AddPE(graph.PE{Service: detService(0.002), Node: 1})
+	joiner := topo.AddPE(graph.PE{Service: detService(0.002), Node: 2, Weight: 1, Join: true})
+	if err := topo.Connect(fastSrc, joiner); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(slowSrc, joiner); err != nil {
+		t.Fatal(err)
+	}
+	// Fast input at 100/s, slow at 40/s.
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: fastSrc, Rate: 100, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 2, Target: slowSrc, Rate: 40, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cpu := []float64{0.4, 0.4, 0.4}
+	for _, pol := range policy.All() {
+		r := run(t, topo, pol, cpu, 20, 6)
+		if math.Abs(r.WeightedThroughput-40) > 4 {
+			t.Errorf("%v: join output = %.1f/s, want ≈40 (slowest input)", pol, r.WeightedThroughput)
+		}
+	}
+}
+
+// The tier-1 fluid model must agree with the join simulator: allocations
+// for a join topology carry the slowest input's rate.
+func TestJoinFluidModelAgreesWithOptimizer(t *testing.T) {
+	topo := graph.New(1, 50)
+	a := topo.AddPE(graph.PE{Service: detService(0.002)})
+	b := topo.AddPE(graph.PE{Service: detService(0.010)})
+	j := topo.AddPE(graph.PE{Service: detService(0.002), Weight: 1, Join: true})
+	if err := topo.Connect(a, j); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(b, j); err != nil {
+		t.Fatal(err)
+	}
+	for i, target := range []sdo.PEID{a, b} {
+		if err := topo.AddSource(graph.Source{Stream: sdo.StreamID(i + 1), Target: target, Rate: 1e6, Burst: graph.BurstSpec{Kind: graph.BurstPoisson}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rin, rout, err := optimize.Propagate(topo, []float64{0.2, 0.5, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 100/s, b: 50/s → join fires at min(50, own capacity 100) = 50.
+	if math.Abs(rin[j]-50) > 1e-9 || math.Abs(rout[j]-50) > 1e-9 {
+		t.Errorf("fluid join rate = %.1f/%.1f, want 50", rin[j], rout[j])
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	topo := graph.New(1, 50)
+	a := topo.AddPE(graph.PE{Service: detService(0.002)})
+	j := topo.AddPE(graph.PE{Service: detService(0.002), Weight: 1, Join: true})
+	if err := topo.Connect(a, j); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: 10, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err == nil {
+		t.Errorf("single-input join accepted")
+	}
+}
+
+// Runtime migration (§II dynamic placement): moving a PE off an
+// overloaded node mid-run must lift throughput, and the system must stay
+// stable through the transient.
+func TestMovePERelievesOverloadedNode(t *testing.T) {
+	// Two stages crammed onto node 0 (total demand 2× the node) with node
+	// 1 idle; migrating stage 2 to node 1 doubles capacity.
+	topo := graph.New(2, 50)
+	a := topo.AddPE(graph.PE{Service: detService(0.002), Node: 0})
+	b := topo.AddPE(graph.PE{Service: detService(0.002), Node: 0, Weight: 1})
+	if err := topo.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: 400, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	cpu := []float64{0.5, 0.5} // on one node: 250/s each, pipeline 250/s max admission split
+
+	// Without migration: both on node 0, pipeline carries ~250/s.
+	before := run(t, topo, policy.ACES, cpu, 20, 3)
+
+	eng, err := New(Config{Topo: topo, Policy: policy.ACES, CPU: []float64{0.9, 0.9}, Duration: 20, Seed: 3, Warmup: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Sim().At(6, func() {
+		if err := eng.MovePE(1, 1); err != nil {
+			t.Errorf("MovePE: %v", err)
+		}
+		if err := eng.SetTargets([]float64{0.9, 0.9}); err != nil {
+			t.Errorf("SetTargets: %v", err)
+		}
+	})
+	after := eng.Run()
+
+	// Post-migration each stage can use 0.9 of its own node: 450/s ≥ the
+	// 400/s source, far above the single-node ceiling.
+	if after.WeightedThroughput < before.WeightedThroughput*1.3 {
+		t.Errorf("migration lifted throughput only %.1f → %.1f", before.WeightedThroughput, after.WeightedThroughput)
+	}
+	if after.WeightedThroughput < 350 {
+		t.Errorf("post-migration throughput %.1f, want ≈400", after.WeightedThroughput)
+	}
+
+	// Validation.
+	if err := eng.MovePE(99, 0); err == nil {
+		t.Errorf("unknown PE accepted")
+	}
+	if err := eng.MovePE(0, 9); err == nil {
+		t.Errorf("unknown node accepted")
+	}
+	if err := eng.MovePE(0, 0); err != nil {
+		t.Errorf("no-op move errored: %v", err)
+	}
+}
+
+// Network modeling: a constrained link caps inter-node throughput, and
+// transit delay adds to end-to-end latency; intra-node traffic is free.
+func TestLinkCapacityCapsInterNodeThroughput(t *testing.T) {
+	topo := buildChain(t, 2, 2, 0.002, 200, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	cpu := []float64{0.8, 0.8} // CPU capacity 400/s per stage — not binding
+	eng, err := New(Config{Topo: topo, Policy: policy.UDP, CPU: cpu, Duration: 20, Seed: 4, LinkCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Run()
+	if math.Abs(r.WeightedThroughput-100) > 8 {
+		t.Errorf("wt = %.1f, want ≈100 (link-limited)", r.WeightedThroughput)
+	}
+	if eng.NetDrops() == 0 {
+		t.Errorf("expected network drops at an oversubscribed link")
+	}
+
+	// The same deployment on ONE node is not link-limited.
+	topo1 := buildChain(t, 2, 1, 0.002, 200, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	eng1, err := New(Config{Topo: topo1, Policy: policy.UDP, CPU: []float64{0.45, 0.45}, Duration: 20, Seed: 4, LinkCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := eng1.Run()
+	if r1.WeightedThroughput < 180 {
+		t.Errorf("intra-node wt = %.1f should ignore LinkCapacity", r1.WeightedThroughput)
+	}
+	if eng1.NetDrops() != 0 {
+		t.Errorf("intra-node traffic charged the NIC")
+	}
+}
+
+func TestNetDelayAddsLatency(t *testing.T) {
+	topo := buildChain(t, 2, 2, 0.002, 50, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	cpu := []float64{0.4, 0.4}
+	base := run(t, topo, policy.ACES, cpu, 15, 5)
+	eng, err := New(Config{Topo: topo, Policy: policy.ACES, CPU: cpu, Duration: 15, Seed: 5, NetDelay: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed := eng.Run()
+	extra := delayed.MeanLatency - base.MeanLatency
+	if extra < 0.08 || extra > 0.14 {
+		t.Errorf("transit delay added %.3fs latency, want ≈0.1s", extra)
+	}
+	// Delay must not lose data in underload.
+	if delayed.InFlightDrops != 0 || delayed.InputDrops != 0 {
+		t.Errorf("delay caused losses: %+v", delayed)
+	}
+	if math.Abs(delayed.WeightedThroughput-base.WeightedThroughput) > 3 {
+		t.Errorf("delay changed throughput: %.1f vs %.1f", delayed.WeightedThroughput, base.WeightedThroughput)
+	}
+}

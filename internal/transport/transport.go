@@ -1,0 +1,252 @@
+// Package transport carries SDOs and control feedback between processes
+// over TCP, letting the live runtime (internal/spc) span machine
+// boundaries the way the SPC's data fabric does. The wire protocol is a
+// minimal length-delimited binary framing (no gob/JSON on the data path):
+//
+//	frame  := kind(u8) length(u32 BE) body
+//	data   := stream(i32) seq(u64) originUnixNanos(i64) hops(i32)
+//	          payloadLen(u32) payload
+//	ctrl   := pe(i32) rmax(f64 bits)
+//
+// Payloads must be []byte (or nil) on the wire; richer payloads belong to
+// in-process deployments.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"aces/internal/sdo"
+)
+
+// Kind discriminates frame types.
+type Kind uint8
+
+// Frame kinds.
+const (
+	KindData Kind = iota + 1
+	KindFeedback
+	// KindRouted is a data frame prefixed with a destination PE, used by
+	// partitioned live-runtime deployments (spc.RemoteLink) to route SDOs
+	// across process boundaries.
+	KindRouted
+)
+
+// Feedback is a control-plane advertisement: PE j accepts at most RMax
+// SDOs per control tick.
+type Feedback struct {
+	PE   int32
+	RMax float64
+}
+
+// Message is a decoded frame: exactly one of SDO/Feedback is meaningful
+// per Kind; To is set for routed frames.
+type Message struct {
+	Kind     Kind
+	SDO      sdo.SDO
+	Feedback Feedback
+	// To is the destination PE of a KindRouted frame.
+	To sdo.PEID
+}
+
+// maxFrame bounds a frame body; anything larger is a protocol error, not a
+// legitimate SDO.
+const maxFrame = 16 << 20
+
+// Conn is a framed connection. Writes are internally serialized, so one
+// Conn may be shared by multiple sender goroutines; Recv must be called
+// from a single goroutine.
+type Conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// NewConn wraps a net.Conn with framing.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, r: bufio.NewReaderSize(raw, 64<<10), w: bufio.NewWriterSize(raw, 64<<10)}
+}
+
+// Dial connects to a framed endpoint.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(raw), nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// SendSDO writes one data frame. The payload must be nil or []byte.
+func (c *Conn) SendSDO(s sdo.SDO) error {
+	body, err := encodeSDO(s)
+	if err != nil {
+		return err
+	}
+	return c.send(KindData, body)
+}
+
+func encodeSDO(s sdo.SDO) ([]byte, error) {
+	var payload []byte
+	switch p := s.Payload.(type) {
+	case nil:
+	case []byte:
+		payload = p
+	default:
+		return nil, fmt.Errorf("transport: payload must be []byte or nil, got %T", s.Payload)
+	}
+	body := make([]byte, 0, 28+len(payload))
+	body = binary.BigEndian.AppendUint32(body, uint32(s.Stream))
+	body = binary.BigEndian.AppendUint64(body, s.Seq)
+	body = binary.BigEndian.AppendUint64(body, uint64(s.Origin.UnixNano()))
+	body = binary.BigEndian.AppendUint32(body, uint32(s.Hops))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(payload)))
+	body = append(body, payload...)
+	return body, nil
+}
+
+// SendRouted writes a data frame addressed to a specific PE in a peer
+// process.
+func (c *Conn) SendRouted(to sdo.PEID, s sdo.SDO) error {
+	body, err := encodeSDO(s)
+	if err != nil {
+		return err
+	}
+	routed := make([]byte, 0, 4+len(body))
+	routed = binary.BigEndian.AppendUint32(routed, uint32(to))
+	routed = append(routed, body...)
+	return c.send(KindRouted, routed)
+}
+
+// SendFeedback writes one control frame.
+func (c *Conn) SendFeedback(f Feedback) error {
+	body := make([]byte, 0, 12)
+	body = binary.BigEndian.AppendUint32(body, uint32(f.PE))
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(f.RMax))
+	return c.send(KindFeedback, body)
+}
+
+func (c *Conn) send(k Kind, body []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [5]byte
+	hdr[0] = byte(k)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.w.Write(body); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Recv reads the next frame. It returns io.EOF on orderly shutdown.
+func (c *Conn) Recv() (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("transport: read header: %w", err)
+	}
+	kind := Kind(hdr[0])
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return Message{}, fmt.Errorf("transport: read body: %w", err)
+	}
+	switch kind {
+	case KindData:
+		s, err := decodeSDO(body)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Kind: KindData, SDO: s}, nil
+	case KindRouted:
+		if len(body) < 4 {
+			return Message{}, fmt.Errorf("transport: short routed frame (%d bytes)", len(body))
+		}
+		to := sdo.PEID(int32(binary.BigEndian.Uint32(body[0:4])))
+		s, err := decodeSDO(body[4:])
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Kind: KindRouted, SDO: s, To: to}, nil
+	case KindFeedback:
+		if len(body) != 12 {
+			return Message{}, fmt.Errorf("transport: bad feedback frame (%d bytes)", len(body))
+		}
+		return Message{Kind: KindFeedback, Feedback: Feedback{
+			PE:   int32(binary.BigEndian.Uint32(body[0:4])),
+			RMax: math.Float64frombits(binary.BigEndian.Uint64(body[4:12])),
+		}}, nil
+	default:
+		return Message{}, fmt.Errorf("transport: unknown frame kind %d", kind)
+	}
+}
+
+func decodeSDO(body []byte) (sdo.SDO, error) {
+	if len(body) < 28 {
+		return sdo.SDO{}, fmt.Errorf("transport: short data frame (%d bytes)", len(body))
+	}
+	s := sdo.SDO{
+		Stream: sdo.StreamID(int32(binary.BigEndian.Uint32(body[0:4]))),
+		Seq:    binary.BigEndian.Uint64(body[4:12]),
+		Origin: time.Unix(0, int64(binary.BigEndian.Uint64(body[12:20]))),
+		Hops:   int(int32(binary.BigEndian.Uint32(body[20:24]))),
+	}
+	plen := binary.BigEndian.Uint32(body[24:28])
+	if int(plen) != len(body)-28 {
+		return sdo.SDO{}, fmt.Errorf("transport: payload length %d disagrees with frame size", plen)
+	}
+	if plen > 0 {
+		s.Payload = body[28:]
+		s.Bytes = int(plen)
+	} else {
+		s.Bytes = 1
+	}
+	return s, nil
+}
+
+// Listener accepts framed connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen binds a TCP listener; addr ":0" picks a free port.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	raw, err := l.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewConn(raw), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }

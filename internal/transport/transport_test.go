@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aces/internal/sdo"
+)
+
+// pair sets up a loopback connection.
+func pair(t *testing.T) (client, server *Conn) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		server = c
+	}()
+	client, err = Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	t.Cleanup(func() {
+		client.Close()
+		if server != nil {
+			server.Close()
+		}
+	})
+	return client, server
+}
+
+func TestSDORoundTrip(t *testing.T) {
+	client, server := pair(t)
+	origin := time.Unix(0, 1234567890123456789)
+	in := sdo.SDO{Stream: 7, Seq: 42, Origin: origin, Hops: 3, Payload: []byte("hello"), Bytes: 5}
+	if err := client.SendSDO(in); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != KindData {
+		t.Fatalf("kind = %v", msg.Kind)
+	}
+	out := msg.SDO
+	if out.Stream != 7 || out.Seq != 42 || out.Hops != 3 {
+		t.Errorf("fields lost: %+v", out)
+	}
+	if !out.Origin.Equal(origin) {
+		t.Errorf("origin %v ≠ %v", out.Origin, origin)
+	}
+	if string(out.Payload.([]byte)) != "hello" || out.Bytes != 5 {
+		t.Errorf("payload lost: %+v", out)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	client, server := pair(t)
+	if err := client.SendSDO(sdo.SDO{Stream: 1, Seq: 9, Origin: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.SDO.Payload != nil {
+		t.Errorf("expected nil payload")
+	}
+	if msg.SDO.Bytes != 1 {
+		t.Errorf("empty payload should default Bytes to 1, got %d", msg.SDO.Bytes)
+	}
+}
+
+func TestRejectsNonByteSlicePayload(t *testing.T) {
+	client, _ := pair(t)
+	if err := client.SendSDO(sdo.SDO{Payload: 42}); err == nil {
+		t.Errorf("non-[]byte payload accepted")
+	}
+}
+
+func TestFeedbackRoundTrip(t *testing.T) {
+	client, server := pair(t)
+	if err := client.SendFeedback(Feedback{PE: 12, RMax: 3.75}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != KindFeedback || msg.Feedback.PE != 12 || msg.Feedback.RMax != 3.75 {
+		t.Errorf("feedback lost: %+v", msg)
+	}
+}
+
+func TestInterleavedFrames(t *testing.T) {
+	client, server := pair(t)
+	for i := 0; i < 100; i++ {
+		if i%3 == 0 {
+			if err := client.SendFeedback(Feedback{PE: int32(i), RMax: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := client.SendSDO(sdo.SDO{Stream: 1, Seq: uint64(i), Origin: time.Now()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		msg, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if msg.Kind != KindFeedback || msg.Feedback.PE != int32(i) {
+				t.Fatalf("frame %d: %+v", i, msg)
+			}
+		} else if msg.Kind != KindData || msg.SDO.Seq != uint64(i) {
+			t.Fatalf("frame %d: %+v", i, msg)
+		}
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	client, server := pair(t)
+	const senders, perSender = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := client.SendSDO(sdo.SDO{Stream: 5, Origin: time.Now()}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < senders*perSender {
+			if _, err := server.Recv(); err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("frames lost under concurrency")
+	}
+	if got != senders*perSender {
+		t.Errorf("got %d frames, want %d", got, senders*perSender)
+	}
+}
+
+func TestEOFOnClose(t *testing.T) {
+	client, server := pair(t)
+	client.Close()
+	if _, err := server.Recv(); err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Errorf("dial to closed port succeeded")
+	}
+}
+
+// rawSend writes raw bytes straight to the peer, bypassing the framing
+// API, to exercise the decoder's error paths.
+func rawPair(t *testing.T) (raw net.Conn, framed *Conn) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	done := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	raw, err = net.DialTimeout("tcp", l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed = <-done
+	if framed == nil {
+		t.Fatal("no server conn")
+	}
+	t.Cleanup(func() {
+		raw.Close()
+		framed.Close()
+	})
+	return raw, framed
+}
+
+func TestRecvRejectsUnknownKind(t *testing.T) {
+	raw, framed := rawPair(t)
+	if _, err := raw.Write([]byte{0xFF, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framed.Recv(); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+}
+
+func TestRecvRejectsOversizedFrame(t *testing.T) {
+	raw, framed := rawPair(t)
+	hdr := []byte{byte(KindData), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := raw.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framed.Recv(); err == nil {
+		t.Errorf("oversized frame accepted")
+	}
+}
+
+func TestRecvRejectsShortDataFrame(t *testing.T) {
+	raw, framed := rawPair(t)
+	body := make([]byte, 10) // < 28-byte minimum
+	hdr := []byte{byte(KindData), 0, 0, 0, byte(len(body))}
+	if _, err := raw.Write(append(hdr, body...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framed.Recv(); err == nil {
+		t.Errorf("short data frame accepted")
+	}
+}
+
+func TestRecvRejectsDisagreeingPayloadLength(t *testing.T) {
+	raw, framed := rawPair(t)
+	body := make([]byte, 28)
+	// Claim a 5-byte payload but send none.
+	body[24], body[25], body[26], body[27] = 0, 0, 0, 5
+	hdr := []byte{byte(KindData), 0, 0, 0, byte(len(body))}
+	if _, err := raw.Write(append(hdr, body...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framed.Recv(); err == nil {
+		t.Errorf("disagreeing payload length accepted")
+	}
+}
+
+func TestRecvRejectsBadFeedbackFrame(t *testing.T) {
+	raw, framed := rawPair(t)
+	hdr := []byte{byte(KindFeedback), 0, 0, 0, 3}
+	if _, err := raw.Write(append(hdr, 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framed.Recv(); err == nil {
+		t.Errorf("truncated feedback frame accepted")
+	}
+}
+
+func TestRecvTruncatedHeader(t *testing.T) {
+	raw, framed := rawPair(t)
+	if _, err := raw.Write([]byte{byte(KindData), 0}); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	if _, err := framed.Recv(); err == nil {
+		t.Errorf("truncated header accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import "aces/internal/sim"
+
+// ServiceParams describes the paper's two-state PE processing model
+// (§VI-B, §VI-C): a PE alternates between state 0 (fast, per-SDO cost T0)
+// and state 1 (slow, per-SDO cost T1); dwell times in each state are
+// exponential. With the paper's defaults T0 = 2 ms, T1 = 20 ms, ρ = 0.5
+// (fraction of time in state 1), and dwell scale λ_S.
+type ServiceParams struct {
+	// T0 and T1 are the per-SDO CPU costs (seconds of CPU at 100%
+	// allocation) in states 0 and 1.
+	T0, T1 float64
+	// Rho is the stationary fraction of time spent in state 1 (0 ≤ Rho ≤ 1).
+	Rho float64
+	// LambdaS scales the mean state dwell time: mean dwell in state 1 is
+	// LambdaS·DwellUnit·Rho·2 and in state 0 LambdaS·DwellUnit·(1−Rho)·2,
+	// which keeps the stationary split at Rho while LambdaS controls how
+	// infrequently the PE switches state — the paper's burstiness knob
+	// ("a large value of λ_S signifies that the PE switches between its
+	// processing states infrequently").
+	LambdaS float64
+	// DwellUnit converts the dimensionless λ_S into seconds. The paper does
+	// not state the unit; we use 10 ms so λ_S = 10 gives 100 ms mean dwells
+	// against a Δt of 10 ms (sub-second burstiness, as §V requires).
+	DwellUnit float64
+	// MeanMult is λ_m, the mean number of output SDOs per consumed SDO.
+	// A value of 1 makes multiplicity deterministic 1; values > 1 draw
+	// from a geometric distribution with that mean.
+	MeanMult float64
+}
+
+// DefaultServiceParams returns the paper's §VI-C settings: λ_S = 10,
+// λ_m = 1, ρ = 0.5, T0 = 2 ms, T1 = 20 ms.
+func DefaultServiceParams() ServiceParams {
+	return ServiceParams{T0: 0.002, T1: 0.020, Rho: 0.5, LambdaS: 10, DwellUnit: 0.010, MeanMult: 1}
+}
+
+// MeanCost returns the stationary arithmetic mean per-SDO CPU cost E[T]:
+// the CPU needed per SDO when the PE keeps up with its arrivals (each SDO
+// is served in whatever state it lands in).
+func (p ServiceParams) MeanCost() float64 {
+	return (1-p.Rho)*p.T0 + p.Rho*p.T1
+}
+
+// EffectiveCost returns the harmonic-mean per-SDO cost 1/E[1/T]: the cost
+// that determines a *backlogged* PE's sustainable throughput. A PE with
+// CPU share c and standing work drains at c/T_state instantaneously, so
+// its time-averaged capacity is c·((1−ρ)/T0 + ρ/T1) SDOs/sec — higher
+// than c/E[T] because fast states process disproportionately many SDOs.
+// Capacity planning (tier 1, load calibration) must use this; per-SDO
+// budgeting in the simulator uses the instantaneous state cost directly.
+func (p ServiceParams) EffectiveCost() float64 {
+	return 1 / ((1-p.Rho)/p.T0 + p.Rho/p.T1)
+}
+
+// meanDwell returns the mean dwell time of the given state, shaped so the
+// stationary fraction of time in state 1 equals Rho.
+func (p ServiceParams) meanDwell(state int) float64 {
+	base := p.LambdaS * p.DwellUnit
+	if base <= 0 {
+		base = 0.1
+	}
+	if state == 1 {
+		return 2 * base * p.Rho
+	}
+	return 2 * base * (1 - p.Rho)
+}
+
+// Service is the runtime instance of the two-state model for one PE. It
+// advances its modulating chain in continuous time: CostAt(t) returns the
+// per-SDO cost in effect at simulation time t.
+type Service struct {
+	params     ServiceParams
+	rng        *sim.Rand
+	state      int
+	nextSwitch float64
+}
+
+// NewService creates a service model starting in a state drawn from the
+// stationary distribution.
+func NewService(params ServiceParams, rng *sim.Rand) *Service {
+	if params.T0 <= 0 || params.T1 <= 0 {
+		panic("workload: service costs must be positive")
+	}
+	if params.Rho < 0 || params.Rho > 1 {
+		panic("workload: Rho must be in [0,1]")
+	}
+	s := &Service{params: params, rng: rng}
+	if rng.Float64() < params.Rho {
+		s.state = 1
+	}
+	s.nextSwitch = rng.Exp(params.meanDwell(s.state))
+	return s
+}
+
+// advance moves the modulating chain forward to time t.
+func (s *Service) advance(t float64) {
+	// Degenerate ρ: never dwell in the impossible state.
+	for s.nextSwitch <= t {
+		at := s.nextSwitch
+		s.state = 1 - s.state
+		if (s.state == 1 && s.params.Rho == 0) || (s.state == 0 && s.params.Rho == 1) {
+			s.state = 1 - s.state
+		}
+		s.nextSwitch = at + s.rng.Exp(s.params.meanDwell(s.state))
+		if s.nextSwitch <= at {
+			// Zero-length dwell guard: nudge forward to guarantee progress.
+			s.nextSwitch = at + 1e-9
+		}
+	}
+}
+
+// CostAt returns the per-SDO CPU cost (seconds) in effect at time t. Calls
+// must use non-decreasing t.
+func (s *Service) CostAt(t float64) float64 {
+	s.advance(t)
+	if s.state == 1 {
+		return s.params.T1
+	}
+	return s.params.T0
+}
+
+// StateAt returns the modulating state (0 or 1) at time t.
+func (s *Service) StateAt(t float64) int {
+	s.advance(t)
+	return s.state
+}
+
+// Multiplicity draws the number of output SDOs produced by one consumed
+// SDO (the paper's M with mean λ_m).
+func (s *Service) Multiplicity() int {
+	m := s.params.MeanMult
+	if m <= 1 {
+		return 1
+	}
+	return s.rng.Geometric(1 / m)
+}
+
+// Params returns the model parameters.
+func (s *Service) Params() ServiceParams { return s.params }

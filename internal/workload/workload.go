@@ -1,0 +1,221 @@
+// Package workload implements the stochastic workload models from the
+// paper's evaluation (§VI-B): two-state Markov-modulated PE service times
+// ("the PE operates in two states S ∈ {0,1}; the processing time of a
+// packet differs in the two states"), bursty on/off sources, Poisson and
+// deterministic arrival processes, and trace playback.
+//
+// All models are driven by explicit seeded random streams (internal/sim's
+// Rand) and advance in continuous time even when sampled by the
+// time-stepped simulator, so burstiness is independent of the control
+// period Δt.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"aces/internal/sim"
+)
+
+// ArrivalProcess generates inter-arrival times for a source stream.
+// Implementations must be deterministic given their Rand.
+type ArrivalProcess interface {
+	// NextInterval returns the time until the next SDO arrival, in seconds.
+	// It must be strictly positive for all processes with finite rate.
+	NextInterval() float64
+	// MeanRate returns the long-run average arrival rate in SDOs/sec, used
+	// by the tier-1 optimizer as the expected time-averaged input rate.
+	MeanRate() float64
+}
+
+// Deterministic is a constant-bit-rate source: one SDO every 1/rate
+// seconds.
+type Deterministic struct {
+	rate float64
+}
+
+// NewDeterministic returns a CBR source with the given rate in SDOs/sec.
+func NewDeterministic(rate float64) *Deterministic {
+	if rate <= 0 {
+		panic("workload: rate must be positive")
+	}
+	return &Deterministic{rate: rate}
+}
+
+// NextInterval implements ArrivalProcess.
+func (d *Deterministic) NextInterval() float64 { return 1 / d.rate }
+
+// MeanRate implements ArrivalProcess.
+func (d *Deterministic) MeanRate() float64 { return d.rate }
+
+// Poisson is a memoryless source with exponential inter-arrivals.
+type Poisson struct {
+	rate float64
+	rng  *sim.Rand
+}
+
+// NewPoisson returns a Poisson source with the given mean rate.
+func NewPoisson(rate float64, rng *sim.Rand) *Poisson {
+	if rate <= 0 {
+		panic("workload: rate must be positive")
+	}
+	return &Poisson{rate: rate, rng: rng}
+}
+
+// NextInterval implements ArrivalProcess.
+func (p *Poisson) NextInterval() float64 {
+	for {
+		iv := p.rng.Exp(1 / p.rate)
+		if iv > 0 {
+			return iv
+		}
+	}
+}
+
+// MeanRate implements ArrivalProcess.
+func (p *Poisson) MeanRate() float64 { return p.rate }
+
+// OnOff is a two-state Markov-modulated Poisson source: in the ON state
+// SDOs arrive at peakRate; in the OFF state nothing arrives. Dwell times in
+// each state are exponential. This is the classical bursty-traffic model;
+// the burstiness level is controlled by the dwell-time means (longer dwells
+// at the same duty cycle = burstier traffic at the same mean rate).
+type OnOff struct {
+	peakRate  float64
+	meanOn    float64
+	meanOff   float64
+	rng       *sim.Rand
+	on        bool
+	stateLeft float64 // time remaining in the current state
+}
+
+// NewOnOff constructs an on/off source. peakRate is the ON-state arrival
+// rate; meanOn and meanOff are the mean dwell times of the two states.
+func NewOnOff(peakRate, meanOn, meanOff float64, rng *sim.Rand) *OnOff {
+	if peakRate <= 0 || meanOn <= 0 || meanOff < 0 {
+		panic("workload: invalid OnOff parameters")
+	}
+	s := &OnOff{peakRate: peakRate, meanOn: meanOn, meanOff: meanOff, rng: rng, on: true}
+	s.stateLeft = rng.Exp(meanOn)
+	return s
+}
+
+// NextInterval implements ArrivalProcess. It advances the modulating chain
+// through as many state switches as needed to reach the next arrival.
+func (s *OnOff) NextInterval() float64 {
+	var elapsed float64
+	for {
+		if s.on {
+			gap := s.rng.Exp(1 / s.peakRate)
+			if gap <= s.stateLeft {
+				s.stateLeft -= gap
+				iv := elapsed + gap
+				if iv > 0 {
+					return iv
+				}
+				// Degenerate zero gap: retry.
+				continue
+			}
+			elapsed += s.stateLeft
+			s.on = false
+			s.stateLeft = s.rng.Exp(s.meanOff)
+			continue
+		}
+		elapsed += s.stateLeft
+		s.on = true
+		s.stateLeft = s.rng.Exp(s.meanOn)
+	}
+}
+
+// MeanRate implements ArrivalProcess: peak × duty cycle.
+func (s *OnOff) MeanRate() float64 {
+	return s.peakRate * s.meanOn / (s.meanOn + s.meanOff)
+}
+
+// Trace replays a recorded sequence of inter-arrival intervals, cycling
+// when exhausted. It substitutes for the production traces the authors had
+// access to: any recorded workload can be fed to both substrates.
+type Trace struct {
+	intervals []float64
+	pos       int
+	mean      float64
+}
+
+// NewTrace builds a trace source from explicit inter-arrival intervals. It
+// returns an error when the trace is empty or contains non-positive
+// intervals, because a malformed trace is an input error, not a bug.
+func NewTrace(intervals []float64) (*Trace, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	var sum float64
+	for i, iv := range intervals {
+		if iv <= 0 {
+			return nil, fmt.Errorf("workload: trace interval %d is %g, must be positive", i, iv)
+		}
+		sum += iv
+	}
+	cp := make([]float64, len(intervals))
+	copy(cp, intervals)
+	return &Trace{intervals: cp, mean: float64(len(intervals)) / sum}, nil
+}
+
+// NextInterval implements ArrivalProcess.
+func (t *Trace) NextInterval() float64 {
+	iv := t.intervals[t.pos]
+	t.pos = (t.pos + 1) % len(t.intervals)
+	return iv
+}
+
+// MeanRate implements ArrivalProcess.
+func (t *Trace) MeanRate() float64 { return t.mean }
+
+// Interface compliance checks.
+var (
+	_ ArrivalProcess = (*Deterministic)(nil)
+	_ ArrivalProcess = (*Poisson)(nil)
+	_ ArrivalProcess = (*OnOff)(nil)
+	_ ArrivalProcess = (*Trace)(nil)
+	_ ArrivalProcess = (*HeavyTail)(nil)
+)
+
+// HeavyTail is a bounded-Pareto renewal source: inter-arrival gaps follow
+// a truncated power law, producing the rare-but-huge gaps (and dense
+// clumps) that exponential models miss. Used to stress the controller
+// beyond the two-state model of the paper's evaluation.
+type HeavyTail struct {
+	rate  float64
+	alpha float64
+	lo    float64
+	hi    float64
+	rng   *sim.Rand
+}
+
+// NewHeavyTail builds a heavy-tailed source with the given mean rate,
+// tail exponent alpha (must be > 1 so the mean exists and ≠ exactly the
+// degenerate 1; default 1.5 if ≤ 1), and upper/lower truncation ratio
+// (default 100).
+func NewHeavyTail(rate, alpha, ratio float64, rng *sim.Rand) *HeavyTail {
+	if rate <= 0 {
+		panic("workload: rate must be positive")
+	}
+	if alpha <= 1 {
+		alpha = 1.5
+	}
+	if ratio <= 1 {
+		ratio = 100
+	}
+	// E[X] for bounded Pareto on [L, H = ratio·L] scales linearly in L:
+	// E = L · k with k = a(1 − ratio^{1−a}) / ((a−1)(1 − ratio^{−a})).
+	k := alpha * (1 - math.Pow(ratio, 1-alpha)) / ((alpha - 1) * (1 - math.Pow(ratio, -alpha)))
+	lo := (1 / rate) / k
+	return &HeavyTail{rate: rate, alpha: alpha, lo: lo, hi: lo * ratio, rng: rng}
+}
+
+// NextInterval implements ArrivalProcess.
+func (h *HeavyTail) NextInterval() float64 {
+	return h.rng.BoundedPareto(h.alpha, h.lo, h.hi)
+}
+
+// MeanRate implements ArrivalProcess.
+func (h *HeavyTail) MeanRate() float64 { return h.rate }

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"aces/internal/sim"
+)
+
+// empiricalRate draws n arrivals and returns the measured mean rate.
+func empiricalRate(p ArrivalProcess, n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		iv := p.NextInterval()
+		if iv <= 0 {
+			return math.NaN()
+		}
+		total += iv
+	}
+	return float64(n) / total
+}
+
+func TestDeterministicRate(t *testing.T) {
+	d := NewDeterministic(50)
+	if d.MeanRate() != 50 {
+		t.Errorf("MeanRate = %g", d.MeanRate())
+	}
+	if got := empiricalRate(d, 1000); math.Abs(got-50) > 1e-9 {
+		t.Errorf("empirical rate = %g, want 50", got)
+	}
+}
+
+func TestDeterministicValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewDeterministic(0)
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := NewPoisson(30, sim.NewRand(1))
+	if p.MeanRate() != 30 {
+		t.Errorf("MeanRate = %g", p.MeanRate())
+	}
+	got := empiricalRate(p, 100000)
+	if math.Abs(got-30)/30 > 0.02 {
+		t.Errorf("empirical rate = %g, want 30 ± 2%%", got)
+	}
+}
+
+func TestOnOffMeanRateAndBurstiness(t *testing.T) {
+	// peak 100/s, 50% duty cycle → mean 50/s.
+	s := NewOnOff(100, 0.1, 0.1, sim.NewRand(2))
+	if math.Abs(s.MeanRate()-50) > 1e-9 {
+		t.Errorf("MeanRate = %g, want 50", s.MeanRate())
+	}
+	got := empiricalRate(s, 200000)
+	if math.Abs(got-50)/50 > 0.05 {
+		t.Errorf("empirical rate = %g, want 50 ± 5%%", got)
+	}
+}
+
+func TestOnOffIsBurstierThanPoisson(t *testing.T) {
+	// Squared coefficient of variation of inter-arrivals: Poisson has
+	// CV² = 1; an on/off source with long dwells must exceed it.
+	cv2 := func(p ArrivalProcess, n int) float64 {
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			iv := p.NextInterval()
+			sum += iv
+			sq += iv * iv
+		}
+		mean := sum / float64(n)
+		return (sq/float64(n) - mean*mean) / (mean * mean)
+	}
+	onoff := cv2(NewOnOff(200, 0.5, 0.5, sim.NewRand(3)), 200000)
+	poisson := cv2(NewPoisson(100, sim.NewRand(3)), 200000)
+	if onoff <= poisson*1.5 {
+		t.Errorf("on/off CV² = %.2f should exceed Poisson CV² = %.2f", onoff, poisson)
+	}
+}
+
+func TestOnOffZeroOffDwellDegeneratesToPoisson(t *testing.T) {
+	s := NewOnOff(40, 1, 0, sim.NewRand(4))
+	if math.Abs(s.MeanRate()-40) > 1e-9 {
+		t.Errorf("MeanRate = %g, want 40", s.MeanRate())
+	}
+	got := empiricalRate(s, 50000)
+	if math.Abs(got-40)/40 > 0.05 {
+		t.Errorf("empirical rate = %g, want 40", got)
+	}
+}
+
+func TestTraceCyclesAndValidates(t *testing.T) {
+	tr, err := NewTrace([]float64{0.1, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 3 / 0.6
+	if math.Abs(tr.MeanRate()-wantMean) > 1e-9 {
+		t.Errorf("MeanRate = %g, want %g", tr.MeanRate(), wantMean)
+	}
+	got := []float64{tr.NextInterval(), tr.NextInterval(), tr.NextInterval(), tr.NextInterval()}
+	if got[3] != 0.1 {
+		t.Errorf("trace should cycle: %v", got)
+	}
+	if _, err := NewTrace(nil); err == nil {
+		t.Errorf("empty trace should error")
+	}
+	if _, err := NewTrace([]float64{0.1, -1}); err == nil {
+		t.Errorf("negative interval should error")
+	}
+	// The trace must copy its input.
+	src := []float64{0.5, 0.5}
+	tr2, _ := NewTrace(src)
+	src[0] = 99
+	if tr2.NextInterval() != 0.5 {
+		t.Errorf("trace aliases caller slice")
+	}
+}
+
+func TestServiceStationaryFraction(t *testing.T) {
+	p := DefaultServiceParams()
+	svc := NewService(p, sim.NewRand(5))
+	var inSlow int
+	n := 200000
+	dt := 0.001
+	for i := 0; i < n; i++ {
+		if svc.StateAt(float64(i)*dt) == 1 {
+			inSlow++
+		}
+	}
+	frac := float64(inSlow) / float64(n)
+	if math.Abs(frac-p.Rho) > 0.03 {
+		t.Errorf("fraction in state 1 = %.3f, want %.2f ± 0.03", frac, p.Rho)
+	}
+}
+
+func TestServiceCosts(t *testing.T) {
+	p := DefaultServiceParams()
+	svc := NewService(p, sim.NewRand(6))
+	for i := 0; i < 1000; i++ {
+		c := svc.CostAt(float64(i) * 0.01)
+		if c != p.T0 && c != p.T1 {
+			t.Fatalf("cost %g is neither T0 nor T1", c)
+		}
+	}
+}
+
+func TestServiceMeanCost(t *testing.T) {
+	p := DefaultServiceParams()
+	want := 0.5*0.002 + 0.5*0.020
+	if math.Abs(p.MeanCost()-want) > 1e-12 {
+		t.Errorf("MeanCost = %g, want %g", p.MeanCost(), want)
+	}
+}
+
+func TestServiceDegenerateRho(t *testing.T) {
+	p := DefaultServiceParams()
+	p.Rho = 0
+	svc := NewService(p, sim.NewRand(7))
+	for i := 0; i < 1000; i++ {
+		if svc.StateAt(float64(i)*0.01) != 0 {
+			t.Fatalf("with Rho=0 state must stay 0")
+		}
+	}
+	p.Rho = 1
+	svc = NewService(p, sim.NewRand(8))
+	for i := 0; i < 1000; i++ {
+		if svc.StateAt(float64(i)*0.01) != 1 {
+			t.Fatalf("with Rho=1 state must stay 1")
+		}
+	}
+}
+
+func TestServiceDwellScalesWithLambdaS(t *testing.T) {
+	// Count state switches over a fixed horizon: larger λ_S → fewer
+	// switches (the paper's burstiness knob).
+	switches := func(lambdaS float64, seed int64) int {
+		p := DefaultServiceParams()
+		p.LambdaS = lambdaS
+		svc := NewService(p, sim.NewRand(seed))
+		prev := svc.StateAt(0)
+		n := 0
+		for i := 1; i < 100000; i++ {
+			cur := svc.StateAt(float64(i) * 0.001)
+			if cur != prev {
+				n++
+				prev = cur
+			}
+		}
+		return n
+	}
+	fast := switches(1, 9)
+	slow := switches(50, 9)
+	if slow*5 >= fast {
+		t.Errorf("λ_S=50 gave %d switches vs λ_S=1 %d; expected far fewer", slow, fast)
+	}
+}
+
+func TestServiceMultiplicity(t *testing.T) {
+	p := DefaultServiceParams()
+	svc := NewService(p, sim.NewRand(10))
+	for i := 0; i < 100; i++ {
+		if svc.Multiplicity() != 1 {
+			t.Fatalf("λ_m = 1 must give deterministic multiplicity 1")
+		}
+	}
+	p.MeanMult = 3
+	svc = NewService(p, sim.NewRand(11))
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += float64(svc.Multiplicity())
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-3)/3 > 0.03 {
+		t.Errorf("mean multiplicity = %g, want 3", mean)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	p := DefaultServiceParams()
+	p.T0 = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic for T0=0")
+			}
+		}()
+		NewService(p, sim.NewRand(1))
+	}()
+	p = DefaultServiceParams()
+	p.Rho = 1.5
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic for Rho>1")
+			}
+		}()
+		NewService(p, sim.NewRand(1))
+	}()
+}
+
+func TestEffectiveCostVsMeanCost(t *testing.T) {
+	p := DefaultServiceParams()
+	// Arithmetic mean: 11 ms; harmonic: 1/(0.5/0.002 + 0.5/0.02) ≈ 3.636 ms.
+	if math.Abs(p.MeanCost()-0.011) > 1e-12 {
+		t.Errorf("MeanCost = %g", p.MeanCost())
+	}
+	want := 1.0 / 275.0
+	if math.Abs(p.EffectiveCost()-want) > 1e-12 {
+		t.Errorf("EffectiveCost = %g, want %g", p.EffectiveCost(), want)
+	}
+	if p.EffectiveCost() >= p.MeanCost() {
+		t.Errorf("harmonic mean must not exceed arithmetic mean")
+	}
+	// Deterministic service: both coincide.
+	d := ServiceParams{T0: 0.004, T1: 0.004, Rho: 0.5}
+	if math.Abs(d.MeanCost()-d.EffectiveCost()) > 1e-15 {
+		t.Errorf("deterministic costs should match: %g vs %g", d.MeanCost(), d.EffectiveCost())
+	}
+}
+
+func TestHeavyTailMeanRateAndBurstiness(t *testing.T) {
+	h := NewHeavyTail(50, 1.5, 100, sim.NewRand(12))
+	if h.MeanRate() != 50 {
+		t.Errorf("MeanRate = %g", h.MeanRate())
+	}
+	got := empiricalRate(h, 400000)
+	if math.Abs(got-50)/50 > 0.05 {
+		t.Errorf("empirical rate = %g, want 50 ± 5%%", got)
+	}
+	// Heavier-tailed than Poisson: CV² of gaps above 1.
+	var sum, sq float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		iv := h.NextInterval()
+		sum += iv
+		sq += iv * iv
+	}
+	mean := sum / float64(n)
+	cv2 := (sq/float64(n) - mean*mean) / (mean * mean)
+	if cv2 < 1.5 {
+		t.Errorf("heavy-tail CV² = %.2f, want > 1.5", cv2)
+	}
+	// Defaults kick in for degenerate parameters.
+	d := NewHeavyTail(10, 0.5, 0.5, sim.NewRand(13))
+	if got := empiricalRate(d, 100000); math.Abs(got-10)/10 > 0.05 {
+		t.Errorf("defaulted heavy tail rate = %g, want 10", got)
+	}
+}
+
+func TestHeavyTailValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewHeavyTail(0, 1.5, 100, sim.NewRand(1))
+}

@@ -205,6 +205,15 @@ type (
 	Link = spc.Link
 	// Router fans a partitioned deployment out to several Links.
 	Router = spc.Router
+	// ResilientLink is a non-blocking, self-healing RemoteLink: bounded
+	// async outbox, automatic reconnection, loss accounting.
+	ResilientLink = spc.ResilientLink
+	// ResilientOptions tunes a ResilientLink's outbox, deadlines and
+	// reconnect backoff.
+	ResilientOptions = transport.ResilientOptions
+	// DialFunc produces fresh connections for a ResilientLink (Dial on
+	// the connecting side, Listener.Accept on the accepting side).
+	DialFunc = transport.DialFunc
 	// Conn is a framed transport connection.
 	Conn = transport.Conn
 	// Listener accepts framed transport connections.
@@ -229,6 +238,12 @@ func NewLink(conn *Conn) *Link { return spc.NewLink(conn) }
 
 // NewRouter returns an empty multi-peer router.
 func NewRouter() *Router { return spc.NewRouter() }
+
+// NewResilientLink builds a self-healing RemoteLink that (re)connects via
+// dial; see spc.ResilientLink for the failure semantics.
+func NewResilientLink(dial DialFunc, opts ResilientOptions) *ResilientLink {
+	return spc.NewResilientLink(dial, opts)
+}
 
 // NewPassthrough returns a Processor forwarding every SDO on stream out.
 func NewPassthrough(out StreamID) *Passthrough { return spc.NewPassthrough(out) }

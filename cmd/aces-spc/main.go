@@ -57,6 +57,8 @@ func run(args []string) error {
 		localNodes = fs.String("local-nodes", "", "comma-separated node ids hosted by this process (node mode)")
 		rate       = fs.Float64("rate", 1000, "SDOs per second (send)")
 		count      = fs.Int("count", 10000, "SDOs to send (send)")
+		upQueue    = fs.Int("uplink-queue", 1024, "uplink outbox capacity in frames (node mode)")
+		upTimeout  = fs.Duration("uplink-timeout", time.Second, "uplink per-frame write deadline (node mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,7 +67,7 @@ func run(args []string) error {
 	case "local":
 		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale)
 	case "node":
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale)
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *upQueue, *upTimeout)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -201,8 +203,11 @@ func runSend(addr string, rate float64, count int) error {
 }
 
 // runNode hosts one partition of a shared topology, bridging to exactly
-// one peer process (listen XOR dial).
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64) error {
+// one peer process (listen XOR dial) through a resilient uplink: sends
+// never block the PE emit path or the Δt scheduler, and a stalled or
+// severed peer triggers automatic reconnection while the local partition
+// keeps running.
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64, upQueue int, upTimeout time.Duration) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -242,33 +247,26 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 		nodes = append(nodes, aces.NodeID(n))
 	}
 
-	var conn *aces.Conn
+	// The DialFunc abstracts connection establishment for both roles: the
+	// listening side re-accepts after a sever, the dialing side redials
+	// (with backoff, so a peer that is not up yet is simply waited for).
+	var dial aces.DialFunc
+	var lis *aces.Listener
 	if listenAddr != "" {
-		l, err := aces.Listen(listenAddr)
+		lis, err = aces.Listen(listenAddr)
 		if err != nil {
 			return err
 		}
-		defer l.Close()
-		fmt.Printf("waiting for peer on %s...\n", l.Addr())
-		conn, err = l.Accept()
-		if err != nil {
-			return err
-		}
+		defer lis.Close()
+		fmt.Printf("waiting for peer on %s...\n", lis.Addr())
+		dial = func() (*aces.Conn, error) { return lis.Accept() }
 	} else {
-		// The peer may not be listening yet; retry briefly.
-		for attempt := 0; ; attempt++ {
-			conn, err = aces.Dial(peerAddr, 2*time.Second)
-			if err == nil {
-				break
-			}
-			if attempt > 20 {
-				return err
-			}
-			time.Sleep(250 * time.Millisecond)
-		}
+		dial = func() (*aces.Conn, error) { return aces.Dial(peerAddr, 2*time.Second) }
 	}
-	defer conn.Close()
-	link := aces.NewLink(conn)
+	link := aces.NewResilientLink(dial, aces.ResilientOptions{
+		QueueSize: upQueue, WriteTimeout: upTimeout,
+	})
+	defer link.Close()
 
 	cl, err := aces.NewCluster(aces.ClusterConfig{
 		Topo: doc.Topology, Policy: pol, CPU: doc.CPU,
@@ -287,10 +285,19 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	if err != nil {
 		return err
 	}
-	conn.Close()
+	// Unblock a pending Accept before closing the link (its manager
+	// goroutine may be waiting inside the DialFunc).
+	if lis != nil {
+		lis.Close()
+	}
+	link.Close()
 	<-serveDone
 	fmt.Printf("local weighted throughput %.2f /s (egress PEs hosted here only)\n", rep.WeightedThroughput)
 	fmt.Printf("latency %.1f ms (p95 %.1f), drops input %d in-flight %d\n",
 		rep.MeanLatency*1e3, rep.P95*1e3, rep.InputDrops, rep.InFlightDrops)
+	for _, ls := range rep.Links {
+		fmt.Printf("uplink              sent %d, dropped %d, reconnects %d, queue %d/%d\n",
+			ls.FramesSent, ls.FramesDropped, ls.Reconnects, ls.QueueLen, ls.QueueCap)
+	}
 	return nil
 }

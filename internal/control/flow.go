@@ -52,11 +52,16 @@ func (f *FlowController) Update(rho, buf float64) float64 {
 	copy(f.errHist[1:], f.errHist)
 	f.errHist[0] = buf - f.gains.B0
 	if f.primed < len(f.errHist) {
-		// Until the history is primed, replicate the newest sample so a
-		// cold start from a deep or empty buffer does not see phantom
-		// zero-error history.
+		// Until the history is primed, back-fill the unseen taps with the
+		// OLDEST known sample so a cold start from a deep or empty buffer
+		// does not see phantom zero-error history. After the shift the
+		// real samples occupy [0..primed] (newest first), so errHist[primed]
+		// is the first sample ever observed; replicating the newest sample
+		// instead would make the deep taps track the present and erase the
+		// genuine history already collected.
+		oldest := f.errHist[f.primed]
 		for i := f.primed + 1; i < len(f.errHist); i++ {
-			f.errHist[i] = f.errHist[0]
+			f.errHist[i] = oldest
 		}
 		f.primed++
 	}

@@ -1,0 +1,86 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// While priming, the unseen deep taps must hold the OLDEST observed
+// sample — a cold-started controller fed b₀,b₁,b₂ must behave exactly
+// like one whose history was explicitly pre-filled with b₀ before seeing
+// b₁,b₂. The old code back-filled with the NEWEST sample, erasing the
+// real history already collected.
+func TestPrimingMatchesExplicitlyPrefilledHistory(t *testing.T) {
+	gains := FlowGains{B0: 0, Lambda: []float64{0.2, 0.15, 0.1, 0.05}, Delay: 1}
+	const rho = 50.0
+	samples := []float64{10, 20, 30}
+
+	cold, err := NewFlowController(gains, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewFlowController(gains, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: saturate the history with the first sample, then feed the
+	// rest of the sequence.
+	var want float64
+	for i := 0; i < len(gains.Lambda); i++ {
+		want = ref.Update(rho, samples[0])
+	}
+	for _, s := range samples[1:] {
+		want = ref.Update(rho, s)
+	}
+
+	// Cold start: just the observed sequence.
+	var got float64
+	for _, s := range samples {
+		got = cold.Update(rho, s)
+	}
+
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("primed controller r = %g, explicitly pre-filled r = %g; priming must replicate the oldest sample", got, want)
+	}
+}
+
+// Inspect the taps directly: after three updates of a four-tap
+// controller, the unseen deepest tap holds the first sample, not the
+// newest one.
+func TestPrimingBackfillsOldestSample(t *testing.T) {
+	gains := FlowGains{B0: 0, Lambda: []float64{0.1, 0.1, 0.1, 0.1}, Delay: 1}
+	fc, err := NewFlowController(gains, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Update(1, 10)
+	fc.Update(1, 20)
+	fc.Update(1, 30)
+	want := []float64{30, 20, 10, 10}
+	for i, w := range want {
+		if fc.errHist[i] != w {
+			t.Fatalf("errHist = %v, want %v (tap %d should be %g)", fc.errHist, want, i, w)
+		}
+	}
+}
+
+// Once fully primed the back-fill must stop: a long-running controller
+// shifts history normally.
+func TestPrimedControllerShiftsNormally(t *testing.T) {
+	gains := FlowGains{B0: 0, Lambda: []float64{0.1, 0.1, 0.1}, Delay: 1}
+	fc, err := NewFlowController(gains, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []float64{1, 2, 3, 4, 5}
+	for _, s := range seq {
+		fc.Update(1, s)
+	}
+	want := []float64{5, 4, 3}
+	for i, w := range want {
+		if fc.errHist[i] != w {
+			t.Fatalf("errHist = %v, want %v", fc.errHist, want)
+		}
+	}
+}

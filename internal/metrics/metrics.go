@@ -123,6 +123,25 @@ type Report struct {
 	// ThroughputCV is the coefficient of variation of the windowed
 	// weighted-throughput series — the oscillation indicator (§IV).
 	ThroughputCV float64 `json:"throughput_cv"`
+	// Links reports per-uplink transport counters for partitioned
+	// deployments (empty when the run had no attached links).
+	Links []LinkStats `json:"links,omitempty"`
+}
+
+// LinkStats summarizes one cross-partition uplink's transport behaviour
+// over a run: the degrade-don't-collapse contract makes uplink loss a
+// first-class metric alongside buffer loss.
+type LinkStats struct {
+	// FramesSent counts frames that reached the wire.
+	FramesSent int64 `json:"frames_sent"`
+	// FramesDropped counts frames lost at this endpoint (outbox overflow
+	// or write failure); data-frame drops also appear as in-flight loss.
+	FramesDropped int64 `json:"frames_dropped"`
+	// Reconnects counts link re-establishments after the first connect.
+	Reconnects int64 `json:"reconnects"`
+	// QueueLen/QueueCap snapshot the outbox at report time.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
 }
 
 // Finalize freezes the collector into a report. now is the end-of-run

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"aces/internal/metrics"
 	"aces/internal/sdo"
 	"aces/internal/transport"
 )
@@ -61,6 +62,116 @@ func (l *Link) Serve(c *Cluster) error {
 	}
 }
 
+// ResilientLink is the fault-tolerant counterpart of Link: sends enqueue
+// into a transport.ResilientConn's bounded outbox and return immediately,
+// so neither the PE emit path nor the Δt scheduler ever blocks on
+// transport I/O. The conn reconnects on its own (jittered exponential
+// backoff); frames lost to outbox overflow or write failure are counted,
+// and data-frame losses are accounted as in-flight loss in the bound
+// cluster's report — a dead peer degrades the partitioned deployment, it
+// does not collapse it.
+type ResilientLink struct {
+	rc *transport.ResilientConn
+
+	mu      sync.Mutex
+	cluster *Cluster
+}
+
+// NewResilientLink builds a self-healing RemoteLink that (re)connects via
+// dial. Any OnDrop already present in opts still runs, after the link's
+// own loss accounting.
+func NewResilientLink(dial transport.DialFunc, opts transport.ResilientOptions) *ResilientLink {
+	l := &ResilientLink{}
+	userDrop := opts.OnDrop
+	opts.OnDrop = func(kind transport.Kind, hops int) {
+		// Feedback is best-effort by contract (repaired next tick); only
+		// data frames are billed as in-flight loss.
+		if kind != transport.KindFeedback {
+			l.noteLoss(hops)
+		}
+		if userDrop != nil {
+			userDrop(kind, hops)
+		}
+	}
+	l.rc = transport.NewResilientConn(dial, opts)
+	return l
+}
+
+func (l *ResilientLink) noteLoss(hops int) {
+	l.mu.Lock()
+	c := l.cluster
+	l.mu.Unlock()
+	if c != nil {
+		c.NoteUplinkLoss(hops)
+	}
+}
+
+// Bind attaches the link to the cluster whose report should carry its
+// loss accounting and transport counters. Serve calls it implicitly.
+func (l *ResilientLink) Bind(c *Cluster) {
+	l.mu.Lock()
+	already := l.cluster == c
+	l.cluster = c
+	l.mu.Unlock()
+	if !already && c != nil {
+		c.AttachLink(l)
+	}
+}
+
+// SendSDO implements RemoteLink. It never blocks: a full outbox drops the
+// SDO and returns transport.ErrOutboxFull, which the emitter counts as
+// in-flight loss.
+func (l *ResilientLink) SendSDO(to sdo.PEID, s sdo.SDO) error {
+	if _, ok := s.Payload.([]byte); !ok && s.Payload != nil {
+		s.Payload = nil // same wire constraint as Link.SendSDO
+	}
+	return l.rc.SendRouted(to, s)
+}
+
+// SendFeedback implements RemoteLink. It never blocks.
+func (l *ResilientLink) SendFeedback(pe int32, rmax float64) error {
+	return l.rc.SendFeedback(transport.Feedback{PE: pe, RMax: rmax})
+}
+
+// Serve pumps incoming frames into the cluster, riding across peer
+// reconnects; it returns nil once the link is closed.
+func (l *ResilientLink) Serve(c *Cluster) error {
+	l.Bind(c)
+	for {
+		msg, err := l.rc.Recv()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case transport.KindRouted:
+			c.InjectSDO(msg.To, msg.SDO)
+		case transport.KindFeedback:
+			c.InjectFeedback(msg.Feedback.PE, msg.Feedback.RMax)
+		}
+	}
+}
+
+// LinkStats implements LinkStatsSource for report integration.
+func (l *ResilientLink) LinkStats() metrics.LinkStats {
+	s := l.rc.Stats()
+	return metrics.LinkStats{
+		FramesSent:    s.FramesSent,
+		FramesDropped: s.FramesDropped,
+		Reconnects:    s.Reconnects,
+		QueueLen:      s.QueueLen,
+		QueueCap:      s.QueueCap,
+	}
+}
+
+// Stats snapshots the underlying transport counters.
+func (l *ResilientLink) Stats() transport.LinkStats { return l.rc.Stats() }
+
+// Close tears the link down; queued frames are counted as dropped.
+func (l *ResilientLink) Close() error { return l.rc.Close() }
+
 // Router fans a partitioned deployment out to several Links, choosing by
 // destination PE. It implements RemoteLink itself.
 type Router struct {
@@ -112,6 +223,8 @@ func (r *Router) SendFeedback(pe int32, rmax float64) error {
 
 // Interface compliance checks.
 var (
-	_ RemoteLink = (*Link)(nil)
-	_ RemoteLink = (*Router)(nil)
+	_ RemoteLink      = (*Link)(nil)
+	_ RemoteLink      = (*Router)(nil)
+	_ RemoteLink      = (*ResilientLink)(nil)
+	_ LinkStatsSource = (*ResilientLink)(nil)
 )

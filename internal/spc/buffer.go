@@ -86,14 +86,7 @@ func (b *Buffer) Pop(ctx context.Context) (s sdo.SDO, ok bool) {
 		}
 		b.notEmpty.Wait()
 	}
-	s = b.items[b.head]
-	b.items[b.head] = sdo.SDO{} // release payload reference
-	b.head++
-	if b.head > 256 && b.head*2 >= len(b.items) {
-		n := copy(b.items, b.items[b.head:])
-		b.items = b.items[:n]
-		b.head = 0
-	}
+	s = b.advanceHead()
 	b.notFull.Signal()
 	return s, true
 }
@@ -105,11 +98,24 @@ func (b *Buffer) TryPop() (s sdo.SDO, ok bool) {
 	if len(b.items)-b.head == 0 {
 		return sdo.SDO{}, false
 	}
-	s = b.items[b.head]
-	b.items[b.head] = sdo.SDO{}
-	b.head++
+	s = b.advanceHead()
 	b.notFull.Signal()
 	return s, true
+}
+
+// advanceHead removes and returns the head SDO and compacts the backing
+// array once the dead prefix dominates it, keeping memory bounded no
+// matter which pop path the consumer uses. Callers hold b.mu.
+func (b *Buffer) advanceHead() sdo.SDO {
+	s := b.items[b.head]
+	b.items[b.head] = sdo.SDO{} // release payload reference
+	b.head++
+	if b.head > 256 && b.head*2 >= len(b.items) {
+		n := copy(b.items, b.items[b.head:])
+		b.items = b.items[:n]
+		b.head = 0
+	}
+	return s
 }
 
 // Close wakes all waiters; subsequent pushes fail and pops drain the

@@ -226,6 +226,8 @@ type Cluster struct {
 
 	// local[j] reports whether PE j is hosted by this process.
 	local []bool
+	// links are uplinks whose transport counters join the run report.
+	links []LinkStatsSource
 	// delivered counts post-warmup egress SDOs per local PE.
 	delivered  []atomic.Int64
 	warmupVirt float64
@@ -439,7 +441,7 @@ func (c *Cluster) Run(duration float64) (metrics.Report, error) {
 	}
 	end := c.clock.Now()
 	c.Stop()
-	return c.col.finalize(end), nil
+	return c.Report(end), nil
 }
 
 // runPE is one PE's goroutine: pop, wait for budget, process, emit.
@@ -521,7 +523,7 @@ func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
 				if !ok {
 					return
 				}
-			case shed && dst.buf.Len() >= dst.buf.Cap()*8/10:
+			case shed && dst.buf.Len() >= shedThreshold(dst.buf.Cap()):
 				// Threshold shedding: refuse before the buffer is brimful.
 				c.col.inFlightDrop(c.clock.Now(), out.Hops)
 			default:
@@ -538,6 +540,18 @@ func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
 			}
 		}
 	}
+}
+
+// shedThreshold is the occupancy at which the LoadShed comparator starts
+// refusing SDOs: 80% of capacity with a floor of one, so tiny buffers
+// (Cap ≤ 1, where integer math would make the threshold 0) still admit
+// into an empty buffer instead of shedding everything.
+func shedThreshold(capacity int) int {
+	t := capacity * 8 / 10
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 // runScheduler is one node's Δt control loop.
@@ -687,7 +701,7 @@ func (c *Cluster) runSource(src graph.Source, proc workload.ArrivalProcess) {
 			Bytes:  1,
 		}
 		seq++
-		if c.cfg.Policy == policy.LoadShed && target.buf.Len() >= target.buf.Cap()*8/10 {
+		if c.cfg.Policy == policy.LoadShed && target.buf.Len() >= shedThreshold(target.buf.Cap()) {
 			c.col.inputDrop(c.clock.Now())
 		} else if !target.buf.TryPush(s) {
 			c.col.inputDrop(c.clock.Now())
@@ -720,7 +734,7 @@ func (c *Cluster) InjectSDO(to sdo.PEID, s sdo.SDO) {
 		return
 	}
 	dst := c.pes[to]
-	if c.cfg.Policy == policy.LoadShed && dst.buf.Len() >= dst.buf.Cap()*8/10 {
+	if c.cfg.Policy == policy.LoadShed && dst.buf.Len() >= shedThreshold(dst.buf.Cap()) {
 		c.col.inFlightDrop(c.clock.Now(), s.Hops)
 		return
 	}
@@ -735,13 +749,49 @@ func (c *Cluster) InjectFeedback(pe int32, rmax float64) {
 	c.fb.publish(pe, rmax)
 }
 
+// NoteUplinkLoss accounts an SDO dropped asynchronously by an uplink
+// (outbox writer failure after the emitter already handed it off) as
+// in-flight loss, mirroring what the emitter records for synchronous
+// send errors.
+func (c *Cluster) NoteUplinkLoss(hops int) {
+	c.col.inFlightDrop(c.clock.Now(), hops)
+}
+
+// LinkStatsSource exposes uplink transport counters for inclusion in the
+// cluster's run report.
+type LinkStatsSource interface {
+	LinkStats() metrics.LinkStats
+}
+
+// AttachLink registers an uplink whose counters should appear in this
+// cluster's reports (ResilientLink.Serve attaches itself).
+func (c *Cluster) AttachLink(s LinkStatsSource) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range c.links {
+		if have == s {
+			return
+		}
+	}
+	c.links = append(c.links, s)
+}
+
 // Now returns the cluster's current virtual time.
 func (c *Cluster) Now() float64 { return c.clock.Now() }
 
 // Report freezes the metrics collected so far (end-of-run time `now` in
 // virtual seconds). Run calls it implicitly; partitioned deployments using
 // Start/Stop call it per process.
-func (c *Cluster) Report(now float64) metrics.Report { return c.col.finalize(now) }
+func (c *Cluster) Report(now float64) metrics.Report {
+	rep := c.col.finalize(now)
+	c.mu.Lock()
+	links := append([]LinkStatsSource(nil), c.links...)
+	c.mu.Unlock()
+	for _, l := range links {
+		rep.Links = append(rep.Links, l.LinkStats())
+	}
+	return rep
+}
 
 // DeliveredByPE returns post-warmup egress SDO counts per PE (zero for
 // non-egress and non-local PEs) — parity with the simulator's method.

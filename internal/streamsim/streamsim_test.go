@@ -2,6 +2,7 @@ package streamsim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -220,11 +221,11 @@ func TestDeterminism(t *testing.T) {
 	cpu := equalSplit(topo)
 	r1 := run(t, topo, policy.ACES, cpu, 10, 42)
 	r2 := run(t, topo, policy.ACES, cpu, 10, 42)
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Errorf("same seed, different reports:\n%+v\n%+v", r1, r2)
 	}
 	r3 := run(t, topo, policy.ACES, cpu, 10, 43)
-	if r1 == r3 {
+	if reflect.DeepEqual(r1, r3) {
 		t.Errorf("different seeds produced identical reports (suspicious)")
 	}
 }

@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// FlakyConn wraps a net.Conn with switchable fault injection for tests:
+//
+//   - Stall: writes block (respecting the write deadline) as if the peer
+//     stopped reading and the TCP window filled.
+//   - DropWrites: writes report success but never reach the peer — a
+//     silently lossy path.
+//   - Sever: the underlying connection is closed; reads and writes fail
+//     until the test establishes a replacement.
+//
+// Faults are programmatic so a test can script a schedule: run clean,
+// stall mid-run, heal, sever, let the ResilientConn redial.
+type FlakyConn struct {
+	net.Conn
+
+	mu         sync.Mutex
+	stallUntil time.Time
+	dropWrites bool
+	severed    bool
+	wdeadline  time.Time
+}
+
+// WrapFlaky wraps raw in a FlakyConn with no faults active.
+func WrapFlaky(raw net.Conn) *FlakyConn { return &FlakyConn{Conn: raw} }
+
+// Stall makes writes block for d (or until the write deadline fires,
+// whichever is sooner), emulating a peer that stopped draining.
+func (f *FlakyConn) Stall(d time.Duration) {
+	f.mu.Lock()
+	f.stallUntil = time.Now().Add(d)
+	f.mu.Unlock()
+}
+
+// DropWrites toggles silent write loss.
+func (f *FlakyConn) DropWrites(on bool) {
+	f.mu.Lock()
+	f.dropWrites = on
+	f.mu.Unlock()
+}
+
+// Sever closes the underlying connection; subsequent reads and writes
+// fail, as after a network partition or peer crash.
+func (f *FlakyConn) Sever() {
+	f.mu.Lock()
+	f.severed = true
+	f.mu.Unlock()
+	f.Conn.Close()
+}
+
+// errSevered mimics the error class of a reset connection.
+var errSevered = errors.New("transport: connection severed (fault injection)")
+
+// timeoutError satisfies net.Error with Timeout() == true, matching what
+// a real deadline miss returns.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "transport: write deadline exceeded (stalled peer)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// SetWriteDeadline tracks the deadline locally so a stalled write can
+// honour it, then forwards to the underlying connection.
+func (f *FlakyConn) SetWriteDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.wdeadline = t
+	f.mu.Unlock()
+	return f.Conn.SetWriteDeadline(t)
+}
+
+// Write applies the active fault before delegating.
+func (f *FlakyConn) Write(p []byte) (int, error) {
+	for {
+		f.mu.Lock()
+		severed := f.severed
+		drop := f.dropWrites
+		stall := f.stallUntil
+		deadline := f.wdeadline
+		f.mu.Unlock()
+		if severed {
+			return 0, errSevered
+		}
+		remaining := time.Until(stall)
+		if remaining <= 0 {
+			if drop {
+				return len(p), nil
+			}
+			return f.Conn.Write(p)
+		}
+		// Stalled: block in small slices so Sever and deadline expiry are
+		// observed promptly.
+		if !deadline.IsZero() && !deadline.After(time.Now()) {
+			return 0, timeoutError{}
+		}
+		sleep := 2 * time.Millisecond
+		if remaining < sleep {
+			sleep = remaining
+		}
+		if !deadline.IsZero() {
+			if d := time.Until(deadline); d < sleep {
+				sleep = d
+			}
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+	}
+}
+
+// Read fails once severed; otherwise it delegates unchanged (faults model
+// the egress path, where the uplink writes; tests sever for read faults).
+func (f *FlakyConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	severed := f.severed
+	f.mu.Unlock()
+	if severed {
+		return 0, errSevered
+	}
+	return f.Conn.Read(p)
+}

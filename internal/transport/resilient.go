@@ -1,0 +1,351 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aces/internal/sdo"
+)
+
+// Sentinel errors returned by ResilientConn send methods. Both are
+// immediate: no send ever blocks on transport I/O.
+var (
+	// ErrOutboxFull reports that the bounded outbox had no room; the frame
+	// was dropped and counted. Senders treat this exactly like an overflow
+	// of a local PE buffer (in-flight loss).
+	ErrOutboxFull = errors.New("transport: outbox full")
+	// ErrLinkClosed reports a send on a closed ResilientConn.
+	ErrLinkClosed = errors.New("transport: link closed")
+)
+
+// DialFunc produces a fresh connection to the peer. On the dialing side
+// this wraps Dial; on the accepting side it wraps Listener.Accept, so a
+// severed peer re-establishing the TCP session is transparent to both.
+type DialFunc func() (*Conn, error)
+
+// ResilientOptions tunes a ResilientConn. The zero value picks usable
+// defaults.
+type ResilientOptions struct {
+	// QueueSize bounds the outbox in frames (default 1024). A full outbox
+	// drops the newest frame — loss at the boundary instead of back-pressure
+	// that would freeze the emit path or the Δt scheduler.
+	QueueSize int
+	// WriteTimeout bounds each frame write (default 1s). A stalled peer
+	// (unread TCP window) fails the write and triggers a reconnect rather
+	// than wedging the writer goroutine.
+	WriteTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 50ms, 2s).
+	// The actual delay is the current backoff plus up to 50% jitter, so a
+	// partition of many links does not reconnect in lockstep.
+	BackoffMin, BackoffMax time.Duration
+	// OnDrop, when set, is invoked for every frame dropped asynchronously
+	// by the writer goroutine (write failure after dequeue). It is NOT
+	// invoked for enqueue-time overflow: those return ErrOutboxFull and the
+	// caller accounts the loss synchronously. hops is the SDO's processing
+	// depth (0 for feedback frames).
+	OnDrop func(kind Kind, hops int)
+}
+
+func (o *ResilientOptions) fillDefaults() {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = 2 * time.Second
+		if o.BackoffMax < o.BackoffMin {
+			o.BackoffMax = o.BackoffMin
+		}
+	}
+}
+
+// LinkStats is a point-in-time snapshot of a ResilientConn's counters.
+type LinkStats struct {
+	// FramesSent counts frames written to the wire successfully.
+	FramesSent int64
+	// FramesDropped counts frames lost at this endpoint: outbox overflow,
+	// write failures, and frames abandoned at Close.
+	FramesDropped int64
+	// Reconnects counts successful re-establishments after the first
+	// connection.
+	Reconnects int64
+	// QueueLen and QueueCap describe the outbox at snapshot time.
+	QueueLen, QueueCap int
+}
+
+// outFrame is one queued wire frame. hops carries the SDO's processing
+// depth so asynchronous drops can be accounted as in-flight loss.
+type outFrame struct {
+	kind Kind
+	body []byte
+	hops int
+}
+
+// ResilientConn is a self-healing framed connection: sends enqueue into a
+// bounded outbox and never touch the network; a writer goroutine drains
+// the outbox under a write deadline; a manager goroutine (re)establishes
+// the connection with jittered exponential backoff whenever the current
+// one fails. Recv transparently rides across reconnects and returns only
+// when the conn is closed.
+//
+// The design target is the paper's §IV "degrades, does not collapse": a
+// stalled, severed or absent peer costs the local partition nothing but
+// the frames addressed to that peer, which are dropped and counted.
+type ResilientConn struct {
+	dial DialFunc
+	opts ResilientOptions
+	out  chan outFrame
+	done chan struct{}
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	cur       *Conn
+	gen       int // bumped on every connect; stale failures are ignored
+	connected bool
+	closed    bool
+
+	wg sync.WaitGroup
+
+	statsMu   sync.Mutex
+	sent      int64
+	dropped   int64
+	reconnect int64
+}
+
+// NewResilientConn starts the manager and writer goroutines and returns
+// immediately; the first connection is established in the background.
+func NewResilientConn(dial DialFunc, opts ResilientOptions) *ResilientConn {
+	opts.fillDefaults()
+	rc := &ResilientConn{
+		dial: dial,
+		opts: opts,
+		out:  make(chan outFrame, opts.QueueSize),
+		done: make(chan struct{}),
+	}
+	rc.cond = sync.NewCond(&rc.mu)
+	rc.wg.Add(2)
+	go rc.manage()
+	go rc.write()
+	return rc
+}
+
+// SendSDO enqueues one data frame. It never blocks; a full outbox returns
+// ErrOutboxFull and the frame is dropped.
+func (rc *ResilientConn) SendSDO(s sdo.SDO) error {
+	body, err := encodeSDO(s)
+	if err != nil {
+		return err
+	}
+	return rc.enqueue(KindData, body, s.Hops)
+}
+
+// SendRouted enqueues a data frame addressed to PE `to` in the peer
+// process. It never blocks.
+func (rc *ResilientConn) SendRouted(to sdo.PEID, s sdo.SDO) error {
+	body, err := encodeRouted(to, s)
+	if err != nil {
+		return err
+	}
+	return rc.enqueue(KindRouted, body, s.Hops)
+}
+
+// SendFeedback enqueues one control frame. It never blocks.
+func (rc *ResilientConn) SendFeedback(f Feedback) error {
+	return rc.enqueue(KindFeedback, encodeFeedback(f), 0)
+}
+
+func (rc *ResilientConn) enqueue(k Kind, body []byte, hops int) error {
+	select {
+	case <-rc.done:
+		return ErrLinkClosed
+	default:
+	}
+	select {
+	case rc.out <- outFrame{kind: k, body: body, hops: hops}:
+		return nil
+	default:
+		rc.countDrop()
+		return ErrOutboxFull
+	}
+}
+
+// Recv returns the next frame from the peer, waiting across reconnects.
+// It returns io.EOF only when the ResilientConn itself is closed.
+func (rc *ResilientConn) Recv() (Message, error) {
+	for {
+		conn, gen, ok := rc.current()
+		if !ok {
+			return Message{}, io.EOF
+		}
+		msg, err := conn.Recv()
+		if err == nil {
+			return msg, nil
+		}
+		rc.invalidate(gen)
+	}
+}
+
+// Stats snapshots the counters.
+func (rc *ResilientConn) Stats() LinkStats {
+	rc.statsMu.Lock()
+	defer rc.statsMu.Unlock()
+	return LinkStats{
+		FramesSent:    rc.sent,
+		FramesDropped: rc.dropped,
+		Reconnects:    rc.reconnect,
+		QueueLen:      len(rc.out),
+		QueueCap:      cap(rc.out),
+	}
+}
+
+// Close tears the link down: the current connection is closed, both
+// goroutines exit, queued frames are counted as dropped, and pending
+// Recv/sends return. Safe to call more than once.
+func (rc *ResilientConn) Close() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.closed = true
+	if rc.cur != nil {
+		rc.cur.Close()
+		rc.cur = nil
+	}
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+	close(rc.done)
+	rc.wg.Wait()
+	// Frames stranded in the outbox never reached the wire.
+	for {
+		select {
+		case <-rc.out:
+			rc.countDrop()
+		default:
+			return nil
+		}
+	}
+}
+
+func (rc *ResilientConn) countDrop() {
+	rc.statsMu.Lock()
+	rc.dropped++
+	rc.statsMu.Unlock()
+}
+
+// current blocks until a live connection exists (or the conn is closed)
+// and returns it with its generation for failure attribution.
+func (rc *ResilientConn) current() (*Conn, int, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for rc.cur == nil && !rc.closed {
+		rc.cond.Wait()
+	}
+	if rc.closed {
+		return nil, 0, false
+	}
+	return rc.cur, rc.gen, true
+}
+
+// invalidate retires generation gen's connection; stale calls (a reader
+// and writer both reporting the same dead conn) are idempotent.
+func (rc *ResilientConn) invalidate(gen int) {
+	rc.mu.Lock()
+	if rc.gen == gen && rc.cur != nil {
+		rc.cur.Close()
+		rc.cur = nil
+		rc.cond.Broadcast() // wake the manager to redial
+	}
+	rc.mu.Unlock()
+}
+
+// manage owns connection establishment: dial with jittered exponential
+// backoff, install, then sleep until the connection is invalidated.
+func (rc *ResilientConn) manage() {
+	defer rc.wg.Done()
+	backoff := rc.opts.BackoffMin
+	everConnected := false
+	for {
+		rc.mu.Lock()
+		for rc.cur != nil && !rc.closed {
+			rc.cond.Wait()
+		}
+		if rc.closed {
+			rc.mu.Unlock()
+			return
+		}
+		rc.mu.Unlock()
+
+		conn, err := rc.dial()
+		if err != nil {
+			d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+			backoff *= 2
+			if backoff > rc.opts.BackoffMax {
+				backoff = rc.opts.BackoffMax
+			}
+			select {
+			case <-rc.done:
+				return
+			case <-time.After(d):
+			}
+			continue
+		}
+		backoff = rc.opts.BackoffMin
+		rc.mu.Lock()
+		if rc.closed {
+			rc.mu.Unlock()
+			conn.Close()
+			return
+		}
+		rc.cur = conn
+		rc.gen++
+		rc.cond.Broadcast()
+		rc.mu.Unlock()
+		if everConnected {
+			rc.statsMu.Lock()
+			rc.reconnect++
+			rc.statsMu.Unlock()
+		}
+		everConnected = true
+	}
+}
+
+// write drains the outbox. Each frame is written under a deadline; a
+// failed write drops the frame, retires the connection and moves on — the
+// outbox, not the TCP session, is the loss boundary.
+func (rc *ResilientConn) write() {
+	defer rc.wg.Done()
+	for {
+		var f outFrame
+		select {
+		case <-rc.done:
+			return
+		case f = <-rc.out:
+		}
+		conn, gen, ok := rc.current()
+		if !ok {
+			rc.countDrop()
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(rc.opts.WriteTimeout))
+		if err := conn.send(f.kind, f.body); err != nil {
+			rc.invalidate(gen)
+			rc.countDrop()
+			if rc.opts.OnDrop != nil {
+				rc.opts.OnDrop(f.kind, f.hops)
+			}
+			continue
+		}
+		rc.statsMu.Lock()
+		rc.sent++
+		rc.statsMu.Unlock()
+	}
+}

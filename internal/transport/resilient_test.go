@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aces/internal/sdo"
+)
+
+// countingServer accepts connections in a loop (so a severed client can
+// come back) and counts every data frame received across all sessions.
+type countingServer struct {
+	l      *Listener
+	frames atomic.Int64
+	conns  atomic.Int64
+	wg     sync.WaitGroup
+}
+
+func newCountingServer(t *testing.T) *countingServer {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &countingServer{l: l}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.conns.Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer c.Close()
+				for {
+					msg, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if msg.Kind == KindData || msg.Kind == KindRouted {
+						s.frames.Add(1)
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *countingServer) addr() string { return s.l.Addr() }
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+func TestResilientDeliversFrames(t *testing.T) {
+	srv := newCountingServer(t)
+	rc := NewResilientConn(func() (*Conn, error) {
+		return Dial(srv.addr(), time.Second)
+	}, ResilientOptions{})
+	defer rc.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := rc.SendSDO(sdo.SDO{Stream: 1, Seq: uint64(i), Origin: time.Now()}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == 50 }, "frames delivered")
+	st := rc.Stats()
+	if st.FramesSent != 50 || st.FramesDropped != 0 {
+		t.Errorf("stats = %+v, want 50 sent, 0 dropped", st)
+	}
+}
+
+func TestResilientSurvivesSever(t *testing.T) {
+	srv := newCountingServer(t)
+	var current atomic.Pointer[FlakyConn]
+	rc := NewResilientConn(func() (*Conn, error) {
+		raw, err := net.DialTimeout("tcp", srv.addr(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		f := WrapFlaky(raw)
+		current.Store(f)
+		return NewConn(f), nil
+	}, ResilientOptions{BackoffMin: 10 * time.Millisecond})
+	defer rc.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := rc.SendSDO(sdo.SDO{Seq: uint64(i), Origin: time.Now()}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == 10 }, "pre-sever frames")
+
+	current.Load().Sever()
+	// Sends during/after the sever must not block; some may be lost, which
+	// is the contract (loss at the boundary, not collapse).
+	waitFor(t, 5*time.Second, func() bool {
+		rc.SendSDO(sdo.SDO{Seq: 99, Origin: time.Now()})
+		return rc.Stats().Reconnects >= 1 && srv.frames.Load() > 10
+	}, "reconnect and post-sever delivery")
+}
+
+func TestResilientSendNeverBlocksWhenPeerAbsent(t *testing.T) {
+	const queue = 16
+	rc := NewResilientConn(func() (*Conn, error) {
+		return nil, errors.New("nobody home")
+	}, ResilientOptions{QueueSize: queue, BackoffMin: 5 * time.Millisecond, BackoffMax: 20 * time.Millisecond})
+	defer rc.Close()
+
+	start := time.Now()
+	var overflows int
+	for i := 0; i < queue+25; i++ {
+		if err := rc.SendSDO(sdo.SDO{Seq: uint64(i), Origin: time.Now()}); errors.Is(err, ErrOutboxFull) {
+			overflows++
+		}
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Errorf("sends took %v; the emit path must never block on a dead peer", el)
+	}
+	if overflows == 0 {
+		t.Errorf("no ErrOutboxFull past a %d-frame queue with no consumer", queue)
+	}
+	if st := rc.Stats(); st.FramesDropped == 0 {
+		t.Errorf("overflow not counted: %+v", st)
+	}
+}
+
+func TestResilientStalledPeerTriggersDropAndReconnect(t *testing.T) {
+	srv := newCountingServer(t)
+	var current atomic.Pointer[FlakyConn]
+	var asyncDrops atomic.Int64
+	rc := NewResilientConn(func() (*Conn, error) {
+		raw, err := net.DialTimeout("tcp", srv.addr(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		f := WrapFlaky(raw)
+		current.Store(f)
+		return NewConn(f), nil
+	}, ResilientOptions{
+		WriteTimeout: 30 * time.Millisecond,
+		BackoffMin:   10 * time.Millisecond,
+		OnDrop:       func(k Kind, hops int) { asyncDrops.Add(1) },
+	})
+	defer rc.Close()
+
+	if err := rc.SendSDO(sdo.SDO{Origin: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == 1 }, "warmup frame")
+
+	// Stall the pipe longer than the write deadline: the in-flight frame
+	// must be dropped (not wedged) and the link must re-establish.
+	current.Load().Stall(400 * time.Millisecond)
+	if err := rc.SendSDO(sdo.SDO{Origin: time.Now(), Hops: 2}); err != nil {
+		t.Fatalf("enqueue onto stalled link must succeed (async outbox): %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return asyncDrops.Load() >= 1 }, "stalled write dropped via OnDrop")
+	waitFor(t, 5*time.Second, func() bool {
+		rc.SendSDO(sdo.SDO{Origin: time.Now()})
+		return srv.frames.Load() > 1
+	}, "delivery resumed after stall")
+	if st := rc.Stats(); st.Reconnects < 1 {
+		t.Errorf("stall did not force a reconnect: %+v", st)
+	}
+}
+
+func TestResilientCloseUnblocksRecv(t *testing.T) {
+	srv := newCountingServer(t)
+	rc := NewResilientConn(func() (*Conn, error) {
+		return Dial(srv.addr(), time.Second)
+	}, ResilientOptions{})
+
+	recvDone := make(chan error, 1)
+	go func() {
+		_, err := rc.Recv()
+		recvDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rc.Close()
+	select {
+	case err := <-recvDone:
+		if !errors.Is(err, io.EOF) {
+			t.Errorf("Recv after Close = %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	if err := rc.SendSDO(sdo.SDO{}); !errors.Is(err, ErrLinkClosed) {
+		t.Errorf("send after Close = %v, want ErrLinkClosed", err)
+	}
+	// Double close is safe.
+	rc.Close()
+}
+
+func TestFlakyDropWrites(t *testing.T) {
+	srv := newCountingServer(t)
+	raw, err := net.DialTimeout("tcp", srv.addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := WrapFlaky(raw)
+	c := NewConn(f)
+	defer c.Close()
+	if err := c.SendSDO(sdo.SDO{Origin: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == 1 }, "clean frame")
+	f.DropWrites(true)
+	if err := c.SendSDO(sdo.SDO{Origin: time.Now()}); err != nil {
+		t.Fatalf("dropped write should report success: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if srv.frames.Load() != 1 {
+		t.Errorf("dropped write reached the peer")
+	}
+	f.DropWrites(false)
+	if err := c.SendSDO(sdo.SDO{Origin: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == 2 }, "post-drop frame")
+}

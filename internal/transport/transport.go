@@ -87,6 +87,15 @@ func Dial(addr string, timeout time.Duration) (*Conn, error) {
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }
 
+// SetWriteDeadline bounds all future writes on the connection. A stalled
+// peer (full TCP window) then fails the write with a timeout instead of
+// blocking the sender forever; ResilientConn relies on this to keep its
+// writer goroutine live across peer stalls.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// SetReadDeadline bounds all future reads on the connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
 // SendSDO writes one data frame. The payload must be nil or []byte.
 func (c *Conn) SendSDO(s sdo.SDO) error {
 	body, err := encodeSDO(s)
@@ -118,22 +127,34 @@ func encodeSDO(s sdo.SDO) ([]byte, error) {
 // SendRouted writes a data frame addressed to a specific PE in a peer
 // process.
 func (c *Conn) SendRouted(to sdo.PEID, s sdo.SDO) error {
-	body, err := encodeSDO(s)
+	body, err := encodeRouted(to, s)
 	if err != nil {
 		return err
+	}
+	return c.send(KindRouted, body)
+}
+
+func encodeRouted(to sdo.PEID, s sdo.SDO) ([]byte, error) {
+	body, err := encodeSDO(s)
+	if err != nil {
+		return nil, err
 	}
 	routed := make([]byte, 0, 4+len(body))
 	routed = binary.BigEndian.AppendUint32(routed, uint32(to))
 	routed = append(routed, body...)
-	return c.send(KindRouted, routed)
+	return routed, nil
 }
 
 // SendFeedback writes one control frame.
 func (c *Conn) SendFeedback(f Feedback) error {
+	return c.send(KindFeedback, encodeFeedback(f))
+}
+
+func encodeFeedback(f Feedback) []byte {
 	body := make([]byte, 0, 12)
 	body = binary.BigEndian.AppendUint32(body, uint32(f.PE))
 	body = binary.BigEndian.AppendUint64(body, math.Float64bits(f.RMax))
-	return c.send(KindFeedback, body)
+	return body
 }
 
 func (c *Conn) send(k Kind, body []byte) error {

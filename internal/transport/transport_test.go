@@ -280,6 +280,53 @@ func TestRecvRejectsBadFeedbackFrame(t *testing.T) {
 	}
 }
 
+func TestRoutedRoundTrip(t *testing.T) {
+	client, server := pair(t)
+	in := sdo.SDO{Stream: 3, Seq: 11, Origin: time.Unix(0, 42), Hops: 2, Payload: []byte("xy"), Bytes: 2}
+	if err := client.SendRouted(9, in); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != KindRouted || msg.To != 9 {
+		t.Fatalf("routed frame lost destination: %+v", msg)
+	}
+	if msg.SDO.Seq != 11 || msg.SDO.Hops != 2 || string(msg.SDO.Payload.([]byte)) != "xy" {
+		t.Errorf("routed SDO mangled: %+v", msg.SDO)
+	}
+}
+
+func TestRecvRejectsShortRoutedFrame(t *testing.T) {
+	raw, framed := rawPair(t)
+	// A routed frame needs ≥ 4 bytes for the destination PE alone.
+	hdr := []byte{byte(KindRouted), 0, 0, 0, 3}
+	if _, err := raw.Write(append(hdr, 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framed.Recv(); err == nil {
+		t.Errorf("short routed frame accepted")
+	}
+}
+
+func TestRecvTruncatedBody(t *testing.T) {
+	raw, framed := rawPair(t)
+	// Header promises a 40-byte body; deliver 10 and hang up mid-frame.
+	hdr := []byte{byte(KindData), 0, 0, 0, 40}
+	if _, err := raw.Write(append(hdr, make([]byte, 10)...)); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	_, err := framed.Recv()
+	if err == nil {
+		t.Fatalf("truncated body accepted")
+	}
+	if err == io.EOF {
+		t.Errorf("mid-frame truncation must surface as a protocol error, not a clean EOF")
+	}
+}
+
 func TestRecvTruncatedHeader(t *testing.T) {
 	raw, framed := rawPair(t)
 	if _, err := raw.Write([]byte{byte(KindData), 0}); err != nil {

@@ -7,6 +7,7 @@ import (
 	"aces/internal/experiments"
 	"aces/internal/graph"
 	"aces/internal/metrics"
+	"aces/internal/obs"
 	"aces/internal/optimize"
 	"aces/internal/policy"
 	"aces/internal/sdo"
@@ -252,6 +253,54 @@ func NewPassthrough(out StreamID) *Passthrough { return spc.NewPassthrough(out) 
 func NewSynthetic(params ServiceParams, out StreamID, seed int64) *Synthetic {
 	return spc.NewSynthetic(params, out, sim.NewRand(seed))
 }
+
+// Observability: per-SDO tracing, live telemetry and the node debug
+// endpoint (internal/obs).
+type (
+	// Tracer samples SDOs at ingress and collects one span per hop in a
+	// fixed-size ring. Pass it to ClusterConfig.Tracer or SimConfig.Tracer.
+	Tracer = obs.Tracer
+	// Span is one hop of a sampled SDO's journey.
+	Span = obs.Span
+	// Trace is a reassembled per-SDO trace.
+	Trace = obs.Trace
+	// TelemetryRegistry holds named live counters, gauges and histograms.
+	TelemetryRegistry = obs.Registry
+	// TelemetrySink receives periodic registry snapshots.
+	TelemetrySink = obs.Sink
+	// MemoryTelemetrySink retains snapshot frames in a bounded ring.
+	MemoryTelemetrySink = obs.MemorySink
+	// DebugOptions wires a node's inspection endpoint providers.
+	DebugOptions = obs.DebugOptions
+	// DebugServer is a running /debug/* HTTP endpoint.
+	DebugServer = obs.DebugServer
+)
+
+// NewTracer builds a tracer sampling one in `every` ingress SDOs into a
+// ring of `capacity` spans; salt decorrelates IDs between partitions.
+func NewTracer(every, capacity int, salt int64) *Tracer {
+	return obs.NewTracer(every, capacity, salt)
+}
+
+// NewTelemetryRegistry builds a live metric registry flushing snapshots to
+// sink (nil = no periodic snapshots, Snapshot() still works).
+func NewTelemetryRegistry(sink TelemetrySink) *TelemetryRegistry {
+	return obs.NewRegistry(sink)
+}
+
+// NewMemoryTelemetrySink retains up to max snapshot frames (≤ 0 = default).
+func NewMemoryTelemetrySink(max int) *MemoryTelemetrySink {
+	return obs.NewMemorySink(max)
+}
+
+// ServeDebug binds addr and serves the /debug/* inspection endpoints.
+func ServeDebug(addr string, opts DebugOptions) (*DebugServer, error) {
+	return obs.ServeDebug(addr, opts)
+}
+
+// MergeTraces stitches per-process trace groups (e.g. the partitions of a
+// distributed run) into one list keyed by trace ID.
+func MergeTraces(parts ...[]Trace) []Trace { return obs.MergeTraces(parts...) }
 
 // Experiments: the harness regenerating the paper's evaluation.
 type (

@@ -8,9 +8,11 @@
 //	aces-bench                  # full paper-scale suite (minutes)
 //	aces-bench -quick           # reduced scale (seconds)
 //	aces-bench -exp fig4,fig5   # selected experiments only
+//	aces-bench -json out.json   # machine-readable results (stable key order)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,7 @@ func run(args []string) error {
 		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
 		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|all")
 		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
+		jsonTo = fs.String("json", "", "also write per-experiment results as machine-readable JSON to this file")
 		pes    = fs.Int("pes", 0, "override topology PE count")
 		nodes  = fs.Int("nodes", 0, "override node count")
 		dur    = fs.Float64("duration", 0, "override per-run simulated seconds")
@@ -70,6 +73,19 @@ func run(args []string) error {
 		return fn(f)
 	}
 
+	// JSON accumulation: the struct field order fixes the key order, so
+	// the output is byte-stable across runs of the same configuration.
+	type jsonExperiment struct {
+		Name string `json:"name"`
+		Rows any    `json:"rows"`
+	}
+	var jsonExps []jsonExperiment
+	addJSON := func(name string, rows any) {
+		if *jsonTo != "" {
+			jsonExps = append(jsonExps, jsonExperiment{Name: name, Rows: rows})
+		}
+	}
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -91,6 +107,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("fig2", rows)
 			experiments.FormatFanout(w, rows)
 			return writeCSV("fanout.csv", func(f *os.File) error {
 				return experiments.FanoutCSV(f, rows)
@@ -104,6 +121,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("fig3+fig4", rows)
 			if sel("fig3") {
 				experiments.FormatFig3(w, rows)
 			}
@@ -119,6 +137,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("fig5", rows)
 			experiments.FormatFig5(w, rows)
 			return writeCSV("burstiness.csv", func(f *os.File) error {
 				return experiments.BurstinessCSV(f, rows)
@@ -129,6 +148,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("smallbuf", rows)
 			experiments.FormatSmallBuffer(w, rows)
 			return nil
 		}},
@@ -137,6 +157,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("robust", rows)
 			experiments.FormatRobustness(w, rows)
 			return nil
 		}},
@@ -145,6 +166,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("stability", res)
 			experiments.FormatStability(w, res)
 			return nil
 		}},
@@ -153,6 +175,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("calibrate", rows)
 			experiments.FormatCalibration(w, rows)
 			return nil
 		}},
@@ -161,6 +184,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			addJSON("ablations", rows)
 			experiments.FormatAblations(w, rows)
 			return nil
 		}},
@@ -182,5 +206,22 @@ func run(args []string) error {
 		fmt.Fprintf(w, "  [%s done in %.1fs]\n\n", s.name, time.Since(t0).Seconds())
 	}
 	fmt.Fprintf(w, "total %.1fs\n", time.Since(start).Seconds())
+	if *jsonTo != "" {
+		doc := struct {
+			PEs         int              `json:"pes"`
+			Nodes       int              `json:"nodes"`
+			Duration    float64          `json:"duration_s"`
+			Seeds       []int64          `json:"seeds"`
+			Experiments []jsonExperiment `json:"experiments"`
+		}{o.PEs, o.Nodes, o.Duration, o.Seeds, jsonExps}
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		if err := os.WriteFile(*jsonTo, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonTo)
+	}
 	return nil
 }

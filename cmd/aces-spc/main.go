@@ -17,6 +17,12 @@
 //
 //	aces-spc -mode node -topo t.json -local-nodes 0,1 -listen :7071 -duration 20
 //	aces-spc -mode node -topo t.json -local-nodes 2,3 -connect host:7071 -duration 20
+//
+// Local and node modes optionally expose live inspection endpoints
+// (/debug/report, /debug/telemetry, /debug/traces, /debug/graph) and
+// sampled per-SDO tracing:
+//
+//	aces-spc -mode local -debug-addr 127.0.0.1:7099 -trace-every 8 -trace-out spans.jsonl
 package main
 
 import (
@@ -59,15 +65,20 @@ func run(args []string) error {
 		count      = fs.Int("count", 10000, "SDOs to send (send)")
 		upQueue    = fs.Int("uplink-queue", 1024, "uplink outbox capacity in frames (node mode)")
 		upTimeout  = fs.Duration("uplink-timeout", time.Second, "uplink per-frame write deadline (node mode)")
+		debugAddr  = fs.String("debug-addr", "", "serve /debug/* inspection endpoints on this address (local/node; \":0\" picks a port)")
+		traceEvery = fs.Int("trace-every", 0, "trace 1-in-N ingress SDOs (0 = off unless -debug-addr/-trace-out, then 64)")
+		traceBuf   = fs.Int("trace-buf", 0, "span ring capacity (0 = default 4096)")
+		traceOut   = fs.String("trace-out", "", "write retained spans as JSONL to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob := obsOpts{debugAddr: *debugAddr, traceEvery: *traceEvery, traceBuf: *traceBuf, traceOut: *traceOut}
 	switch *mode {
 	case "local":
-		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale)
+		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, ob)
 	case "node":
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *upQueue, *upTimeout)
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *upQueue, *upTimeout, ob)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -85,7 +96,76 @@ func run(args []string) error {
 	}
 }
 
-func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale float64) error {
+// obsOpts bundles the observability flags shared by local and node modes.
+type obsOpts struct {
+	debugAddr  string
+	traceEvery int
+	traceBuf   int
+	traceOut   string
+}
+
+// build constructs the tracer and telemetry registry the flags ask for
+// (nil when observability is off — the data path then pays only nil
+// checks). The salt keeps trace IDs distinct across partition processes.
+func (o obsOpts) build(salt int64) (*aces.Tracer, *aces.TelemetryRegistry, *aces.MemoryTelemetrySink) {
+	var tr *aces.Tracer
+	if o.traceEvery > 0 || o.debugAddr != "" || o.traceOut != "" {
+		every := o.traceEvery
+		if every <= 0 {
+			every = 64
+		}
+		tr = aces.NewTracer(every, o.traceBuf, salt)
+	}
+	var reg *aces.TelemetryRegistry
+	var sink *aces.MemoryTelemetrySink
+	if o.debugAddr != "" {
+		sink = aces.NewMemoryTelemetrySink(0)
+		reg = aces.NewTelemetryRegistry(sink)
+	}
+	return tr, reg, sink
+}
+
+// serve starts the /debug/* endpoint when requested; the returned cleanup
+// also writes the -trace-out JSONL export. Call it after the cluster is
+// built and defer the cleanup.
+func (o obsOpts) serve(cl *aces.Cluster, topo *aces.Topology, title string,
+	tr *aces.Tracer, reg *aces.TelemetryRegistry, sink *aces.MemoryTelemetrySink) (func(), error) {
+	var srv *aces.DebugServer
+	if o.debugAddr != "" {
+		var err error
+		srv, err = aces.ServeDebug(o.debugAddr, aces.DebugOptions{
+			Report:   func() any { return cl.Report(cl.Now()) },
+			Registry: reg,
+			Sink:     sink,
+			Tracer:   tr,
+			GraphDOT: func(w io.Writer) error { return topo.WriteDOT(w, title) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("debug endpoint on http://%s/debug/\n", srv.Addr())
+	}
+	return func() {
+		if srv != nil {
+			srv.Close()
+		}
+		if o.traceOut != "" && tr != nil {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aces-spc: trace export: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := tr.ExportJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "aces-spc: trace export: %v\n", err)
+				return
+			}
+			fmt.Printf("exported trace spans to %s\n", o.traceOut)
+		}
+	}, nil
+}
+
+func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale float64, ob obsOpts) error {
 	pol, err := aces.ParsePolicy(polName)
 	if err != nil {
 		return err
@@ -126,12 +206,19 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 		}
 		cpu = alloc.CPU
 	}
+	tr, reg, sink := ob.build(seed)
 	cl, err := aces.NewCluster(aces.ClusterConfig{
 		Topo: topo, Policy: pol, CPU: cpu, TimeScale: scale, Warmup: duration / 5, Seed: seed,
+		Tracer: tr, Telemetry: reg,
 	})
 	if err != nil {
 		return err
 	}
+	cleanup, err := ob.serve(cl, topo, fmt.Sprintf("aces local deployment (%s)", pol), tr, reg, sink)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	fmt.Printf("running %d PEs on %d nodes under %s for %.0fs virtual (%.0f× wall speed)...\n",
 		topo.NumPEs(), topo.NumNodes, pol, duration, scale)
 	rep, err := cl.Run(duration)
@@ -207,7 +294,7 @@ func runSend(addr string, rate float64, count int) error {
 // never block the PE emit path or the Δt scheduler, and a stalled or
 // severed peer triggers automatic reconnection while the local partition
 // keeps running.
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64, upQueue int, upTimeout time.Duration) error {
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64, upQueue int, upTimeout time.Duration, ob obsOpts) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -268,14 +355,24 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	})
 	defer link.Close()
 
+	// Salt the tracer with the partition's first node so the two sides of
+	// a bridge never mint colliding trace IDs (stitching is by ID).
+	tr, reg, sink := ob.build(seed*1000003 + int64(nodes[0]) + 1)
 	cl, err := aces.NewCluster(aces.ClusterConfig{
 		Topo: doc.Topology, Policy: pol, CPU: doc.CPU,
 		TimeScale: scale, Warmup: duration / 5, Seed: seed,
 		LocalNodes: nodes, Uplink: link,
+		Tracer: tr, Telemetry: reg,
 	})
 	if err != nil {
 		return err
 	}
+	title := fmt.Sprintf("aces partition hosting nodes %v (%s)", nodes, pol)
+	cleanup, err := ob.serve(cl, doc.Topology, title, tr, reg, sink)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- link.Serve(cl) }()
 

@@ -126,6 +126,10 @@ type Report struct {
 	// Links reports per-uplink transport counters for partitioned
 	// deployments (empty when the run had no attached links).
 	Links []LinkStats `json:"links,omitempty"`
+	// Degenerate marks a report finalized at or before the warm-up
+	// horizon: no measured window exists, so Duration and every rate
+	// derived from it are zero and must not be compared against real runs.
+	Degenerate bool `json:"degenerate,omitempty"`
 }
 
 // LinkStats summarizes one cross-partition uplink's transport behaviour
@@ -160,6 +164,8 @@ func (c *Collector) Finalize(now float64) Report {
 	if now > c.warmup {
 		r.Duration = now - c.warmup
 		r.WeightedThroughput = c.weighted / r.Duration
+	} else {
+		r.Degenerate = true
 	}
 	qs := c.latRes.Quantiles(0.5, 0.95, 0.99)
 	r.P50, r.P95, r.P99 = qs[0], qs[1], qs[2]
@@ -186,7 +192,7 @@ func (r Report) LossRate() float64 {
 
 // String renders a one-line summary.
 func (r Report) String() string {
-	return fmt.Sprintf("wt=%.2f lat=%.1fms±%.1f p95=%.1fms drops(in=%d fly=%d) bufocc=%.1f",
-		r.WeightedThroughput, r.MeanLatency*1e3, r.StdLatency*1e3, r.P95*1e3,
-		r.InputDrops, r.InFlightDrops, r.MeanBufferOccupancy)
+	return fmt.Sprintf("wt=%.2f cv=%.3f lat=%.1fms±%.1f p95=%.1fms p99=%.1fms drops(in=%d fly=%d) bufocc=%.1f",
+		r.WeightedThroughput, r.ThroughputCV, r.MeanLatency*1e3, r.StdLatency*1e3,
+		r.P95*1e3, r.P99*1e3, r.InputDrops, r.InFlightDrops, r.MeanBufferOccupancy)
 }

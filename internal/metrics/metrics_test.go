@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -104,13 +106,71 @@ func TestFinalizeBeforeWarmup(t *testing.T) {
 	if r.Duration != 0 || r.WeightedThroughput != 0 {
 		t.Errorf("pre-warmup finalize should have zero rates: %+v", r)
 	}
+	if !r.Degenerate {
+		t.Errorf("finalize before warmup must be marked Degenerate")
+	}
+}
+
+// The warm-up gate is strict (now < warmup discards): events landing
+// exactly ON the horizon belong to the measured window.
+func TestWarmupBoundaryCounted(t *testing.T) {
+	c := NewCollector(10)
+	c.Egress(10, 2, 0.01)
+	c.InputDrop(10)
+	c.InFlightDrop(10, 3)
+	c.BufferSample(10, 7)
+	c.ThroughputSample(10, 5)
+	r := c.Finalize(20)
+	if r.Deliveries != 1 || r.InputDrops != 1 || r.InFlightDrops != 1 || r.WastedHops != 3 {
+		t.Errorf("boundary events discarded: %+v", r)
+	}
+	if r.MeanBufferOccupancy != 7 {
+		t.Errorf("boundary buffer sample discarded: %+v", r)
+	}
+	if r.Degenerate {
+		t.Errorf("run past warmup marked Degenerate")
+	}
+	// Finalizing exactly AT the horizon leaves no measured window.
+	c2 := NewCollector(10)
+	c2.Egress(10, 2, 0.01)
+	r2 := c2.Finalize(10)
+	if !r2.Degenerate || r2.Duration != 0 {
+		t.Errorf("finalize at warmup not degenerate: %+v", r2)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	c := NewCollector(1)
+	c.Egress(2, 1.5, 0.020)
+	c.Egress(3, 1.5, 0.040)
+	c.InputDrop(2)
+	c.InFlightDrop(2, 4)
+	c.BufferSample(2, 12)
+	c.ThroughputSample(2, 3)
+	c.ThroughputSample(3, 5)
+	in := c.Finalize(10)
+	in.Links = []LinkStats{{FramesSent: 9, FramesDropped: 2, Reconnects: 1, QueueLen: 3, QueueCap: 64}}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mutated the report:\n in: %+v\nout: %+v", in, out)
+	}
 }
 
 func TestReportString(t *testing.T) {
 	c := NewCollector(0)
 	c.Egress(1, 1, 0.02)
 	r := c.Finalize(2)
-	if s := r.String(); !strings.Contains(s, "wt=") {
-		t.Errorf("String = %q", s)
+	s := r.String()
+	for _, want := range []string{"wt=", "cv=", "p95=", "p99="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %q", want, s)
+		}
 	}
 }

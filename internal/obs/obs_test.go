@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSampleIngressEveryN(t *testing.T) {
+	tr := NewTracer(4, 64, 1)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if tr.SampleIngress() != 0 {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Errorf("1-in-4 sampling over 400 arrivals gave %d traces, want 100", sampled)
+	}
+	all := NewTracer(1, 64, 1)
+	for i := 0; i < 10; i++ {
+		if all.SampleIngress() == 0 {
+			t.Fatalf("every=1 must sample every arrival")
+		}
+	}
+}
+
+func TestTraceIDsDistinctAcrossSalts(t *testing.T) {
+	a, b := NewTracer(1, 8, 1), NewTracer(1, 8, 2)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[a.SampleIngress()] = true
+		seen[b.SampleIngress()] = true
+	}
+	if len(seen) != 200 {
+		t.Errorf("expected 200 distinct IDs across two salted tracers, got %d", len(seen))
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(1, 4, 1)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Trace: uint64(i) + 1, Done: float64(i)})
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(6 + i + 1); s.Trace != want {
+			t.Errorf("ring[%d].Trace = %d, want %d (oldest-first)", i, s.Trace, want)
+		}
+	}
+	if tr.SpanCount() != 10 {
+		t.Errorf("SpanCount = %d, want 10", tr.SpanCount())
+	}
+}
+
+func TestTracesGroupingAndCompleteness(t *testing.T) {
+	tr := NewTracer(1, 64, 1)
+	tr.Record(Span{Trace: 7, PE: 0, Done: 1, Event: EventProcessed})
+	tr.Record(Span{Trace: 7, PE: 1, Done: 2, Event: EventEgress})
+	tr.Record(Span{Trace: 9, PE: 0, Done: 3, Event: EventProcessed})
+	traces := tr.Traces(0)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	// Most recently touched first: trace 9 (Done=3) before trace 7.
+	if traces[0].ID != 9 || traces[1].ID != 7 {
+		t.Errorf("trace order = %d,%d; want 9,7", traces[0].ID, traces[1].ID)
+	}
+	if traces[0].Complete {
+		t.Errorf("trace 9 has no terminal span but is marked complete")
+	}
+	if !traces[1].Complete || len(traces[1].Spans) != 2 {
+		t.Errorf("trace 7 should be complete with 2 spans: %+v", traces[1])
+	}
+	if got := tr.Traces(1); len(got) != 1 {
+		t.Errorf("Traces(1) returned %d", len(got))
+	}
+}
+
+func TestExportJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(1, 16, 1)
+	tr.Record(Span{Trace: 3, PE: 2, Node: 1, Hops: 4, Enqueue: 0.5, Dequeue: 0.6, Done: 0.7, Event: EventEgress})
+	var buf bytes.Buffer
+	if err := tr.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var got map[string]any
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("JSONL line not valid JSON: %v", err)
+	}
+	if got["event"] != "egress" || got["trace"] != float64(3) {
+		t.Errorf("exported span mangled: %v", got)
+	}
+}
+
+func TestMergeTracesStitchesPartitions(t *testing.T) {
+	a := []Trace{{ID: 5, Spans: []Span{{Trace: 5, Node: 0, Event: EventProcessed}}}}
+	b := []Trace{{ID: 5, Spans: []Span{{Trace: 5, Node: 1, Event: EventEgress}}, Complete: true}}
+	merged := MergeTraces(a, b)
+	if len(merged) != 1 || len(merged[0].Spans) != 2 || !merged[0].Complete {
+		t.Errorf("merge failed: %+v", merged)
+	}
+}
+
+func TestRecordConcurrent(t *testing.T) {
+	tr := NewTracer(1, 128, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(Span{Trace: uint64(g*1000 + i + 1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.SpanCount() != 8000 {
+		t.Errorf("SpanCount = %d, want 8000", tr.SpanCount())
+	}
+	if got := len(tr.Snapshot()); got != 128 {
+		t.Errorf("ring kept %d spans, want 128", got)
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("sheds_total", Labels{"pe": "3"})
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	// Re-registering returns the same metric.
+	if r.Counter("sheds_total", Labels{"pe": "3"}) != c {
+		t.Errorf("re-registration created a new counter")
+	}
+	g := r.Gauge("buffer_occupancy", Labels{"pe": "3", "node": "1"})
+	g.Set(17.5)
+	if g.Value() != 17.5 {
+		t.Errorf("gauge = %g", g.Value())
+	}
+	h := r.Histogram("latency_s", nil, []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5) // overflow bucket
+	if h.Count() != 3 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 0.1 {
+		t.Errorf("p50 = %g, want 0.1", q)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d points, want 3", len(snap))
+	}
+	// Sorted by key, labels canonicalized (node before pe).
+	if snap[0].Key != "buffer_occupancy{node=1,pe=3}" {
+		t.Errorf("first key = %q", snap[0].Key)
+	}
+	if snap[1].Kind != "histogram" || snap[1].Count != 3 {
+		t.Errorf("histogram point wrong: %+v", snap[1])
+	}
+	if snap[2].Key != "sheds_total{pe=3}" || snap[2].Value != 3 {
+		t.Errorf("counter point wrong: %+v", snap[2])
+	}
+}
+
+func TestRegistryFlushToSink(t *testing.T) {
+	sink := NewMemorySink(3)
+	r := NewRegistry(sink)
+	g := r.Gauge("rmax", Labels{"pe": "0"})
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		r.Flush(float64(i))
+	}
+	frames := sink.Frames()
+	if len(frames) != 3 {
+		t.Fatalf("sink kept %d frames, want 3", len(frames))
+	}
+	if frames[0].Now != 2 || frames[2].Now != 4 {
+		t.Errorf("frames not oldest-first after wrap: %v %v", frames[0].Now, frames[2].Now)
+	}
+	ts, vs := sink.Series("rmax{pe=0}")
+	if len(ts) != 3 || vs[2] != 4 {
+		t.Errorf("series extraction wrong: %v %v", ts, vs)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Gauge("tokens", Labels{"pe": "1"}).Set(2.5)
+	tr := NewTracer(1, 16, 1)
+	tr.Record(Span{Trace: 11, Event: EventEgress, Done: 1})
+	srv, err := ServeDebug("127.0.0.1:0", DebugOptions{
+		Report:   func() any { return map[string]any{"weighted_throughput": 42.0} },
+		Registry: reg,
+		Tracer:   tr,
+		GraphDOT: func(w io.Writer) error { _, err := io.WriteString(w, "digraph aces {}\n"); return err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/debug/report"); code != 200 || !strings.Contains(body, "weighted_throughput") {
+		t.Errorf("/debug/report: %d %q", code, body)
+	}
+	if code, body := get("/debug/telemetry"); code != 200 || !strings.Contains(body, "tokens{pe=1}") {
+		t.Errorf("/debug/telemetry: %d %q", code, body)
+	}
+	if code, body := get("/debug/traces"); code != 200 || !strings.Contains(body, `"complete": true`) {
+		t.Errorf("/debug/traces: %d %q", code, body)
+	}
+	if code, body := get("/debug/traces?jsonl=1"); code != 200 || !strings.Contains(body, `"egress"`) {
+		t.Errorf("/debug/traces?jsonl=1: %d %q", code, body)
+	}
+	if code, body := get("/debug/graph"); code != 200 || !strings.Contains(body, "digraph") {
+		t.Errorf("/debug/graph: %d %q", code, body)
+	}
+	if code, _ := get("/debug/"); code != 200 {
+		t.Errorf("/debug/ index: %d", code)
+	}
+}
+
+func TestDebugMissingProviders404(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", DebugOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/report", "/debug/telemetry", "/debug/traces", "/debug/graph"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("%s with no provider: %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value (last-write-wins).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed bounds (upper-inclusive
+// buckets plus a +Inf overflow), tracking sum and count for means.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sumμ   atomic.Int64 // sum in micro-units to stay atomic without CAS loops
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumμ.Add(int64(v * 1e6))
+}
+
+// Count returns total observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the running mean of observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumμ.Load()) / 1e6 / float64(n)
+}
+
+// Buckets returns (bounds, cumulative-free per-bucket counts); the final
+// count is the +Inf overflow bucket.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return h.bounds, out
+}
+
+// Quantile estimates the q-quantile (0<q<1) from the buckets, using the
+// bucket upper bound as the estimate (conservative). Returns 0 when
+// empty; overflow-bucket hits return the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Labels is an ordered label set (PE, node, link, …) attached to a
+// metric. Order-insensitive: the registry canonicalizes by sorting keys.
+type Labels map[string]string
+
+// key renders name+labels canonically: name{k1=v1,k2=v2} with keys sorted.
+func metricKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MetricPoint is one metric's value in a snapshot.
+type MetricPoint struct {
+	// Key is the canonical name{labels} identifier.
+	Key string `json:"key"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Value is the counter total, gauge level, or histogram mean.
+	Value float64 `json:"value"`
+	// Count is set for histograms (observation count).
+	Count int64 `json:"count,omitempty"`
+	// P99 is set for histograms.
+	P99 float64 `json:"p99,omitempty"`
+}
+
+// SnapshotFrame is one timestamped registry snapshot.
+type SnapshotFrame struct {
+	Now    float64       `json:"now"`
+	Points []MetricPoint `json:"points"`
+}
+
+// Sink receives periodic registry snapshots — the time-series backend the
+// Fig.-style stability series are reconstructed from.
+type Sink interface {
+	Record(frame SnapshotFrame)
+}
+
+// MemorySink retains the most recent frames in memory.
+type MemorySink struct {
+	mu     sync.Mutex
+	frames []SnapshotFrame
+	next   int
+	max    int
+}
+
+// NewMemorySink retains up to max frames (≤0 defaults to 600 — a minute
+// of 10 Hz sampling).
+func NewMemorySink(max int) *MemorySink {
+	if max <= 0 {
+		max = 600
+	}
+	return &MemorySink{max: max}
+}
+
+// Record implements Sink.
+func (m *MemorySink) Record(frame SnapshotFrame) {
+	m.mu.Lock()
+	if len(m.frames) < m.max {
+		m.frames = append(m.frames, frame)
+	} else {
+		m.frames[m.next] = frame
+		m.next = (m.next + 1) % len(m.frames)
+	}
+	m.mu.Unlock()
+}
+
+// Frames returns the retained frames oldest-first.
+func (m *MemorySink) Frames() []SnapshotFrame {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SnapshotFrame, 0, len(m.frames))
+	out = append(out, m.frames[m.next:]...)
+	out = append(out, m.frames[:m.next]...)
+	return out
+}
+
+// Series extracts one metric's (time, value) pairs from the retained
+// frames — convenience for tests and plotting.
+func (m *MemorySink) Series(key string) (ts, vs []float64) {
+	for _, f := range m.Frames() {
+		for _, p := range f.Points {
+			if p.Key == key {
+				ts = append(ts, f.Now)
+				vs = append(vs, p.Value)
+				break
+			}
+		}
+	}
+	return ts, vs
+}
+
+// registryEntry pairs a metric with its rendering.
+type registryEntry struct {
+	kind string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named live metrics. Registration is rare (setup time) and
+// takes a write lock; reads during Snapshot take a read lock; the metric
+// objects themselves are lock-free atomics, so instrumented hot paths
+// never contend with snapshots.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*registryEntry
+	sink    Sink
+}
+
+// NewRegistry returns an empty registry. sink may be nil (Flush becomes a
+// snapshot-only no-op).
+func NewRegistry(sink Sink) *Registry {
+	return &Registry{entries: make(map[string]*registryEntry), sink: sink}
+}
+
+// Counter registers (or returns the existing) counter name{labels}.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok && e.c != nil {
+		return e.c
+	}
+	c := &Counter{}
+	r.entries[key] = &registryEntry{kind: "counter", c: c}
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge name{labels}.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok && e.g != nil {
+		return e.g
+	}
+	g := &Gauge{}
+	r.entries[key] = &registryEntry{kind: "gauge", g: g}
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram name{labels}
+// with the given upper bounds (sorted ascending; a copy is taken).
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok && e.h != nil {
+		return e.h
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	r.entries[key] = &registryEntry{kind: "histogram", h: h}
+	return h
+}
+
+// Snapshot returns every metric's current value sorted by key.
+func (r *Registry) Snapshot() []MetricPoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]MetricPoint, 0, len(r.entries))
+	for key, e := range r.entries {
+		p := MetricPoint{Key: key, Kind: e.kind}
+		switch {
+		case e.c != nil:
+			p.Value = float64(e.c.Value())
+		case e.g != nil:
+			p.Value = e.g.Value()
+		case e.h != nil:
+			p.Value = e.h.Mean()
+			p.Count = e.h.Count()
+			p.P99 = e.h.Quantile(0.99)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Flush snapshots the registry at virtual time now and hands the frame to
+// the sink, if any. The scheduler tick calls this on its sampling cadence.
+func (r *Registry) Flush(now float64) SnapshotFrame {
+	frame := SnapshotFrame{Now: now, Points: r.Snapshot()}
+	r.mu.RLock()
+	sink := r.sink
+	r.mu.RUnlock()
+	if sink != nil {
+		sink.Record(frame)
+	}
+	return frame
+}
+
+// SetSink replaces the snapshot sink (nil disables).
+func (r *Registry) SetSink(s Sink) {
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DebugOptions wires the debug handler to a running node. Every provider
+// is optional: missing ones answer 404, so the same handler serves a bare
+// transport relay or a fully instrumented cluster.
+type DebugOptions struct {
+	// Report returns the node's live run report (served as JSON at
+	// /debug/report). Typically cluster.Report(cluster.Now()).
+	Report func() any
+	// Registry serves /debug/telemetry (current snapshot) when set.
+	Registry *Registry
+	// Sink, when set alongside Registry, serves the retained time series
+	// at /debug/telemetry?series=1.
+	Sink *MemorySink
+	// Tracer serves /debug/traces when set.
+	Tracer *Tracer
+	// GraphDOT writes the placement-annotated DOT of the deployed DAG
+	// (served at /debug/graph).
+	GraphDOT func(w io.Writer) error
+}
+
+// NewDebugHandler builds the /debug/* inspection mux:
+//
+//	/debug/report            live metrics.Report JSON
+//	/debug/telemetry         registry snapshot (?series=1 for history)
+//	/debug/traces            recent traces (?n=K limits, ?complete=1 filters)
+//	/debug/traces?jsonl=1    raw span export, one JSON object per line
+//	/debug/graph             placement-annotated Graphviz DOT
+func NewDebugHandler(opts DebugOptions) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("/debug/report", func(w http.ResponseWriter, req *http.Request) {
+		if opts.Report == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, opts.Report())
+	})
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, req *http.Request) {
+		if opts.Registry == nil {
+			http.NotFound(w, req)
+			return
+		}
+		if req.URL.Query().Get("series") != "" && opts.Sink != nil {
+			writeJSON(w, opts.Sink.Frames())
+			return
+		}
+		writeJSON(w, opts.Registry.Snapshot())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		if opts.Tracer == nil {
+			http.NotFound(w, req)
+			return
+		}
+		q := req.URL.Query()
+		if q.Get("jsonl") != "" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = opts.Tracer.ExportJSONL(w)
+			return
+		}
+		max := 50
+		if s := q.Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				max = n
+			}
+		}
+		// Filter before truncating: ?n=1&complete=1 means "the most
+		// recent complete trace", not "the most recent trace, if complete".
+		traces := opts.Tracer.Traces(0)
+		if q.Get("complete") != "" {
+			kept := traces[:0]
+			for _, tr := range traces {
+				if tr.Complete {
+					kept = append(kept, tr)
+				}
+			}
+			traces = kept
+		}
+		if len(traces) > max {
+			traces = traces[:max]
+		}
+		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/debug/graph", func(w http.ResponseWriter, req *http.Request) {
+		if opts.GraphDOT == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		if err := opts.GraphDOT(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "aces debug endpoints: /debug/report /debug/telemetry /debug/traces /debug/graph")
+	})
+	return mux
+}
+
+// DebugServer is a running inspection endpoint.
+type DebugServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr (":0" picks a free port) and serves the debug
+// handler until Close. It returns immediately.
+func ServeDebug(addr string, opts DebugOptions) (*DebugServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugHandler(opts), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(l) }()
+	return &DebugServer{l: l, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (s *DebugServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }

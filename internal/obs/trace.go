@@ -1,0 +1,273 @@
+// Package obs is the observability subsystem: per-SDO distributed
+// tracing, a live telemetry registry, and the HTTP debug handler the
+// aces-spc node endpoint serves. The paper's argument is time-resolved —
+// buffer occupancies converging to b₀, r_max tracking ρ, throughput not
+// oscillating (§IV, §V-C) — and this package makes those series (and the
+// journey of any single SDO through the DAG) visible on a *live* cluster
+// instead of only in the frozen post-run metrics.Report.
+//
+// Overhead contract: every hook on the data path is gated on a nil
+// receiver or a zero trace ID, so a deployment that does not configure a
+// Tracer pays no more than a nil check per emit (see
+// BenchmarkObsDisabledOverhead). Span recording itself is a fixed-size
+// ring-buffer write under a single short mutex; there are no allocations
+// on the record path.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event classifies what ended a span at one hop.
+type Event uint8
+
+// Span terminal states. A trace is "complete" once any of its spans
+// carries a terminal event (egress or one of the loss events).
+const (
+	// EventProcessed: the SDO was consumed and its outputs forwarded.
+	EventProcessed Event = iota
+	// EventIngress: the SDO entered the system at a source.
+	EventIngress
+	// EventEgress: delivered at a weighted output stream (terminal).
+	EventEgress
+	// EventShed: refused by the load-shedding comparator (terminal).
+	EventShed
+	// EventDrop: lost to buffer overflow (terminal).
+	EventDrop
+	// EventUplinkDrop: lost at a cross-partition uplink (terminal).
+	EventUplinkDrop
+)
+
+// String implements fmt.Stringer for JSONL readability.
+func (e Event) String() string {
+	switch e {
+	case EventProcessed:
+		return "processed"
+	case EventIngress:
+		return "ingress"
+	case EventEgress:
+		return "egress"
+	case EventShed:
+		return "shed"
+	case EventDrop:
+		return "drop"
+	case EventUplinkDrop:
+		return "uplink_drop"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// Terminal reports whether the event ends its trace branch.
+func (e Event) Terminal() bool {
+	switch e {
+	case EventEgress, EventShed, EventDrop, EventUplinkDrop:
+		return true
+	}
+	return false
+}
+
+// MarshalJSON renders events as their names.
+func (e Event) MarshalJSON() ([]byte, error) { return json.Marshal(e.String()) }
+
+// Span is one hop of a sampled SDO's journey: which PE on which node
+// touched it, when it entered that PE's input buffer, when service began,
+// and when it was done (emitted, delivered, or lost). Times are the
+// substrate's virtual seconds — wall-clock-scaled in the live runtime,
+// simulated time in streamsim — so spans line up with the run report and
+// the telemetry series of the same process.
+type Span struct {
+	Trace uint64 `json:"trace"`
+	// PE and Node locate the hop; PE is -1 for losses before any PE
+	// (unroutable injects).
+	PE   int32 `json:"pe"`
+	Node int32 `json:"node"`
+	// Hops is the processing depth of the SDO at this hop.
+	Hops int32 `json:"hops"`
+	// Enqueue, Dequeue and Done are virtual-second timestamps: input
+	// buffer entry, service start, and span end. Terminal loss spans
+	// carry only Done.
+	Enqueue float64 `json:"enq"`
+	Dequeue float64 `json:"deq"`
+	Done    float64 `json:"done"`
+	Event   Event   `json:"event"`
+}
+
+// Trace is a reassembled trace: every retained span sharing one ID,
+// ordered as recorded. Cross-partition traces are stitched by merging the
+// two processes' Traces() output on ID.
+type Trace struct {
+	ID    uint64 `json:"id"`
+	Spans []Span `json:"spans"`
+	// Complete reports whether a terminal event was observed locally.
+	Complete bool `json:"complete"`
+}
+
+// Tracer samples traces at ingress and collects spans in a fixed-size
+// ring. All methods are safe for concurrent use; Record is O(1) and
+// allocation-free.
+type Tracer struct {
+	// every selects 1-in-every ingress SDOs (deterministic head-based
+	// sampling; 1 = trace everything).
+	every uint64
+	salt  uint64
+	n     atomic.Uint64 // ingress arrivals seen
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	count int // total spans ever recorded
+}
+
+// NewTracer builds a tracer sampling one in `every` ingress SDOs into a
+// ring of `capacity` spans. every ≤ 1 traces every SDO; capacity ≤ 0
+// defaults to 4096. salt decorrelates trace IDs between processes so a
+// partitioned deployment never collides IDs.
+func NewTracer(every int, capacity int, salt int64) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{
+		every: uint64(every),
+		salt:  splitmix64(uint64(salt) ^ 0x9E3779B97F4A7C15),
+		ring:  make([]Span, 0, capacity),
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed injection
+// used to turn (salt, counter) into trace IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// SampleIngress decides whether the next ingress SDO is traced, returning
+// a nonzero trace ID if so and 0 otherwise. Callers stamp the returned ID
+// onto the SDO; everything downstream keys off that nonzero ID.
+func (t *Tracer) SampleIngress() uint64 {
+	n := t.n.Add(1)
+	if n%t.every != 0 {
+		return 0
+	}
+	id := splitmix64(t.salt ^ n)
+	if id == 0 {
+		id = 1 // 0 means "unsampled" on the SDO
+	}
+	return id
+}
+
+// Record appends one span to the ring, overwriting the oldest once full.
+func (t *Tracer) Record(s Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % len(t.ring)
+	}
+	t.count++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans oldest-first.
+func (t *Tracer) Snapshot() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// SpanCount returns the total number of spans ever recorded (including
+// ones the ring has since overwritten).
+func (t *Tracer) SpanCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Traces groups the retained spans by trace ID, most recently touched
+// first, returning at most max traces (max ≤ 0 = all).
+func (t *Tracer) Traces(max int) []Trace {
+	spans := t.Snapshot()
+	byID := make(map[uint64]*Trace)
+	order := make([]uint64, 0, 16)
+	for _, s := range spans {
+		tr, ok := byID[s.Trace]
+		if !ok {
+			tr = &Trace{ID: s.Trace}
+			byID[s.Trace] = tr
+			order = append(order, s.Trace)
+		}
+		tr.Spans = append(tr.Spans, s)
+		if s.Event.Terminal() {
+			tr.Complete = true
+		}
+	}
+	// Most recently touched first: traces appear in ring order, so walk
+	// the first-seen order backwards after re-sorting by last span time.
+	out := make([]Trace, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Spans[len(out[i].Spans)-1].Done > out[j].Spans[len(out[j].Spans)-1].Done
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// ExportJSONL writes the retained spans oldest-first, one JSON object per
+// line — the interchange format for stitching partitioned runs offline.
+func (t *Tracer) ExportJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MergeTraces stitches trace groups from several processes (e.g. the two
+// partitions of a distributed run) into one list keyed by trace ID. Spans
+// keep their per-process timestamps; completeness is the OR of the parts.
+func MergeTraces(parts ...[]Trace) []Trace {
+	byID := make(map[uint64]*Trace)
+	order := make([]uint64, 0)
+	for _, part := range parts {
+		for _, tr := range part {
+			m, ok := byID[tr.ID]
+			if !ok {
+				m = &Trace{ID: tr.ID}
+				byID[tr.ID] = m
+				order = append(order, tr.ID)
+			}
+			m.Spans = append(m.Spans, tr.Spans...)
+			m.Complete = m.Complete || tr.Complete
+		}
+	}
+	out := make([]Trace, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out
+}

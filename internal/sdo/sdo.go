@@ -54,6 +54,17 @@ type SDO struct {
 	// SDO. Used for wasted-work accounting: dropping an SDO with Hops > 0
 	// discards partially processed data.
 	Hops int
+	// Trace is the observability trace ID: nonzero when this SDO's
+	// lineage was sampled at ingress (internal/obs). Derived SDOs inherit
+	// it; the transport carries it across partition boundaries so a trace
+	// can be stitched over the whole DAG. Zero = unsampled, and every
+	// instrumentation hook short-circuits on that.
+	Trace uint64
+	// TraceEnq is the virtual time this SDO entered its current hop's
+	// input buffer (observability only; meaningful only when Trace != 0).
+	// It is per-hop state: the receiving process re-stamps it on arrival,
+	// and it does not travel on the wire.
+	TraceEnq float64
 	// Payload is opaque application data. The control plane and both
 	// substrates never inspect it.
 	Payload any
@@ -69,6 +80,7 @@ func (s SDO) Derive(out StreamID, seq uint64, bytes int) SDO {
 		Origin:  s.Origin,
 		Bytes:   bytes,
 		Hops:    s.Hops + 1,
+		Trace:   s.Trace,
 		Payload: s.Payload,
 	}
 }

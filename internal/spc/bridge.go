@@ -83,26 +83,26 @@ type ResilientLink struct {
 func NewResilientLink(dial transport.DialFunc, opts transport.ResilientOptions) *ResilientLink {
 	l := &ResilientLink{}
 	userDrop := opts.OnDrop
-	opts.OnDrop = func(kind transport.Kind, hops int) {
+	opts.OnDrop = func(kind transport.Kind, hops int, trace uint64) {
 		// Feedback is best-effort by contract (repaired next tick); only
 		// data frames are billed as in-flight loss.
 		if kind != transport.KindFeedback {
-			l.noteLoss(hops)
+			l.noteLoss(hops, trace)
 		}
 		if userDrop != nil {
-			userDrop(kind, hops)
+			userDrop(kind, hops, trace)
 		}
 	}
 	l.rc = transport.NewResilientConn(dial, opts)
 	return l
 }
 
-func (l *ResilientLink) noteLoss(hops int) {
+func (l *ResilientLink) noteLoss(hops int, trace uint64) {
 	l.mu.Lock()
 	c := l.cluster
 	l.mu.Unlock()
 	if c != nil {
-		c.NoteUplinkLoss(hops)
+		c.NoteUplinkLoss(hops, trace)
 	}
 }
 

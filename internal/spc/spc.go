@@ -12,6 +12,7 @@ import (
 	"aces/internal/controller"
 	"aces/internal/graph"
 	"aces/internal/metrics"
+	"aces/internal/obs"
 	"aces/internal/policy"
 	"aces/internal/sdo"
 	"aces/internal/sim"
@@ -51,6 +52,16 @@ type Config struct {
 	// Uplink carries cross-partition SDOs and r_max advertisements.
 	// Required when LocalNodes is set and edges cross the boundary.
 	Uplink RemoteLink
+	// Tracer enables per-SDO tracing: ingress SDOs are sampled, one span
+	// is recorded per hop, and terminal events (egress, shed, drop,
+	// uplink drop) end the trace. nil disables tracing entirely; the data
+	// path then pays no more than a nil check per emit.
+	Tracer *obs.Tracer
+	// Telemetry, when set, receives live gauges and counters (buffer
+	// occupancy, token level, r_max, CPU grants, sheds, uplink drops)
+	// sampled on the Δt scheduler tick, with periodic snapshots flushed
+	// to the registry's sink.
+	Telemetry *obs.Registry
 }
 
 // RemoteLink transports SDOs and feedback to peer processes hosting the
@@ -103,6 +114,7 @@ func (c *Config) fillDefaults() error {
 // peRuntime is the live counterpart of the simulator's peState.
 type peRuntime struct {
 	id     sdo.PEID
+	node   sdo.NodeID
 	weight float64
 	buf    *Buffer
 	proc   Processor
@@ -111,6 +123,11 @@ type peRuntime struct {
 	// remote lists downstream PEs hosted by peer processes.
 	remote []sdo.PEID
 	downID []int32
+
+	// Telemetry handles (nil when Config.Telemetry is unset). Gauges are
+	// sampled by the scheduler; the shed counter is bumped on drop paths.
+	gOcc, gTokens, gRmax, gGrant *obs.Gauge
+	cSheds                       *obs.Counter
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -232,6 +249,14 @@ type Cluster struct {
 	delivered  []atomic.Int64
 	warmupVirt float64
 
+	// Observability (all nil/zero when disabled).
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	// snapNode is the node whose scheduler flushes registry snapshots
+	// (the lowest-numbered local node with PEs), so one tick owner
+	// produces the time series instead of every scheduler racing to.
+	snapNode int
+
 	ctx     context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -248,13 +273,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	t := cfg.Topo
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{
-		cfg:    cfg,
-		clock:  NewScaledClock(cfg.TimeScale),
-		scale:  cfg.TimeScale,
-		fb:     &safeFeedback{fb: controller.NewFeedback()},
-		col:    &safeCollector{col: metrics.NewCollector(cfg.Warmup)},
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:      cfg,
+		clock:    NewScaledClock(cfg.TimeScale),
+		scale:    cfg.TimeScale,
+		fb:       &safeFeedback{fb: controller.NewFeedback()},
+		col:      &safeCollector{col: metrics.NewCollector(cfg.Warmup)},
+		tracer:   cfg.Tracer,
+		reg:      cfg.Telemetry,
+		snapNode: -1,
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 	c.nodes = make([][]*peRuntime, t.NumNodes)
 	c.pes = make([]*peRuntime, t.NumPEs())
@@ -311,11 +339,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		bufCap := t.BufferSize(sdo.PEID(j))
 		pr := &peRuntime{
 			id:     sdo.PEID(j),
+			node:   pe.Node,
 			weight: pe.Weight,
 			buf:    NewBuffer(bufCap),
 			bucket: controller.NewTokenBucket(cfg.CPU[j], cfg.BurstTicks),
 		}
 		pr.cond = sync.NewCond(&pr.mu)
+		if c.reg != nil {
+			labels := obs.Labels{"pe": fmt.Sprint(j), "node": fmt.Sprint(pe.Node)}
+			pr.gOcc = c.reg.Gauge("buffer_occupancy", labels)
+			pr.gTokens = c.reg.Gauge("tokens", labels)
+			pr.gRmax = c.reg.Gauge("rmax", labels)
+			pr.gGrant = c.reg.Gauge("cpu_grant", labels)
+			pr.cSheds = c.reg.Counter("sheds_total", labels)
+		}
 		if p, ok := cfg.Processors[sdo.PEID(j)]; ok && p != nil {
 			pr.proc = p
 			if m, ok := p.(CostModeler); ok {
@@ -358,6 +395,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			// Feedback bounds consider every downstream; remote r_max
 			// arrives via InjectFeedback.
 			c.pes[j].downID = append(c.pes[j].downID, int32(d))
+		}
+	}
+	for n := range c.nodes {
+		if len(c.nodes[n]) > 0 {
+			c.snapNode = n
+			break
 		}
 	}
 	return c, nil
@@ -453,6 +496,10 @@ func (c *Cluster) runPE(pr *peRuntime) {
 			return
 		}
 		pr.held.Store(1)
+		var deq float64
+		if s.Trace != 0 {
+			deq = c.clock.Now()
+		}
 		cost := pr.cost(c.clock.Now())
 
 		// Wait until the scheduler has granted enough budget. The cost is
@@ -494,8 +541,33 @@ func (c *Cluster) runPE(pr *peRuntime) {
 			pr.mcost.observe(d)
 			pr.mu.Unlock()
 		}
+		if s.Trace != 0 && c.tracer != nil {
+			// One span per hop: buffer entry, service start, completion.
+			// Egress PEs mark the trace terminal (their emit callback has
+			// already recorded the delivery metrics).
+			ev := obs.EventProcessed
+			if len(pr.down) == 0 && len(pr.remote) == 0 {
+				ev = obs.EventEgress
+			}
+			c.tracer.Record(obs.Span{
+				Trace: s.Trace, PE: int32(pr.id), Node: int32(pr.node), Hops: int32(s.Hops),
+				Enqueue: s.TraceEnq, Dequeue: deq, Done: c.clock.Now(), Event: ev,
+			})
+		}
 		pr.held.Store(0)
 	}
+}
+
+// traceDrop ends a sampled SDO's trace with a terminal loss span at the
+// PE where it died. No-op when tracing is off or the SDO is unsampled.
+func (c *Cluster) traceDrop(s sdo.SDO, pe int32, node int32, ev obs.Event) {
+	if c.tracer == nil || s.Trace == 0 {
+		return
+	}
+	c.tracer.Record(obs.Span{
+		Trace: s.Trace, PE: pe, Node: node, Hops: int32(s.Hops),
+		Enqueue: s.TraceEnq, Done: c.clock.Now(), Event: ev,
+	})
 }
 
 // emitter builds the policy-appropriate emit callback for a PE.
@@ -514,6 +586,11 @@ func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
 	shed := c.cfg.Policy == policy.LoadShed
 	return func(out sdo.SDO) {
 		out.Hops++
+		if out.Trace != 0 {
+			// Next hop's buffer-entry time; receivers across a bridge
+			// re-stamp with their own clock.
+			out.TraceEnq = c.clock.Now()
+		}
 		for _, dst := range pr.down {
 			switch {
 			case blocking:
@@ -526,9 +603,14 @@ func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
 			case shed && dst.buf.Len() >= shedThreshold(dst.buf.Cap()):
 				// Threshold shedding: refuse before the buffer is brimful.
 				c.col.inFlightDrop(c.clock.Now(), out.Hops)
+				c.traceDrop(out, int32(dst.id), int32(dst.node), obs.EventShed)
+				if dst.cSheds != nil {
+					dst.cSheds.Inc()
+				}
 			default:
 				if !dst.buf.TryPush(out) {
 					c.col.inFlightDrop(c.clock.Now(), out.Hops)
+					c.traceDrop(out, int32(dst.id), int32(dst.node), obs.EventDrop)
 				}
 			}
 		}
@@ -537,6 +619,7 @@ func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
 			// a failed link counts as in-flight loss at the sender.
 			if err := c.cfg.Uplink.SendSDO(d, out); err != nil {
 				c.col.inFlightDrop(c.clock.Now(), out.Hops)
+				c.traceDrop(out, int32(d), -1, obs.EventUplinkDrop)
 			}
 		}
 	}
@@ -588,6 +671,10 @@ func (c *Cluster) runScheduler(n int) {
 			cost := pr.cost(now)
 			costs[i] = cost
 			occ := float64(pr.occupancy())
+			if pr.gOcc != nil {
+				pr.gOcc.Set(occ)
+				pr.gTokens.Set(pr.bucket.Level())
+			}
 			work := occ * cost / dt
 			capFrac := math.Inf(1)
 			mult := 1.0
@@ -637,6 +724,9 @@ func (c *Cluster) runScheduler(n int) {
 		for i, pr := range peers {
 			pr.bucket.RefillFor(elapsedTicks)
 			pr.bucket.Spend(alloc[i] * elapsedTicks)
+			if pr.gGrant != nil {
+				pr.gGrant.Set(alloc[i])
+			}
 			if alloc[i] > 0 {
 				pr.grant(alloc[i] * dt)
 			}
@@ -657,6 +747,9 @@ func (c *Cluster) runScheduler(n int) {
 				}
 				pr.fc.SetMaxRate(vac + rho)
 				rmax := pr.fc.Update(rho, float64(pr.occupancy()))
+				if pr.gRmax != nil {
+					pr.gRmax.Set(rmax)
+				}
 				c.fb.publish(int32(pr.id), rmax)
 				if c.cfg.Uplink != nil {
 					// Best effort: a lost advertisement is repaired next
@@ -670,6 +763,11 @@ func (c *Cluster) runScheduler(n int) {
 		if sample%10 == 0 {
 			for _, pr := range peers {
 				c.col.bufferSample(now, float64(pr.occupancy()))
+			}
+			// One node owns the registry flush so the time series is a
+			// clean sequence of frames, not interleaved per-node partials.
+			if n == c.snapNode && c.reg != nil {
+				c.reg.Flush(now)
 			}
 		}
 	}
@@ -701,10 +799,21 @@ func (c *Cluster) runSource(src graph.Source, proc workload.ArrivalProcess) {
 			Bytes:  1,
 		}
 		seq++
+		if tr := c.tracer; tr != nil {
+			if id := tr.SampleIngress(); id != 0 {
+				s.Trace = id
+				s.TraceEnq = c.clock.Now()
+			}
+		}
 		if c.cfg.Policy == policy.LoadShed && target.buf.Len() >= shedThreshold(target.buf.Cap()) {
 			c.col.inputDrop(c.clock.Now())
+			c.traceDrop(s, int32(target.id), int32(target.node), obs.EventShed)
+			if target.cSheds != nil {
+				target.cSheds.Inc()
+			}
 		} else if !target.buf.TryPush(s) {
 			c.col.inputDrop(c.clock.Now())
+			c.traceDrop(s, int32(target.id), int32(target.node), obs.EventDrop)
 		}
 	}
 }
@@ -729,17 +838,28 @@ func (c *Cluster) Local(j sdo.PEID) bool {
 // targets are counted as in-flight loss: the peer routed it here, so the
 // data existed and died.
 func (c *Cluster) InjectSDO(to sdo.PEID, s sdo.SDO) {
+	if s.Trace != 0 {
+		// Buffer-entry times are per-process: the sender's virtual clock
+		// is not ours, so the hop's enqueue stamp restarts here.
+		s.TraceEnq = c.clock.Now()
+	}
 	if int(to) < 0 || int(to) >= len(c.pes) || c.pes[to] == nil {
 		c.col.inFlightDrop(c.clock.Now(), s.Hops)
+		c.traceDrop(s, int32(to), -1, obs.EventDrop)
 		return
 	}
 	dst := c.pes[to]
 	if c.cfg.Policy == policy.LoadShed && dst.buf.Len() >= shedThreshold(dst.buf.Cap()) {
 		c.col.inFlightDrop(c.clock.Now(), s.Hops)
+		c.traceDrop(s, int32(dst.id), int32(dst.node), obs.EventShed)
+		if dst.cSheds != nil {
+			dst.cSheds.Inc()
+		}
 		return
 	}
 	if !dst.buf.TryPush(s) {
 		c.col.inFlightDrop(c.clock.Now(), s.Hops)
+		c.traceDrop(s, int32(dst.id), int32(dst.node), obs.EventDrop)
 	}
 }
 
@@ -752,9 +872,16 @@ func (c *Cluster) InjectFeedback(pe int32, rmax float64) {
 // NoteUplinkLoss accounts an SDO dropped asynchronously by an uplink
 // (outbox writer failure after the emitter already handed it off) as
 // in-flight loss, mirroring what the emitter records for synchronous
-// send errors.
-func (c *Cluster) NoteUplinkLoss(hops int) {
+// send errors. A sampled SDO's trace ends here with an uplink-drop span
+// (PE/Node -1: the loss happened between processes, not inside a PE).
+func (c *Cluster) NoteUplinkLoss(hops int, trace uint64) {
 	c.col.inFlightDrop(c.clock.Now(), hops)
+	if c.tracer != nil && trace != 0 {
+		c.tracer.Record(obs.Span{
+			Trace: trace, PE: -1, Node: -1, Hops: int32(hops),
+			Done: c.clock.Now(), Event: obs.EventUplinkDrop,
+		})
+	}
 }
 
 // LinkStatsSource exposes uplink transport counters for inclusion in the

@@ -23,6 +23,7 @@ import (
 	"aces/internal/controller"
 	"aces/internal/graph"
 	"aces/internal/metrics"
+	"aces/internal/obs"
 	"aces/internal/policy"
 	"aces/internal/sdo"
 	"aces/internal/sim"
@@ -73,6 +74,15 @@ type Config struct {
 	// NetDelay adds an inter-node transit delay in seconds (rounded to
 	// whole ticks) on top of the store-and-forward tick. 0 = default.
 	NetDelay float64
+	// Tracer enables per-SDO tracing in simulated time: ingress SDOs are
+	// sampled, one span is recorded per hop, and losses end the trace —
+	// the same span model the live runtime records, so traces from both
+	// substrates are comparable. nil disables tracing.
+	Tracer *obs.Tracer
+	// Telemetry, when set, receives per-PE gauges (buffer occupancy,
+	// token level, r_max) sampled on the stability cadence, with snapshot
+	// frames flushed to the registry's sink at simulated timestamps.
+	Telemetry *obs.Registry
 }
 
 func (c *Config) fillDefaults() error {
@@ -119,10 +129,14 @@ func (c *Config) fillDefaults() error {
 }
 
 // item is one buffered SDO: the origin timestamp of its ancestral input
-// SDO plus the processing depth already invested.
+// SDO plus the processing depth already invested. trace/enq carry the
+// observability sample (trace ID and buffer-entry time; trace 0 =
+// unsampled).
 type item struct {
 	origin float64
 	hops   int32
+	trace  uint64
+	enq    float64
 }
 
 // fifo is a slice-backed FIFO with head compaction.
@@ -187,6 +201,8 @@ type peState struct {
 	slotOf map[sdo.PEID]int
 	// lastSlotVac is the per-slot counterpart of lastVacancy for join PEs.
 	lastSlotVac []int
+	// Telemetry handles (nil when Config.Telemetry is unset).
+	gOcc, gTokens, gRmax *obs.Gauge
 	// lastVacancy is this PE's buffer vacancy at the end of the previous
 	// tick. Lock-Step senders block on this delayed value (plus the
 	// instantaneous value as an overflow safety): a distributed blocking
@@ -249,7 +265,9 @@ func (p *peState) ctrlOcc() int {
 // consume removes one processible unit and returns the item carrying
 // latency/waste accounting: for joins, the origin of the OLDEST component
 // (end-to-end latency reflects the slowest-arriving input) and the deepest
-// hop count.
+// hop count. A join's output inherits the first sampled component's trace
+// (one trace continues through the join; siblings end silently rather
+// than double-counting the tuple).
 func (p *peState) consume() item {
 	if !p.join {
 		return p.buf.pop()
@@ -262,6 +280,10 @@ func (p *peState) consume() item {
 		}
 		if it.hops > out.hops {
 			out.hops = it.hops
+		}
+		if out.trace == 0 && it.trace != 0 {
+			out.trace = it.trace
+			out.enq = it.enq
 		}
 	}
 	return out
@@ -307,6 +329,9 @@ type Engine struct {
 	netRing   [][]netItem
 	tickNo    int
 	netDrops  int64
+	// Observability (nil when disabled).
+	tracer *obs.Tracer
+	reg    *obs.Registry
 }
 
 // netItem is an SDO in transit between nodes.
@@ -323,11 +348,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	t := cfg.Topo
 	e := &Engine{
-		cfg:  cfg,
-		topo: t,
-		sim:  sim.New(),
-		fb:   controller.NewFeedback(),
-		col:  metrics.NewCollector(cfg.Warmup),
+		cfg:    cfg,
+		topo:   t,
+		sim:    sim.New(),
+		fb:     controller.NewFeedback(),
+		col:    metrics.NewCollector(cfg.Warmup),
+		tracer: cfg.Tracer,
+		reg:    cfg.Telemetry,
 	}
 	e.nodes = make([][]*peState, t.NumNodes)
 	e.pes = make([]*peState, t.NumPEs())
@@ -356,6 +383,12 @@ func New(cfg Config) (*Engine, error) {
 		}
 		for _, d := range t.Down(sdo.PEID(j)) {
 			ps.down = append(ps.down, int32(d))
+		}
+		if e.reg != nil {
+			labels := obs.Labels{"pe": fmt.Sprint(j), "node": fmt.Sprint(pe.Node)}
+			ps.gOcc = e.reg.Gauge("buffer_occupancy", labels)
+			ps.gTokens = e.reg.Gauge("tokens", labels)
+			ps.gRmax = e.reg.Gauge("rmax", labels)
 		}
 		if cfg.Policy.UsesFeedback() {
 			b0 := cfg.B0Frac * float64(bufCap)
@@ -395,10 +428,23 @@ func New(cfg Config) (*Engine, error) {
 		shed := cfg.Policy == policy.LoadShed
 		var arrive func()
 		arrive = func() {
+			now := e.sim.Now()
+			it := item{origin: now}
+			if tr := e.tracer; tr != nil {
+				if id := tr.SampleIngress(); id != 0 {
+					it.trace = id
+					it.enq = now
+				}
+			}
 			if target.admits(shed) {
-				target.buf.push(item{origin: e.sim.Now()})
+				target.buf.push(it)
 			} else {
-				e.col.InputDrop(e.sim.Now())
+				e.col.InputDrop(now)
+				ev := obs.EventDrop
+				if shed {
+					ev = obs.EventShed
+				}
+				e.traceDrop(it, target, now, ev)
 			}
 			e.sim.After(proc.NextInterval(), arrive)
 		}
@@ -420,6 +466,13 @@ func (e *Engine) Run() metrics.Report {
 			e.windowWT = 0
 			for _, ps := range e.pes {
 				e.col.BufferSample(now, float64(ps.buf.len()))
+				if ps.gOcc != nil {
+					ps.gOcc.Set(float64(ps.ctrlOcc()))
+					ps.gTokens.Set(ps.bucket.Level())
+				}
+			}
+			if e.reg != nil {
+				e.reg.Flush(now)
 			}
 		}
 	})
@@ -616,6 +669,9 @@ func (e *Engine) step(now float64) {
 			// Physical clamp: free space plus one tick of drain.
 			ps.fc.SetMaxRate(float64(ps.vacancy()) + rho)
 			rmax := ps.fc.Update(rho, float64(ps.ctrlOcc()))
+			if ps.gRmax != nil {
+				ps.gRmax.Set(rmax)
+			}
 			e.fb.Publish(int32(ps.id), rmax)
 		}
 	}
@@ -643,6 +699,30 @@ func (e *Engine) lastVacancyFor(sender, dst *peState) int {
 	return dst.lastVacancy
 }
 
+// traceSpan records one hop span for a sampled item (no-op when tracing
+// is off or the item is unsampled). In the discrete-time model service
+// begins and ends within the tick, so Dequeue and Done coincide at now.
+func (e *Engine) traceSpan(it item, ps *peState, now float64, ev obs.Event) {
+	if e.tracer == nil || it.trace == 0 {
+		return
+	}
+	e.tracer.Record(obs.Span{
+		Trace: it.trace, PE: int32(ps.id), Node: int32(ps.node), Hops: it.hops,
+		Enqueue: it.enq, Dequeue: now, Done: now, Event: ev,
+	})
+}
+
+// traceDrop ends a sampled item's trace with a terminal loss span.
+func (e *Engine) traceDrop(it item, dst *peState, now float64, ev obs.Event) {
+	if e.tracer == nil || it.trace == 0 {
+		return
+	}
+	e.tracer.Record(obs.Span{
+		Trace: it.trace, PE: int32(dst.id), Node: int32(dst.node), Hops: it.hops,
+		Enqueue: it.enq, Done: now, Event: ev,
+	})
+}
+
 // emit forwards the outputs produced by consuming one SDO.
 func (e *Engine) emit(ps *peState, consumed item, now float64) {
 	m := ps.svc.Multiplicity()
@@ -655,9 +735,11 @@ func (e *Engine) emit(ps *peState, consumed item, now float64) {
 				e.delivered[ps.id]++
 			}
 		}
+		e.traceSpan(consumed, ps, now, obs.EventEgress)
 		return
 	}
-	out := item{origin: consumed.origin, hops: consumed.hops + 1}
+	e.traceSpan(consumed, ps, now, obs.EventProcessed)
+	out := item{origin: consumed.origin, hops: consumed.hops + 1, trace: consumed.trace, enq: now}
 	for k := 0; k < m; k++ {
 		for _, d := range ps.down {
 			dst := e.pes[d]
@@ -668,6 +750,7 @@ func (e *Engine) emit(ps *peState, consumed item, now float64) {
 					if e.netBudget[ps.node] < 1 {
 						e.netDrops++
 						e.col.InFlightDrop(now, int(out.hops))
+						e.traceDrop(out, dst, now, obs.EventUplinkDrop)
 						continue
 					}
 					e.netBudget[ps.node]--
@@ -687,6 +770,10 @@ func (e *Engine) emit(ps *peState, consumed item, now float64) {
 // applying admission semantics.
 func (e *Engine) deliverLocal(ps, dst *peState, out item, now float64) {
 	shed := e.cfg.Policy == policy.LoadShed
+	ev := obs.EventDrop
+	if shed {
+		ev = obs.EventShed
+	}
 	if dst.join {
 		slot := dst.slotOf[ps.id]
 		limit := dst.cap
@@ -697,6 +784,7 @@ func (e *Engine) deliverLocal(ps, dst *peState, out item, now float64) {
 			dst.pendSlots[slot] = append(dst.pendSlots[slot], out)
 		} else {
 			e.col.InFlightDrop(now, int(out.hops))
+			e.traceDrop(out, dst, now, ev)
 		}
 		return
 	}
@@ -704,6 +792,7 @@ func (e *Engine) deliverLocal(ps, dst *peState, out item, now float64) {
 		dst.pending = append(dst.pending, out)
 	} else {
 		e.col.InFlightDrop(now, int(out.hops))
+		e.traceDrop(out, dst, now, ev)
 	}
 }
 

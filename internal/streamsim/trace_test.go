@@ -1,0 +1,123 @@
+package streamsim
+
+import (
+	"testing"
+
+	"aces/internal/graph"
+	"aces/internal/obs"
+	"aces/internal/policy"
+)
+
+// TestSimulatorTracesCompleteJourneys runs an underloaded 3-stage chain
+// with full sampling and checks every retained trace walks hop-by-hop to
+// a terminal egress span at simulated timestamps.
+func TestSimulatorTracesCompleteJourneys(t *testing.T) {
+	topo := buildChain(t, 3, 2, 0.002, 50, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	tr := obs.NewTracer(1, 1<<15, 1)
+	eng, err := New(Config{
+		Topo: topo, Policy: policy.ACES, CPU: []float64{0.4, 0.4, 0.4},
+		Duration: 10, Seed: 1, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Run()
+	if rep.Deliveries == 0 {
+		t.Fatal("no deliveries")
+	}
+	traces := tr.Traces(0)
+	if len(traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	complete, egress := 0, 0
+	for _, trc := range traces {
+		if !trc.Complete {
+			continue
+		}
+		complete++
+		last := trc.Spans[len(trc.Spans)-1]
+		if last.Event == obs.EventEgress {
+			egress++
+			// An underloaded deterministic chain keeps the full journey in
+			// the ring: three hops, monotone hop depth and times.
+			if len(trc.Spans) != 3 {
+				t.Fatalf("egress trace has %d spans, want 3: %+v", len(trc.Spans), trc.Spans)
+			}
+			for i, s := range trc.Spans {
+				if int(s.Hops) != i {
+					t.Errorf("span %d at hop depth %d", i, s.Hops)
+				}
+				if s.Done < s.Enqueue {
+					t.Errorf("span %d done %.4f before enqueue %.4f", i, s.Done, s.Enqueue)
+				}
+				if i > 0 && s.Enqueue < trc.Spans[i-1].Done {
+					t.Errorf("span %d enqueued %.4f before previous hop finished %.4f", i, s.Enqueue, trc.Spans[i-1].Done)
+				}
+			}
+		}
+	}
+	if complete == 0 || egress == 0 {
+		t.Fatalf("complete=%d egress=%d traces, want both > 0", complete, egress)
+	}
+}
+
+// TestSimulatorSamplingRateAndOverloadDrops checks 1-in-N sampling plus
+// terminal loss spans: an overloaded UDP chain must end some sampled
+// traces in drop events, and the tracer must see ~1/N of arrivals.
+func TestSimulatorSamplingRateAndOverloadDrops(t *testing.T) {
+	// 2 ms/SDO at target 0.3 → capacity 150/s; offer 400/s.
+	topo := buildChain(t, 2, 1, 0.002, 400, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	tr := obs.NewTracer(4, 1<<15, 2)
+	eng, err := New(Config{
+		Topo: topo, Policy: policy.UDP, CPU: []float64{0.3, 0.3},
+		Duration: 10, Seed: 2, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Run()
+	if rep.InputDrops == 0 && rep.InFlightDrops == 0 {
+		t.Fatal("overload produced no drops; test premise broken")
+	}
+	terminalLoss := 0
+	for _, trc := range tr.Traces(0) {
+		for _, s := range trc.Spans {
+			if s.Event == obs.EventDrop || s.Event == obs.EventShed {
+				terminalLoss++
+			}
+		}
+	}
+	if terminalLoss == 0 {
+		t.Errorf("overloaded run recorded no terminal loss spans")
+	}
+}
+
+// TestSimulatorTelemetryFlushes checks the registry sees per-PE gauges on
+// the stability cadence with simulated timestamps.
+func TestSimulatorTelemetryFlushes(t *testing.T) {
+	topo := buildChain(t, 2, 1, 0.002, 50, graph.BurstSpec{Kind: graph.BurstDeterministic})
+	sink := obs.NewMemorySink(0)
+	reg := obs.NewRegistry(sink)
+	eng, err := New(Config{
+		Topo: topo, Policy: policy.ACES, CPU: []float64{0.4, 0.4},
+		Duration: 5, SampleEvery: 0.1, Seed: 3, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	frames := sink.Frames()
+	// 5 s at a 0.1 s cadence → ≈50 frames.
+	if len(frames) < 40 {
+		t.Fatalf("got %d telemetry frames, want ≈50", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Now <= frames[i-1].Now {
+			t.Fatalf("frame timestamps not increasing: %.3f after %.3f", frames[i].Now, frames[i-1].Now)
+		}
+	}
+	ts, vs := sink.Series("rmax{node=0,pe=1}")
+	if len(ts) < 40 || len(vs) != len(ts) {
+		t.Fatalf("rmax series has %d/%d points, want ≈50", len(ts), len(vs))
+	}
+}

@@ -45,8 +45,10 @@ type ResilientOptions struct {
 	// by the writer goroutine (write failure after dequeue). It is NOT
 	// invoked for enqueue-time overflow: those return ErrOutboxFull and the
 	// caller accounts the loss synchronously. hops is the SDO's processing
-	// depth (0 for feedback frames).
-	OnDrop func(kind Kind, hops int)
+	// depth and trace its observability trace ID (both 0 for feedback
+	// frames; trace is 0 for unsampled SDOs), letting the owner record the
+	// loss as a terminal trace event.
+	OnDrop func(kind Kind, hops int, trace uint64)
 }
 
 func (o *ResilientOptions) fillDefaults() {
@@ -82,11 +84,13 @@ type LinkStats struct {
 }
 
 // outFrame is one queued wire frame. hops carries the SDO's processing
-// depth so asynchronous drops can be accounted as in-flight loss.
+// depth so asynchronous drops can be accounted as in-flight loss; trace
+// carries its observability trace ID so they can end the trace too.
 type outFrame struct {
-	kind Kind
-	body []byte
-	hops int
+	kind  Kind
+	body  []byte
+	hops  int
+	trace uint64
 }
 
 // ResilientConn is a self-healing framed connection: sends enqueue into a
@@ -144,7 +148,7 @@ func (rc *ResilientConn) SendSDO(s sdo.SDO) error {
 	if err != nil {
 		return err
 	}
-	return rc.enqueue(KindData, body, s.Hops)
+	return rc.enqueue(KindData, body, s.Hops, s.Trace)
 }
 
 // SendRouted enqueues a data frame addressed to PE `to` in the peer
@@ -154,22 +158,22 @@ func (rc *ResilientConn) SendRouted(to sdo.PEID, s sdo.SDO) error {
 	if err != nil {
 		return err
 	}
-	return rc.enqueue(KindRouted, body, s.Hops)
+	return rc.enqueue(KindRouted, body, s.Hops, s.Trace)
 }
 
 // SendFeedback enqueues one control frame. It never blocks.
 func (rc *ResilientConn) SendFeedback(f Feedback) error {
-	return rc.enqueue(KindFeedback, encodeFeedback(f), 0)
+	return rc.enqueue(KindFeedback, encodeFeedback(f), 0, 0)
 }
 
-func (rc *ResilientConn) enqueue(k Kind, body []byte, hops int) error {
+func (rc *ResilientConn) enqueue(k Kind, body []byte, hops int, trace uint64) error {
 	select {
 	case <-rc.done:
 		return ErrLinkClosed
 	default:
 	}
 	select {
-	case rc.out <- outFrame{kind: k, body: body, hops: hops}:
+	case rc.out <- outFrame{kind: k, body: body, hops: hops, trace: trace}:
 		return nil
 	default:
 		rc.countDrop()
@@ -340,7 +344,7 @@ func (rc *ResilientConn) write() {
 			rc.invalidate(gen)
 			rc.countDrop()
 			if rc.opts.OnDrop != nil {
-				rc.opts.OnDrop(f.kind, f.hops)
+				rc.opts.OnDrop(f.kind, f.hops, f.trace)
 			}
 			continue
 		}

@@ -164,7 +164,7 @@ func TestResilientStalledPeerTriggersDropAndReconnect(t *testing.T) {
 	}, ResilientOptions{
 		WriteTimeout: 30 * time.Millisecond,
 		BackoffMin:   10 * time.Millisecond,
-		OnDrop:       func(k Kind, hops int) { asyncDrops.Add(1) },
+		OnDrop:       func(k Kind, hops int, trace uint64) { asyncDrops.Add(1) },
 	})
 	defer rc.Close()
 

@@ -5,8 +5,12 @@
 //
 //	frame  := kind(u8) length(u32 BE) body
 //	data   := stream(i32) seq(u64) originUnixNanos(i64) hops(i32)
-//	          payloadLen(u32) payload
+//	          trace(u64) payloadLen(u32) payload
 //	ctrl   := pe(i32) rmax(f64 bits)
+//
+// trace is the observability trace ID (0 = unsampled): carrying it inside
+// the routed frame is what lets a per-SDO trace be stitched across the
+// TCP bridge of a partitioned deployment (internal/obs).
 //
 // Payloads must be []byte (or nil) on the wire; richer payloads belong to
 // in-process deployments.
@@ -114,11 +118,12 @@ func encodeSDO(s sdo.SDO) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("transport: payload must be []byte or nil, got %T", s.Payload)
 	}
-	body := make([]byte, 0, 28+len(payload))
+	body := make([]byte, 0, sdoHeaderLen+len(payload))
 	body = binary.BigEndian.AppendUint32(body, uint32(s.Stream))
 	body = binary.BigEndian.AppendUint64(body, s.Seq)
 	body = binary.BigEndian.AppendUint64(body, uint64(s.Origin.UnixNano()))
 	body = binary.BigEndian.AppendUint32(body, uint32(s.Hops))
+	body = binary.BigEndian.AppendUint64(body, s.Trace)
 	body = binary.BigEndian.AppendUint32(body, uint32(len(payload)))
 	body = append(body, payload...)
 	return body, nil
@@ -220,8 +225,12 @@ func (c *Conn) Recv() (Message, error) {
 	}
 }
 
+// sdoHeaderLen is the fixed prefix of a data-frame body: stream(4) +
+// seq(8) + origin(8) + hops(4) + trace(8) + payloadLen(4).
+const sdoHeaderLen = 36
+
 func decodeSDO(body []byte) (sdo.SDO, error) {
-	if len(body) < 28 {
+	if len(body) < sdoHeaderLen {
 		return sdo.SDO{}, fmt.Errorf("transport: short data frame (%d bytes)", len(body))
 	}
 	s := sdo.SDO{
@@ -229,13 +238,14 @@ func decodeSDO(body []byte) (sdo.SDO, error) {
 		Seq:    binary.BigEndian.Uint64(body[4:12]),
 		Origin: time.Unix(0, int64(binary.BigEndian.Uint64(body[12:20]))),
 		Hops:   int(int32(binary.BigEndian.Uint32(body[20:24]))),
+		Trace:  binary.BigEndian.Uint64(body[24:32]),
 	}
-	plen := binary.BigEndian.Uint32(body[24:28])
-	if int(plen) != len(body)-28 {
+	plen := binary.BigEndian.Uint32(body[32:36])
+	if int(plen) != len(body)-sdoHeaderLen {
 		return sdo.SDO{}, fmt.Errorf("transport: payload length %d disagrees with frame size", plen)
 	}
 	if plen > 0 {
-		s.Payload = body[28:]
+		s.Payload = body[sdoHeaderLen:]
 		s.Bytes = int(plen)
 	} else {
 		s.Bytes = 1

@@ -46,7 +46,7 @@ func pair(t *testing.T) (client, server *Conn) {
 func TestSDORoundTrip(t *testing.T) {
 	client, server := pair(t)
 	origin := time.Unix(0, 1234567890123456789)
-	in := sdo.SDO{Stream: 7, Seq: 42, Origin: origin, Hops: 3, Payload: []byte("hello"), Bytes: 5}
+	in := sdo.SDO{Stream: 7, Seq: 42, Origin: origin, Hops: 3, Trace: 0xDEADBEEF, Payload: []byte("hello"), Bytes: 5}
 	if err := client.SendSDO(in); err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +60,9 @@ func TestSDORoundTrip(t *testing.T) {
 	out := msg.SDO
 	if out.Stream != 7 || out.Seq != 42 || out.Hops != 3 {
 		t.Errorf("fields lost: %+v", out)
+	}
+	if out.Trace != 0xDEADBEEF {
+		t.Errorf("trace ID lost: %#x", out.Trace)
 	}
 	if !out.Origin.Equal(origin) {
 		t.Errorf("origin %v ≠ %v", out.Origin, origin)
@@ -245,7 +248,7 @@ func TestRecvRejectsOversizedFrame(t *testing.T) {
 
 func TestRecvRejectsShortDataFrame(t *testing.T) {
 	raw, framed := rawPair(t)
-	body := make([]byte, 10) // < 28-byte minimum
+	body := make([]byte, 10) // < 36-byte minimum
 	hdr := []byte{byte(KindData), 0, 0, 0, byte(len(body))}
 	if _, err := raw.Write(append(hdr, body...)); err != nil {
 		t.Fatal(err)
@@ -257,9 +260,9 @@ func TestRecvRejectsShortDataFrame(t *testing.T) {
 
 func TestRecvRejectsDisagreeingPayloadLength(t *testing.T) {
 	raw, framed := rawPair(t)
-	body := make([]byte, 28)
+	body := make([]byte, 36)
 	// Claim a 5-byte payload but send none.
-	body[24], body[25], body[26], body[27] = 0, 0, 0, 5
+	body[32], body[33], body[34], body[35] = 0, 0, 0, 5
 	hdr := []byte{byte(KindData), 0, 0, 0, byte(len(body))}
 	if _, err := raw.Write(append(hdr, body...)); err != nil {
 		t.Fatal(err)
@@ -282,7 +285,7 @@ func TestRecvRejectsBadFeedbackFrame(t *testing.T) {
 
 func TestRoutedRoundTrip(t *testing.T) {
 	client, server := pair(t)
-	in := sdo.SDO{Stream: 3, Seq: 11, Origin: time.Unix(0, 42), Hops: 2, Payload: []byte("xy"), Bytes: 2}
+	in := sdo.SDO{Stream: 3, Seq: 11, Origin: time.Unix(0, 42), Hops: 2, Trace: 77, Payload: []byte("xy"), Bytes: 2}
 	if err := client.SendRouted(9, in); err != nil {
 		t.Fatal(err)
 	}
@@ -295,6 +298,9 @@ func TestRoutedRoundTrip(t *testing.T) {
 	}
 	if msg.SDO.Seq != 11 || msg.SDO.Hops != 2 || string(msg.SDO.Payload.([]byte)) != "xy" {
 		t.Errorf("routed SDO mangled: %+v", msg.SDO)
+	}
+	if msg.SDO.Trace != 77 {
+		t.Errorf("routed frame lost trace ID: %#x", msg.SDO.Trace)
 	}
 }
 

@@ -33,12 +33,16 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aces-bench", flag.ContinueOnError)
 	var (
 		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
-		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|all")
+		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|all")
 		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
 		jsonTo = fs.String("json", "", "also write per-experiment results as machine-readable JSON to this file")
 		pes    = fs.Int("pes", 0, "override topology PE count")
 		nodes  = fs.Int("nodes", 0, "override node count")
 		dur    = fs.Float64("duration", 0, "override per-run simulated seconds")
+
+		batchMax    = fs.Int("batch-max", 32, "transport experiment: uplink batch size in SDOs")
+		batchLinger = fs.Duration("batch-linger", 0, "transport experiment: writer linger before a non-full batch")
+		baseline    = fs.String("baseline", "", "transport experiment: committed -json output to regress against (>20% ns/SDO or allocs/SDO fails)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -188,6 +192,29 @@ func run(args []string) error {
 			experiments.FormatAblations(w, rows)
 			return nil
 		}},
+		{"transport", func() error {
+			to := experiments.TransportOptions{BatchMax: *batchMax, Linger: *batchLinger}
+			if *quick {
+				to.SDOs = 30000
+			}
+			rows, err := experiments.TransportThroughput(to)
+			if err != nil {
+				return err
+			}
+			addJSON("transport", rows)
+			experiments.FormatTransport(w, rows)
+			if *baseline != "" {
+				base, err := loadTransportBaseline(*baseline)
+				if err != nil {
+					return err
+				}
+				if err := experiments.CompareTransport(base, rows); err != nil {
+					return fmt.Errorf("vs %s: %w", *baseline, err)
+				}
+				fmt.Fprintf(w, "  baseline check vs %s: OK\n\n", *baseline)
+			}
+			return nil
+		}},
 	}
 
 	start := time.Now()
@@ -224,4 +251,32 @@ func run(args []string) error {
 		fmt.Fprintf(w, "wrote %s\n", *jsonTo)
 	}
 	return nil
+}
+
+// loadTransportBaseline extracts the transport experiment rows from a
+// committed `aces-bench -json` output file.
+func loadTransportBaseline(path string) ([]experiments.TransportRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var doc struct {
+		Experiments []struct {
+			Name string          `json:"name"`
+			Rows json.RawMessage `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for _, e := range doc.Experiments {
+		if e.Name == "transport" {
+			var rows []experiments.TransportRow
+			if err := json.Unmarshal(e.Rows, &rows); err != nil {
+				return nil, fmt.Errorf("baseline %s: %w", path, err)
+			}
+			return rows, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline %s has no transport experiment", path)
 }

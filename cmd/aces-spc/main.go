@@ -65,6 +65,8 @@ func run(args []string) error {
 		count      = fs.Int("count", 10000, "SDOs to send (send)")
 		upQueue    = fs.Int("uplink-queue", 1024, "uplink outbox capacity in frames (node mode)")
 		upTimeout  = fs.Duration("uplink-timeout", time.Second, "uplink per-frame write deadline (node mode)")
+		batchMax   = fs.Int("batch-max", 32, "uplink batch size in SDOs; 1 disables batched framing (node mode)")
+		batchLing  = fs.Duration("batch-linger", 0, "wait up to this long to fill a non-full batch; 0 = flush-on-idle only (node mode)")
 		debugAddr  = fs.String("debug-addr", "", "serve /debug/* inspection endpoints on this address (local/node; \":0\" picks a port)")
 		traceEvery = fs.Int("trace-every", 0, "trace 1-in-N ingress SDOs (0 = off unless -debug-addr/-trace-out, then 64)")
 		traceBuf   = fs.Int("trace-buf", 0, "span ring capacity (0 = default 4096)")
@@ -78,7 +80,8 @@ func run(args []string) error {
 	case "local":
 		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, ob)
 	case "node":
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *upQueue, *upTimeout, ob)
+		up := uplinkOpts{queue: *upQueue, timeout: *upTimeout, batchMax: *batchMax, batchLinger: *batchLing}
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, up, ob)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -289,12 +292,20 @@ func runSend(addr string, rate float64, count int) error {
 	return nil
 }
 
+// uplinkOpts bundles the node-mode uplink flags.
+type uplinkOpts struct {
+	queue       int
+	timeout     time.Duration
+	batchMax    int
+	batchLinger time.Duration
+}
+
 // runNode hosts one partition of a shared topology, bridging to exactly
 // one peer process (listen XOR dial) through a resilient uplink: sends
 // never block the PE emit path or the Δt scheduler, and a stalled or
 // severed peer triggers automatic reconnection while the local partition
 // keeps running.
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64, upQueue int, upTimeout time.Duration, ob obsOpts) error {
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64, up uplinkOpts, ob obsOpts) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -351,7 +362,8 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 		dial = func() (*aces.Conn, error) { return aces.Dial(peerAddr, 2*time.Second) }
 	}
 	link := aces.NewResilientLink(dial, aces.ResilientOptions{
-		QueueSize: upQueue, WriteTimeout: upTimeout,
+		QueueSize: up.queue, WriteTimeout: up.timeout,
+		BatchMax: up.batchMax, BatchLinger: up.batchLinger,
 	})
 	defer link.Close()
 

@@ -105,6 +105,32 @@ type PETick struct {
 	Blocked bool
 }
 
+// Planner holds reusable scratch for the per-tick planning functions so a
+// scheduler that plans every Δt allocates nothing in steady state. The
+// slice returned by a Planner method aliases its scratch and is valid
+// until the next call on the same Planner; a Planner is not safe for
+// concurrent use (each node scheduler owns one).
+type Planner struct {
+	alloc []float64
+	want  []float64
+	flags []bool
+}
+
+// scratch returns zeroed n-length scratch slices, growing the backing
+// arrays only when a larger node appears.
+func (p *Planner) scratch(n int) (alloc, want []float64, flags []bool) {
+	if cap(p.alloc) < n {
+		p.alloc = make([]float64, n)
+		p.want = make([]float64, n)
+		p.flags = make([]bool, n)
+	}
+	p.alloc, p.want, p.flags = p.alloc[:n], p.want[:n], p.flags[:n]
+	clear(p.alloc)
+	clear(p.want)
+	clear(p.flags)
+	return p.alloc, p.want, p.flags
+}
+
 // PlanACES computes the per-tick CPU allocations for one node under the
 // ACES policy: each PE may spend up to min(tokens, work, cap); when the
 // node is oversubscribed, capacity is divided proportionally to input
@@ -112,8 +138,13 @@ type PETick struct {
 // expend their tokens for CPU cycles proportional to their input buffer
 // occupancies"). The returned allocations sum to at most capacity.
 func PlanACES(pes []PETick, capacity float64) []float64 {
-	alloc := make([]float64, len(pes))
-	want := make([]float64, len(pes))
+	var p Planner
+	return p.PlanACES(pes, capacity)
+}
+
+// PlanACES is the scratch-reusing form of the package function.
+func (p *Planner) PlanACES(pes []PETick, capacity float64) []float64 {
+	alloc, want, active := p.scratch(len(pes))
 	var total float64
 	for i := range pes {
 		w := math.Min(pes[i].Tokens, math.Min(pes[i].Work, pes[i].Cap))
@@ -130,7 +161,6 @@ func PlanACES(pes []PETick, capacity float64) []float64 {
 	// Progressive filling proportional to occupancy: PEs that hit their
 	// want drop out and their share is re-divided among the rest.
 	remaining := capacity
-	active := make([]bool, len(pes))
 	nActive := 0
 	for i := range pes {
 		if want[i] > 0 {
@@ -180,10 +210,15 @@ func PlanACES(pes []PETick, capacity float64) []float64 {
 // §VI). The Cap field is ignored: the baselines have no downstream
 // feedback.
 func PlanFairShare(pes []PETick, capacity float64) []float64 {
-	alloc := make([]float64, len(pes))
+	var p Planner
+	return p.PlanFairShare(pes, capacity)
+}
+
+// PlanFairShare is the scratch-reusing form of the package function.
+func (p *Planner) PlanFairShare(pes []PETick, capacity float64) []float64 {
+	alloc, _, runnable := p.scratch(len(pes))
 	// First pass: base grants, capped by work.
 	var used float64
-	runnable := make([]bool, len(pes))
 	for i := range pes {
 		if pes[i].Blocked || pes[i].Work <= 0 {
 			continue
@@ -248,7 +283,13 @@ func PlanFairShare(pes []PETick, capacity float64) []float64 {
 // Idle slack (a PE with no work) is simply lost, as under traditional
 // enforcement.
 func PlanLockStep(pes []PETick, capacity float64) []float64 {
-	alloc := make([]float64, len(pes))
+	var p Planner
+	return p.PlanLockStep(pes, capacity)
+}
+
+// PlanLockStep is the scratch-reusing form of the package function.
+func (p *Planner) PlanLockStep(pes []PETick, capacity float64) []float64 {
+	alloc, _, _ := p.scratch(len(pes))
 	var blockedBudget float64
 	var used float64
 	for i := range pes {
@@ -311,7 +352,13 @@ func PlanLockStep(pes []PETick, capacity float64) []float64 {
 // (the "strict/guarantee-limit enforcement" §II describes as traditional
 // practice); used as an ablation baseline.
 func PlanStrict(pes []PETick, capacity float64) []float64 {
-	alloc := make([]float64, len(pes))
+	var p Planner
+	return p.PlanStrict(pes, capacity)
+}
+
+// PlanStrict is the scratch-reusing form of the package function.
+func (p *Planner) PlanStrict(pes []PETick, capacity float64) []float64 {
+	alloc, _, _ := p.scratch(len(pes))
 	var used float64
 	for i := range pes {
 		if pes[i].Blocked {

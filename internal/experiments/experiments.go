@@ -10,6 +10,7 @@
 //	E6 §V-C    closed-loop stability (settling, steady error, oscillation)
 //	E7 Fig. 2  max-flow vs min-flow on the fan-out example
 //	E8 §VI-C   simulator-versus-live-runtime calibration
+//	E9 §IV     uplink data-plane throughput: per-frame flush vs batching
 //
 // Each experiment returns typed rows; Format* helpers render the tables
 // cmd/aces-bench prints and EXPERIMENTS.md records.

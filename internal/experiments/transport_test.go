@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The transport experiment at reduced scale must produce the three modes
+// with sane rates, and the batched mode must actually batch.
+func TestTransportThroughputRuns(t *testing.T) {
+	rows, err := TransportThroughput(TransportOptions{SDOs: 5000, BatchMax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.SDOsPerSec <= 0 || r.NsPerSDO <= 0 || r.Seconds <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Mode, r)
+		}
+	}
+	if rows[0].Mode != "direct/flush-per-sdo" || rows[2].Mode != "resilient/batch-8" {
+		t.Errorf("unexpected mode order: %q, %q, %q", rows[0].Mode, rows[1].Mode, rows[2].Mode)
+	}
+	if rows[2].MeanFill < 2 {
+		t.Errorf("batched mode mean fill %.1f, want ≥ 2 (batching never engaged)", rows[2].MeanFill)
+	}
+	var sb strings.Builder
+	FormatTransport(&sb, rows)
+	if !strings.Contains(sb.String(), "ns/sdo") || !strings.Contains(sb.String(), "batch-8") {
+		t.Errorf("formatter broken:\n%s", sb.String())
+	}
+}
+
+func TestCompareTransportGate(t *testing.T) {
+	base := []TransportRow{
+		{Mode: "direct/flush-per-sdo", NsPerSDO: 1000, AllocsPerSDO: 0.1},
+		{Mode: "resilient/batch-32", NsPerSDO: 200, AllocsPerSDO: 0.1},
+	}
+	// Identical runs pass, as does a uniform host slowdown (the gate is
+	// normalized by the same-run per-frame baseline, so machine speed
+	// cancels out).
+	if err := CompareTransport(base, base); err != nil {
+		t.Errorf("self-comparison failed: %v", err)
+	}
+	slowHost := []TransportRow{
+		{Mode: "direct/flush-per-sdo", NsPerSDO: 2000, AllocsPerSDO: 0.1},
+		{Mode: "resilient/batch-32", NsPerSDO: 400, AllocsPerSDO: 0.1},
+	}
+	if err := CompareTransport(base, slowHost); err != nil {
+		t.Errorf("uniform host slowdown failed the gate: %v", err)
+	}
+	// The batched mode losing its edge — its cost growing >20% relative
+	// to the same run's per-frame baseline — fails.
+	slow := []TransportRow{
+		{Mode: "direct/flush-per-sdo", NsPerSDO: 1000, AllocsPerSDO: 0.1},
+		{Mode: "resilient/batch-32", NsPerSDO: 260, AllocsPerSDO: 0.1},
+	}
+	if err := CompareTransport(base, slow); err == nil {
+		t.Error("normalized ns/SDO regression passed the gate")
+	}
+	// An allocs/SDO regression beyond both the ratio and the absolute
+	// floor fails.
+	leaky := []TransportRow{
+		{Mode: "direct/flush-per-sdo", NsPerSDO: 1000, AllocsPerSDO: 2.0},
+		{Mode: "resilient/batch-32", NsPerSDO: 200, AllocsPerSDO: 0.1},
+	}
+	if err := CompareTransport(base, leaky); err == nil {
+		t.Error("allocs/SDO regression passed the gate")
+	}
+	// A mode vanishing from the current run fails.
+	if err := CompareTransport(base, base[:1]); err == nil {
+		t.Error("missing mode passed the gate")
+	}
+}

@@ -146,6 +146,12 @@ type LinkStats struct {
 	// QueueLen/QueueCap snapshot the outbox at report time.
 	QueueLen int `json:"queue_len"`
 	QueueCap int `json:"queue_cap"`
+	// BatchesSent counts KindBatch wire frames; BatchedFrames counts the
+	// member frames they carried, so BatchedFrames/BatchesSent is the
+	// mean batch fill. Both stay zero when batching is off or the peer
+	// never negotiated it.
+	BatchesSent   int64 `json:"batches_sent,omitempty"`
+	BatchedFrames int64 `json:"batched_frames,omitempty"`
 }
 
 // Finalize freezes the collector into a report. now is the end-of-run

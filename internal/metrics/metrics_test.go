@@ -149,7 +149,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	c.ThroughputSample(2, 3)
 	c.ThroughputSample(3, 5)
 	in := c.Finalize(10)
-	in.Links = []LinkStats{{FramesSent: 9, FramesDropped: 2, Reconnects: 1, QueueLen: 3, QueueCap: 64}}
+	in.Links = []LinkStats{{FramesSent: 9, FramesDropped: 2, Reconnects: 1, QueueLen: 3, QueueCap: 64, BatchesSent: 2, BatchedFrames: 7}}
 	blob, err := json.Marshal(in)
 	if err != nil {
 		t.Fatal(err)

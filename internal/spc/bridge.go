@@ -163,6 +163,8 @@ func (l *ResilientLink) LinkStats() metrics.LinkStats {
 		Reconnects:    s.Reconnects,
 		QueueLen:      s.QueueLen,
 		QueueCap:      s.QueueCap,
+		BatchesSent:   s.BatchesSent,
+		BatchedFrames: s.BatchedFrames,
 	}
 }
 

@@ -58,17 +58,30 @@ func (b *Buffer) TryPush(s sdo.SDO) bool {
 func (b *Buffer) Push(ctx context.Context, s sdo.SDO) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for !b.closed && len(b.items)-b.head >= b.capacity {
-		if ctx.Err() != nil {
-			return false
+	var stop func() bool
+	for !b.closed && ctx.Err() == nil && len(b.items)-b.head >= b.capacity {
+		if stop == nil && ctx.Done() != nil {
+			// Cond has no context support: wake-ups come from Pop and
+			// from Close. The cluster's Stop does close every buffer,
+			// but Push must not hang if a caller cancels without
+			// closing, so the slow path arms a waker that broadcasts
+			// on cancellation. Armed only once per blocked Push, and
+			// only after the fast path has already failed.
+			waker := func() {
+				b.mu.Lock()
+				b.notFull.Broadcast()
+				b.mu.Unlock()
+			}
+			stop = context.AfterFunc(ctx, waker)
 		}
-		// Cond has no context support: wake-ups come from Pop and from
-		// Close; the runtime closes buffers on shutdown, so this cannot
-		// hang. A courtesy waker goroutine is not needed because every
-		// cancel path closes the buffer.
 		b.notFull.Wait()
 	}
-	if b.closed {
+	if stop != nil {
+		// Does not wait for an in-flight waker: the callback only
+		// broadcasts, which is harmless after we return.
+		stop()
+	}
+	if b.closed || ctx.Err() != nil {
 		return false
 	}
 	b.push(s)

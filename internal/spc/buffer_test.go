@@ -1,6 +1,7 @@
 package spc
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -55,6 +56,72 @@ func TestPopAndTryPopInterleaved(t *testing.T) {
 	b.mu.Unlock()
 	if backing > 1024 {
 		t.Errorf("interleaved pops left %d backing entries", backing)
+	}
+}
+
+// A blocked Push must return promptly when the buffer closes, even though
+// the caller's context stays live — the runtime's shutdown path closes
+// buffers before (or instead of) cancelling producer contexts.
+func TestBlockedPushReturnsOnClose(t *testing.T) {
+	b := NewBuffer(1)
+	if !b.TryPush(sdo.SDO{Seq: 1}) {
+		t.Fatal("seed push refused")
+	}
+	done := make(chan bool, 1)
+	go func() {
+		// Live, cancellable context: Close alone must unblock.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		done <- b.Push(ctx, sdo.SDO{Seq: 2})
+	}()
+	select {
+	case ok := <-done:
+		t.Fatalf("Push returned %v before Close on a full buffer", ok)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Push into a closed buffer reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Push hung after Close with a live context")
+	}
+}
+
+// A blocked Push must also return promptly on context cancellation when
+// nothing ever closes the buffer or pops from it — the failure mode the
+// old implementation's "every cancel path closes the buffer" comment
+// papered over.
+func TestBlockedPushReturnsOnCancelWithoutClose(t *testing.T) {
+	b := NewBuffer(1)
+	if !b.TryPush(sdo.SDO{Seq: 1}) {
+		t.Fatal("seed push refused")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() { done <- b.Push(ctx, sdo.SDO{Seq: 2}) }()
+	select {
+	case ok := <-done:
+		t.Fatalf("Push returned %v before cancel on a full buffer", ok)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel() // no Close, no Pop: only the waker can unblock the Push
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("cancelled Push reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Push hung after cancel; AfterFunc waker missing")
+	}
+	// The buffer must remain usable: space opened by a Pop admits again.
+	if _, ok := b.TryPop(); !ok {
+		t.Fatal("TryPop failed on a non-empty buffer")
+	}
+	if !b.Push(context.Background(), sdo.SDO{Seq: 3}) {
+		t.Error("Push refused after an unrelated cancellation")
 	}
 }
 

@@ -82,11 +82,15 @@ func TestPartitionSurvivesPeerOutage(t *testing.T) {
 		flaky.Store(f)
 		return transport.NewConn(f), nil
 	}
+	// Batching on both ends: each side's hello negotiates FeatureBatch, so
+	// the outage/stall/sever cycle below also exercises batch frames and
+	// their per-member loss accounting.
 	linkA := NewResilientLink(dialA, transport.ResilientOptions{
 		QueueSize:    64,
 		WriteTimeout: 50 * time.Millisecond,
 		BackoffMin:   5 * time.Millisecond,
 		BackoffMax:   50 * time.Millisecond,
+		BatchMax:     32,
 	})
 	defer linkA.Close()
 	linkB := NewResilientLink(func() (*transport.Conn, error) {
@@ -96,6 +100,7 @@ func TestPartitionSurvivesPeerOutage(t *testing.T) {
 		WriteTimeout: 50 * time.Millisecond,
 		BackoffMin:   5 * time.Millisecond,
 		BackoffMax:   50 * time.Millisecond,
+		BatchMax:     32,
 	})
 	defer linkB.Close()
 

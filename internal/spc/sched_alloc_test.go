@@ -1,0 +1,38 @@
+package spc
+
+import (
+	"testing"
+
+	"aces/internal/policy"
+)
+
+// TestSchedulerTickZeroAllocs guards the scheduler-scratch bugfix:
+// runScheduler used to allocate the ticks/costs slices (and the planner
+// its own working set) on every Δt tick on every node for the life of
+// the cluster. With the scratch hoisted into schedScratch and
+// controller.Planner, a steady-state tick must not allocate at all.
+func TestSchedulerTickZeroAllocs(t *testing.T) {
+	topo := buildChain(t, 4, 1, 0.001, 100)
+	cpu := []float64{0.3, 0.3, 0.3, 0.3}
+	for _, pol := range []policy.Policy{policy.ACES, policy.ACESStrictCPU, policy.UDP, policy.LockStep} {
+		c, err := NewCluster(Config{Topo: topo, Policy: pol, CPU: cpu, TimeScale: 20, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers := c.nodes[0]
+		scr := newSchedScratch(len(peers))
+		dt := c.cfg.Dt
+		now := c.clock.Now()
+		// One warm-up tick: the first r_max publish per PE inserts its
+		// feedback-map key, a one-time cost by design.
+		c.schedulerTick(peers, scr, now, dt)
+		allocs := testing.AllocsPerRun(100, func() {
+			now += dt
+			c.schedulerTick(peers, scr, now, dt)
+		})
+		if allocs != 0 {
+			t.Errorf("%v: schedulerTick allocates %.1f times per tick, want 0", pol, allocs)
+		}
+		c.cancel()
+	}
+}

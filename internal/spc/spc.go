@@ -245,6 +245,9 @@ type Cluster struct {
 	local []bool
 	// links are uplinks whose transport counters join the run report.
 	links []LinkStatsSource
+	// linkGauges[i] holds the telemetry handles for links[i] (empty when
+	// Config.Telemetry is unset); sampled with the registry flush.
+	linkGauges []linkGauges
 	// delivered counts post-warmup egress SDOs per local PE.
 	delivered  []atomic.Int64
 	warmupVirt float64
@@ -637,12 +640,29 @@ func shedThreshold(capacity int) int {
 	return t
 }
 
+// schedScratch holds one node scheduler's per-tick working set. The Δt
+// loop fires tens of times a second on every node for the life of the
+// cluster, so these buffers (and the planner's own scratch) are hoisted
+// out of the loop: steady-state ticks must not allocate.
+type schedScratch struct {
+	ticks   []controller.PETick
+	costs   []float64
+	planner controller.Planner
+}
+
+func newSchedScratch(n int) *schedScratch {
+	return &schedScratch{
+		ticks: make([]controller.PETick, n),
+		costs: make([]float64, n),
+	}
+}
+
 // runScheduler is one node's Δt control loop.
 func (c *Cluster) runScheduler(n int) {
 	peers := c.nodes[n]
 	tick, stopTick := c.clock.Tick(c.cfg.Dt)
 	defer stopTick()
-	pol := c.cfg.Policy
+	scr := newSchedScratch(len(peers))
 	sample := 0
 	last := c.clock.Now()
 	for {
@@ -664,110 +684,123 @@ func (c *Cluster) runScheduler(n int) {
 		if dt > 10*c.cfg.Dt {
 			dt = 10 * c.cfg.Dt
 		}
-		elapsedTicks := dt / c.cfg.Dt
-		ticks := make([]controller.PETick, len(peers))
-		costs := make([]float64, len(peers))
-		for i, pr := range peers {
-			cost := pr.cost(now)
-			costs[i] = cost
-			occ := float64(pr.occupancy())
-			if pr.gOcc != nil {
-				pr.gOcc.Set(occ)
-				pr.gTokens.Set(pr.bucket.Level())
-			}
-			work := occ * cost / dt
-			capFrac := math.Inf(1)
-			mult := 1.0
-			if syn, ok := pr.proc.(*Synthetic); ok {
-				mult = syn.svc.Params().MeanMult
-			}
-			// Advertised r_max is in SDOs per nominal Δt; scale it to this
-			// planning period before converting to a CPU fraction.
-			switch pol {
-			case policy.ACES, policy.ACESStrictCPU:
-				capFrac = controller.RateToCPU(c.fb.outputBound(pr.downID)*elapsedTicks, cost, mult, dt)
-			case policy.ACESMinFlow:
-				capFrac = controller.RateToCPU(c.fb.minBound(pr.downID)*elapsedTicks, cost, mult, dt)
-			}
-			ticks[i] = controller.PETick{
-				Target: c.cfg.CPU[pr.id],
-				// Bucket levels are in Δt-fractions; express them as a
-				// fraction of this planning period.
-				Tokens:    pr.bucket.Level() / elapsedTicks,
-				Occupancy: occ,
-				Work:      work,
-				Cap:       capFrac,
-				Blocked:   pr.blocked.Load(),
-			}
-		}
-		var alloc []float64
-		switch pol {
-		case policy.ACES, policy.ACESMinFlow:
-			alloc = controller.PlanACES(ticks, 1)
-		case policy.ACESStrictCPU:
-			for i := range ticks {
-				if ticks[i].Cap < ticks[i].Work {
-					ticks[i].Work = ticks[i].Cap
-				}
-			}
-			alloc = controller.PlanStrict(ticks, 1)
-		case policy.UDP, policy.LoadShed:
-			// System 2 (and the load-shedding comparator): traditional
-			// strict/velocity enforcement — unused slices are lost, no
-			// banking (mirrors the simulator).
-			alloc = controller.PlanStrict(ticks, 1)
-		default:
-			// System 3: targets enforced per tick; only sleeping (blocked)
-			// PEs' slices are redistributed.
-			alloc = controller.PlanLockStep(ticks, 1)
-		}
-		for i, pr := range peers {
-			pr.bucket.RefillFor(elapsedTicks)
-			pr.bucket.Spend(alloc[i] * elapsedTicks)
-			if pr.gGrant != nil {
-				pr.gGrant.Set(alloc[i])
-			}
-			if alloc[i] > 0 {
-				pr.grant(alloc[i] * dt)
-			}
-			if pol.UsesFeedback() {
-				// Flow-controller rates stay in SDOs per nominal Δt — the
-				// LQR gains were designed for that sampling period. Banked
-				// token surplus folds into ρ over a short horizon, exactly
-				// as in the simulator, so throttled PEs advertise the burst
-				// capacity they actually hold.
-				cpuRate := c.cfg.CPU[pr.id]
-				if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
-					cpuRate += surplus / 5
-				}
-				rho := cpuRate * c.cfg.Dt / costs[i]
-				vac := float64(pr.buf.Cap() - pr.occupancy())
-				if vac < 0 {
-					vac = 0
-				}
-				pr.fc.SetMaxRate(vac + rho)
-				rmax := pr.fc.Update(rho, float64(pr.occupancy()))
-				if pr.gRmax != nil {
-					pr.gRmax.Set(rmax)
-				}
-				c.fb.publish(int32(pr.id), rmax)
-				if c.cfg.Uplink != nil {
-					// Best effort: a lost advertisement is repaired next
-					// tick; peers treat silence as unconstrained only
-					// before the first one arrives.
-					_ = c.cfg.Uplink.SendFeedback(int32(pr.id), rmax)
-				}
-			}
-		}
+		c.schedulerTick(peers, scr, now, dt)
 		sample++
 		if sample%10 == 0 {
 			for _, pr := range peers {
 				c.col.bufferSample(now, float64(pr.occupancy()))
 			}
-			// One node owns the registry flush so the time series is a
-			// clean sequence of frames, not interleaved per-node partials.
-			if n == c.snapNode && c.reg != nil {
-				c.reg.Flush(now)
+			if n == c.snapNode {
+				c.sampleLinks()
+				// One node owns the registry flush so the time series is a
+				// clean sequence of frames, not interleaved per-node
+				// partials.
+				if c.reg != nil {
+					c.reg.Flush(now)
+				}
+			}
+		}
+	}
+}
+
+// schedulerTick runs one planning period for a node's PEs: sample state,
+// plan the allocation, grant CPU, and publish flow-control feedback. It
+// is factored out of runScheduler so tests can drive it directly and
+// assert it allocates nothing in steady state.
+func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt float64) {
+	pol := c.cfg.Policy
+	elapsedTicks := dt / c.cfg.Dt
+	ticks := scr.ticks[:len(peers)]
+	costs := scr.costs[:len(peers)]
+	for i, pr := range peers {
+		cost := pr.cost(now)
+		costs[i] = cost
+		occ := float64(pr.occupancy())
+		if pr.gOcc != nil {
+			pr.gOcc.Set(occ)
+			pr.gTokens.Set(pr.bucket.Level())
+		}
+		work := occ * cost / dt
+		capFrac := math.Inf(1)
+		mult := 1.0
+		if syn, ok := pr.proc.(*Synthetic); ok {
+			mult = syn.svc.Params().MeanMult
+		}
+		// Advertised r_max is in SDOs per nominal Δt; scale it to this
+		// planning period before converting to a CPU fraction.
+		switch pol {
+		case policy.ACES, policy.ACESStrictCPU:
+			capFrac = controller.RateToCPU(c.fb.outputBound(pr.downID)*elapsedTicks, cost, mult, dt)
+		case policy.ACESMinFlow:
+			capFrac = controller.RateToCPU(c.fb.minBound(pr.downID)*elapsedTicks, cost, mult, dt)
+		}
+		ticks[i] = controller.PETick{
+			Target: c.cfg.CPU[pr.id],
+			// Bucket levels are in Δt-fractions; express them as a
+			// fraction of this planning period.
+			Tokens:    pr.bucket.Level() / elapsedTicks,
+			Occupancy: occ,
+			Work:      work,
+			Cap:       capFrac,
+			Blocked:   pr.blocked.Load(),
+		}
+	}
+	var alloc []float64
+	switch pol {
+	case policy.ACES, policy.ACESMinFlow:
+		alloc = scr.planner.PlanACES(ticks, 1)
+	case policy.ACESStrictCPU:
+		for i := range ticks {
+			if ticks[i].Cap < ticks[i].Work {
+				ticks[i].Work = ticks[i].Cap
+			}
+		}
+		alloc = scr.planner.PlanStrict(ticks, 1)
+	case policy.UDP, policy.LoadShed:
+		// System 2 (and the load-shedding comparator): traditional
+		// strict/velocity enforcement — unused slices are lost, no
+		// banking (mirrors the simulator).
+		alloc = scr.planner.PlanStrict(ticks, 1)
+	default:
+		// System 3: targets enforced per tick; only sleeping (blocked)
+		// PEs' slices are redistributed.
+		alloc = scr.planner.PlanLockStep(ticks, 1)
+	}
+	for i, pr := range peers {
+		pr.bucket.RefillFor(elapsedTicks)
+		pr.bucket.Spend(alloc[i] * elapsedTicks)
+		if pr.gGrant != nil {
+			pr.gGrant.Set(alloc[i])
+		}
+		if alloc[i] > 0 {
+			pr.grant(alloc[i] * dt)
+		}
+		if pol.UsesFeedback() {
+			// Flow-controller rates stay in SDOs per nominal Δt — the
+			// LQR gains were designed for that sampling period. Banked
+			// token surplus folds into ρ over a short horizon, exactly
+			// as in the simulator, so throttled PEs advertise the burst
+			// capacity they actually hold.
+			cpuRate := c.cfg.CPU[pr.id]
+			if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
+				cpuRate += surplus / 5
+			}
+			rho := cpuRate * c.cfg.Dt / costs[i]
+			vac := float64(pr.buf.Cap() - pr.occupancy())
+			if vac < 0 {
+				vac = 0
+			}
+			pr.fc.SetMaxRate(vac + rho)
+			rmax := pr.fc.Update(rho, float64(pr.occupancy()))
+			if pr.gRmax != nil {
+				pr.gRmax.Set(rmax)
+			}
+			c.fb.publish(int32(pr.id), rmax)
+			if c.cfg.Uplink != nil {
+				// Best effort: a lost advertisement is repaired next
+				// tick; peers treat silence as unconstrained only
+				// before the first one arrives.
+				_ = c.cfg.Uplink.SendFeedback(int32(pr.id), rmax)
 			}
 		}
 	}
@@ -890,8 +923,19 @@ type LinkStatsSource interface {
 	LinkStats() metrics.LinkStats
 }
 
+// linkGauges are one uplink's telemetry handles: wire-level counters plus
+// the batching health pair — batch_frames (KindBatch frames sent) and
+// sdos_per_batch (mean member fill), the two signals that tell an operator
+// whether the batched data plane is actually coalescing.
+type linkGauges struct {
+	sent, dropped, reconnects *obs.Gauge
+	queueLen                  *obs.Gauge
+	batchFrames, perBatch     *obs.Gauge
+}
+
 // AttachLink registers an uplink whose counters should appear in this
-// cluster's reports (ResilientLink.Serve attaches itself).
+// cluster's reports (ResilientLink.Serve attaches itself). With Telemetry
+// configured, each link also gets live gauges keyed by attach order.
 func (c *Cluster) AttachLink(s LinkStatsSource) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -901,6 +945,40 @@ func (c *Cluster) AttachLink(s LinkStatsSource) {
 		}
 	}
 	c.links = append(c.links, s)
+	if c.reg != nil {
+		labels := obs.Labels{"link": fmt.Sprintf("%d", len(c.links)-1)}
+		c.linkGauges = append(c.linkGauges, linkGauges{
+			sent:        c.reg.Gauge("link_frames_sent", labels),
+			dropped:     c.reg.Gauge("link_frames_dropped", labels),
+			reconnects:  c.reg.Gauge("link_reconnects", labels),
+			queueLen:    c.reg.Gauge("link_queue_len", labels),
+			batchFrames: c.reg.Gauge("batch_frames", labels),
+			perBatch:    c.reg.Gauge("sdos_per_batch", labels),
+		})
+	}
+}
+
+// sampleLinks refreshes the per-link gauges from live transport counters;
+// the snapshot-owning scheduler calls it just before the registry flush.
+func (c *Cluster) sampleLinks() {
+	c.mu.Lock()
+	links := c.links
+	gauges := c.linkGauges
+	c.mu.Unlock()
+	for i := range gauges {
+		s := links[i].LinkStats()
+		g := gauges[i]
+		g.sent.Set(float64(s.FramesSent))
+		g.dropped.Set(float64(s.FramesDropped))
+		g.reconnects.Set(float64(s.Reconnects))
+		g.queueLen.Set(float64(s.QueueLen))
+		g.batchFrames.Set(float64(s.BatchesSent))
+		fill := 0.0
+		if s.BatchesSent > 0 {
+			fill = float64(s.BatchedFrames) / float64(s.BatchesSent)
+		}
+		g.perBatch.Set(fill)
+	}
 }
 
 // Now returns the cluster's current virtual time.

@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aces/internal/sdo"
+)
+
+// member encodes one batch member the way the resilient writer would.
+func member(t *testing.T, k Kind, to sdo.PEID, s sdo.SDO) outFrame {
+	t.Helper()
+	var body []byte
+	var err error
+	switch k {
+	case KindRouted:
+		body, err = encodeRouted(nil, to, s)
+	default:
+		body, err = encodeSDO(nil, s)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outFrame{kind: k, body: body}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	client, server := pair(t)
+	origin := time.Unix(0, 987654321)
+	members := []outFrame{
+		member(t, KindData, 0, sdo.SDO{Stream: 7, Seq: 1, Origin: origin, Hops: 2, Trace: 0xABCDEF, Payload: []byte("first"), Bytes: 5}),
+		member(t, KindRouted, 9, sdo.SDO{Stream: 7, Seq: 2, Origin: origin, Hops: 3, Trace: 0x1234}),
+		member(t, KindData, 0, sdo.SDO{Stream: 8, Seq: 3, Origin: origin}),
+	}
+	if err := client.sendBatch(members, true); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Kind != KindData || m1.SDO.Seq != 1 || m1.SDO.Hops != 2 {
+		t.Fatalf("member 1 mangled: %+v", m1)
+	}
+	if m1.SDO.Trace != 0xABCDEF {
+		t.Errorf("trace ID lost riding a batch: %#x", m1.SDO.Trace)
+	}
+	if string(m1.SDO.Payload.([]byte)) != "first" {
+		t.Errorf("payload lost riding a batch: %+v", m1.SDO.Payload)
+	}
+	m2, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Kind != KindRouted || m2.To != 9 || m2.SDO.Seq != 2 {
+		t.Fatalf("routed member lost destination: %+v", m2)
+	}
+	if m2.SDO.Trace != 0x1234 {
+		t.Errorf("routed member trace ID lost: %#x", m2.SDO.Trace)
+	}
+	m3, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Kind != KindData || m3.SDO.Seq != 3 || m3.SDO.Payload != nil {
+		t.Fatalf("member 3 mangled: %+v", m3)
+	}
+	// A frame after the batch must decode normally (pending fully drained).
+	if err := client.SendFeedback(Feedback{PE: 4, RMax: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	m4, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.Kind != KindFeedback || m4.Feedback.PE != 4 {
+		t.Fatalf("post-batch frame mangled: %+v", m4)
+	}
+}
+
+func TestHelloRecordsPeerFeatures(t *testing.T) {
+	client, server := pair(t)
+	if server.PeerSupportsBatch() {
+		t.Fatal("batch support advertised before any hello")
+	}
+	if err := client.SendHello(FeatureBatch); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendSDO(sdo.SDO{Seq: 5, Origin: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	// Recv consumes the hello internally and yields the data frame.
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != KindData || msg.SDO.Seq != 5 {
+		t.Fatalf("hello leaked to the caller: %+v", msg)
+	}
+	if !server.PeerSupportsBatch() {
+		t.Error("hello did not record FeatureBatch")
+	}
+	if client.PeerSupportsBatch() {
+		t.Error("client assumed batch support from a silent peer")
+	}
+}
+
+// TestBatchDecodeErrors drives the decoder with hand-built malformed batch
+// frames; each must surface a protocol error, never a panic or a silent
+// mis-parse.
+func TestBatchDecodeErrors(t *testing.T) {
+	// validMember is a minimal data member: kind + length + 36-byte body.
+	validMember := func() []byte {
+		body, err := encodeSDO(nil, sdo.SDO{Seq: 1, Origin: time.Unix(0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := []byte{byte(KindData), 0, 0, 0, byte(len(body))}
+		return append(m, body...)
+	}
+	cases := []struct {
+		name string
+		body func() []byte
+	}{
+		{"short frame", func() []byte { return []byte{0, 0} }},
+		{"zero count", func() []byte { return []byte{0, 0, 0, 0} }},
+		{"count beyond limit", func() []byte {
+			b := make([]byte, 4)
+			binary.BigEndian.PutUint32(b, maxBatchMembers+1)
+			return b
+		}},
+		{"truncated member header", func() []byte {
+			return []byte{0, 0, 0, 1, byte(KindData), 0}
+		}},
+		{"member overruns frame", func() []byte {
+			return []byte{0, 0, 0, 1, byte(KindData), 0, 0, 0, 100, 1, 2, 3}
+		}},
+		{"trailing bytes", func() []byte {
+			b := append([]byte{0, 0, 0, 1}, validMember()...)
+			return append(b, 0xEE)
+		}},
+		{"feedback member", func() []byte {
+			m := []byte{byte(KindFeedback), 0, 0, 0, 12}
+			m = append(m, make([]byte, 12)...)
+			return append([]byte{0, 0, 0, 1}, m...)
+		}},
+		{"nested batch member", func() []byte {
+			m := []byte{byte(KindBatch), 0, 0, 0, 4, 0, 0, 0, 1}
+			return append([]byte{0, 0, 0, 1}, m...)
+		}},
+		{"corrupt member body", func() []byte {
+			m := []byte{byte(KindData), 0, 0, 0, 3, 1, 2, 3}
+			return append([]byte{0, 0, 0, 1}, m...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, framed := rawPair(t)
+			body := tc.body()
+			hdr := make([]byte, 5)
+			hdr[0] = byte(KindBatch)
+			binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+			if _, err := raw.Write(append(hdr, body...)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := framed.Recv(); err == nil {
+				t.Error("malformed batch accepted")
+			}
+		})
+	}
+}
+
+func TestRecvRejectsBadHelloFrame(t *testing.T) {
+	raw, framed := rawPair(t)
+	hdr := []byte{byte(KindHello), 0, 0, 0, 2}
+	if _, err := raw.Write(append(hdr, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framed.Recv(); err == nil {
+		t.Error("truncated hello accepted")
+	}
+}
+
+func TestSendBatchRejectsOversizedTotal(t *testing.T) {
+	client, _ := pair(t)
+	huge := outFrame{kind: KindData, body: make([]byte, maxFrame/2)}
+	if err := client.sendBatch([]outFrame{huge, huge, huge}, true); err == nil {
+		t.Error("batch beyond maxFrame accepted")
+	}
+}
+
+// TestResilientBatchesWhenNegotiated proves the end-to-end coalescing
+// path: a batch-capable peer advertises support, and the writer folds an
+// outbox backlog into KindBatch frames whose members all arrive.
+func TestResilientBatchesWhenNegotiated(t *testing.T) {
+	srv := newCountingServer(t)
+	rc := NewResilientConn(func() (*Conn, error) {
+		c, err := Dial(srv.addr(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		// Stand in for the peer's hello (the counting server does not send
+		// one); negotiation itself is covered by TestHelloRecordsPeerFeatures
+		// and the spc partition tests where both ends run ResilientConns.
+		c.setPeerFeatures(FeatureBatch)
+		return c, nil
+	}, ResilientOptions{BatchMax: 32, BatchLinger: 20 * time.Millisecond})
+	defer rc.Close()
+
+	const total = 256
+	for i := 0; i < total; i++ {
+		if err := rc.SendSDO(sdo.SDO{Stream: 1, Seq: uint64(i), Origin: time.Now()}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == total }, "batched members delivered")
+	st := rc.Stats()
+	if st.FramesSent != total || st.FramesDropped != 0 {
+		t.Errorf("stats = %+v, want %d sent, 0 dropped", st, total)
+	}
+	if st.BatchesSent == 0 {
+		t.Fatalf("no batch frames sent despite negotiated support: %+v", st)
+	}
+	if fill := float64(st.BatchedFrames) / float64(st.BatchesSent); fill < 2 {
+		t.Errorf("mean batch fill %.1f < 2; writer is not coalescing", fill)
+	}
+}
+
+// TestResilientFallsBackAgainstOldPeer is the interop case: the peer never
+// sends a hello (an un-upgraded binary), so every SDO must go out as a
+// plain per-SDO frame the old vocabulary understands.
+func TestResilientFallsBackAgainstOldPeer(t *testing.T) {
+	srv := newCountingServer(t)
+	rc := NewResilientConn(func() (*Conn, error) {
+		return Dial(srv.addr(), time.Second)
+	}, ResilientOptions{BatchMax: 32, BatchLinger: 5 * time.Millisecond})
+	defer rc.Close()
+
+	const total = 100
+	for i := 0; i < total; i++ {
+		if err := rc.SendSDO(sdo.SDO{Seq: uint64(i), Origin: time.Now()}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == total }, "fallback frames delivered")
+	st := rc.Stats()
+	if st.BatchesSent != 0 || st.BatchedFrames != 0 {
+		t.Errorf("batches sent to a peer that never advertised support: %+v", st)
+	}
+	if st.FramesSent != total {
+		t.Errorf("sent %d frames, want %d", st.FramesSent, total)
+	}
+}
+
+// TestMidBatchSeverCountsMemberSDOs arms a byte-bounded sever so the
+// connection dies inside a batch frame's write. Loss accounting must bill
+// every member SDO of the failed batch — counting one drop per wire frame
+// would leave most of the batch's SDOs unaccounted.
+func TestMidBatchSeverCountsMemberSDOs(t *testing.T) {
+	srv := newCountingServer(t)
+	var current atomic.Pointer[FlakyConn]
+	var asyncDrops atomic.Int64
+	var nonData atomic.Int64
+	rc := NewResilientConn(func() (*Conn, error) {
+		raw, err := net.DialTimeout("tcp", srv.addr(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		f := WrapFlaky(raw)
+		current.Store(f)
+		c := NewConn(f)
+		c.setPeerFeatures(FeatureBatch)
+		return c, nil
+	}, ResilientOptions{
+		BatchMax:   32,
+		BackoffMin: 10 * time.Millisecond,
+		OnDrop: func(k Kind, hops int, trace uint64) {
+			asyncDrops.Add(1)
+			if k != KindData {
+				nonData.Add(1)
+			}
+		},
+	})
+	defer rc.Close()
+
+	// Warm up so the connection is live, then note its flaky wrapper.
+	if err := rc.SendSDO(sdo.SDO{Seq: 0, Origin: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == 1 }, "warmup frame")
+	flaky := current.Load()
+
+	// Stall the pipe, then flush one sacrificial frame into the stall: the
+	// writer blocks inside its flush while the outbox fills behind it, so
+	// the next burst drains as one batch. The sever quota lets the
+	// sacrificial frame through and dies a few bytes into the batch.
+	const sacrificialLen = 5 + 36 // frame header + empty-payload SDO body
+	flaky.Stall(100 * time.Millisecond)
+	flaky.SeverAfterBytes(sacrificialLen + 9)
+	if err := rc.SendSDO(sdo.SDO{Seq: 1, Origin: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the writer enter the stalled flush
+	const batchSDOs = 16
+	for i := 0; i < batchSDOs; i++ {
+		if err := rc.SendSDO(sdo.SDO{Seq: uint64(2 + i), Origin: time.Now()}); err != nil {
+			t.Fatalf("batch send %d: %v", i, err)
+		}
+	}
+
+	// Every SDO of the severed batch must surface as an individual drop.
+	waitFor(t, 5*time.Second, func() bool { return asyncDrops.Load() >= batchSDOs }, "per-member drop accounting")
+	if got := asyncDrops.Load(); got != batchSDOs {
+		t.Errorf("async drops = %d, want %d (one per member SDO)", got, batchSDOs)
+	}
+	if nonData.Load() != 0 {
+		t.Errorf("%d non-data drops reported for a data-only batch", nonData.Load())
+	}
+	waitFor(t, 5*time.Second, func() bool { return rc.Stats().FramesDropped >= batchSDOs }, "stats count members")
+
+	// The link must heal and deliver again after the mid-batch sever.
+	waitFor(t, 5*time.Second, func() bool {
+		rc.SendSDO(sdo.SDO{Seq: 99, Origin: time.Now()})
+		return srv.frames.Load() > 2
+	}, "post-sever delivery")
+}

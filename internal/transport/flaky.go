@@ -26,6 +26,12 @@ type FlakyConn struct {
 	dropWrites bool
 	severed    bool
 	wdeadline  time.Time
+	// severAfter > 0 arms a byte-bounded sever: after that many more
+	// bytes are written the connection dies, possibly mid-frame — the
+	// fault a batch frame is most exposed to, since one wire frame now
+	// carries many SDOs.
+	severAfter int
+	severArmed bool
 }
 
 // WrapFlaky wraps raw in a FlakyConn with no faults active.
@@ -43,6 +49,18 @@ func (f *FlakyConn) Stall(d time.Duration) {
 func (f *FlakyConn) DropWrites(on bool) {
 	f.mu.Lock()
 	f.dropWrites = on
+	f.mu.Unlock()
+}
+
+// SeverAfterBytes arms a delayed sever: the connection carries up to n
+// more written bytes, then dies — truncating whatever frame those bytes
+// belonged to. With batch framing a single wire frame carries many SDOs,
+// so tests use this to assert that a mid-batch sever is accounted per
+// member SDO, not per frame.
+func (f *FlakyConn) SeverAfterBytes(n int) {
+	f.mu.Lock()
+	f.severAfter = n
+	f.severArmed = true
 	f.mu.Unlock()
 }
 
@@ -91,6 +109,22 @@ func (f *FlakyConn) Write(p []byte) (int, error) {
 		if remaining <= 0 {
 			if drop {
 				return len(p), nil
+			}
+			f.mu.Lock()
+			armed, quota := f.severArmed, f.severAfter
+			f.mu.Unlock()
+			if armed && len(p) >= quota {
+				// Deliver the remaining quota, then die mid-frame.
+				if quota > 0 {
+					f.Conn.Write(p[:quota])
+				}
+				f.Sever()
+				return quota, errSevered
+			}
+			if armed {
+				f.mu.Lock()
+				f.severAfter -= len(p)
+				f.mu.Unlock()
 			}
 			return f.Conn.Write(p)
 		}

@@ -27,13 +27,13 @@ var (
 type DialFunc func() (*Conn, error)
 
 // ResilientOptions tunes a ResilientConn. The zero value picks usable
-// defaults.
+// defaults (batching off).
 type ResilientOptions struct {
 	// QueueSize bounds the outbox in frames (default 1024). A full outbox
 	// drops the newest frame — loss at the boundary instead of back-pressure
 	// that would freeze the emit path or the Δt scheduler.
 	QueueSize int
-	// WriteTimeout bounds each frame write (default 1s). A stalled peer
+	// WriteTimeout bounds each wire write (default 1s). A stalled peer
 	// (unread TCP window) fails the write and triggers a reconnect rather
 	// than wedging the writer goroutine.
 	WriteTimeout time.Duration
@@ -41,13 +41,26 @@ type ResilientOptions struct {
 	// The actual delay is the current backoff plus up to 50% jitter, so a
 	// partition of many links does not reconnect in lockstep.
 	BackoffMin, BackoffMax time.Duration
+	// BatchMax enables batched framing when > 1: the writer coalesces up
+	// to BatchMax queued data/routed frames into one KindBatch wire frame
+	// (one header, one flush). Batches are only sent to peers that
+	// advertised FeatureBatch in a hello frame; other peers receive plain
+	// per-SDO frames. Batching is opportunistic — a frame that finds the
+	// outbox otherwise empty is written and flushed immediately, so
+	// single-SDO latency is unchanged. Default 0 (off).
+	BatchMax int
+	// BatchLinger, when > 0, lets the writer wait up to this long for
+	// additional frames before writing a non-full burst — trading latency
+	// for batch fill under light load. Default 0: flush-on-idle only.
+	BatchLinger time.Duration
 	// OnDrop, when set, is invoked for every frame dropped asynchronously
-	// by the writer goroutine (write failure after dequeue). It is NOT
-	// invoked for enqueue-time overflow: those return ErrOutboxFull and the
-	// caller accounts the loss synchronously. hops is the SDO's processing
-	// depth and trace its observability trace ID (both 0 for feedback
-	// frames; trace is 0 for unsampled SDOs), letting the owner record the
-	// loss as a terminal trace event.
+	// by the writer goroutine (write failure after dequeue). A failed
+	// batch write invokes it once per member SDO, not once per wire
+	// frame. It is NOT invoked for enqueue-time overflow: those return
+	// ErrOutboxFull and the caller accounts the loss synchronously. hops
+	// is the SDO's processing depth and trace its observability trace ID
+	// (both 0 for feedback frames; trace is 0 for unsampled SDOs), letting
+	// the owner record the loss as a terminal trace event.
 	OnDrop func(kind Kind, hops int, trace uint64)
 }
 
@@ -67,38 +80,69 @@ func (o *ResilientOptions) fillDefaults() {
 			o.BackoffMax = o.BackoffMin
 		}
 	}
+	if o.BatchMax > maxBatchMembers {
+		o.BatchMax = maxBatchMembers
+	}
 }
 
+// maxBatchBytes caps the encoded size of one batch frame well below
+// maxFrame, so a burst of jumbo payloads splits into several batches
+// instead of tripping the frame limit.
+const maxBatchBytes = 1 << 20
+
 // LinkStats is a point-in-time snapshot of a ResilientConn's counters.
+// Frame counts are logical: a batch that carries N SDOs counts N sent
+// (or, on a failed write, N dropped) — loss accounting is per member SDO,
+// never per wire frame.
 type LinkStats struct {
-	// FramesSent counts frames written to the wire successfully.
+	// FramesSent counts logical frames written to the wire successfully
+	// (batch members count individually).
 	FramesSent int64
-	// FramesDropped counts frames lost at this endpoint: outbox overflow,
-	// write failures, and frames abandoned at Close.
+	// FramesDropped counts logical frames lost at this endpoint: outbox
+	// overflow, write failures (every member of a failed batch), and
+	// frames abandoned at Close.
 	FramesDropped int64
 	// Reconnects counts successful re-establishments after the first
 	// connection.
 	Reconnects int64
+	// BatchesSent counts KindBatch wire frames written successfully.
+	BatchesSent int64
+	// BatchedFrames counts logical frames that rode inside batches;
+	// BatchedFrames/BatchesSent is the mean batch fill.
+	BatchedFrames int64
 	// QueueLen and QueueCap describe the outbox at snapshot time.
 	QueueLen, QueueCap int
 }
 
 // outFrame is one queued wire frame. hops carries the SDO's processing
 // depth so asynchronous drops can be accounted as in-flight loss; trace
-// carries its observability trace ID so they can end the trace too.
+// carries its observability trace ID so they can end the trace too. buf
+// is the pooled buffer backing body, recycled after the frame leaves the
+// outbox (written, dropped, or abandoned).
 type outFrame struct {
 	kind  Kind
 	body  []byte
+	buf   *[]byte
 	hops  int
 	trace uint64
 }
 
+// release returns the frame's encode buffer to the pool.
+func (f *outFrame) release() {
+	if f.buf != nil {
+		putBuf(f.buf)
+		f.buf = nil
+	}
+	f.body = nil
+}
+
 // ResilientConn is a self-healing framed connection: sends enqueue into a
 // bounded outbox and never touch the network; a writer goroutine drains
-// the outbox under a write deadline; a manager goroutine (re)establishes
-// the connection with jittered exponential backoff whenever the current
-// one fails. Recv transparently rides across reconnects and returns only
-// when the conn is closed.
+// the outbox in bursts — coalescing data frames into batch frames when
+// the peer supports them, and flushing only when the outbox runs dry — a
+// manager goroutine (re)establishes the connection with jittered
+// exponential backoff whenever the current one fails. Recv transparently
+// rides across reconnects and returns only when the conn is closed.
 //
 // The design target is the paper's §IV "degrades, does not collapse": a
 // stalled, severed or absent peer costs the local partition nothing but
@@ -109,12 +153,11 @@ type ResilientConn struct {
 	out  chan outFrame
 	done chan struct{}
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	cur       *Conn
-	gen       int // bumped on every connect; stale failures are ignored
-	connected bool
-	closed    bool
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cur    *Conn
+	gen    int // bumped on every connect; stale failures are ignored
+	closed bool
 
 	wg sync.WaitGroup
 
@@ -122,6 +165,8 @@ type ResilientConn struct {
 	sent      int64
 	dropped   int64
 	reconnect int64
+	batches   int64
+	batched   int64
 }
 
 // NewResilientConn starts the manager and writer goroutines and returns
@@ -144,39 +189,50 @@ func NewResilientConn(dial DialFunc, opts ResilientOptions) *ResilientConn {
 // SendSDO enqueues one data frame. It never blocks; a full outbox returns
 // ErrOutboxFull and the frame is dropped.
 func (rc *ResilientConn) SendSDO(s sdo.SDO) error {
-	body, err := encodeSDO(s)
+	bp := getBuf()
+	body, err := encodeSDO((*bp)[:0], s)
 	if err != nil {
+		putBuf(bp)
 		return err
 	}
-	return rc.enqueue(KindData, body, s.Hops, s.Trace)
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindData, body: body, buf: bp, hops: s.Hops, trace: s.Trace})
 }
 
 // SendRouted enqueues a data frame addressed to PE `to` in the peer
 // process. It never blocks.
 func (rc *ResilientConn) SendRouted(to sdo.PEID, s sdo.SDO) error {
-	body, err := encodeRouted(to, s)
+	bp := getBuf()
+	body, err := encodeRouted((*bp)[:0], to, s)
 	if err != nil {
+		putBuf(bp)
 		return err
 	}
-	return rc.enqueue(KindRouted, body, s.Hops, s.Trace)
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindRouted, body: body, buf: bp, hops: s.Hops, trace: s.Trace})
 }
 
 // SendFeedback enqueues one control frame. It never blocks.
 func (rc *ResilientConn) SendFeedback(f Feedback) error {
-	return rc.enqueue(KindFeedback, encodeFeedback(f), 0, 0)
+	bp := getBuf()
+	body := encodeFeedback((*bp)[:0], f)
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindFeedback, body: body, buf: bp})
 }
 
-func (rc *ResilientConn) enqueue(k Kind, body []byte, hops int, trace uint64) error {
+func (rc *ResilientConn) enqueue(f outFrame) error {
 	select {
 	case <-rc.done:
+		f.release()
 		return ErrLinkClosed
 	default:
 	}
 	select {
-	case rc.out <- outFrame{kind: k, body: body, hops: hops, trace: trace}:
+	case rc.out <- f:
 		return nil
 	default:
-		rc.countDrop()
+		f.release()
+		rc.countDrop(1)
 		return ErrOutboxFull
 	}
 }
@@ -205,6 +261,8 @@ func (rc *ResilientConn) Stats() LinkStats {
 		FramesSent:    rc.sent,
 		FramesDropped: rc.dropped,
 		Reconnects:    rc.reconnect,
+		BatchesSent:   rc.batches,
+		BatchedFrames: rc.batched,
 		QueueLen:      len(rc.out),
 		QueueCap:      cap(rc.out),
 	}
@@ -231,17 +289,18 @@ func (rc *ResilientConn) Close() error {
 	// Frames stranded in the outbox never reached the wire.
 	for {
 		select {
-		case <-rc.out:
-			rc.countDrop()
+		case f := <-rc.out:
+			f.release()
+			rc.countDrop(1)
 		default:
 			return nil
 		}
 	}
 }
 
-func (rc *ResilientConn) countDrop() {
+func (rc *ResilientConn) countDrop(n int64) {
 	rc.statsMu.Lock()
-	rc.dropped++
+	rc.dropped += n
 	rc.statsMu.Unlock()
 }
 
@@ -272,7 +331,8 @@ func (rc *ResilientConn) invalidate(gen int) {
 }
 
 // manage owns connection establishment: dial with jittered exponential
-// backoff, install, then sleep until the connection is invalidated.
+// backoff, install, announce (hello), then sleep until the connection is
+// invalidated.
 func (rc *ResilientConn) manage() {
 	defer rc.wg.Done()
 	backoff := rc.opts.BackoffMin
@@ -311,8 +371,18 @@ func (rc *ResilientConn) manage() {
 		}
 		rc.cur = conn
 		rc.gen++
+		gen := rc.gen
 		rc.cond.Broadcast()
 		rc.mu.Unlock()
+		// Batch-capable endpoints open every connection generation with a
+		// hello so the peer's writer can start batching toward us. Sent
+		// under the write deadline; a failure just retires the conn.
+		if rc.opts.BatchMax > 1 {
+			conn.SetWriteDeadline(time.Now().Add(rc.opts.WriteTimeout))
+			if err := conn.SendHello(FeatureBatch); err != nil {
+				rc.invalidate(gen)
+			}
+		}
 		if everConnected {
 			rc.statsMu.Lock()
 			rc.reconnect++
@@ -322,11 +392,27 @@ func (rc *ResilientConn) manage() {
 	}
 }
 
-// write drains the outbox. Each frame is written under a deadline; a
-// failed write drops the frame, retires the connection and moves on — the
-// outbox, not the TCP session, is the loss boundary.
+// burstCap is the most frames the writer pulls from the outbox before
+// writing: at least 64 so flush coalescing pays off even with batching
+// disabled, and at least BatchMax so a configured batch can fill.
+func (rc *ResilientConn) burstCap() int {
+	n := 64
+	if rc.opts.BatchMax > n {
+		n = rc.opts.BatchMax
+	}
+	return n
+}
+
+// write drains the outbox in bursts. Consecutive data/routed frames are
+// coalesced into one KindBatch frame when the peer advertised batch
+// support; the bufio writer is flushed only once the outbox runs dry
+// (flush-on-idle), so a lone frame still reaches the wire immediately
+// while a backlog pays one syscall per burst instead of one per frame. A
+// failed write drops the frames being written, retires the connection and
+// moves on — the outbox, not the TCP session, is the loss boundary.
 func (rc *ResilientConn) write() {
 	defer rc.wg.Done()
+	burst := make([]outFrame, 0, rc.burstCap())
 	for {
 		var f outFrame
 		select {
@@ -334,22 +420,126 @@ func (rc *ResilientConn) write() {
 			return
 		case f = <-rc.out:
 		}
+		burst = append(burst[:0], f)
+		rc.fillBurst(&burst)
 		conn, gen, ok := rc.current()
 		if !ok {
-			rc.countDrop()
+			rc.dropFrames(burst, false)
 			return
 		}
 		conn.SetWriteDeadline(time.Now().Add(rc.opts.WriteTimeout))
-		if err := conn.send(f.kind, f.body); err != nil {
-			rc.invalidate(gen)
-			rc.countDrop()
-			if rc.opts.OnDrop != nil {
-				rc.opts.OnDrop(f.kind, f.hops, f.trace)
-			}
+		rc.writeBurst(conn, gen, burst)
+	}
+}
+
+// fillBurst drains immediately available frames into the burst, then — if
+// a linger is configured and the burst is not full — waits up to the
+// linger for stragglers. Returning early on done is safe: the caller's
+// current() will fail and account the burst as dropped.
+func (rc *ResilientConn) fillBurst(burst *[]outFrame) {
+	max := rc.burstCap()
+	for len(*burst) < max {
+		select {
+		case g := <-rc.out:
+			*burst = append(*burst, g)
 			continue
+		default:
+		}
+		if rc.opts.BatchLinger <= 0 {
+			return
+		}
+		timer := time.NewTimer(rc.opts.BatchLinger)
+		select {
+		case g := <-rc.out:
+			timer.Stop()
+			*burst = append(*burst, g)
+			// Straggler arrived: drain whatever came with it, but only
+			// linger once per burst so latency is bounded by one linger.
+			for len(*burst) < max {
+				select {
+				case g := <-rc.out:
+					*burst = append(*burst, g)
+				default:
+					return
+				}
+			}
+			return
+		case <-timer.C:
+			return
+		case <-rc.done:
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// batchable reports whether a frame kind may ride inside a batch frame.
+// Feedback stays on its own frames: the control path's advertisements are
+// latency-sensitive and must remain decodable by batch-unaware peers.
+func batchable(k Kind) bool { return k == KindData || k == KindRouted }
+
+// writeBurst writes the burst as a sequence of batch frames (runs of
+// batchable frames, when negotiated) and single frames, flushing with the
+// last write iff the outbox is empty. On error the unwritten remainder of
+// the burst is dropped and counted per member SDO.
+func (rc *ResilientConn) writeBurst(conn *Conn, gen int, burst []outFrame) {
+	useBatch := rc.opts.BatchMax > 1 && conn.PeerSupportsBatch()
+	i := 0
+	for i < len(burst) {
+		// Group a run of batchable frames, bounded by BatchMax and the
+		// batch byte cap.
+		j := i
+		if useBatch && batchable(burst[i].kind) {
+			bytes := 0
+			for j < len(burst) && j-i < rc.opts.BatchMax && batchable(burst[j].kind) {
+				bytes += 5 + len(burst[j].body)
+				if bytes > maxBatchBytes && j > i {
+					break
+				}
+				j++
+			}
+		}
+		var err error
+		var n int
+		if j-i >= 2 {
+			n = j - i
+			last := j == len(burst)
+			err = conn.sendBatch(burst[i:j], last && len(rc.out) == 0)
+			if err == nil {
+				rc.statsMu.Lock()
+				rc.batches++
+				rc.batched += int64(n)
+				rc.statsMu.Unlock()
+			}
+		} else {
+			n = 1
+			last := i == len(burst)-1
+			err = conn.writeFrame(burst[i].kind, burst[i].body, last && len(rc.out) == 0)
+		}
+		if err != nil {
+			rc.invalidate(gen)
+			rc.dropFrames(burst[i:], true)
+			return
+		}
+		for k := i; k < i+n; k++ {
+			burst[k].release()
 		}
 		rc.statsMu.Lock()
-		rc.sent++
+		rc.sent += int64(n)
 		rc.statsMu.Unlock()
+		i += n
+	}
+}
+
+// dropFrames accounts a slice of frames as lost — one count (and, when
+// notify is set, one OnDrop callback) per member SDO, never per wire
+// frame — and recycles their buffers.
+func (rc *ResilientConn) dropFrames(frames []outFrame, notify bool) {
+	rc.countDrop(int64(len(frames)))
+	for i := range frames {
+		if notify && rc.opts.OnDrop != nil {
+			rc.opts.OnDrop(frames[i].kind, frames[i].hops, frames[i].trace)
+		}
+		frames[i].release()
 	}
 }

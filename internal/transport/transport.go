@@ -7,10 +7,19 @@
 //	data   := stream(i32) seq(u64) originUnixNanos(i64) hops(i32)
 //	          trace(u64) payloadLen(u32) payload
 //	ctrl   := pe(i32) rmax(f64 bits)
+//	hello  := version(u8) features(u64)
+//	batch  := count(u32) { kind(u8) mlen(u32) member } × count
 //
 // trace is the observability trace ID (0 = unsampled): carrying it inside
 // the routed frame is what lets a per-SDO trace be stitched across the
 // TCP bridge of a partitioned deployment (internal/obs).
+//
+// Protocol versioning: a peer that supports optional features announces
+// them with a hello frame (first frame after connect). Batch frames are
+// only ever sent to a peer whose hello advertised FeatureBatch; against a
+// peer that stays silent the sender falls back to one frame per SDO, so
+// the two frame vocabularies interoperate. Recv consumes hello frames
+// internally — callers never see them.
 //
 // Payloads must be []byte (or nil) on the wire; richer payloads belong to
 // in-process deployments.
@@ -24,6 +33,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aces/internal/sdo"
@@ -40,7 +50,22 @@ const (
 	// partitioned live-runtime deployments (spc.RemoteLink) to route SDOs
 	// across process boundaries.
 	KindRouted
+	// KindBatch carries N data/routed members in one frame: one header,
+	// one flush, one syscall for a whole outbox burst. Members are
+	// length-delimited sub-frames; feedback never rides a batch (the
+	// control path keeps its own frames so advertisements stay sub-Δt).
+	KindBatch
+	// KindHello is the version/feature announcement a peer sends first on
+	// a new connection. Recv handles it internally.
+	KindHello
 )
+
+// protocolVersion is announced in hello frames. Version 2 adds batch
+// framing; version 1 peers never send hello and never receive batches.
+const protocolVersion = 2
+
+// FeatureBatch advertises that this endpoint decodes KindBatch frames.
+const FeatureBatch uint64 = 1 << 0
 
 // Feedback is a control-plane advertisement: PE j accepts at most RMax
 // SDOs per control tick.
@@ -50,7 +75,8 @@ type Feedback struct {
 }
 
 // Message is a decoded frame: exactly one of SDO/Feedback is meaningful
-// per Kind; To is set for routed frames.
+// per Kind; To is set for routed frames. Batch frames are decoded into
+// their members, so Recv only ever yields data/routed/feedback messages.
 type Message struct {
 	Kind     Kind
 	SDO      sdo.SDO
@@ -63,6 +89,36 @@ type Message struct {
 // legitimate SDO.
 const maxFrame = 16 << 20
 
+// maxBatchMembers bounds the member count of one batch frame; a count
+// beyond it cannot be legitimate (the frame body would exceed maxFrame
+// anyway for any non-empty member) and is rejected before allocation.
+const maxBatchMembers = 4096
+
+// bufPool recycles frame-body buffers across encodes and receives, so the
+// steady-state data path performs no per-frame heap allocation. Buffers
+// are stored by pointer (storing slices directly would allocate a header
+// on every Put).
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// poolBufMaxCap is the largest buffer returned to the pool; one-off jumbo
+// frames must not pin megabytes inside it.
+const poolBufMaxCap = 256 << 10
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > poolBufMaxCap {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
 // Conn is a framed connection. Writes are internally serialized, so one
 // Conn may be shared by multiple sender goroutines; Recv must be called
 // from a single goroutine.
@@ -72,6 +128,24 @@ type Conn struct {
 
 	wmu sync.Mutex
 	w   *bufio.Writer
+	// hdr is scratch for frame and batch-member headers (guarded by wmu).
+	// A stack-local array would escape into the bufio.Write interface call
+	// and cost one heap allocation per frame.
+	hdr [16]byte
+
+	// peerFeatures holds the feature bits from the peer's hello frame
+	// (0 until one arrives). Written by the Recv goroutine, read by
+	// writers deciding whether to emit batch frames.
+	peerFeatures atomic.Uint64
+
+	// pending holds decoded batch members not yet returned by Recv
+	// (Recv-goroutine-owned, no lock needed).
+	pending  []Message
+	pendHead int
+	// rhdr is Recv's frame-header scratch (Recv-goroutine-owned). Like hdr
+	// on the write side, a stack-local array would escape into the
+	// io.ReadFull interface call and cost one heap allocation per frame.
+	rhdr [5]byte
 }
 
 // NewConn wraps a net.Conn with framing.
@@ -100,16 +174,44 @@ func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadli
 // SetReadDeadline bounds all future reads on the connection.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
 
+// SendHello announces this endpoint's protocol version and feature bits.
+// Batch-capable endpoints send it as the first frame of every connection;
+// the peer's Recv records the features and skips the frame.
+func (c *Conn) SendHello(features uint64) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	body := append((*bp)[:0], protocolVersion)
+	body = binary.BigEndian.AppendUint64(body, features)
+	*bp = body[:0]
+	return c.send(KindHello, body)
+}
+
+// PeerSupportsBatch reports whether the peer's hello advertised batch
+// decoding. False until a hello arrives (and a hello only arrives while
+// some goroutine is calling Recv).
+func (c *Conn) PeerSupportsBatch() bool {
+	return c.peerFeatures.Load()&FeatureBatch != 0
+}
+
+// setPeerFeatures force-sets the peer feature bits (tests that need
+// batching active without running a Recv loop on the sender side).
+func (c *Conn) setPeerFeatures(f uint64) { c.peerFeatures.Store(f) }
+
 // SendSDO writes one data frame. The payload must be nil or []byte.
 func (c *Conn) SendSDO(s sdo.SDO) error {
-	body, err := encodeSDO(s)
+	bp := getBuf()
+	defer putBuf(bp)
+	body, err := encodeSDO((*bp)[:0], s)
 	if err != nil {
 		return err
 	}
+	*bp = body[:0]
 	return c.send(KindData, body)
 }
 
-func encodeSDO(s sdo.SDO) ([]byte, error) {
+// encodeSDO appends the data-frame body for s to dst and returns the
+// extended slice (append-style, so callers can reuse pooled buffers).
+func encodeSDO(dst []byte, s sdo.SDO) ([]byte, error) {
 	var payload []byte
 	switch p := s.Payload.(type) {
 	case nil:
@@ -118,117 +220,268 @@ func encodeSDO(s sdo.SDO) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("transport: payload must be []byte or nil, got %T", s.Payload)
 	}
-	body := make([]byte, 0, sdoHeaderLen+len(payload))
-	body = binary.BigEndian.AppendUint32(body, uint32(s.Stream))
-	body = binary.BigEndian.AppendUint64(body, s.Seq)
-	body = binary.BigEndian.AppendUint64(body, uint64(s.Origin.UnixNano()))
-	body = binary.BigEndian.AppendUint32(body, uint32(s.Hops))
-	body = binary.BigEndian.AppendUint64(body, s.Trace)
-	body = binary.BigEndian.AppendUint32(body, uint32(len(payload)))
-	body = append(body, payload...)
-	return body, nil
+	dst = binary.BigEndian.AppendUint32(dst, uint32(s.Stream))
+	dst = binary.BigEndian.AppendUint64(dst, s.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(s.Origin.UnixNano()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(s.Hops))
+	dst = binary.BigEndian.AppendUint64(dst, s.Trace)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return dst, nil
 }
 
 // SendRouted writes a data frame addressed to a specific PE in a peer
 // process.
 func (c *Conn) SendRouted(to sdo.PEID, s sdo.SDO) error {
-	body, err := encodeRouted(to, s)
+	bp := getBuf()
+	defer putBuf(bp)
+	body, err := encodeRouted((*bp)[:0], to, s)
 	if err != nil {
 		return err
 	}
+	*bp = body[:0]
 	return c.send(KindRouted, body)
 }
 
-func encodeRouted(to sdo.PEID, s sdo.SDO) ([]byte, error) {
-	body, err := encodeSDO(s)
-	if err != nil {
-		return nil, err
-	}
-	routed := make([]byte, 0, 4+len(body))
-	routed = binary.BigEndian.AppendUint32(routed, uint32(to))
-	routed = append(routed, body...)
-	return routed, nil
+// encodeRouted appends the routed-frame body (destination PE + SDO) to dst.
+func encodeRouted(dst []byte, to sdo.PEID, s sdo.SDO) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(to))
+	return encodeSDO(dst, s)
 }
 
 // SendFeedback writes one control frame.
 func (c *Conn) SendFeedback(f Feedback) error {
-	return c.send(KindFeedback, encodeFeedback(f))
+	bp := getBuf()
+	defer putBuf(bp)
+	body := encodeFeedback((*bp)[:0], f)
+	*bp = body[:0]
+	return c.send(KindFeedback, body)
 }
 
-func encodeFeedback(f Feedback) []byte {
-	body := make([]byte, 0, 12)
-	body = binary.BigEndian.AppendUint32(body, uint32(f.PE))
-	body = binary.BigEndian.AppendUint64(body, math.Float64bits(f.RMax))
-	return body
+// encodeFeedback appends the feedback-frame body to dst.
+func encodeFeedback(dst []byte, f Feedback) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.PE))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.RMax))
+	return dst
 }
 
+// send writes one frame and flushes: the contract for direct Conn users
+// (including the control path, whose feedback frames must reach the peer
+// sub-Δt, not sit in a 64 KiB buffer). Writers that know more work is
+// queued use writeFrame/Flush to coalesce syscalls.
 func (c *Conn) send(k Kind, body []byte) error {
+	return c.writeFrame(k, body, true)
+}
+
+// writeFrame writes one frame, flushing only when flush is set. A caller
+// with queued work passes flush=false and calls Flush (or lets the last
+// frame flush) when the burst drains — this is what fixes the historic
+// one-syscall-per-frame behaviour of the uplink writer.
+func (c *Conn) writeFrame(k Kind, body []byte, flush bool) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	var hdr [5]byte
+	hdr := c.hdr[:5]
 	hdr[0] = byte(k)
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
+	if _, err := c.w.Write(hdr); err != nil {
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := c.w.Write(body); err != nil {
 		return fmt.Errorf("transport: write body: %w", err)
 	}
+	if flush {
+		return c.w.Flush()
+	}
+	return nil
+}
+
+// Flush pushes any buffered frames to the wire.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	return c.w.Flush()
 }
 
-// Recv reads the next frame. It returns io.EOF on orderly shutdown.
-func (c *Conn) Recv() (Message, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return Message{}, io.EOF
+// sendBatch writes the given pre-encoded members (kind + body pairs) as
+// one KindBatch frame: a single header and, when flush is set, a single
+// syscall for the whole burst. Members must be KindData or KindRouted.
+func (c *Conn) sendBatch(members []outFrame, flush bool) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	total := 4
+	for i := range members {
+		total += 5 + len(members[i].body)
+	}
+	if total > maxFrame {
+		return fmt.Errorf("transport: batch of %d bytes exceeds frame limit", total)
+	}
+	hdr := c.hdr[:9] // frame header (5) + member count (4)
+	hdr[0] = byte(KindBatch)
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(total))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(members)))
+	if _, err := c.w.Write(hdr); err != nil {
+		return fmt.Errorf("transport: write batch header: %w", err)
+	}
+	for i := range members {
+		mh := c.hdr[:5]
+		mh[0] = byte(members[i].kind)
+		binary.BigEndian.PutUint32(mh[1:], uint32(len(members[i].body)))
+		if _, err := c.w.Write(mh); err != nil {
+			return fmt.Errorf("transport: write batch member header: %w", err)
 		}
-		return Message{}, fmt.Errorf("transport: read header: %w", err)
+		if _, err := c.w.Write(members[i].body); err != nil {
+			return fmt.Errorf("transport: write batch member: %w", err)
+		}
 	}
-	kind := Kind(hdr[0])
-	n := binary.BigEndian.Uint32(hdr[1:])
-	if n > maxFrame {
-		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	if flush {
+		return c.w.Flush()
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.r, body); err != nil {
-		return Message{}, fmt.Errorf("transport: read body: %w", err)
+	return nil
+}
+
+// Recv reads the next frame. It returns io.EOF on orderly shutdown. Hello
+// frames are consumed internally (recording the peer's features); batch
+// frames are split and their members returned one per call.
+func (c *Conn) Recv() (Message, error) {
+	for {
+		if c.pendHead < len(c.pending) {
+			msg := c.pending[c.pendHead]
+			c.pending[c.pendHead] = Message{} // release payload reference
+			c.pendHead++
+			return msg, nil
+		}
+		hdr := c.rhdr[:]
+		if _, err := io.ReadFull(c.r, hdr); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Message{}, io.EOF
+			}
+			return Message{}, fmt.Errorf("transport: read header: %w", err)
+		}
+		kind := Kind(hdr[0])
+		n := binary.BigEndian.Uint32(hdr[1:])
+		if n > maxFrame {
+			return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		}
+		bp := getBuf()
+		if cap(*bp) < int(n) {
+			*bp = make([]byte, n)
+		}
+		body := (*bp)[:n]
+		if _, err := io.ReadFull(c.r, body); err != nil {
+			putBuf(bp)
+			return Message{}, fmt.Errorf("transport: read body: %w", err)
+		}
+		msg, handled, err := c.decodeFrame(kind, body)
+		*bp = body[:0]
+		putBuf(bp)
+		if err != nil {
+			return Message{}, err
+		}
+		if handled {
+			continue // hello or batch: nothing (yet) to hand the caller
+		}
+		return msg, nil
 	}
+}
+
+// decodeFrame decodes one frame body. handled=true means the frame was
+// consumed internally (hello recorded, batch split into c.pending) and
+// Recv should continue with the next frame or pending member. The body is
+// never retained: payloads are copied out, so the caller can pool it.
+func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, err error) {
 	switch kind {
 	case KindData:
 		s, err := decodeSDO(body)
 		if err != nil {
-			return Message{}, err
+			return Message{}, false, err
 		}
-		return Message{Kind: KindData, SDO: s}, nil
+		return Message{Kind: KindData, SDO: s}, false, nil
 	case KindRouted:
-		if len(body) < 4 {
-			return Message{}, fmt.Errorf("transport: short routed frame (%d bytes)", len(body))
-		}
-		to := sdo.PEID(int32(binary.BigEndian.Uint32(body[0:4])))
-		s, err := decodeSDO(body[4:])
+		to, s, err := decodeRouted(body)
 		if err != nil {
-			return Message{}, err
+			return Message{}, false, err
 		}
-		return Message{Kind: KindRouted, SDO: s, To: to}, nil
+		return Message{Kind: KindRouted, SDO: s, To: to}, false, nil
 	case KindFeedback:
 		if len(body) != 12 {
-			return Message{}, fmt.Errorf("transport: bad feedback frame (%d bytes)", len(body))
+			return Message{}, false, fmt.Errorf("transport: bad feedback frame (%d bytes)", len(body))
 		}
 		return Message{Kind: KindFeedback, Feedback: Feedback{
 			PE:   int32(binary.BigEndian.Uint32(body[0:4])),
 			RMax: math.Float64frombits(binary.BigEndian.Uint64(body[4:12])),
-		}}, nil
+		}}, false, nil
+	case KindBatch:
+		if err := c.decodeBatch(body); err != nil {
+			return Message{}, false, err
+		}
+		return Message{}, true, nil
+	case KindHello:
+		if len(body) != 9 {
+			return Message{}, false, fmt.Errorf("transport: bad hello frame (%d bytes)", len(body))
+		}
+		// Future versions may widen the hello; the version byte is recorded
+		// for diagnostics, the feature bits gate behaviour.
+		c.peerFeatures.Store(binary.BigEndian.Uint64(body[1:9]))
+		return Message{}, true, nil
 	default:
-		return Message{}, fmt.Errorf("transport: unknown frame kind %d", kind)
+		return Message{}, false, fmt.Errorf("transport: unknown frame kind %d", kind)
 	}
+}
+
+// decodeBatch splits a batch body into c.pending. Members may only be
+// data or routed frames; anything else (nested batches, control frames)
+// is a protocol error.
+func (c *Conn) decodeBatch(body []byte) error {
+	if len(body) < 4 {
+		return fmt.Errorf("transport: short batch frame (%d bytes)", len(body))
+	}
+	count := binary.BigEndian.Uint32(body[0:4])
+	if count == 0 || count > maxBatchMembers {
+		return fmt.Errorf("transport: batch member count %d out of range", count)
+	}
+	c.pending = c.pending[:0]
+	c.pendHead = 0
+	rest := body[4:]
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 5 {
+			return fmt.Errorf("transport: truncated batch member %d", i)
+		}
+		k := Kind(rest[0])
+		mlen := binary.BigEndian.Uint32(rest[1:5])
+		if int(mlen) > len(rest)-5 {
+			return fmt.Errorf("transport: batch member %d overruns frame", i)
+		}
+		mbody := rest[5 : 5+mlen]
+		switch k {
+		case KindData:
+			s, err := decodeSDO(mbody)
+			if err != nil {
+				return err
+			}
+			c.pending = append(c.pending, Message{Kind: KindData, SDO: s})
+		case KindRouted:
+			to, s, err := decodeRouted(mbody)
+			if err != nil {
+				return err
+			}
+			c.pending = append(c.pending, Message{Kind: KindRouted, SDO: s, To: to})
+		default:
+			return fmt.Errorf("transport: batch member %d has non-data kind %d", i, k)
+		}
+		rest = rest[5+mlen:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("transport: %d trailing bytes after batch members", len(rest))
+	}
+	return nil
 }
 
 // sdoHeaderLen is the fixed prefix of a data-frame body: stream(4) +
 // seq(8) + origin(8) + hops(4) + trace(8) + payloadLen(4).
 const sdoHeaderLen = 36
 
+// decodeSDO decodes a data-frame body. The payload (if any) is copied out
+// of body, so the caller may recycle the buffer immediately.
 func decodeSDO(body []byte) (sdo.SDO, error) {
 	if len(body) < sdoHeaderLen {
 		return sdo.SDO{}, fmt.Errorf("transport: short data frame (%d bytes)", len(body))
@@ -245,12 +498,25 @@ func decodeSDO(body []byte) (sdo.SDO, error) {
 		return sdo.SDO{}, fmt.Errorf("transport: payload length %d disagrees with frame size", plen)
 	}
 	if plen > 0 {
-		s.Payload = body[sdoHeaderLen:]
+		s.Payload = append([]byte(nil), body[sdoHeaderLen:]...)
 		s.Bytes = int(plen)
 	} else {
 		s.Bytes = 1
 	}
 	return s, nil
+}
+
+// decodeRouted decodes a routed-frame body: destination PE + SDO.
+func decodeRouted(body []byte) (sdo.PEID, sdo.SDO, error) {
+	if len(body) < 4 {
+		return 0, sdo.SDO{}, fmt.Errorf("transport: short routed frame (%d bytes)", len(body))
+	}
+	to := sdo.PEID(int32(binary.BigEndian.Uint32(body[0:4])))
+	s, err := decodeSDO(body[4:])
+	if err != nil {
+		return 0, sdo.SDO{}, err
+	}
+	return to, s, nil
 }
 
 // Listener accepts framed connections.

@@ -3,6 +3,7 @@ package aces
 import (
 	"time"
 
+	"aces/internal/chaos"
 	"aces/internal/control"
 	"aces/internal/experiments"
 	"aces/internal/graph"
@@ -219,6 +220,20 @@ type (
 	Conn = transport.Conn
 	// Listener accepts framed transport connections.
 	Listener = transport.Listener
+	// HealthConfig enables heartbeat membership on a partitioned cluster
+	// (ClusterConfig.Health).
+	HealthConfig = spc.HealthConfig
+	// SupervisorOptions tunes per-PE crash recovery: restart budget and
+	// backoff window (ClusterConfig.Supervisor).
+	SupervisorOptions = spc.SupervisorOptions
+	// HealthStatus is a node's failure-domain snapshot: peer membership,
+	// per-PE restart counts and breaker states (Cluster.Health, served at
+	// /debug/health).
+	HealthStatus = spc.HealthStatus
+	// PEHealth is one PE's supervision state within a HealthStatus.
+	PEHealth = spc.PEHealth
+	// PanicInjector arms deterministic processor crashes for fault drills.
+	PanicInjector = spc.PanicInjector
 )
 
 // NewCluster builds a live cluster; Run(duration) executes it.
@@ -253,6 +268,34 @@ func NewPassthrough(out StreamID) *Passthrough { return spc.NewPassthrough(out) 
 func NewSynthetic(params ServiceParams, out StreamID, seed int64) *Synthetic {
 	return spc.NewSynthetic(params, out, sim.NewRand(seed))
 }
+
+// NewPanicInjector wraps a Processor so that armed crashes panic on the
+// next processed SDO — the scriptable fault for chaos drills.
+func NewPanicInjector(inner Processor) *PanicInjector { return spc.NewPanicInjector(inner) }
+
+// The deterministic chaos harness (internal/chaos): seeded fault
+// schedules replayed against a deployment's virtual clock.
+type (
+	// ChaosSchedule is a reproducible fault script.
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+	// ChaosInjector applies faults to a concrete deployment.
+	ChaosInjector = chaos.Injector
+	// ChaosFuncInjector adapts closures to ChaosInjector.
+	ChaosFuncInjector = chaos.FuncInjector
+	// ChaosRunner replays a schedule against virtual time.
+	ChaosRunner = chaos.Runner
+	// ChaosGenConfig parameterizes GenerateChaos.
+	ChaosGenConfig = chaos.GenConfig
+)
+
+// GenerateChaos draws a seeded, reproducible fault schedule.
+func GenerateChaos(cfg ChaosGenConfig) (ChaosSchedule, error) { return chaos.Generate(cfg) }
+
+// NewChaosRunner builds a runner that fires a schedule's events as the
+// deployment's virtual clock passes them.
+func NewChaosRunner(s ChaosSchedule) *ChaosRunner { return chaos.NewRunner(s) }
 
 // Observability: per-SDO tracing, live telemetry and the node debug
 // endpoint (internal/obs).

@@ -33,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aces-bench", flag.ContinueOnError)
 	var (
 		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
-		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|all")
+		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|all")
 		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
 		jsonTo = fs.String("json", "", "also write per-experiment results as machine-readable JSON to this file")
 		pes    = fs.Int("pes", 0, "override topology PE count")
@@ -43,6 +43,8 @@ func run(args []string) error {
 		batchMax    = fs.Int("batch-max", 32, "transport experiment: uplink batch size in SDOs")
 		batchLinger = fs.Duration("batch-linger", 0, "transport experiment: writer linger before a non-full batch")
 		baseline    = fs.String("baseline", "", "transport experiment: committed -json output to regress against (>20% ns/SDO or allocs/SDO fails)")
+
+		chaosSeed = fs.Int64("chaos-seed", 1, "chaos experiment: fault-schedule seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -212,6 +214,23 @@ func run(args []string) error {
 					return fmt.Errorf("vs %s: %w", *baseline, err)
 				}
 				fmt.Fprintf(w, "  baseline check vs %s: OK\n\n", *baseline)
+			}
+			return nil
+		}},
+		{"chaos", func() error {
+			co := experiments.ChaosOptions{Seed: *chaosSeed}
+			if *quick {
+				co.TimeScale = 20
+			}
+			row, err := experiments.RunChaos(co)
+			if err != nil {
+				return err
+			}
+			addJSON("chaos", []experiments.ChaosRow{row})
+			experiments.FormatChaos(w, row)
+			if !row.Recovered {
+				return fmt.Errorf("deployment did not recover (pre %.1f, post %.1f sdo/s, members alive %v)",
+					row.PreRate, row.PostRate, row.MembersAlive)
 			}
 			return nil
 		}},

@@ -19,8 +19,8 @@
 //	aces-spc -mode node -topo t.json -local-nodes 2,3 -connect host:7071 -duration 20
 //
 // Local and node modes optionally expose live inspection endpoints
-// (/debug/report, /debug/telemetry, /debug/traces, /debug/graph) and
-// sampled per-SDO tracing:
+// (/debug/report, /debug/telemetry, /debug/traces, /debug/graph,
+// /debug/health) and sampled per-SDO tracing:
 //
 //	aces-spc -mode local -debug-addr 127.0.0.1:7099 -trace-every 8 -trace-out spans.jsonl
 package main
@@ -71,6 +71,7 @@ func run(args []string) error {
 		traceEvery = fs.Int("trace-every", 0, "trace 1-in-N ingress SDOs (0 = off unless -debug-addr/-trace-out, then 64)")
 		traceBuf   = fs.Int("trace-buf", 0, "span ring capacity (0 = default 4096)")
 		traceOut   = fs.String("trace-out", "", "write retained spans as JSONL to this file at exit")
+		hbEvery    = fs.Float64("heartbeat-every", 0.5, "membership beacon period in virtual seconds (node mode; 0 disables heartbeats)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +82,7 @@ func run(args []string) error {
 		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, ob)
 	case "node":
 		up := uplinkOpts{queue: *upQueue, timeout: *upTimeout, batchMax: *batchMax, batchLinger: *batchLing}
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, up, ob)
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, up, ob)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -142,6 +143,7 @@ func (o obsOpts) serve(cl *aces.Cluster, topo *aces.Topology, title string,
 			Sink:     sink,
 			Tracer:   tr,
 			GraphDOT: func(w io.Writer) error { return topo.WriteDOT(w, title) },
+			Health:   func() any { return cl.Health() },
 		})
 		if err != nil {
 			return nil, err
@@ -305,7 +307,7 @@ type uplinkOpts struct {
 // never block the PE emit path or the Δt scheduler, and a stalled or
 // severed peer triggers automatic reconnection while the local partition
 // keeps running.
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale float64, up uplinkOpts, ob obsOpts) error {
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery float64, up uplinkOpts, ob obsOpts) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -370,10 +372,14 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	// Salt the tracer with the partition's first node so the two sides of
 	// a bridge never mint colliding trace IDs (stitching is by ID).
 	tr, reg, sink := ob.build(seed*1000003 + int64(nodes[0]) + 1)
+	var hc *aces.HealthConfig
+	if hbEvery > 0 {
+		hc = &aces.HealthConfig{Every: hbEvery}
+	}
 	cl, err := aces.NewCluster(aces.ClusterConfig{
 		Topo: doc.Topology, Policy: pol, CPU: doc.CPU,
 		TimeScale: scale, Warmup: duration / 5, Seed: seed,
-		LocalNodes: nodes, Uplink: link,
+		LocalNodes: nodes, Uplink: link, Health: hc,
 		Tracer: tr, Telemetry: reg,
 	})
 	if err != nil {

@@ -1,0 +1,219 @@
+// Package chaos is the deterministic fault harness: a seeded schedule of
+// faults — PE panics, severed uplinks, node kill/restart cycles — replayed
+// against a running deployment on its virtual clock. The paper's claim is
+// not that faults never hurt, but that the system degrades and recovers
+// instead of collapsing (§IV); this package makes that claim testable by
+// making every fault run exactly reproducible: the same seed yields the
+// same faults at the same virtual times, so a recovery regression is a
+// deterministic test failure, not a flake.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"aces/internal/sim"
+)
+
+// Kind classifies one fault.
+type Kind uint8
+
+const (
+	// PanicPE crashes the targeted PE's processor mid-SDO; the PE
+	// supervisor is expected to recover it.
+	PanicPE Kind = iota
+	// SeverLink cuts the targeted uplink for Duration virtual seconds;
+	// resilient transports are expected to reconnect when it heals.
+	SeverLink
+	// KillNode takes the targeted node down for Duration virtual seconds:
+	// its process stops beating and its links drop, so peers should
+	// declare it suspect/dead and route around it until it returns.
+	KillNode
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case PanicPE:
+		return "panic_pe"
+	case SeverLink:
+		return "sever_link"
+	case KillNode:
+		return "kill_node"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault. At is virtual seconds from run start;
+// Target is a PE ID (PanicPE), link index (SeverLink) or node ID
+// (KillNode); Duration is the outage length for the kinds that have one.
+type Event struct {
+	At       float64 `json:"at"`
+	Kind     Kind    `json:"kind"`
+	Target   int32   `json:"target"`
+	Duration float64 `json:"duration,omitempty"`
+}
+
+// Schedule is a reproducible fault script: events sorted by fire time.
+type Schedule struct {
+	// Seed identifies the generation stream (0 for hand-written scripts).
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// End returns the virtual time at which the last fault has fully healed
+// (fire time plus outage duration) — the earliest moment recovery can be
+// judged. Zero for an empty schedule.
+func (s Schedule) End() float64 {
+	var end float64
+	for _, e := range s.Events {
+		if t := e.At + e.Duration; t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// Injector applies faults to a deployment. The harness separates the
+// script (what happens when) from the mechanism (how a fault is applied
+// to this particular cluster); tests and experiments supply the latter.
+type Injector interface {
+	// PanicPE arms one crash on PE pe's next processed SDO.
+	PanicPE(pe int32)
+	// SeverLink cuts link `link` for d virtual seconds.
+	SeverLink(link int32, d float64)
+	// KillNode takes node `node` down for d virtual seconds.
+	KillNode(node int32, d float64)
+}
+
+// FuncInjector adapts three closures to Injector; nil fields make the
+// corresponding fault a no-op, so a harness can opt out of kinds its
+// deployment cannot express.
+type FuncInjector struct {
+	OnPanicPE   func(pe int32)
+	OnSeverLink func(link int32, d float64)
+	OnKillNode  func(node int32, d float64)
+}
+
+// PanicPE implements Injector.
+func (f FuncInjector) PanicPE(pe int32) {
+	if f.OnPanicPE != nil {
+		f.OnPanicPE(pe)
+	}
+}
+
+// SeverLink implements Injector.
+func (f FuncInjector) SeverLink(link int32, d float64) {
+	if f.OnSeverLink != nil {
+		f.OnSeverLink(link, d)
+	}
+}
+
+// KillNode implements Injector.
+func (f FuncInjector) KillNode(node int32, d float64) {
+	if f.OnKillNode != nil {
+		f.OnKillNode(node, d)
+	}
+}
+
+// Runner replays a schedule against virtual time. Not safe for concurrent
+// use; one goroutine (typically the experiment's sampling loop) owns it.
+type Runner struct {
+	events []Event
+	next   int
+}
+
+// NewRunner builds a runner over the schedule, sorting events by fire
+// time (stable, so equal-time events keep script order).
+func NewRunner(s Schedule) *Runner {
+	evs := append([]Event(nil), s.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return &Runner{events: evs}
+}
+
+// Step fires every event due at or before virtual time now, in order, and
+// returns the events fired this step (aliasing the runner's storage;
+// valid until the next Step).
+func (r *Runner) Step(now float64, inj Injector) []Event {
+	start := r.next
+	for r.next < len(r.events) && r.events[r.next].At <= now {
+		e := r.events[r.next]
+		r.next++
+		switch e.Kind {
+		case PanicPE:
+			inj.PanicPE(e.Target)
+		case SeverLink:
+			inj.SeverLink(e.Target, e.Duration)
+		case KillNode:
+			inj.KillNode(e.Target, e.Duration)
+		}
+	}
+	return r.events[start:r.next]
+}
+
+// Done reports whether every event has fired.
+func (r *Runner) Done() bool { return r.next >= len(r.events) }
+
+// Pending returns how many events have not fired yet.
+func (r *Runner) Pending() int { return len(r.events) - r.next }
+
+// GenConfig parameterizes Generate. Counts are exact; fire times and
+// targets are drawn uniformly from the windows below.
+type GenConfig struct {
+	// Seed drives the deterministic draw.
+	Seed int64
+	// Start and End bound fault fire times (virtual seconds). Events are
+	// placed in [Start, End); outages may heal after End.
+	Start, End float64
+	// Panics, Severs, Kills are the number of events of each kind.
+	Panics, Severs, Kills int
+	// PEs, Links, Nodes list the eligible targets per kind. A kind with
+	// a positive count but no targets is an error.
+	PEs, Links, Nodes []int32
+	// OutageMin and OutageMax bound SeverLink/KillNode outage durations
+	// (virtual seconds). OutageMax < OutageMin is an error.
+	OutageMin, OutageMax float64
+}
+
+// Generate draws a reproducible schedule: the same config yields the same
+// events, and distinct seeds yield independent scripts.
+func Generate(cfg GenConfig) (Schedule, error) {
+	if cfg.End <= cfg.Start {
+		return Schedule{}, fmt.Errorf("chaos: window [%g, %g) is empty", cfg.Start, cfg.End)
+	}
+	if cfg.OutageMax < cfg.OutageMin || cfg.OutageMin < 0 {
+		return Schedule{}, fmt.Errorf("chaos: bad outage bounds [%g, %g]", cfg.OutageMin, cfg.OutageMax)
+	}
+	if cfg.Panics > 0 && len(cfg.PEs) == 0 {
+		return Schedule{}, fmt.Errorf("chaos: %d panics requested but no PE targets", cfg.Panics)
+	}
+	if cfg.Severs > 0 && len(cfg.Links) == 0 {
+		return Schedule{}, fmt.Errorf("chaos: %d severs requested but no link targets", cfg.Severs)
+	}
+	if cfg.Kills > 0 && len(cfg.Nodes) == 0 {
+		return Schedule{}, fmt.Errorf("chaos: %d kills requested but no node targets", cfg.Kills)
+	}
+	// One substream per kind: adding panics to a config does not perturb
+	// where the severs land.
+	s := Schedule{Seed: cfg.Seed}
+	draw := func(id uint64, n int, targets []int32, outage bool) {
+		rng := sim.Substream(cfg.Seed, id)
+		for i := 0; i < n; i++ {
+			e := Event{
+				At:     rng.Uniform(cfg.Start, cfg.End),
+				Kind:   Kind(id),
+				Target: targets[rng.Intn(len(targets))],
+			}
+			if outage {
+				e.Duration = rng.Uniform(cfg.OutageMin, cfg.OutageMax)
+			}
+			s.Events = append(s.Events, e)
+		}
+	}
+	draw(uint64(PanicPE), cfg.Panics, cfg.PEs, false)
+	draw(uint64(SeverLink), cfg.Severs, cfg.Links, true)
+	draw(uint64(KillNode), cfg.Kills, cfg.Nodes, true)
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s, nil
+}

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunnerFiresInOrderOnce(t *testing.T) {
+	sched := Schedule{Events: []Event{
+		{At: 3, Kind: KillNode, Target: 2, Duration: 1},
+		{At: 1, Kind: PanicPE, Target: 0},
+		{At: 2, Kind: SeverLink, Target: 1, Duration: 0.5},
+	}}
+	var fired []string
+	inj := FuncInjector{
+		OnPanicPE:   func(pe int32) { fired = append(fired, "panic") },
+		OnSeverLink: func(l int32, d float64) { fired = append(fired, "sever") },
+		OnKillNode:  func(n int32, d float64) { fired = append(fired, "kill") },
+	}
+	r := NewRunner(sched)
+	if r.Done() || r.Pending() != 3 {
+		t.Fatalf("fresh runner: done=%v pending=%d", r.Done(), r.Pending())
+	}
+	if got := r.Step(0.5, inj); len(got) != 0 {
+		t.Errorf("Step before first event fired %d events", len(got))
+	}
+	if got := r.Step(2.5, inj); len(got) != 2 {
+		t.Errorf("Step(2.5) fired %d events, want 2", len(got))
+	}
+	// Stepping backwards-in-place fires nothing twice.
+	if got := r.Step(2.5, inj); len(got) != 0 {
+		t.Errorf("repeat Step refired %d events", len(got))
+	}
+	r.Step(10, inj)
+	if !r.Done() {
+		t.Errorf("runner not done after final step")
+	}
+	want := []string{"panic", "sever", "kill"}
+	if !reflect.DeepEqual(fired, want) {
+		t.Errorf("fired = %v, want %v", fired, want)
+	}
+}
+
+func TestFuncInjectorNilFieldsAreNoOps(t *testing.T) {
+	r := NewRunner(Schedule{Events: []Event{
+		{At: 0, Kind: PanicPE}, {At: 0, Kind: SeverLink}, {At: 0, Kind: KillNode},
+	}})
+	r.Step(1, FuncInjector{}) // must not panic
+	if !r.Done() {
+		t.Errorf("events not consumed")
+	}
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	cfg := GenConfig{
+		Seed: 77, Start: 5, End: 20,
+		Panics: 3, Severs: 2, Kills: 1,
+		PEs: []int32{0, 1, 2}, Links: []int32{0, 1}, Nodes: []int32{2},
+		OutageMin: 1, OutageMax: 4,
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same config produced different schedules")
+	}
+	if len(a.Events) != 6 {
+		t.Fatalf("got %d events, want 6", len(a.Events))
+	}
+	for i, e := range a.Events {
+		if e.At < cfg.Start || e.At >= cfg.End {
+			t.Errorf("event %d at %g outside [%g, %g)", i, e.At, cfg.Start, cfg.End)
+		}
+		if i > 0 && a.Events[i-1].At > e.At {
+			t.Errorf("events not sorted at %d", i)
+		}
+		switch e.Kind {
+		case SeverLink, KillNode:
+			if e.Duration < cfg.OutageMin || e.Duration >= cfg.OutageMax {
+				t.Errorf("event %d outage %g outside [%g, %g)", i, e.Duration, cfg.OutageMin, cfg.OutageMax)
+			}
+		case PanicPE:
+			if e.Duration != 0 {
+				t.Errorf("panic event %d has nonzero duration", i)
+			}
+		}
+	}
+	cfg.Seed = 78
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Errorf("different seeds produced identical schedules")
+	}
+	if a.End() <= 0 {
+		t.Errorf("End() = %g, want > 0", a.End())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Seed: 1, Start: 5, End: 5},
+		{Seed: 1, Start: 0, End: 1, OutageMin: 2, OutageMax: 1},
+		{Seed: 1, Start: 0, End: 1, Panics: 1},
+		{Seed: 1, Start: 0, End: 1, Severs: 1},
+		{Seed: 1, Start: 0, End: 1, Kills: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestScheduleEndIncludesOutage(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{At: 1, Kind: PanicPE},
+		{At: 2, Kind: SeverLink, Duration: 5},
+		{At: 4, Kind: KillNode, Duration: 1},
+	}}
+	if got := s.End(); got != 7 {
+		t.Errorf("End() = %g, want 7", got)
+	}
+	if got := (Schedule{}).End(); got != 0 {
+		t.Errorf("empty End() = %g, want 0", got)
+	}
+}

@@ -19,6 +19,9 @@ type FlowController struct {
 	// the buffer vacancy plus one tick's drain); ≤ 0 disables the clamp.
 	maxRate float64
 	primed  int
+	// lastOut is the most recent advertised rate, replayed by Hold while
+	// the downstream picture is a failure artifact.
+	lastOut float64
 }
 
 // NewFlowController builds a controller from designed gains. maxRate > 0
@@ -85,8 +88,17 @@ func (f *FlowController) Update(rho, buf float64) float64 {
 		copy(f.devHist[1:], f.devHist)
 		f.devHist[0] = r - rho
 	}
+	f.lastOut = r
 	return r
 }
+
+// Hold returns the last advertised rate without advancing the controller:
+// no history shift, no deviation record, no windup. Callers use it when
+// every downstream signal is a failure artifact (suspect/dead peers) —
+// feeding those ticks to Update would integrate a phantom error and the
+// controller would wake from the fault far from its operating point. A
+// controller that never updated holds 0.
+func (f *FlowController) Hold() float64 { return f.lastOut }
 
 // SetMaxRate adjusts the safety clamp (e.g. when the buffer size changes).
 func (f *FlowController) SetMaxRate(m float64) { f.maxRate = m }
@@ -101,4 +113,5 @@ func (f *FlowController) Reset() {
 		f.devHist[i] = 0
 	}
 	f.primed = 0
+	f.lastOut = 0
 }

@@ -84,3 +84,61 @@ func TestPrimedControllerShiftsNormally(t *testing.T) {
 		}
 	}
 }
+
+func TestHoldFreezesController(t *testing.T) {
+	g := mkGains(t)
+	fc, err := NewFlowController(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive to a steady operating point.
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = fc.Update(5, g.B0)
+	}
+	// Hold must replay the last advertisement without mutating state…
+	for i := 0; i < 50; i++ {
+		if got := fc.Hold(); got != last {
+			t.Fatalf("Hold #%d = %v, want %v", i, got, last)
+		}
+	}
+	// …so the first Update after the freeze resumes from the pre-fault
+	// trajectory: identical to a twin controller that never froze.
+	twin, err := NewFlowController(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		twin.Update(5, g.B0)
+	}
+	got := fc.Update(5, g.B0+3)
+	want := twin.Update(5, g.B0+3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("post-Hold Update = %v, frozen-free twin = %v; Hold mutated state", got, want)
+	}
+}
+
+func TestHoldBeforeFirstUpdateIsZero(t *testing.T) {
+	fc, err := NewFlowController(mkGains(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Hold(); got != 0 {
+		t.Errorf("Hold on a fresh controller = %v, want 0", got)
+	}
+	fc.Update(4, 0)
+	fc.Reset()
+	if got := fc.Hold(); got != 0 {
+		t.Errorf("Hold after Reset = %v, want 0", got)
+	}
+}
+
+// mkGains designs a small realistic gain set for the Hold tests.
+func mkGains(t *testing.T) FlowGains {
+	t.Helper()
+	g, err := Design(DesignConfig{Delay: 2, QWeight: 1, RWeight: 8, Smoothing: 1, B0: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -414,11 +414,17 @@ func CPUToRate(c, costPerSDO, mult, dt float64) float64 {
 // input buffer of its fastest downstream PE").
 type Feedback struct {
 	rmax map[int32]float64
+	// down marks PEs whose host was judged suspect or dead by the health
+	// detector (or whose supervisor circuit breaker tripped). A downed
+	// PE's advertisement is ignored: it contributes 0 to the Eq. 8 max —
+	// flow routes to live replicas — and, unlike a merely silent PE, it
+	// does NOT make the bound unconstrained.
+	down map[int32]bool
 }
 
 // NewFeedback returns an empty feedback board.
 func NewFeedback() *Feedback {
-	return &Feedback{rmax: make(map[int32]float64)}
+	return &Feedback{rmax: make(map[int32]float64), down: make(map[int32]bool)}
 }
 
 // Publish records PE j's advertised maximum input rate (SDOs/tick).
@@ -435,17 +441,51 @@ func (f *Feedback) RMax(j int32) (float64, bool) {
 	return r, ok
 }
 
+// MarkDown sets or clears PE j's failure mark. While marked, j is treated
+// as r_max = 0 in every bound — regardless of its last advertisement,
+// which a dead host can no longer retract.
+func (f *Feedback) MarkDown(j int32, down bool) {
+	if down {
+		f.down[j] = true
+	} else {
+		delete(f.down, j)
+	}
+}
+
+// Down reports PE j's failure mark.
+func (f *Feedback) Down(j int32) bool { return f.down[j] }
+
+// AllDown reports whether the listed PEs are all marked down (false for
+// an empty list). Senders use it to detect that every downstream
+// advertisement is a failure artifact and freeze their flow controller
+// instead of winding it up against phantom congestion.
+func (f *Feedback) AllDown(downstream []int32) bool {
+	if len(downstream) == 0 {
+		return false
+	}
+	for _, d := range downstream {
+		if !f.down[d] {
+			return false
+		}
+	}
+	return true
+}
+
 // OutputBound implements Eq. 8 for a PE with the given downstream set:
 // max over downstream advertisements. PEs that have not advertised yet are
 // treated as unconstrained (cold start must not stall the pipeline), so the
 // bound is +Inf if any downstream is silent; egress PEs (no downstream) are
-// unconstrained.
+// unconstrained. Downed PEs contribute 0 — and their silence does NOT
+// unconstrain the bound: a dead downstream's vacancy is not capacity.
 func (f *Feedback) OutputBound(downstream []int32) float64 {
 	if len(downstream) == 0 {
 		return math.Inf(1)
 	}
 	bound := 0.0
 	for _, d := range downstream {
+		if f.down[d] {
+			continue
+		}
 		r, ok := f.rmax[d]
 		if !ok {
 			return math.Inf(1)
@@ -458,13 +498,18 @@ func (f *Feedback) OutputBound(downstream []int32) float64 {
 }
 
 // MinBound is the min-flow counterpart of OutputBound, used by the
-// Lock-Step ablation: the slowest downstream PE gates the sender.
+// Lock-Step ablation: the slowest downstream PE gates the sender. A downed
+// PE gates at 0 — min-flow semantics say the sender must not outrun ANY
+// downstream, and a dead one accepts nothing.
 func (f *Feedback) MinBound(downstream []int32) float64 {
 	if len(downstream) == 0 {
 		return math.Inf(1)
 	}
 	bound := math.Inf(1)
 	for _, d := range downstream {
+		if f.down[d] {
+			return 0
+		}
 		r, ok := f.rmax[d]
 		if !ok {
 			continue

@@ -436,3 +436,60 @@ func TestTokenBucketRefillFor(t *testing.T) {
 		t.Errorf("cap not enforced: %g", b.Level())
 	}
 }
+
+func TestFeedbackMarkDownZeroesBound(t *testing.T) {
+	fb := NewFeedback()
+	fb.Publish(1, 5)
+	fb.Publish(2, 9)
+	down := []int32{1, 2}
+
+	if got := fb.OutputBound(down); got != 9 {
+		t.Fatalf("healthy bound = %v, want 9", got)
+	}
+	// The fastest downstream dies: the max must fall back to the live one.
+	fb.MarkDown(2, true)
+	if got := fb.OutputBound(down); got != 5 {
+		t.Errorf("bound with PE2 down = %v, want 5 (route to live replica)", got)
+	}
+	if !fb.Down(2) || fb.Down(1) {
+		t.Errorf("Down marks wrong: 1=%v 2=%v", fb.Down(1), fb.Down(2))
+	}
+	// Min-flow: any dead downstream gates the sender at zero.
+	if got := fb.MinBound(down); got != 0 {
+		t.Errorf("min bound with PE2 down = %v, want 0", got)
+	}
+	// All downstreams dead → bound 0, and AllDown reports the freeze case.
+	fb.MarkDown(1, true)
+	if got := fb.OutputBound(down); got != 0 {
+		t.Errorf("bound with all down = %v, want 0", got)
+	}
+	if !fb.AllDown(down) {
+		t.Error("AllDown false with every downstream marked")
+	}
+	// Recovery clears the mark and restores the advertisement.
+	fb.MarkDown(2, false)
+	if got := fb.OutputBound(down); got != 9 {
+		t.Errorf("bound after recovery = %v, want 9", got)
+	}
+	if fb.AllDown(down) {
+		t.Error("AllDown true after recovery")
+	}
+}
+
+func TestFeedbackDownSilencedPeerNotUnconstrained(t *testing.T) {
+	fb := NewFeedback()
+	fb.Publish(1, 3)
+	// PE 2 never advertised. Silent → unconstrained (cold start)…
+	if got := fb.OutputBound([]int32{1, 2}); !math.IsInf(got, 1) {
+		t.Fatalf("silent downstream bound = %v, want +Inf", got)
+	}
+	// …but a downed silent PE is not a cold start: its vacancy is not
+	// capacity, so the bound must come from the live peers only.
+	fb.MarkDown(2, true)
+	if got := fb.OutputBound([]int32{1, 2}); got != 3 {
+		t.Errorf("downed-silent downstream bound = %v, want 3", got)
+	}
+	if fb.AllDown(nil) {
+		t.Error("AllDown true for empty downstream set")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"aces/internal/chaos"
+)
+
+// The acceptance test for the failure domain: a 3-node partitioned
+// deployment takes a seeded PE panic plus a severed uplink and must end
+// the run recovered — every PE running (no breaker open), membership back
+// to all-alive on both sides, and steady-state throughput within 10% of
+// the pre-fault rate. The fault schedule itself must be deterministic for
+// the fixed seed.
+func TestChaosRunRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes a few wall seconds")
+	}
+	o := ChaosOptions{Seed: 11}
+	row, err := RunChaos(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pre=%.1f dip=%.1f (%.0f%%) post=%.1f recoverAt=%.2f ttr=%.2fs restarts=%d reconnects=%d",
+		row.PreRate, row.DipRate, row.DipPct, row.PostRate,
+		row.RecoverAt, row.TimeToRecover, row.Restarts, row.Reconnects)
+
+	if row.PreRate <= 0 {
+		t.Fatalf("PreRate = %g, want > 0 (deployment never reached steady state)", row.PreRate)
+	}
+	if !row.MembersAlive {
+		t.Errorf("membership did not return to all-alive after the outage healed")
+	}
+	if !row.PEsRunning {
+		t.Errorf("a breaker is open at run end — the panicked PE was not recovered")
+	}
+	if row.RecoverAt < 0 {
+		t.Errorf("throughput never returned to ≥ 90%% of pre-fault (pre=%.1f post=%.1f)",
+			row.PreRate, row.PostRate)
+	}
+	if row.PostRate < 0.9*row.PreRate {
+		t.Errorf("steady-state throughput %.1f below 90%% of pre-fault %.1f", row.PostRate, row.PreRate)
+	}
+	if !row.Recovered {
+		t.Errorf("run verdict = not recovered")
+	}
+	if row.Restarts < 1 {
+		t.Errorf("Restarts = %d, want ≥ 1 (the injected panic must have fired)", row.Restarts)
+	}
+	if row.Reconnects < 1 {
+		t.Errorf("Reconnects = %d, want ≥ 1 (the severed uplink must have re-established)", row.Reconnects)
+	}
+
+	// The schedule is a pure function of the seed: the row must carry
+	// exactly what Generate yields for the same config, and both faults
+	// must be present.
+	want, err := chaos.Generate(chaos.GenConfig{
+		Seed:  o.Seed,
+		Start: 6, End: 8,
+		Panics: 1, Severs: 1,
+		PEs: []int32{1}, Links: []int32{0},
+		OutageMin: 4, OutageMax: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row.Schedule, want) {
+		t.Errorf("schedule not deterministic for seed %d:\n got %+v\nwant %+v", o.Seed, row.Schedule, want)
+	}
+	kinds := map[chaos.Kind]int{}
+	for _, e := range row.Schedule.Events {
+		kinds[e.Kind]++
+	}
+	if kinds[chaos.PanicPE] != 1 || kinds[chaos.SeverLink] != 1 {
+		t.Errorf("schedule kinds = %v, want one panic and one sever", kinds)
+	}
+}

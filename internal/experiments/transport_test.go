@@ -3,12 +3,16 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // The transport experiment at reduced scale must produce the three modes
-// with sane rates, and the batched mode must actually batch.
+// with sane rates, and the batched mode must actually batch. The linger
+// makes batch formation independent of goroutine scheduling: with the
+// default flush-on-idle discipline, a loaded host (e.g. CI under -race)
+// can drain the outbox one frame at a time and never form a batch.
 func TestTransportThroughputRuns(t *testing.T) {
-	rows, err := TransportThroughput(TransportOptions{SDOs: 5000, BatchMax: 8})
+	rows, err := TransportThroughput(TransportOptions{SDOs: 5000, BatchMax: 8, Linger: 200 * time.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,237 @@
+// Package health implements heartbeat-based membership for partitioned
+// deployments: a timeout failure detector with alive → suspect → dead
+// states, driven entirely by the caller's virtual clock.
+//
+// The detector is deliberately local and pessimistic, matching the
+// paper's tier-2 philosophy (§V-D: local controllers keep operating on
+// local information when the rest of the cluster misbehaves): a peer is
+// judged only by the heartbeats that actually arrive here, there is no
+// gossip or quorum, and a wrong verdict costs throughput — flow is routed
+// to live replicas while the suspect is down-weighted to r_max = 0 — but
+// never correctness, because a late heartbeat immediately restores the
+// peer to alive.
+//
+// All methods are safe for concurrent use: heartbeats arrive on transport
+// Serve goroutines while the Δt scheduler runs the timeout sweep.
+package health
+
+import (
+	"sync"
+)
+
+// State is a peer's membership verdict.
+type State uint8
+
+// Membership states, ordered by degradation: a peer moves down the order
+// as silence accumulates and snaps straight back to Alive on any
+// heartbeat.
+const (
+	Alive State = iota
+	// Suspect means the peer missed enough heartbeats to distrust its
+	// advertisements (flow control treats it as r_max = 0) but not enough
+	// to declare it gone.
+	Suspect
+	// Dead means the peer exceeded the dead timeout. The distinction from
+	// Suspect is advisory — both zero the flow bound — but it separates
+	// "maybe a hiccup" from "provision a replacement" for operators.
+	Dead
+)
+
+// String implements fmt.Stringer (JSON reports and gauges use it).
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the detector's timeouts, in the caller's clock units
+// (virtual seconds in the live runtime).
+type Options struct {
+	// SuspectAfter is the silence after which an alive peer turns suspect.
+	SuspectAfter float64
+	// DeadAfter is the silence after which a peer is declared dead. Must
+	// exceed SuspectAfter; the constructor enforces it.
+	DeadAfter float64
+}
+
+// PeerStatus is a point-in-time snapshot of one tracked peer.
+type PeerStatus struct {
+	Peer int32 `json:"peer"`
+	// State is the current verdict; StateName its string form for JSON
+	// consumers.
+	State     State  `json:"-"`
+	StateName string `json:"state"`
+	// LastBeat is the clock time of the most recent heartbeat (the track
+	// time until one arrives).
+	LastBeat float64 `json:"last_beat"`
+	// Beats counts heartbeats received from this peer.
+	Beats uint64 `json:"beats"`
+	// Transitions counts state changes (suspicions and recoveries both).
+	Transitions int64 `json:"transitions"`
+}
+
+type peerState struct {
+	state       State
+	lastBeat    float64
+	beats       uint64
+	transitions int64
+}
+
+// ChangeFunc observes a state transition. Callbacks run outside the
+// detector's lock, in the goroutine that triggered the transition
+// (Beat's caller for recoveries, Check's caller for degradations), so
+// they may call back into the detector.
+type ChangeFunc func(peer int32, from, to State)
+
+// Detector is a timeout failure detector over a set of tracked peers.
+type Detector struct {
+	opts     Options
+	onChange ChangeFunc
+
+	mu    sync.Mutex
+	peers map[int32]*peerState
+}
+
+// transition is a recorded state change, applied under the lock and
+// announced after it is released.
+type transition struct {
+	peer     int32
+	from, to State
+}
+
+// New builds a detector. Non-positive or inverted timeouts are repaired:
+// SuspectAfter defaults to 1, DeadAfter to 2×SuspectAfter. onChange may
+// be nil.
+func New(opts Options, onChange ChangeFunc) *Detector {
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = 1
+	}
+	if opts.DeadAfter <= opts.SuspectAfter {
+		opts.DeadAfter = 2 * opts.SuspectAfter
+	}
+	return &Detector{opts: opts, onChange: onChange, peers: make(map[int32]*peerState)}
+}
+
+// Track registers a peer as alive as of now; a peer that never sends a
+// single heartbeat afterwards degrades on the normal timeouts. Tracking
+// an already-tracked peer is a no-op.
+func (d *Detector) Track(peer int32, now float64) {
+	d.mu.Lock()
+	if _, ok := d.peers[peer]; !ok {
+		d.peers[peer] = &peerState{state: Alive, lastBeat: now}
+	}
+	d.mu.Unlock()
+}
+
+// Beat records a heartbeat from a peer. A suspect or dead peer snaps
+// back to Alive: the detector's verdicts are timeout artifacts, and
+// evidence of life outranks them. Beats from untracked peers implicitly
+// track them (a restarted node may greet us before we re-learn the
+// roster).
+func (d *Detector) Beat(peer int32, now float64) {
+	var tr *transition
+	d.mu.Lock()
+	ps, ok := d.peers[peer]
+	if !ok {
+		ps = &peerState{state: Alive, lastBeat: now}
+		d.peers[peer] = ps
+	}
+	ps.beats++
+	if now > ps.lastBeat {
+		ps.lastBeat = now
+	}
+	if ps.state != Alive {
+		tr = &transition{peer: peer, from: ps.state, to: Alive}
+		ps.state = Alive
+		ps.transitions++
+	}
+	d.mu.Unlock()
+	if tr != nil && d.onChange != nil {
+		d.onChange(tr.peer, tr.from, tr.to)
+	}
+}
+
+// Check runs the timeout sweep at clock time now, degrading peers whose
+// silence crossed a threshold. Call it on the control-loop cadence; it is
+// O(peers) and cheap.
+func (d *Detector) Check(now float64) {
+	var trs []transition
+	d.mu.Lock()
+	for peer, ps := range d.peers {
+		silence := now - ps.lastBeat
+		next := ps.state
+		switch {
+		case silence >= d.opts.DeadAfter:
+			next = Dead
+		case silence >= d.opts.SuspectAfter:
+			// Dead peers do not resurrect by sweep — only a heartbeat
+			// brings a peer back.
+			if ps.state != Dead {
+				next = Suspect
+			}
+		}
+		if next != ps.state {
+			trs = append(trs, transition{peer: peer, from: ps.state, to: next})
+			ps.state = next
+			ps.transitions++
+		}
+	}
+	d.mu.Unlock()
+	if d.onChange != nil {
+		for _, tr := range trs {
+			d.onChange(tr.peer, tr.from, tr.to)
+		}
+	}
+}
+
+// StateOf returns a peer's current verdict; ok is false for untracked
+// peers.
+func (d *Detector) StateOf(peer int32) (State, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps, ok := d.peers[peer]
+	if !ok {
+		return Alive, false
+	}
+	return ps.state, true
+}
+
+// AllAlive reports whether every tracked peer is currently alive (true
+// for an empty roster).
+func (d *Detector) AllAlive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, ps := range d.peers {
+		if ps.state != Alive {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns every tracked peer's status, sorted by peer ID so
+// reports are stable.
+func (d *Detector) Snapshot() []PeerStatus {
+	d.mu.Lock()
+	out := make([]PeerStatus, 0, len(d.peers))
+	for peer, ps := range d.peers {
+		out = append(out, PeerStatus{
+			Peer: peer, State: ps.state, StateName: ps.state.String(),
+			LastBeat: ps.lastBeat, Beats: ps.beats, Transitions: ps.transitions,
+		})
+	}
+	d.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Peer < out[j-1].Peer; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

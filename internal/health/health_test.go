@@ -1,0 +1,128 @@
+package health
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDetectorDegradesOnSilence(t *testing.T) {
+	d := New(Options{SuspectAfter: 1, DeadAfter: 3}, nil)
+	d.Track(7, 0)
+
+	if st, ok := d.StateOf(7); !ok || st != Alive {
+		t.Fatalf("fresh peer = %v ok=%v, want alive", st, ok)
+	}
+	d.Check(0.9)
+	if st, _ := d.StateOf(7); st != Alive {
+		t.Fatalf("peer suspect before SuspectAfter: %v", st)
+	}
+	d.Check(1.5)
+	if st, _ := d.StateOf(7); st != Suspect {
+		t.Fatalf("peer = %v after 1.5s silence, want suspect", st)
+	}
+	d.Check(3.5)
+	if st, _ := d.StateOf(7); st != Dead {
+		t.Fatalf("peer = %v after 3.5s silence, want dead", st)
+	}
+	if d.AllAlive() {
+		t.Error("AllAlive true with a dead peer")
+	}
+	// Sweeps never resurrect; only a heartbeat does.
+	d.Check(3.6)
+	if st, _ := d.StateOf(7); st != Dead {
+		t.Fatalf("sweep resurrected peer to %v", st)
+	}
+	d.Beat(7, 4)
+	if st, _ := d.StateOf(7); st != Alive {
+		t.Fatalf("heartbeat did not revive peer: %v", st)
+	}
+	if !d.AllAlive() {
+		t.Error("AllAlive false after recovery")
+	}
+}
+
+func TestDetectorBeatsKeepPeerAlive(t *testing.T) {
+	d := New(Options{SuspectAfter: 1, DeadAfter: 2}, nil)
+	d.Track(1, 0)
+	for now := 0.5; now < 10; now += 0.5 {
+		d.Beat(1, now)
+		d.Check(now)
+		if st, _ := d.StateOf(1); st != Alive {
+			t.Fatalf("heartbeating peer degraded to %v at t=%.1f", st, now)
+		}
+	}
+	snap := d.Snapshot()
+	if len(snap) != 1 || snap[0].Beats != 19 || snap[0].Transitions != 0 {
+		t.Errorf("snapshot = %+v, want 19 beats, 0 transitions", snap)
+	}
+}
+
+func TestDetectorChangeCallback(t *testing.T) {
+	var mu sync.Mutex
+	var got []struct {
+		peer     int32
+		from, to State
+	}
+	d := New(Options{SuspectAfter: 1, DeadAfter: 2}, func(peer int32, from, to State) {
+		mu.Lock()
+		got = append(got, struct {
+			peer     int32
+			from, to State
+		}{peer, from, to})
+		mu.Unlock()
+	})
+	d.Track(3, 0)
+	d.Check(1.2) // alive → suspect
+	d.Check(2.5) // suspect → dead
+	d.Beat(3, 3) // dead → alive
+	want := []struct {
+		peer     int32
+		from, to State
+	}{{3, Alive, Suspect}, {3, Suspect, Dead}, {3, Dead, Alive}}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("observed %d transitions (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDetectorUntrackedBeatTracks(t *testing.T) {
+	d := New(Options{SuspectAfter: 1, DeadAfter: 2}, nil)
+	d.Beat(9, 5)
+	if st, ok := d.StateOf(9); !ok || st != Alive {
+		t.Fatalf("beat from unknown peer not tracked: %v ok=%v", st, ok)
+	}
+	// Track of an existing peer must not reset its beat history.
+	d.Track(9, 100)
+	if snap := d.Snapshot(); snap[0].LastBeat != 5 {
+		t.Errorf("re-Track reset lastBeat to %v", snap[0].LastBeat)
+	}
+}
+
+func TestDetectorSnapshotSorted(t *testing.T) {
+	d := New(Options{SuspectAfter: 1, DeadAfter: 2}, nil)
+	for _, p := range []int32{5, 1, 3} {
+		d.Track(p, 0)
+	}
+	snap := d.Snapshot()
+	if len(snap) != 3 || snap[0].Peer != 1 || snap[1].Peer != 3 || snap[2].Peer != 5 {
+		t.Errorf("snapshot not sorted: %+v", snap)
+	}
+	for _, ps := range snap {
+		if ps.StateName != "alive" {
+			t.Errorf("peer %d StateName = %q", ps.Peer, ps.StateName)
+		}
+	}
+}
+
+func TestDetectorDefaultsRepaired(t *testing.T) {
+	d := New(Options{}, nil)
+	if d.opts.SuspectAfter <= 0 || d.opts.DeadAfter <= d.opts.SuspectAfter {
+		t.Errorf("defaults not repaired: %+v", d.opts)
+	}
+}

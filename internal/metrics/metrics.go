@@ -126,10 +126,28 @@ type Report struct {
 	// Links reports per-uplink transport counters for partitioned
 	// deployments (empty when the run had no attached links).
 	Links []LinkStats `json:"links,omitempty"`
+	// Members reports the heartbeat-membership verdicts on peer nodes at
+	// report time (partitioned deployments with health enabled).
+	Members []MemberStatus `json:"members,omitempty"`
+	// PERestarts counts supervisor panic-recoveries across local PEs.
+	PERestarts int64 `json:"pe_restarts,omitempty"`
+	// BreakersOpen counts local PEs whose restart circuit breaker has
+	// tripped (the PE is parked and its CPU share released).
+	BreakersOpen int `json:"breakers_open,omitempty"`
 	// Degenerate marks a report finalized at or before the warm-up
 	// horizon: no measured window exists, so Duration and every rate
 	// derived from it are zero and must not be compared against real runs.
 	Degenerate bool `json:"degenerate,omitempty"`
+}
+
+// MemberStatus is one peer node's membership verdict at report time.
+type MemberStatus struct {
+	// Node is the peer's topology node ID.
+	Node int32 `json:"node"`
+	// State is "alive", "suspect" or "dead".
+	State string `json:"state"`
+	// SilenceS is the virtual seconds since the peer's last heartbeat.
+	SilenceS float64 `json:"silence_s"`
 }
 
 // LinkStats summarizes one cross-partition uplink's transport behaviour

@@ -27,6 +27,10 @@ type DebugOptions struct {
 	// GraphDOT writes the placement-annotated DOT of the deployed DAG
 	// (served at /debug/graph).
 	GraphDOT func(w io.Writer) error
+	// Health returns the node's failure-domain status — heartbeat
+	// membership states, per-PE restart counts, circuit-breaker flags —
+	// served as JSON at /debug/health. Typically cluster.Health.
+	Health func() any
 }
 
 // NewDebugHandler builds the /debug/* inspection mux:
@@ -36,6 +40,7 @@ type DebugOptions struct {
 //	/debug/traces            recent traces (?n=K limits, ?complete=1 filters)
 //	/debug/traces?jsonl=1    raw span export, one JSON object per line
 //	/debug/graph             placement-annotated Graphviz DOT
+//	/debug/health            membership states, PE restarts, breakers
 func NewDebugHandler(opts DebugOptions) http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
@@ -106,8 +111,15 @@ func NewDebugHandler(opts DebugOptions) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, req *http.Request) {
+		if opts.Health == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, opts.Health())
+	})
 	mux.HandleFunc("/debug/", func(w http.ResponseWriter, req *http.Request) {
-		fmt.Fprintln(w, "aces debug endpoints: /debug/report /debug/telemetry /debug/traces /debug/graph")
+		fmt.Fprintln(w, "aces debug endpoints: /debug/report /debug/telemetry /debug/traces /debug/graph /debug/health")
 	})
 	return mux
 }

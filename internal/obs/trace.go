@@ -42,6 +42,9 @@ const (
 	EventDrop
 	// EventUplinkDrop: lost at a cross-partition uplink (terminal).
 	EventUplinkDrop
+	// EventPanic: the SDO died with a panicking processor; the supervisor
+	// recovered the PE but the in-flight SDO is gone (terminal).
+	EventPanic
 )
 
 // String implements fmt.Stringer for JSONL readability.
@@ -59,6 +62,8 @@ func (e Event) String() string {
 		return "drop"
 	case EventUplinkDrop:
 		return "uplink_drop"
+	case EventPanic:
+		return "panic"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(e))
 	}
@@ -67,7 +72,7 @@ func (e Event) String() string {
 // Terminal reports whether the event ends its trace branch.
 func (e Event) Terminal() bool {
 	switch e {
-	case EventEgress, EventShed, EventDrop, EventUplinkDrop:
+	case EventEgress, EventShed, EventDrop, EventUplinkDrop, EventPanic:
 		return true
 	}
 	return false

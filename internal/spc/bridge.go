@@ -38,6 +38,16 @@ func (l *Link) SendFeedback(pe int32, rmax float64) error {
 	return l.conn.SendFeedback(transport.Feedback{PE: pe, RMax: rmax})
 }
 
+// SendHeartbeat implements HeartbeatSender: a liveness beacon for node
+// `node` with a per-process sequence number. Silently skipped when the
+// peer has not negotiated heartbeat support.
+func (l *Link) SendHeartbeat(node int32, seq uint64) error {
+	if !l.conn.PeerSupportsHeartbeat() {
+		return nil
+	}
+	return l.conn.SendHeartbeat(transport.Heartbeat{Node: node, Seq: seq})
+}
+
 // Serve pumps incoming frames from the peer into the cluster until the
 // connection closes or errors. Run it on its own goroutine; it returns nil
 // on orderly EOF.
@@ -58,6 +68,8 @@ func (l *Link) Serve(c *Cluster) error {
 			// deployment; ignore rather than guess.
 		case transport.KindFeedback:
 			c.InjectFeedback(msg.Feedback.PE, msg.Feedback.RMax)
+		case transport.KindHeartbeat:
+			c.InjectHeartbeat(msg.Heartbeat.Node)
 		}
 	}
 }
@@ -84,9 +96,10 @@ func NewResilientLink(dial transport.DialFunc, opts transport.ResilientOptions) 
 	l := &ResilientLink{}
 	userDrop := opts.OnDrop
 	opts.OnDrop = func(kind transport.Kind, hops int, trace uint64) {
-		// Feedback is best-effort by contract (repaired next tick); only
-		// data frames are billed as in-flight loss.
-		if kind != transport.KindFeedback {
+		// Only data frames are billed as in-flight loss: feedback and
+		// heartbeats are best-effort by contract (the next tick or beacon
+		// repairs them), so billing their drops would overstate loss.
+		if kind == transport.KindData || kind == transport.KindRouted {
 			l.noteLoss(hops, trace)
 		}
 		if userDrop != nil {
@@ -133,6 +146,13 @@ func (l *ResilientLink) SendFeedback(pe int32, rmax float64) error {
 	return l.rc.SendFeedback(transport.Feedback{PE: pe, RMax: rmax})
 }
 
+// SendHeartbeat implements HeartbeatSender. It never blocks; beacons are
+// silently discarded while the link is down or the peer predates the
+// heartbeat feature — the next beacon repairs the roster.
+func (l *ResilientLink) SendHeartbeat(node int32, seq uint64) error {
+	return l.rc.SendHeartbeat(transport.Heartbeat{Node: node, Seq: seq})
+}
+
 // Serve pumps incoming frames into the cluster, riding across peer
 // reconnects; it returns nil once the link is closed.
 func (l *ResilientLink) Serve(c *Cluster) error {
@@ -150,6 +170,8 @@ func (l *ResilientLink) Serve(c *Cluster) error {
 			c.InjectSDO(msg.To, msg.SDO)
 		case transport.KindFeedback:
 			c.InjectFeedback(msg.Feedback.PE, msg.Feedback.RMax)
+		case transport.KindHeartbeat:
+			c.InjectHeartbeat(msg.Heartbeat.Node)
 		}
 	}
 }
@@ -223,10 +245,32 @@ func (r *Router) SendFeedback(pe int32, rmax float64) error {
 	return firstErr
 }
 
+// SendHeartbeat implements HeartbeatSender: beacons are broadcast to every
+// peer link that supports them (membership is judged by each receiver).
+func (r *Router) SendHeartbeat(node int32, seq uint64) error {
+	r.mu.RLock()
+	peers := r.peers
+	r.mu.RUnlock()
+	var firstErr error
+	for _, p := range peers {
+		hs, ok := p.(HeartbeatSender)
+		if !ok {
+			continue
+		}
+		if err := hs.SendHeartbeat(node, seq); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Interface compliance checks.
 var (
 	_ RemoteLink      = (*Link)(nil)
 	_ RemoteLink      = (*Router)(nil)
 	_ RemoteLink      = (*ResilientLink)(nil)
 	_ LinkStatsSource = (*ResilientLink)(nil)
+	_ HeartbeatSender = (*Link)(nil)
+	_ HeartbeatSender = (*Router)(nil)
+	_ HeartbeatSender = (*ResilientLink)(nil)
 )

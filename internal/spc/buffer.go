@@ -131,11 +131,24 @@ func (b *Buffer) advanceHead() sdo.SDO {
 	return s
 }
 
-// Close wakes all waiters; subsequent pushes fail and pops drain the
-// remaining items, then fail.
+// Close marks the buffer closed and wakes all waiters. It is idempotent:
+// closing an already-closed buffer is a no-op (the supervisor and the
+// cluster's Stop may both reach a buffer).
+//
+// Post-Close semantics, relied on by the PE supervisor's crash-recovery
+// path and locked in by tests:
+//
+//   - Push and TryPush fail immediately (return false); no SDO is ever
+//     admitted after Close, even if space is free.
+//   - Pop and TryPop keep draining the items buffered before Close —
+//     shutdown does not forfeit accepted data — and only report failure
+//     once the buffer is empty.
 func (b *Buffer) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
 	b.closed = true
 	b.notFull.Broadcast()
 	b.notEmpty.Broadcast()

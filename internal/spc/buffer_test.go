@@ -183,3 +183,64 @@ func TestLoadShedAdmitsIntoTinyBuffer(t *testing.T) {
 		t.Errorf("in-flight drops = %d, want 1 (second SDO shed, first admitted)", rep.InFlightDrops)
 	}
 }
+
+// Close is idempotent and its post-Close contract holds: pushes are
+// refused outright, pops drain what was accepted before Close and only
+// then report failure.
+func TestBufferCloseIdempotentAndPostCloseSemantics(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 3; i++ {
+		if !b.TryPush(sdo.SDO{Seq: uint64(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	b.Close()
+	b.Close() // second Close must be a no-op, not a deadlock or panic
+	if b.TryPush(sdo.SDO{Seq: 99}) {
+		t.Errorf("TryPush succeeded after Close despite free space")
+	}
+	if b.Push(context.Background(), sdo.SDO{Seq: 99}) {
+		t.Errorf("Push succeeded after Close despite free space")
+	}
+	// TryPop drains the accepted items in FIFO order...
+	for i := 0; i < 3; i++ {
+		s, ok := b.TryPop()
+		if !ok || s.Seq != uint64(i) {
+			t.Fatalf("TryPop %d after Close = (%d, %v), want (%d, true)", i, s.Seq, ok, i)
+		}
+	}
+	// ...and fails without blocking once the buffer is empty; so does Pop.
+	if _, ok := b.TryPop(); ok {
+		t.Errorf("TryPop on drained closed buffer succeeded")
+	}
+	if _, ok := b.Pop(context.Background()); ok {
+		t.Errorf("Pop on drained closed buffer succeeded")
+	}
+	b.Close() // closing a drained buffer is still a no-op
+	if b.Len() != 0 {
+		t.Errorf("Len after drain = %d, want 0", b.Len())
+	}
+}
+
+// Concurrent Close calls (supervisor and Stop racing) must both return.
+func TestBufferConcurrentClose(t *testing.T) {
+	b := NewBuffer(2)
+	b.TryPush(sdo.SDO{Seq: 1})
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			b.Close()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("Close did not return")
+		}
+	}
+	if s, ok := b.TryPop(); !ok || s.Seq != 1 {
+		t.Errorf("item accepted before Close was lost")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"aces/internal/control"
 	"aces/internal/controller"
 	"aces/internal/graph"
+	"aces/internal/health"
 	"aces/internal/metrics"
 	"aces/internal/obs"
 	"aces/internal/policy"
@@ -62,6 +63,15 @@ type Config struct {
 	// sampled on the Δt scheduler tick, with periodic snapshots flushed
 	// to the registry's sink.
 	Telemetry *obs.Registry
+	// Supervisor tunes PE panic recovery; zero value = defaults (5
+	// restarts, 10ms–1s jittered backoff).
+	Supervisor SupervisorOptions
+	// Health enables heartbeat membership for partitioned deployments:
+	// the snapshot node's scheduler beacons local liveness over the
+	// Uplink, incoming beacons feed a timeout detector, and PEs on
+	// suspect or dead peer nodes are treated as r_max = 0 in the Eq. 8
+	// bounds. nil disables membership (unpartitioned runs need none).
+	Health *HealthConfig
 }
 
 // RemoteLink transports SDOs and feedback to peer processes hosting the
@@ -108,6 +118,10 @@ func (c *Config) fillDefaults() error {
 	if c.BurstTicks < 1 {
 		c.BurstTicks = 40
 	}
+	c.Supervisor.fillDefaults()
+	if c.Health != nil {
+		c.Health.fillDefaults(c.Dt)
+	}
 	return nil
 }
 
@@ -128,6 +142,13 @@ type peRuntime struct {
 	// sampled by the scheduler; the shed counter is bumped on drop paths.
 	gOcc, gTokens, gRmax, gGrant *obs.Gauge
 	cSheds                       *obs.Counter
+	cRestarts                    *obs.Counter
+	gBreaker                     *obs.Gauge
+
+	// Supervision state: restarts counts panic recoveries, breaker is set
+	// by the supervisor when the restart budget is exhausted.
+	restarts atomic.Int64
+	breaker  atomic.Bool
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -140,6 +161,9 @@ type peRuntime struct {
 	// Scheduler-owned state (only the node scheduler touches these).
 	bucket *controller.TokenBucket
 	fc     *control.FlowController
+	// parked records that the scheduler has acted on a tripped breaker:
+	// bucket rate zeroed, share released, r_max = 0 advertised.
+	parked bool
 }
 
 // occupancy counts buffered plus held SDOs.
@@ -192,6 +216,18 @@ func (s *safeFeedback) minBound(down []int32) float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.fb.MinBound(down)
+}
+
+func (s *safeFeedback) markDown(j int32, down bool) {
+	s.mu.Lock()
+	s.fb.MarkDown(j, down)
+	s.mu.Unlock()
+}
+
+func (s *safeFeedback) allDown(down []int32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fb.AllDown(down)
 }
 
 // safeCollector guards a metrics.Collector for concurrent recording.
@@ -255,6 +291,22 @@ type Cluster struct {
 	// Observability (all nil/zero when disabled).
 	tracer *obs.Tracer
 	reg    *obs.Registry
+
+	// Failure domain (all nil/zero when Config.Health is unset or the
+	// deployment is unpartitioned).
+	det *health.Detector
+	// hbs is the uplink's heartbeat extension (nil if unsupported).
+	hbs HeartbeatSender
+	// hbSeq is owned by the snapshot node's scheduler.
+	hbSeq uint64
+	// localNodeIDs lists the nodes this process beacons for.
+	localNodeIDs []int32
+	// remotePEs maps a peer node to the PE IDs it hosts, so a membership
+	// verdict on the node marks all of its PEs up or down at once.
+	remotePEs map[int32][]int32
+	// gMember holds one member_state gauge per tracked peer node
+	// (0 alive, 1 suspect, 2 dead).
+	gMember map[int32]*obs.Gauge
 	// snapNode is the node whose scheduler flushes registry snapshots
 	// (the lowest-numbered local node with PEs), so one tick owner
 	// produces the time series instead of every scheduler racing to.
@@ -355,6 +407,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			pr.gRmax = c.reg.Gauge("rmax", labels)
 			pr.gGrant = c.reg.Gauge("cpu_grant", labels)
 			pr.cSheds = c.reg.Counter("sheds_total", labels)
+			pr.cRestarts = c.reg.Counter("pe_restarts_total", labels)
+			pr.gBreaker = c.reg.Gauge("breaker_open", labels)
 		}
 		if p, ok := cfg.Processors[sdo.PEID(j)]; ok && p != nil {
 			pr.proc = p
@@ -404,6 +458,48 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if len(c.nodes[n]) > 0 {
 			c.snapNode = n
 			break
+		}
+	}
+	if cfg.Health != nil && partitioned {
+		for n := 0; n < t.NumNodes; n++ {
+			if localNode[n] {
+				if len(c.nodes[n]) > 0 {
+					c.localNodeIDs = append(c.localNodeIDs, int32(n))
+				}
+				continue
+			}
+		}
+		c.remotePEs = make(map[int32][]int32)
+		for j := 0; j < t.NumPEs(); j++ {
+			if !c.local[j] {
+				n := int32(t.PEs[j].Node)
+				c.remotePEs[n] = append(c.remotePEs[n], int32(j))
+			}
+		}
+		c.gMember = make(map[int32]*obs.Gauge)
+		// A membership verdict on a peer node marks every PE it hosts up
+		// or down on the local feedback board: Eq. 8 then treats those
+		// PEs as r_max = 0 (suspect/dead) instead of silent-unconstrained.
+		c.det = health.New(health.Options{
+			SuspectAfter: cfg.Health.SuspectAfter,
+			DeadAfter:    cfg.Health.DeadAfter,
+		}, func(peer int32, _, to health.State) {
+			down := to != health.Alive
+			for _, pe := range c.remotePEs[peer] {
+				c.fb.markDown(pe, down)
+			}
+			if g := c.gMember[peer]; g != nil {
+				g.Set(float64(to))
+			}
+		})
+		for n := range c.remotePEs {
+			c.det.Track(n, c.clock.Now())
+			if c.reg != nil {
+				c.gMember[n] = c.reg.Gauge("member_state", obs.Labels{"node": fmt.Sprint(n)})
+			}
+		}
+		if hbs, ok := cfg.Uplink.(HeartbeatSender); ok {
+			c.hbs = hbs
 		}
 	}
 	return c, nil
@@ -488,77 +584,6 @@ func (c *Cluster) Run(duration float64) (metrics.Report, error) {
 	end := c.clock.Now()
 	c.Stop()
 	return c.Report(end), nil
-}
-
-// runPE is one PE's goroutine: pop, wait for budget, process, emit.
-func (c *Cluster) runPE(pr *peRuntime) {
-	emit := c.emitter(pr)
-	for {
-		s, ok := pr.buf.Pop(c.ctx)
-		if !ok {
-			return
-		}
-		pr.held.Store(1)
-		var deq float64
-		if s.Trace != 0 {
-			deq = c.clock.Now()
-		}
-		cost := pr.cost(c.clock.Now())
-
-		// Wait until the scheduler has granted enough budget. The cost is
-		// re-sampled at every grant: the two-state model modulates the
-		// PE's processing *rate*, so an SDO whose wait spans a state flip
-		// is charged the price of the regime that actually processes it —
-		// the same fluid semantics the simulator and the tier-1 model use.
-		// Freezing the pop-time price would silently push a PE's capacity
-		// from the harmonic mean toward the arithmetic mean of the state
-		// costs (≈ 3× lower with the paper's T0/T1).
-		pr.mu.Lock()
-		for pr.budget < cost {
-			if c.ctx.Err() != nil {
-				pr.mu.Unlock()
-				pr.held.Store(0)
-				return
-			}
-			pr.cond.Wait()
-			pr.mu.Unlock()
-			cost = pr.cost(c.clock.Now())
-			pr.mu.Lock()
-		}
-		pr.budget -= cost
-		pr.mu.Unlock()
-
-		var start time.Time
-		if pr.model == nil {
-			start = time.Now()
-		}
-		if err := pr.proc.Process(s, emit); err != nil {
-			// A failing processor stops its PE; the rest of the graph keeps
-			// running (§IV: the system degrades, it does not collapse).
-			pr.held.Store(0)
-			return
-		}
-		if pr.model == nil {
-			d := nowDuration(time.Since(start), c.scale)
-			pr.mu.Lock()
-			pr.mcost.observe(d)
-			pr.mu.Unlock()
-		}
-		if s.Trace != 0 && c.tracer != nil {
-			// One span per hop: buffer entry, service start, completion.
-			// Egress PEs mark the trace terminal (their emit callback has
-			// already recorded the delivery metrics).
-			ev := obs.EventProcessed
-			if len(pr.down) == 0 && len(pr.remote) == 0 {
-				ev = obs.EventEgress
-			}
-			c.tracer.Record(obs.Span{
-				Trace: s.Trace, PE: int32(pr.id), Node: int32(pr.node), Hops: int32(s.Hops),
-				Enqueue: s.TraceEnq, Dequeue: deq, Done: c.clock.Now(), Event: ev,
-			})
-		}
-		pr.held.Store(0)
-	}
 }
 
 // traceDrop ends a sampled SDO's trace with a terminal loss span at the
@@ -665,6 +690,10 @@ func (c *Cluster) runScheduler(n int) {
 	scr := newSchedScratch(len(peers))
 	sample := 0
 	last := c.clock.Now()
+	// The snapshot node's scheduler owns the failure domain's periodic
+	// work: sending liveness beacons and sweeping the detector.
+	healthOwner := n == c.snapNode && c.det != nil
+	lastBeat := math.Inf(-1)
 	for {
 		select {
 		case <-c.ctx.Done():
@@ -672,6 +701,13 @@ func (c *Cluster) runScheduler(n int) {
 		case <-tick:
 		}
 		now := c.clock.Now()
+		if healthOwner {
+			if now-lastBeat >= c.cfg.Health.Every {
+				lastBeat = now
+				c.sendHeartbeats()
+			}
+			c.det.Check(now)
+		}
 		// Use measured elapsed virtual time as the effective period: OS
 		// timers are late and coalesce under load, and a fixed Δt would
 		// silently discard the entitlement of every missed tick. Clamp so
@@ -713,6 +749,17 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 	ticks := scr.ticks[:len(peers)]
 	costs := scr.costs[:len(peers)]
 	for i, pr := range peers {
+		if pr.breaker.Load() {
+			if !pr.parked {
+				c.parkPE(pr, pol)
+			}
+			// A parked PE contributes no work and asks for no share; the
+			// planner redistributes its target to co-located PEs exactly
+			// as it does for a lock-step-blocked one.
+			ticks[i] = controller.PETick{Target: c.cfg.CPU[pr.id], Blocked: true}
+			costs[i] = 0
+			continue
+		}
 		cost := pr.cost(now)
 		costs[i] = cost
 		occ := float64(pr.occupancy())
@@ -767,6 +814,11 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 		alloc = scr.planner.PlanLockStep(ticks, 1)
 	}
 	for i, pr := range peers {
+		if pr.parked {
+			// The breaker already advertised r_max = 0; nothing to earn,
+			// grant or publish for a parked PE.
+			continue
+		}
 		pr.bucket.RefillFor(elapsedTicks)
 		pr.bucket.Spend(alloc[i] * elapsedTicks)
 		if pr.gGrant != nil {
@@ -776,22 +828,33 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			pr.grant(alloc[i] * dt)
 		}
 		if pol.UsesFeedback() {
-			// Flow-controller rates stay in SDOs per nominal Δt — the
-			// LQR gains were designed for that sampling period. Banked
-			// token surplus folds into ρ over a short horizon, exactly
-			// as in the simulator, so throttled PEs advertise the burst
-			// capacity they actually hold.
-			cpuRate := c.cfg.CPU[pr.id]
-			if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
-				cpuRate += surplus / 5
+			var rmax float64
+			if len(pr.downID) > 0 && c.fb.allDown(pr.downID) {
+				// Every downstream is a failure artifact (suspect or dead
+				// peers, tripped breakers). Updating the LQR against the
+				// r_max = 0 picture would integrate a phantom buffer error
+				// each tick and the controller would wake from the fault
+				// far from its operating point — so freeze it and replay
+				// the last healthy advertisement until someone recovers.
+				rmax = pr.fc.Hold()
+			} else {
+				// Flow-controller rates stay in SDOs per nominal Δt — the
+				// LQR gains were designed for that sampling period. Banked
+				// token surplus folds into ρ over a short horizon, exactly
+				// as in the simulator, so throttled PEs advertise the burst
+				// capacity they actually hold.
+				cpuRate := c.cfg.CPU[pr.id]
+				if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
+					cpuRate += surplus / 5
+				}
+				rho := cpuRate * c.cfg.Dt / costs[i]
+				vac := float64(pr.buf.Cap() - pr.occupancy())
+				if vac < 0 {
+					vac = 0
+				}
+				pr.fc.SetMaxRate(vac + rho)
+				rmax = pr.fc.Update(rho, float64(pr.occupancy()))
 			}
-			rho := cpuRate * c.cfg.Dt / costs[i]
-			vac := float64(pr.buf.Cap() - pr.occupancy())
-			if vac < 0 {
-				vac = 0
-			}
-			pr.fc.SetMaxRate(vac + rho)
-			rmax := pr.fc.Update(rho, float64(pr.occupancy()))
 			if pr.gRmax != nil {
 				pr.gRmax.Set(rmax)
 			}
@@ -994,6 +1057,26 @@ func (c *Cluster) Report(now float64) metrics.Report {
 	c.mu.Unlock()
 	for _, l := range links {
 		rep.Links = append(rep.Links, l.LinkStats())
+	}
+	if c.det != nil {
+		for _, m := range c.det.Snapshot() {
+			silence := now - m.LastBeat
+			if silence < 0 {
+				silence = 0
+			}
+			rep.Members = append(rep.Members, metrics.MemberStatus{
+				Node: m.Peer, State: m.StateName, SilenceS: silence,
+			})
+		}
+	}
+	for _, pr := range c.pes {
+		if pr == nil {
+			continue
+		}
+		rep.PERestarts += pr.restarts.Load()
+		if pr.breaker.Load() {
+			rep.BreakersOpen++
+		}
 	}
 	return rep
 }

@@ -1,0 +1,156 @@
+package spc
+
+import (
+	"testing"
+	"time"
+
+	"aces/internal/graph"
+	"aces/internal/policy"
+	"aces/internal/sdo"
+)
+
+// soloTopo is n parallel single-PE streams on one node, each an egress
+// with weight 1. The sources are near-silent (one SDO per 1000 virtual
+// seconds — the validator requires every root to have one); the tests
+// drive the PEs by injecting SDOs directly.
+func soloTopo(t *testing.T, n int) *graph.Topology {
+	t.Helper()
+	topo := graph.New(1, 50)
+	for i := 0; i < n; i++ {
+		id := topo.AddPE(graph.PE{Service: detService(0.0001), Node: 0, Weight: 1})
+		if err := topo.AddSource(graph.Source{
+			Stream: sdo.StreamID(100 + i), Target: id, Rate: 0.001,
+			Burst: graph.BurstSpec{Kind: graph.BurstDeterministic},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+// A panic mid-SDO kills exactly that SDO: the supervisor restarts the PE
+// against the same buffer, so every other queued SDO is still delivered.
+func TestSupervisorPanicDoesNotLoseBufferedSDOs(t *testing.T) {
+	topo := soloTopo(t, 1)
+	inj := NewPanicInjector(&Passthrough{})
+	cl, err := NewCluster(Config{
+		Topo: topo, Policy: policy.ACES, CPU: []float64{0.9},
+		TimeScale: 100, Warmup: 0.001, Seed: 42,
+		Processors: map[sdo.PEID]Processor{0: inj},
+		Supervisor: SupervisorOptions{MaxRestarts: 5, BackoffMin: time.Millisecond, BackoffMax: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	const n = 20
+	inj.Arm() // the first Process call panics, killing SDO 0 mid-service
+	for i := 0; i < n; i++ {
+		cl.InjectSDO(0, sdo.SDO{Stream: 1, Seq: uint64(i), Origin: time.Now(), Hops: 1})
+	}
+	waitUntil(t, 5*time.Second, func() bool {
+		return cl.DeliveredByPE()[0] >= n-1
+	}, "surviving SDOs delivered after panic recovery")
+
+	rep := cl.Report(cl.Now())
+	if rep.PERestarts != 1 {
+		t.Errorf("PERestarts = %d, want 1", rep.PERestarts)
+	}
+	if rep.InFlightDrops < 1 {
+		t.Errorf("InFlightDrops = %d, want ≥ 1 (the SDO that died mid-service)", rep.InFlightDrops)
+	}
+	if rep.BreakersOpen != 0 {
+		t.Errorf("BreakersOpen = %d, want 0", rep.BreakersOpen)
+	}
+	st := cl.Health()
+	if len(st.PEs) != 1 || st.PEs[0].Restarts != 1 || st.PEs[0].BreakerOpen {
+		t.Errorf("Health() PEs = %+v, want one entry with 1 restart, breaker closed", st.PEs)
+	}
+	if !st.AllAlive {
+		t.Errorf("Health() AllAlive = false for an unpartitioned cluster")
+	}
+}
+
+// Exhausting the restart budget trips the breaker: the PE parks, its
+// r_max = 0 is advertised, and co-located PEs keep delivering — the node
+// degrades, it does not collapse.
+func TestSupervisorBreakerTripsAndCoLocatedPEsKeepRunning(t *testing.T) {
+	topo := soloTopo(t, 2)
+	inj := NewPanicInjector(&Passthrough{})
+	cl, err := NewCluster(Config{
+		Topo: topo, Policy: policy.ACES, CPU: []float64{0.45, 0.45},
+		TimeScale: 100, Warmup: 0.001, Seed: 7,
+		Processors: map[sdo.PEID]Processor{0: inj, 1: &Passthrough{}},
+		Supervisor: SupervisorOptions{MaxRestarts: 2, BackoffMin: time.Millisecond, BackoffMax: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	// Enough armed crashes to burn the whole restart budget: incarnations
+	// 1..3 each panic on their first Process call, and the third recovery
+	// exceeds MaxRestarts = 2.
+	for i := 0; i < 3; i++ {
+		inj.Arm()
+	}
+	for i := 0; i < 8; i++ {
+		cl.InjectSDO(0, sdo.SDO{Stream: 1, Seq: uint64(i), Origin: time.Now(), Hops: 1})
+	}
+	waitUntil(t, 5*time.Second, func() bool {
+		st := cl.Health()
+		return len(st.PEs) == 2 && st.PEs[0].BreakerOpen
+	}, "breaker to trip after restart budget exhausted")
+
+	// The healthy co-located PE must still deliver while PE 0 is parked.
+	const n = 10
+	for i := 0; i < n; i++ {
+		cl.InjectSDO(1, sdo.SDO{Stream: 2, Seq: uint64(i), Origin: time.Now(), Hops: 1})
+	}
+	waitUntil(t, 5*time.Second, func() bool {
+		return cl.DeliveredByPE()[1] >= n
+	}, "co-located PE delivering past a tripped breaker")
+
+	rep := cl.Report(cl.Now())
+	if rep.BreakersOpen != 1 {
+		t.Errorf("BreakersOpen = %d, want 1", rep.BreakersOpen)
+	}
+	if rep.PERestarts != 3 {
+		t.Errorf("PERestarts = %d, want 3", rep.PERestarts)
+	}
+}
+
+// A PanicInjector wrapping a cost-modelling processor forwards NextCost;
+// wrapping a plain one charges the nominal constant.
+func TestPanicInjectorCostDelegation(t *testing.T) {
+	plain := NewPanicInjector(&Passthrough{})
+	if got := plain.NextCost(0); got != 50e-6 {
+		t.Errorf("plain NextCost = %g, want 50e-6", got)
+	}
+	if plain.Armed() != 0 {
+		t.Errorf("fresh injector armed = %d, want 0", plain.Armed())
+	}
+	plain.Arm()
+	plain.Arm()
+	if plain.Armed() != 2 {
+		t.Errorf("armed = %d, want 2", plain.Armed())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("armed injector did not panic")
+			}
+		}()
+		_ = plain.Process(sdo.SDO{}, func(sdo.SDO) {})
+	}()
+	if plain.Armed() != 1 {
+		t.Errorf("armed after one panic = %d, want 1", plain.Armed())
+	}
+}

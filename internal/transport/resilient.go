@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aces/internal/sdo"
@@ -159,6 +160,11 @@ type ResilientConn struct {
 	gen    int // bumped on every connect; stale failures are ignored
 	closed bool
 
+	// wroteOK is set by the writer after any successful wire write and
+	// consumed by the manager when choosing the redial delay: only a
+	// generation that proved useful earns a backoff reset.
+	wroteOK atomic.Bool
+
 	wg sync.WaitGroup
 
 	statsMu   sync.Mutex
@@ -218,6 +224,37 @@ func (rc *ResilientConn) SendFeedback(f Feedback) error {
 	body := encodeFeedback((*bp)[:0], f)
 	*bp = body
 	return rc.enqueue(outFrame{kind: KindFeedback, body: body, buf: bp})
+}
+
+// SendHeartbeat enqueues one liveness beacon, or silently discards it
+// when there is no live connection or the peer has not (yet) advertised
+// FeatureHeartbeat — beacons are periodic, so the first one after the
+// peer's hello repairs the roster, and queueing beacons for a dead link
+// would only deliver stale liveness claims after reconnect. Never blocks.
+func (rc *ResilientConn) SendHeartbeat(hb Heartbeat) error {
+	rc.mu.Lock()
+	cur := rc.cur
+	closed := rc.closed
+	rc.mu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	if cur == nil || !cur.PeerSupportsHeartbeat() {
+		return nil
+	}
+	bp := getBuf()
+	body := encodeHeartbeat((*bp)[:0], hb)
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindHeartbeat, body: body, buf: bp})
+}
+
+// PeerSupportsHeartbeat reports whether the current connection's peer
+// advertised heartbeat membership (false while disconnected).
+func (rc *ResilientConn) PeerSupportsHeartbeat() bool {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	return cur != nil && cur.PeerSupportsHeartbeat()
 }
 
 func (rc *ResilientConn) enqueue(f outFrame) error {
@@ -330,13 +367,42 @@ func (rc *ResilientConn) invalidate(gen int) {
 	rc.mu.Unlock()
 }
 
+// localFeatures is the feature set this endpoint announces in its hello:
+// heartbeat decoding is intrinsic to this protocol version, batch framing
+// is opt-in.
+func (rc *ResilientConn) localFeatures() uint64 {
+	f := FeatureHeartbeat
+	if rc.opts.BatchMax > 1 {
+		f |= FeatureBatch
+	}
+	return f
+}
+
+// pause sleeps for d, returning false if the conn closed meanwhile.
+func (rc *ResilientConn) pause(d time.Duration) bool {
+	select {
+	case <-rc.done:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
 // manage owns connection establishment: dial with jittered exponential
 // backoff, install, announce (hello), then sleep until the connection is
 // invalidated.
+//
+// Backoff discipline: the backoff resets to BackoffMin only after a
+// generation with at least one successful wire *write* (wroteOK). A dial
+// that connects but whose connection dies before writing anything — the
+// signature of a half-open or immediately-resetting peer — keeps growing
+// the delay; resetting on dial success alone would redial such a peer in
+// a tight loop.
 func (rc *ResilientConn) manage() {
 	defer rc.wg.Done()
 	backoff := rc.opts.BackoffMin
 	everConnected := false
+	barren := false // a dial was attempted and no write has succeeded since
 	for {
 		rc.mu.Lock()
 		for rc.cur != nil && !rc.closed {
@@ -348,21 +414,24 @@ func (rc *ResilientConn) manage() {
 		}
 		rc.mu.Unlock()
 
-		conn, err := rc.dial()
-		if err != nil {
+		if rc.wroteOK.Swap(false) {
+			backoff = rc.opts.BackoffMin
+		} else if barren {
 			d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
 			backoff *= 2
 			if backoff > rc.opts.BackoffMax {
 				backoff = rc.opts.BackoffMax
 			}
-			select {
-			case <-rc.done:
+			if !rc.pause(d) {
 				return
-			case <-time.After(d):
 			}
+		}
+		barren = true
+
+		conn, err := rc.dial()
+		if err != nil {
 			continue
 		}
-		backoff = rc.opts.BackoffMin
 		rc.mu.Lock()
 		if rc.closed {
 			rc.mu.Unlock()
@@ -374,14 +443,15 @@ func (rc *ResilientConn) manage() {
 		gen := rc.gen
 		rc.cond.Broadcast()
 		rc.mu.Unlock()
-		// Batch-capable endpoints open every connection generation with a
-		// hello so the peer's writer can start batching toward us. Sent
-		// under the write deadline; a failure just retires the conn.
-		if rc.opts.BatchMax > 1 {
-			conn.SetWriteDeadline(time.Now().Add(rc.opts.WriteTimeout))
-			if err := conn.SendHello(FeatureBatch); err != nil {
-				rc.invalidate(gen)
-			}
+		// Every connection generation opens with a hello announcing this
+		// endpoint's features, so the peer's writer can start batching
+		// and heartbeating toward us. Sent under the write deadline; a
+		// failure just retires the conn. The hello deliberately does NOT
+		// count as the generation's successful write: a half-open peer
+		// can absorb it into its socket buffer without ever reading.
+		conn.SetWriteDeadline(time.Now().Add(rc.opts.WriteTimeout))
+		if err := conn.SendHello(rc.localFeatures()); err != nil {
+			rc.invalidate(gen)
 		}
 		if everConnected {
 			rc.statsMu.Lock()
@@ -521,6 +591,9 @@ func (rc *ResilientConn) writeBurst(conn *Conn, gen int, burst []outFrame) {
 			rc.dropFrames(burst[i:], true)
 			return
 		}
+		// A landed write proves the connection useful; the manager resets
+		// the reconnect backoff on this evidence (and only on it).
+		rc.wroteOK.Store(true)
 		for k := i; k < i+n; k++ {
 			burst[k].release()
 		}

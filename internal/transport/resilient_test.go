@@ -244,3 +244,160 @@ func TestFlakyDropWrites(t *testing.T) {
 	}
 	waitFor(t, 5*time.Second, func() bool { return srv.frames.Load() == 2 }, "post-drop frame")
 }
+
+// halfOpenDialer returns connections that are already dead: every write
+// fails immediately, the signature of a half-open peer that completes the
+// TCP handshake but never services the session.
+func halfOpenDialer(dials *atomic.Int64) DialFunc {
+	return func() (*Conn, error) {
+		dials.Add(1)
+		c1, c2 := net.Pipe()
+		c1.Close()
+		c2.Close()
+		return NewConn(c1), nil
+	}
+}
+
+// TestResilientBackoffNotResetByDialAlone is the regression test for the
+// half-open hot-loop: a dial that succeeds but whose connection dies
+// before any successful write must keep growing the reconnect backoff.
+// Before the fix, dial success reset the backoff to BackoffMin and the
+// manager redialed such a peer in a tight loop.
+func TestResilientBackoffNotResetByDialAlone(t *testing.T) {
+	var dials atomic.Int64
+	rc := NewResilientConn(halfOpenDialer(&dials), ResilientOptions{
+		BackoffMin: 20 * time.Millisecond,
+		BackoffMax: 160 * time.Millisecond,
+	})
+	defer rc.Close()
+
+	// Keep frames queued so the writer also exercises the dead conns.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				rc.SendSDO(sdo.SDO{Origin: time.Now()})
+			}
+		}
+	}()
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Exponential growth 20→40→80→160→160… admits ~6 dials in 500 ms
+	// (plus the first immediate one). A backoff reset on every dial
+	// success would admit hundreds.
+	if n := dials.Load(); n < 2 || n > 20 {
+		t.Errorf("half-open peer was dialed %d times in 500ms; backoff is not growing", n)
+	}
+}
+
+// TestResilientBackoffResetsAfterWrite asserts the other half of the
+// contract: a generation that lands a write earns a fresh minimum
+// backoff, so a healthy link that drops reconnects promptly even after a
+// string of earlier failures inflated the backoff.
+func TestResilientBackoffResetsAfterWrite(t *testing.T) {
+	srv := newCountingServer(t)
+	var down atomic.Bool
+	var current atomic.Pointer[FlakyConn]
+	rc := NewResilientConn(func() (*Conn, error) {
+		if down.Load() {
+			return nil, errors.New("injected outage")
+		}
+		raw, err := net.DialTimeout("tcp", srv.addr(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		f := WrapFlaky(raw)
+		current.Store(f)
+		return NewConn(f), nil
+	}, ResilientOptions{
+		BackoffMin: 10 * time.Millisecond,
+		BackoffMax: 3 * time.Second,
+	})
+	defer rc.Close()
+
+	// Inflate the backoff toward BackoffMax with failed dials.
+	down.Store(true)
+	time.Sleep(400 * time.Millisecond)
+	down.Store(false)
+
+	// Heal; a write must land eventually despite the inflated backoff.
+	waitFor(t, 10*time.Second, func() bool {
+		rc.SendSDO(sdo.SDO{Origin: time.Now()})
+		return srv.frames.Load() > 0
+	}, "first delivery after outage")
+
+	// The landed write reset the backoff: after a sever, the reconnect
+	// and next delivery must happen in well under BackoffMax.
+	sent := srv.frames.Load()
+	current.Load().Sever()
+	start := time.Now()
+	waitFor(t, 2*time.Second, func() bool {
+		rc.SendSDO(sdo.SDO{Origin: time.Now()})
+		return srv.frames.Load() > sent
+	}, "post-sever delivery (backoff should have reset)")
+	if el := time.Since(start); el > 1500*time.Millisecond {
+		t.Errorf("reconnect after healthy generation took %v; backoff did not reset on write", el)
+	}
+}
+
+// TestResilientHeartbeatNegotiated round-trips heartbeats between two
+// ResilientConns: hellos negotiate FeatureHeartbeat in both directions,
+// beacons flow on the control path, and SendHeartbeat before negotiation
+// silently discards instead of queueing stale liveness claims.
+func TestResilientHeartbeatNegotiated(t *testing.T) {
+	lis, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	rcA := NewResilientConn(func() (*Conn, error) {
+		return Dial(lis.Addr(), time.Second)
+	}, ResilientOptions{})
+	defer rcA.Close()
+	rcB := NewResilientConn(func() (*Conn, error) {
+		return lis.Accept()
+	}, ResilientOptions{})
+	defer rcB.Close()
+
+	var got atomic.Int64
+	var lastNode atomic.Int32
+	go func() {
+		for {
+			msg, err := rcB.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Kind == KindHeartbeat {
+				lastNode.Store(msg.Heartbeat.Node)
+				got.Add(1)
+			}
+		}
+	}()
+	// A's writer only learns B's features through A's own Recv loop.
+	go func() {
+		for {
+			if _, err := rcA.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	waitFor(t, 5*time.Second, func() bool { return rcA.PeerSupportsHeartbeat() }, "hello negotiation")
+	waitFor(t, 5*time.Second, func() bool {
+		if err := rcA.SendHeartbeat(Heartbeat{Node: 3, Seq: 1}); err != nil {
+			t.Errorf("SendHeartbeat: %v", err)
+		}
+		return got.Load() > 0
+	}, "heartbeat delivery")
+	if lastNode.Load() != 3 {
+		t.Errorf("heartbeat node = %d, want 3", lastNode.Load())
+	}
+}

@@ -9,6 +9,7 @@
 //	ctrl   := pe(i32) rmax(f64 bits)
 //	hello  := version(u8) features(u64)
 //	batch  := count(u32) { kind(u8) mlen(u32) member } × count
+//	hbeat  := node(i32) seq(u64)
 //
 // trace is the observability trace ID (0 = unsampled): carrying it inside
 // the routed frame is what lets a per-SDO trace be stitched across the
@@ -58,6 +59,11 @@ const (
 	// KindHello is the version/feature announcement a peer sends first on
 	// a new connection. Recv handles it internally.
 	KindHello
+	// KindHeartbeat is the liveness beacon of the health subsystem: the
+	// sending process asserts that node Node is alive. It rides the
+	// control path (never batched, like feedback) and is only sent to
+	// peers that advertised FeatureHeartbeat.
+	KindHeartbeat
 )
 
 // protocolVersion is announced in hello frames. Version 2 adds batch
@@ -67,6 +73,10 @@ const protocolVersion = 2
 // FeatureBatch advertises that this endpoint decodes KindBatch frames.
 const FeatureBatch uint64 = 1 << 0
 
+// FeatureHeartbeat advertises that this endpoint decodes KindHeartbeat
+// frames and participates in heartbeat membership.
+const FeatureHeartbeat uint64 = 1 << 1
+
 // Feedback is a control-plane advertisement: PE j accepts at most RMax
 // SDOs per control tick.
 type Feedback struct {
@@ -74,13 +84,23 @@ type Feedback struct {
 	RMax float64
 }
 
-// Message is a decoded frame: exactly one of SDO/Feedback is meaningful
-// per Kind; To is set for routed frames. Batch frames are decoded into
-// their members, so Recv only ever yields data/routed/feedback messages.
+// Heartbeat is a liveness beacon: the sending process asserts node Node
+// is alive. Seq increments per beacon so receivers can spot reordering
+// or duplication if they care; the failure detector only needs arrival.
+type Heartbeat struct {
+	Node int32
+	Seq  uint64
+}
+
+// Message is a decoded frame: exactly one of SDO/Feedback/Heartbeat is
+// meaningful per Kind; To is set for routed frames. Batch frames are
+// decoded into their members, so Recv only ever yields
+// data/routed/feedback/heartbeat messages.
 type Message struct {
-	Kind     Kind
-	SDO      sdo.SDO
-	Feedback Feedback
+	Kind      Kind
+	SDO       sdo.SDO
+	Feedback  Feedback
+	Heartbeat Heartbeat
 	// To is the destination PE of a KindRouted frame.
 	To sdo.PEID
 }
@@ -193,6 +213,12 @@ func (c *Conn) PeerSupportsBatch() bool {
 	return c.peerFeatures.Load()&FeatureBatch != 0
 }
 
+// PeerSupportsHeartbeat reports whether the peer's hello advertised
+// heartbeat decoding. False until a hello arrives.
+func (c *Conn) PeerSupportsHeartbeat() bool {
+	return c.peerFeatures.Load()&FeatureHeartbeat != 0
+}
+
 // setPeerFeatures force-sets the peer feature bits (tests that need
 // batching active without running a Recv loop on the sender side).
 func (c *Conn) setPeerFeatures(f uint64) { c.peerFeatures.Store(f) }
@@ -262,6 +288,24 @@ func (c *Conn) SendFeedback(f Feedback) error {
 func encodeFeedback(dst []byte, f Feedback) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(f.PE))
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.RMax))
+	return dst
+}
+
+// SendHeartbeat writes one liveness beacon. Like feedback, heartbeats
+// keep their own frames (never batched): membership judgement rides the
+// control path's latency, not the data path's.
+func (c *Conn) SendHeartbeat(hb Heartbeat) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	body := encodeHeartbeat((*bp)[:0], hb)
+	*bp = body[:0]
+	return c.send(KindHeartbeat, body)
+}
+
+// encodeHeartbeat appends the heartbeat-frame body to dst.
+func encodeHeartbeat(dst []byte, hb Heartbeat) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(hb.Node))
+	dst = binary.BigEndian.AppendUint64(dst, hb.Seq)
 	return dst
 }
 
@@ -409,6 +453,14 @@ func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, e
 		return Message{Kind: KindFeedback, Feedback: Feedback{
 			PE:   int32(binary.BigEndian.Uint32(body[0:4])),
 			RMax: math.Float64frombits(binary.BigEndian.Uint64(body[4:12])),
+		}}, false, nil
+	case KindHeartbeat:
+		if len(body) != 12 {
+			return Message{}, false, fmt.Errorf("transport: bad heartbeat frame (%d bytes)", len(body))
+		}
+		return Message{Kind: KindHeartbeat, Heartbeat: Heartbeat{
+			Node: int32(binary.BigEndian.Uint32(body[0:4])),
+			Seq:  binary.BigEndian.Uint64(body[4:12]),
 		}}, false, nil
 	case KindBatch:
 		if err := c.decodeBatch(body); err != nil {

@@ -101,12 +101,28 @@ type (
 	LogUtility = optimize.LogUtility
 	// ExpUtility is U(x) = 1 − e^{−x/Scale}.
 	ExpUtility = optimize.ExpUtility
+	// Calibrator maintains per-PE RLS estimates of the rate model
+	// h_j(c̄) = a_j·c̄ − b_j from live telemetry and produces a calibrated
+	// topology for re-solving.
+	Calibrator = optimize.Calibrator
+	// RateModel is one PE's calibrated (a, b) estimate.
+	RateModel = optimize.RateModel
+	// RLS is the recursive-least-squares estimator behind Calibrator.
+	RLS = optimize.RLS
 )
 
 // Optimize computes time-averaged CPU targets maximizing the weighted
 // throughput of the topology (paper §V-B).
 func Optimize(t *Topology, cfg OptimizeConfig) (*Allocation, error) {
 	return optimize.Solve(t, cfg)
+}
+
+// NewCalibrator builds a rate-model calibrator over a deployed topology;
+// lambda is the RLS forgetting factor (0 → default), minSamples gates how
+// many observation windows a PE needs before its estimate replaces the
+// declared model.
+func NewCalibrator(t *Topology, lambda float64, minSamples int) *Calibrator {
+	return optimize.NewCalibrator(t, lambda, minSamples)
 }
 
 // Tier 2: control design.
@@ -234,7 +250,23 @@ type (
 	PEHealth = spc.PEHealth
 	// PanicInjector arms deterministic processor crashes for fault drills.
 	PanicInjector = spc.PanicInjector
+	// RetargetConfig configures Cluster.StartRetarget, the online
+	// calibrate→re-solve→retarget loop that closes the paper's adaptive
+	// cycle on a live deployment.
+	RetargetConfig = spc.RetargetConfig
+	// TargetSender is the uplink extension that disseminates epoch-stamped
+	// CPU target sets to peer processes (implemented by Link, Router and
+	// ResilientLink).
+	TargetSender = spc.TargetSender
+	// StepCost is a deterministic processor whose per-SDO cost steps at a
+	// scheduled virtual time — the canonical workload drift for exercising
+	// the adaptive loop.
+	StepCost = spc.StepCost
 )
+
+// ErrStaleEpoch reports a SetTargets whose epoch is not strictly newer
+// than the applied one.
+var ErrStaleEpoch = spc.ErrStaleEpoch
 
 // NewCluster builds a live cluster; Run(duration) executes it.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return spc.NewCluster(cfg) }
@@ -272,6 +304,12 @@ func NewSynthetic(params ServiceParams, out StreamID, seed int64) *Synthetic {
 // NewPanicInjector wraps a Processor so that armed crashes panic on the
 // next processed SDO — the scriptable fault for chaos drills.
 func NewPanicInjector(inner Processor) *PanicInjector { return spc.NewPanicInjector(inner) }
+
+// NewStepCost returns a Processor emitting on stream out whose per-SDO
+// cost is base before virtual time at and stepped from then on.
+func NewStepCost(out StreamID, base, stepped, at float64) *StepCost {
+	return spc.NewStepCost(out, base, stepped, at)
+}
 
 // The deterministic chaos harness (internal/chaos): seeded fault
 // schedules replayed against a deployment's virtual clock.

@@ -33,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aces-bench", flag.ContinueOnError)
 	var (
 		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
-		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|all")
+		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|retarget|all")
 		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
 		jsonTo = fs.String("json", "", "also write per-experiment results as machine-readable JSON to this file")
 		pes    = fs.Int("pes", 0, "override topology PE count")
@@ -45,6 +45,8 @@ func run(args []string) error {
 		baseline    = fs.String("baseline", "", "transport experiment: committed -json output to regress against (>20% ns/SDO or allocs/SDO fails)")
 
 		chaosSeed = fs.Int64("chaos-seed", 1, "chaos experiment: fault-schedule seed")
+
+		retargetSeed = fs.Int64("retarget-seed", 7, "retarget experiment: deployment seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -231,6 +233,23 @@ func run(args []string) error {
 			if !row.Recovered {
 				return fmt.Errorf("deployment did not recover (pre %.1f, post %.1f sdo/s, members alive %v)",
 					row.PreRate, row.PostRate, row.MembersAlive)
+			}
+			return nil
+		}},
+		{"retarget", func() error {
+			// No -quick override: the run is already only a few wall
+			// seconds, and accelerating the clock further trades margin
+			// (OS-timer slip biases calibration windows) for nothing.
+			ro := experiments.RetargetOptions{Seed: *retargetSeed}
+			row, err := experiments.RunRetarget(ro)
+			if err != nil {
+				return err
+			}
+			addJSON("retarget", []experiments.RetargetRow{row})
+			experiments.FormatRetarget(w, row)
+			if !row.Recovered {
+				return fmt.Errorf("adaptive loop did not recover (adaptive %.0f%%, frozen %.0f%% of oracle, peer epoch %d)",
+					100*row.AdaptiveFrac, 100*row.FrozenFrac, row.PeerEpoch)
 			}
 			return nil
 		}},

@@ -18,6 +18,13 @@
 //	aces-spc -mode node -topo t.json -local-nodes 0,1 -listen :7071 -duration 20
 //	aces-spc -mode node -topo t.json -local-nodes 2,3 -connect host:7071 -duration 20
 //
+// Both local and node modes can close the adaptive loop: -retarget-every
+// re-solves the tier-1 targets from online-calibrated rate models and
+// applies them hitlessly (node mode also disseminates each epoch to the
+// peer):
+//
+//	aces-spc -mode local -pes 60 -nodes 10 -retarget-every 2 -duration 30
+//
 // Local and node modes optionally expose live inspection endpoints
 // (/debug/report, /debug/telemetry, /debug/traces, /debug/graph,
 // /debug/health) and sampled per-SDO tracing:
@@ -72,6 +79,7 @@ func run(args []string) error {
 		traceBuf   = fs.Int("trace-buf", 0, "span ring capacity (0 = default 4096)")
 		traceOut   = fs.String("trace-out", "", "write retained spans as JSONL to this file at exit")
 		hbEvery    = fs.Float64("heartbeat-every", 0.5, "membership beacon period in virtual seconds (node mode; 0 disables heartbeats)")
+		rtEvery    = fs.Float64("retarget-every", 0, "re-solve tier-1 targets from calibrated rate models every this many virtual seconds (local/node; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,10 +87,10 @@ func run(args []string) error {
 	ob := obsOpts{debugAddr: *debugAddr, traceEvery: *traceEvery, traceBuf: *traceBuf, traceOut: *traceOut}
 	switch *mode {
 	case "local":
-		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, ob)
+		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, *rtEvery, ob)
 	case "node":
 		up := uplinkOpts{queue: *upQueue, timeout: *upTimeout, batchMax: *batchMax, batchLinger: *batchLing}
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, up, ob)
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, *rtEvery, up, ob)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -170,7 +178,7 @@ func (o obsOpts) serve(cl *aces.Cluster, topo *aces.Topology, title string,
 	}, nil
 }
 
-func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale float64, ob obsOpts) error {
+func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale, rtEvery float64, ob obsOpts) error {
 	pol, err := aces.ParsePolicy(polName)
 	if err != nil {
 		return err
@@ -224,6 +232,12 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 		return err
 	}
 	defer cleanup()
+	if rtEvery > 0 {
+		if err := cl.StartRetarget(aces.RetargetConfig{Every: rtEvery}); err != nil {
+			return err
+		}
+		fmt.Printf("adaptive loop on: re-solving calibrated targets every %gs virtual\n", rtEvery)
+	}
 	fmt.Printf("running %d PEs on %d nodes under %s for %.0fs virtual (%.0f× wall speed)...\n",
 		topo.NumPEs(), topo.NumNodes, pol, duration, scale)
 	rep, err := cl.Run(duration)
@@ -234,6 +248,9 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 	fmt.Printf("latency mean ± σ    %.1f ± %.1f ms (p95 %.1f)\n", rep.MeanLatency*1e3, rep.StdLatency*1e3, rep.P95*1e3)
 	fmt.Printf("drops               input %d, in-flight %d\n", rep.InputDrops, rep.InFlightDrops)
 	fmt.Printf("buffer occupancy    %.1f ± %.1f\n", rep.MeanBufferOccupancy, rep.StdBufferOccupancy)
+	if rep.Retargets > 0 {
+		fmt.Printf("retargets           %d (final epoch %d)\n", rep.Retargets, rep.TargetEpoch)
+	}
 	return nil
 }
 
@@ -307,7 +324,7 @@ type uplinkOpts struct {
 // never block the PE emit path or the Δt scheduler, and a stalled or
 // severed peer triggers automatic reconnection while the local partition
 // keeps running.
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery float64, up uplinkOpts, ob obsOpts) error {
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery, rtEvery float64, up uplinkOpts, ob obsOpts) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -394,6 +411,15 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- link.Serve(cl) }()
 
+	// The adaptive loop calibrates local PEs only, so every partition may
+	// run it; epoch ordering keeps concurrent re-solves consistent. New
+	// epochs ride the same uplink as heartbeats (v1 peers are skipped).
+	if rtEvery > 0 {
+		if err := cl.StartRetarget(aces.RetargetConfig{Every: rtEvery}); err != nil {
+			return err
+		}
+		fmt.Printf("adaptive loop on: re-solving calibrated targets every %gs virtual\n", rtEvery)
+	}
 	fmt.Printf("hosting nodes %v of %d-PE topology under %s for %.0fs virtual...\n",
 		nodes, doc.Topology.NumPEs(), pol, duration)
 	rep, err := cl.Run(duration)
@@ -413,6 +439,9 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	for _, ls := range rep.Links {
 		fmt.Printf("uplink              sent %d, dropped %d, reconnects %d, queue %d/%d\n",
 			ls.FramesSent, ls.FramesDropped, ls.Reconnects, ls.QueueLen, ls.QueueCap)
+	}
+	if rep.Retargets > 0 {
+		fmt.Printf("retargets           %d (final epoch %d)\n", rep.Retargets, rep.TargetEpoch)
 	}
 	return nil
 }

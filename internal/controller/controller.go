@@ -22,6 +22,12 @@ type TokenBucket struct {
 	level float64
 	rate  float64
 	cap   float64
+	// horizon is the burst horizon in ticks (cap = rate · horizon). It is
+	// stored explicitly rather than derived from cap/rate so the horizon
+	// survives a trip through SetRate(0): a parked PE that is later
+	// unparked, or a retarget through zero, keeps its banked-burst
+	// semantics.
+	horizon float64
 }
 
 // NewTokenBucket creates a bucket earning rate tokens per tick with a
@@ -34,7 +40,7 @@ func NewTokenBucket(rate float64, burstTicks float64) *TokenBucket {
 	if burstTicks < 1 {
 		burstTicks = 1
 	}
-	return &TokenBucket{level: rate, rate: rate, cap: rate * burstTicks}
+	return &TokenBucket{level: rate, rate: rate, cap: rate * burstTicks, horizon: burstTicks}
 }
 
 // Refill adds one tick of earnings.
@@ -69,17 +75,16 @@ func (b *TokenBucket) Level() float64 { return b.level }
 func (b *TokenBucket) Rate() float64 { return b.rate }
 
 // SetRate changes the earning rate and rescales the cap, preserving the
-// burst horizon — used when tier 1 publishes new targets.
+// burst horizon — used when tier 1 publishes new targets. The horizon is
+// the one fixed at construction, so rate changes are hitless and
+// reversible: SetRate(0) followed by SetRate(r) restores exactly the cap
+// NewTokenBucket(r, burstTicks) would give.
 func (b *TokenBucket) SetRate(rate float64) {
 	if rate < 0 {
 		panic("controller: negative token rate")
 	}
-	horizon := 1.0
-	if b.rate > 0 {
-		horizon = b.cap / b.rate
-	}
 	b.rate = rate
-	b.cap = rate * horizon
+	b.cap = rate * b.horizon
 	if b.level > b.cap {
 		b.level = b.cap
 	}
@@ -420,18 +425,30 @@ type Feedback struct {
 	// flow routes to live replicas — and, unlike a merely silent PE, it
 	// does NOT make the bound unconstrained.
 	down map[int32]bool
+	// forgot marks PEs a retarget decommissioned (target → 0) or
+	// re-placed. A forgotten PE's stale advertisement is erased and its
+	// subsequent silence is NOT the cold-start kind: it contributes
+	// nothing to any bound until it advertises again, at which point it
+	// rejoins as a live PE.
+	forgot map[int32]bool
 }
 
 // NewFeedback returns an empty feedback board.
 func NewFeedback() *Feedback {
-	return &Feedback{rmax: make(map[int32]float64), down: make(map[int32]bool)}
+	return &Feedback{
+		rmax:   make(map[int32]float64),
+		down:   make(map[int32]bool),
+		forgot: make(map[int32]bool),
+	}
 }
 
-// Publish records PE j's advertised maximum input rate (SDOs/tick).
+// Publish records PE j's advertised maximum input rate (SDOs/tick). A
+// previously forgotten PE that advertises again rejoins the board.
 func (f *Feedback) Publish(j int32, r float64) {
 	if r < 0 {
 		r = 0
 	}
+	delete(f.forgot, j)
 	f.rmax[j] = r
 }
 
@@ -455,6 +472,19 @@ func (f *Feedback) MarkDown(j int32, down bool) {
 // Down reports PE j's failure mark.
 func (f *Feedback) Down(j int32) bool { return f.down[j] }
 
+// Forget erases every trace of PE j from the board: its last
+// advertisement, its failure mark, everything. Retargeting calls it when
+// a new epoch zeroes a PE's CPU target (the PE is being decommissioned or
+// re-placed) — without it the ghost r_max would keep feeding the Eq. 8
+// max forever, since a decommissioned PE never advertises a retraction.
+// Unlike a never-seen PE, a forgotten one does not unconstrain its
+// upstream's bound; it simply stops contributing until it publishes again.
+func (f *Feedback) Forget(j int32) {
+	delete(f.rmax, j)
+	delete(f.down, j)
+	f.forgot[j] = true
+}
+
 // AllDown reports whether the listed PEs are all marked down (false for
 // an empty list). Senders use it to detect that every downstream
 // advertisement is a failure artifact and freeze their flow controller
@@ -475,15 +505,16 @@ func (f *Feedback) AllDown(downstream []int32) bool {
 // max over downstream advertisements. PEs that have not advertised yet are
 // treated as unconstrained (cold start must not stall the pipeline), so the
 // bound is +Inf if any downstream is silent; egress PEs (no downstream) are
-// unconstrained. Downed PEs contribute 0 — and their silence does NOT
-// unconstrain the bound: a dead downstream's vacancy is not capacity.
+// unconstrained. Downed and forgotten PEs contribute 0 — and their silence
+// does NOT unconstrain the bound: a dead downstream's vacancy is not
+// capacity, and a decommissioned one has no buffer at all.
 func (f *Feedback) OutputBound(downstream []int32) float64 {
 	if len(downstream) == 0 {
 		return math.Inf(1)
 	}
 	bound := 0.0
 	for _, d := range downstream {
-		if f.down[d] {
+		if f.down[d] || f.forgot[d] {
 			continue
 		}
 		r, ok := f.rmax[d]
@@ -509,6 +540,9 @@ func (f *Feedback) MinBound(downstream []int32) float64 {
 	for _, d := range downstream {
 		if f.down[d] {
 			return 0
+		}
+		if f.forgot[d] {
+			continue
 		}
 		r, ok := f.rmax[d]
 		if !ok {

@@ -493,3 +493,74 @@ func TestFeedbackDownSilencedPeerNotUnconstrained(t *testing.T) {
 		t.Error("AllDown true for empty downstream set")
 	}
 }
+
+func TestTokenBucketSetRateZeroRoundTripKeepsHorizon(t *testing.T) {
+	// Park→unpark round trip: a parked PE has its rate zeroed and its
+	// bucket drained; unparking (or a retarget through zero) must restore
+	// the full burst horizon, not collapse it to one tick.
+	b := NewTokenBucket(0.2, 5)
+	b.SetRate(0)
+	b.Spend(b.Level())
+	if b.Level() != 0 || b.Rate() != 0 {
+		t.Fatalf("parked bucket level=%g rate=%g, want 0/0", b.Level(), b.Rate())
+	}
+	for i := 0; i < 100; i++ {
+		b.Refill() // earns nothing while parked
+	}
+	if b.Level() != 0 {
+		t.Fatalf("parked bucket earned %g", b.Level())
+	}
+	b.SetRate(0.2)
+	for i := 0; i < 100; i++ {
+		b.Refill()
+	}
+	if !almostEq(b.Level(), 1.0, 1e-12) {
+		t.Errorf("after unpark cap = %g, want 0.2 × 5 = 1.0 (horizon lost through SetRate(0))", b.Level())
+	}
+}
+
+func TestFeedbackForgetRemovesGhostFromOutputBound(t *testing.T) {
+	f := NewFeedback()
+	f.Publish(1, 5)
+	f.Publish(2, 40)
+	down := []int32{1, 2}
+	if got := f.OutputBound(down); got != 40 {
+		t.Fatalf("OutputBound = %g, want ghost-to-be 40", got)
+	}
+	// PE 2 is decommissioned by a retarget; it will never advertise again.
+	// Its ghost must not feed the Eq. 8 max, and its silence must not make
+	// the bound unconstrained either.
+	f.Forget(2)
+	if got := f.OutputBound(down); got != 5 {
+		t.Errorf("OutputBound after Forget = %g, want 5", got)
+	}
+	if got := f.MinBound(down); got != 5 {
+		t.Errorf("MinBound after Forget = %g, want 5", got)
+	}
+	if _, ok := f.RMax(2); ok {
+		t.Errorf("RMax(2) still present after Forget")
+	}
+	// All live downstreams forgotten: no capacity anywhere, bound is 0.
+	f.Forget(1)
+	if got := f.OutputBound(down); got != 0 {
+		t.Errorf("OutputBound with all forgotten = %g, want 0", got)
+	}
+	// A forgotten PE that advertises again rejoins the board.
+	f.Publish(2, 7)
+	if got := f.OutputBound(down); got != 7 {
+		t.Errorf("OutputBound after re-publish = %g, want 7", got)
+	}
+}
+
+func TestFeedbackForgetClearsDownMark(t *testing.T) {
+	f := NewFeedback()
+	f.Publish(3, 10)
+	f.MarkDown(3, true)
+	f.Forget(3)
+	if f.Down(3) {
+		t.Errorf("Down(3) survived Forget")
+	}
+	if f.AllDown([]int32{3}) {
+		t.Errorf("AllDown treats forgotten PE as down")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is true in race-instrumented builds; see race_on.go.
+const raceEnabled = false

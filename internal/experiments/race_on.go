@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled is true in race-instrumented builds. The detector slows
+// execution several-fold, so wall-clock-driven experiments dilate their
+// virtual clocks to keep scheduler slip (and the calibration noise it
+// causes) comparable to an uninstrumented run.
+const raceEnabled = true

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The acceptance test for the adaptive loop (E11): after a 4× cost step
+// that only online calibration can see, the calibrate→re-solve→retarget
+// loop must recover ≥ 90% of the oracle's weighted throughput on a 3-node
+// partitioned deployment, while the frozen-targets run stays degraded —
+// proving both that the gap is real and that the loop closes it. Target
+// dissemination must reach the peer process (epoch ≥ 1 on process B).
+func TestRetargetRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retarget runs take a few wall seconds")
+	}
+	row, err := RunRetarget(RetargetOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pre=%.0f frozen=%.0f adaptive=%.0f oracle=%.0f frozen/oracle=%.2f adaptive/oracle=%.2f epochs=%d peer=%d",
+		row.PreRate, row.FrozenRate, row.AdaptiveRate, row.OracleRate,
+		row.FrozenFrac, row.AdaptiveFrac, row.Epochs, row.PeerEpoch)
+
+	if row.PreRate <= 0 {
+		t.Fatalf("PreRate = %g, want > 0 (deployment never reached steady state)", row.PreRate)
+	}
+	if row.OracleRate <= 0 {
+		t.Fatalf("OracleRate = %g, want > 0", row.OracleRate)
+	}
+	// The experiment must be binding: frozen targets genuinely degraded.
+	if row.FrozenFrac >= 0.90 {
+		t.Errorf("frozen run at %.0f%% of oracle — the cost step did not bind, the experiment proves nothing", 100*row.FrozenFrac)
+	}
+	// The loop must close the gap the frozen run exposes.
+	if row.AdaptiveFrac < 0.90 {
+		t.Errorf("adaptive run at %.0f%% of oracle, want ≥ 90%%", 100*row.AdaptiveFrac)
+	}
+	if row.Epochs < 1 {
+		t.Errorf("adaptive coordinator emitted no target epochs")
+	}
+	if row.PeerEpoch < 1 {
+		t.Errorf("peer process never received a target epoch — dissemination broken")
+	}
+	if !row.Recovered {
+		t.Errorf("run verdict = not recovered")
+	}
+}

@@ -129,6 +129,12 @@ type Report struct {
 	// Members reports the heartbeat-membership verdicts on peer nodes at
 	// report time (partitioned deployments with health enabled).
 	Members []MemberStatus `json:"members,omitempty"`
+	// TargetEpoch is the tier-1 target epoch applied at report time
+	// (0 = the deployment-time allocation, never retargeted).
+	TargetEpoch uint64 `json:"target_epoch,omitempty"`
+	// Retargets counts the target epochs this process accepted during the
+	// run (its own re-solves plus disseminations from peers).
+	Retargets int64 `json:"retargets,omitempty"`
 	// PERestarts counts supervisor panic-recoveries across local PEs.
 	PERestarts int64 `json:"pe_restarts,omitempty"`
 	// BreakersOpen counts local PEs whose restart circuit breaker has

@@ -1,0 +1,183 @@
+// Online rate-model calibration (paper §V-B): tier 1 assumes every PE
+// obeys r̄_in,j = h_j(c̄_j) = a_j·c̄_j − b_j, but the coefficients drift as
+// workloads change. The calibrator estimates (â_j, b̂_j) by recursive
+// least squares over the (CPU spent, SDOs processed) window samples the
+// live scheduler already takes, and produces a calibrated topology for
+// the periodic re-solve — the measurement half of the adaptive loop.
+package optimize
+
+import (
+	"sync"
+
+	"aces/internal/graph"
+)
+
+// RLS is a two-parameter recursive least-squares estimator with
+// exponential forgetting for the PE rate model r = a·c − b, where c is
+// the CPU fraction actually spent over a sample window and r the
+// processing rate over the same window. The regressor is φ = (c, −1), so
+// one Observe costs a handful of multiplies — cheap enough to run per
+// sample window per PE.
+type RLS struct {
+	a, b float64
+	// p11/p12/p22 is the symmetric parameter covariance P. It starts as
+	// the prior confidence and shrinks along excited directions; the
+	// forgetting factor re-inflates it so the estimate tracks drift.
+	p11, p12, p22 float64
+	lambda        float64
+	n             int
+}
+
+// rlsCovCap bounds the covariance diagonal relative to its prior,
+// preventing estimator windup: steady-state traffic excites only one
+// direction of (a, b) space, and without a cap the forgetting factor
+// would inflate the unexcited direction's variance without bound, making
+// the estimate hypersensitive to the first sample after a regime change.
+const rlsCovCap = 1e4
+
+// NewRLS creates an estimator with prior (a0, b0) and forgetting factor
+// lambda in (0, 1]; lambda = 1 never forgets, smaller values track faster
+// (0.98 halves a sample's influence in ~34 samples).
+func NewRLS(a0, b0, lambda float64) *RLS {
+	if lambda <= 0 || lambda > 1 {
+		lambda = 0.98
+	}
+	// Prior variances: generous on a (the data pins it almost immediately
+	// — the regressor direction is dominated by c), tight-ish on b. The
+	// live runtime's windows are nearly collinear (c barely moves in
+	// steady state), so b is weakly identified and stays near its prior
+	// unless the data genuinely bends; that is the right failure mode,
+	// since the prior b comes from the deployed topology.
+	pa := a0*a0 + 1
+	return &RLS{a: a0, b: b0, p11: pa, p22: 1, lambda: lambda}
+}
+
+// Observe folds one window sample (cpu fraction spent, processing rate)
+// into the estimate.
+func (r *RLS) Observe(c, rate float64) {
+	// φ = (c, −1); innovation e = y − φᵀθ.
+	e := rate - (r.a*c - r.b)
+	// Pφ and the gain denominator λ + φᵀPφ.
+	g1 := r.p11*c - r.p12
+	g2 := r.p12*c - r.p22
+	den := r.lambda + g1*c - g2
+	if den <= 0 {
+		return
+	}
+	k1, k2 := g1/den, g2/den
+	r.a += k1 * e
+	r.b += k2 * e
+	// P = (P − k·(Pφ)ᵀ)/λ, kept symmetric, diagonal capped (anti-windup).
+	p11 := (r.p11 - k1*g1) / r.lambda
+	p12 := (r.p12 - k1*g2) / r.lambda
+	p22 := (r.p22 - k2*g2) / r.lambda
+	cap11, cap22 := rlsCovCap*(r.a*r.a+1), rlsCovCap
+	if p11 > cap11 {
+		p11 = cap11
+	}
+	if p22 > cap22 {
+		p22 = cap22
+	}
+	r.p11, r.p12, r.p22 = p11, p12, p22
+	r.n++
+}
+
+// Estimate returns the current (â, b̂) and the number of samples folded in.
+func (r *RLS) Estimate() (a, b float64, samples int) { return r.a, r.b, r.n }
+
+// RateModel is one PE's calibrated rate model r = A·c − B.
+type RateModel struct {
+	// A is â_j in SDOs per CPU-second (1/A is the effective per-SDO cost).
+	A float64
+	// B is b̂_j in SDOs per second (the paper's fixed-overhead tax).
+	B float64
+	// Samples is how many windows informed the estimate.
+	Samples int
+}
+
+// Calibrator maintains one RLS estimator per PE of a topology, seeded
+// from the topology's declared service models, and builds calibrated
+// topologies for the tier-1 re-solve. Safe for concurrent use: schedulers
+// feed windows while the retarget loop reads models.
+type Calibrator struct {
+	mu         sync.Mutex
+	topo       *graph.Topology
+	pes        []*RLS
+	minSamples int
+}
+
+// minCPUWindow is the smallest CPU fraction a window must have spent to
+// carry rate-model information; below it the sample is 0/0 noise (an idle
+// PE reveals nothing about its cost).
+const minCPUWindow = 1e-6
+
+// NewCalibrator seeds estimators from t's declared models: prior
+// a = 1/EffectiveCost, b = Overhead. lambda ≤ 0 defaults to 0.98;
+// minSamples ≤ 0 defaults to 8 — a PE with fewer informative windows
+// keeps its declared model in Calibrated().
+func NewCalibrator(t *graph.Topology, lambda float64, minSamples int) *Calibrator {
+	if minSamples <= 0 {
+		minSamples = 8
+	}
+	cal := &Calibrator{topo: t, pes: make([]*RLS, t.NumPEs()), minSamples: minSamples}
+	for j := range cal.pes {
+		pe := &t.PEs[j]
+		cal.pes[j] = NewRLS(1/pe.Service.EffectiveCost(), pe.Overhead, lambda)
+	}
+	return cal
+}
+
+// Observe folds one window sample for PE j: cpuFrac is the CPU fraction
+// the PE actually spent (not its grant — an idle PE's unused grant says
+// nothing about its cost) and rate the SDOs it processed per second over
+// the same window. Idle windows are discarded.
+func (cal *Calibrator) Observe(j int, cpuFrac, rate float64) {
+	if j < 0 || j >= len(cal.pes) || cpuFrac < minCPUWindow || rate < 0 {
+		return
+	}
+	cal.mu.Lock()
+	cal.pes[j].Observe(cpuFrac, rate)
+	cal.mu.Unlock()
+}
+
+// Model returns PE j's current calibrated rate model.
+func (cal *Calibrator) Model(j int) RateModel {
+	cal.mu.Lock()
+	defer cal.mu.Unlock()
+	a, b, n := cal.pes[j].Estimate()
+	return RateModel{A: a, B: b, Samples: n}
+}
+
+// Calibrated returns a copy of the topology with each sufficiently
+// sampled PE's service model replaced by its measured one: deterministic
+// per-SDO cost 1/â (T0 = T1, burstiness and multiplicity retained from
+// the declared model) and Overhead = max(0, b̂). PEs with too few samples
+// — remote PEs in a partitioned deployment, parked PEs, cold starts —
+// keep their declared models, so a partial view degrades to the deployed
+// priors instead of poisoning the re-solve. Estimates more than 100× away
+// from the prior are rejected as measurement pathologies.
+func (cal *Calibrator) Calibrated() *graph.Topology {
+	cal.mu.Lock()
+	defer cal.mu.Unlock()
+	ct := *cal.topo
+	ct.PEs = append([]graph.PE(nil), cal.topo.PEs...)
+	for j := range ct.PEs {
+		a, b, n := cal.pes[j].Estimate()
+		if n < cal.minSamples || a <= 0 {
+			continue
+		}
+		prior := 1 / ct.PEs[j].Service.EffectiveCost()
+		if a < prior/100 || a > prior*100 {
+			continue
+		}
+		ps := ct.PEs[j].Service
+		ps.T0, ps.T1 = 1/a, 1/a
+		ct.PEs[j].Service = ps
+		if b > 0 {
+			ct.PEs[j].Overhead = b
+		} else {
+			ct.PEs[j].Overhead = 0
+		}
+	}
+	return &ct
+}

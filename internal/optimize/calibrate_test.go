@@ -1,0 +1,195 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"aces/internal/graph"
+	"aces/internal/sim"
+)
+
+func TestRLSRecoversExactLinearModel(t *testing.T) {
+	// Noise-free samples of r = 400·c − 3 with varied excitation must pin
+	// both parameters regardless of the prior.
+	r := NewRLS(500, 0, 0.99)
+	for i := 0; i < 200; i++ {
+		c := 0.1 + 0.8*float64(i%10)/10
+		r.Observe(c, 400*c-3)
+	}
+	a, b, n := r.Estimate()
+	if n != 200 {
+		t.Fatalf("samples = %d", n)
+	}
+	if math.Abs(a-400) > 1 {
+		t.Errorf("â = %g, want ≈400", a)
+	}
+	if math.Abs(b-3) > 0.5 {
+		t.Errorf("b̂ = %g, want ≈3", b)
+	}
+}
+
+func TestRLSTracksCostStepUnderCollinearData(t *testing.T) {
+	// The live-runtime regime: c barely moves window to window (near
+	// collinear data), prior b = 0. After a 4× cost step (a: 500 → 125)
+	// the slope estimate must follow the new line within a few dozen
+	// windows — this is exactly the E11 scenario.
+	r := NewRLS(500, 0, 0.95)
+	rng := sim.NewRand(1)
+	for i := 0; i < 100; i++ {
+		c := 0.30 + 0.02*rng.Float64()
+		r.Observe(c, 500*c)
+	}
+	if a, _, _ := r.Estimate(); math.Abs(a-500) > 5 {
+		t.Fatalf("pre-step â = %g, want ≈500", a)
+	}
+	for i := 0; i < 100; i++ {
+		c := 0.30 + 0.02*rng.Float64()
+		r.Observe(c, 125*c)
+	}
+	a, b, _ := r.Estimate()
+	// â must land near 125; with collinear excitation b̂ can absorb a
+	// little of the step, so accept anything that prices c = 0.3 traffic
+	// within 10% of truth.
+	if pred, want := a*0.3-b, 125*0.3; math.Abs(pred-want)/want > 0.10 {
+		t.Errorf("post-step model predicts %g at c=0.3, want ≈%g (â=%g b̂=%g)", pred, want, a, b)
+	}
+	if a > 250 {
+		t.Errorf("â = %g still near the old regime after 100 post-step windows", a)
+	}
+}
+
+func TestCalibratorCalibratedSwapsMeasuredModels(t *testing.T) {
+	topo := chainTopo(t, []float64{0.002, 0.004}, 1000)
+	cal := NewCalibrator(topo, 0.98, 8)
+
+	// PE 0's true cost drifted to 8 ms (a = 125); PE 1 stays unobserved
+	// (a remote PE, say) and must keep its declared model.
+	for i := 0; i < 50; i++ {
+		c := 0.2 + 0.01*float64(i%5)
+		cal.Observe(0, c, 125*c)
+	}
+	ct := cal.Calibrated()
+	if got := ct.PEs[0].Service.EffectiveCost(); math.Abs(got-0.008) > 0.0005 {
+		t.Errorf("calibrated cost PE0 = %g, want ≈0.008", got)
+	}
+	if got := ct.PEs[1].Service.EffectiveCost(); got != topo.PEs[1].Service.EffectiveCost() {
+		t.Errorf("unsampled PE1 cost changed: %g", got)
+	}
+	// The original topology is untouched (Calibrated returns a copy).
+	if got := topo.PEs[0].Service.EffectiveCost(); got != 0.002 {
+		t.Errorf("source topology mutated: %g", got)
+	}
+	// The copy solves: adjacency survived the clone.
+	if _, err := Solve(ct, Config{}); err != nil {
+		t.Fatalf("Solve(calibrated): %v", err)
+	}
+}
+
+func TestCalibratorIgnoresIdleAndInsaneWindows(t *testing.T) {
+	topo := chainTopo(t, []float64{0.002}, 1000)
+	cal := NewCalibrator(topo, 0.98, 4)
+	for i := 0; i < 100; i++ {
+		cal.Observe(0, 0, 0)     // idle window: no information
+		cal.Observe(0, -1, 10)   // nonsense
+		cal.Observe(0, 0.1, -5)  // nonsense
+		cal.Observe(99, 0.1, 10) // out of range
+		cal.Observe(-1, 0.1, 10) // out of range
+	}
+	if m := cal.Model(0); m.Samples != 0 {
+		t.Errorf("junk windows were folded in: %+v", m)
+	}
+	// An estimate wildly off the prior (>100×) is rejected at Calibrated.
+	for i := 0; i < 20; i++ {
+		cal.Observe(0, 0.2, 0.2*1e9) // implies a = 1e9, prior is 500
+	}
+	ct := cal.Calibrated()
+	if got := ct.PEs[0].Service.EffectiveCost(); got != 0.002 {
+		t.Errorf("pathological estimate applied: cost = %g", got)
+	}
+}
+
+func TestSolveWarmStartMatchesColdStart(t *testing.T) {
+	topo := chainTopo(t, []float64{0.002, 0.004, 0.003}, 200)
+	cold, err := Solve(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-starting from the incumbent must converge to the same optimum,
+	// in no more iterations than the cold solve.
+	warm, err := Solve(topo, Config{WarmStart: cold.CPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.WeightedThroughput-cold.WeightedThroughput) > 0.01*cold.WeightedThroughput {
+		t.Errorf("warm throughput %g vs cold %g", warm.WeightedThroughput, cold.WeightedThroughput)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Errorf("warm start used %d iterations, cold used %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestSolveWarmStartProjectsInfeasibleIncumbent(t *testing.T) {
+	topo := chainTopo(t, []float64{0.002, 0.004}, 200)
+	// A stale incumbent can be infeasible (node oversubscribed) or
+	// garbage (negative, NaN); Solve must project it and still optimize.
+	ws := []float64{2.5, math.NaN()}
+	a, err := Solve(topo, Config{WarmStart: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range a.CPU {
+		if c < 0 || math.IsNaN(c) {
+			t.Fatalf("infeasible allocation %v", a.CPU)
+		}
+		sum += c
+	}
+	if sum > 1+1e-9 {
+		t.Errorf("node oversubscribed: Σc = %g", sum)
+	}
+	if a.WeightedThroughput <= 0 {
+		t.Errorf("degenerate solution from bad warm start: %+v", a)
+	}
+	// Wrong-length warm starts fall back to the cold start.
+	if _, err := Solve(topo, Config{WarmStart: []float64{0.5}}); err != nil {
+		t.Fatalf("short warm start: %v", err)
+	}
+}
+
+func TestCalibratedFeedsSolve(t *testing.T) {
+	// End-to-end tier-1 half of the adaptive loop: observe a drifted cost,
+	// re-solve on the calibrated topology, and check the allocation moved
+	// toward the PE that got more expensive.
+	topo := graph.New(1, 50)
+	a := topo.AddPE(graph.PE{Service: uniformService(0.002), Weight: 1})
+	b := topo.AddPE(graph.PE{Service: uniformService(0.002), Weight: 1})
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: 1e6, Burst: graph.BurstSpec{Kind: graph.BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 2, Target: b, Rate: 1e6, Burst: graph.BurstSpec{Kind: graph.BurstPoisson}}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := NewCalibrator(topo, 0.95, 8)
+	for i := 0; i < 60; i++ {
+		c := 0.4 + 0.02*float64(i%5)
+		cal.Observe(0, c, c/0.008) // PE a now costs 8 ms/SDO
+		cal.Observe(1, c, c/0.002) // PE b unchanged
+	}
+	re, err := Solve(cal.Calibrated(), Config{WarmStart: base.CPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The re-solve must price PE a at its measured 8 ms — its fluid rate
+	// is c/0.008, not the declared c/0.002 the base solve used.
+	if want := re.CPU[0] / 0.008; math.Abs(re.RIn[0]-want) > 0.02*want {
+		t.Errorf("re-solve rate for slowed PE = %g at c = %g, want ≈%g (calibrated model not applied)",
+			re.RIn[0], re.CPU[0], want)
+	}
+	if base.RIn[0] < 2*re.RIn[0] {
+		t.Errorf("base %g vs recalibrated %g SDOs/s: cost step invisible to tier 1", base.RIn[0], re.RIn[0])
+	}
+}

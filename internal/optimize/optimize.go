@@ -124,6 +124,13 @@ type Config struct {
 	// deployed PE still needs a minimum slice to make progress, and a
 	// zero allocation would wedge blocking policies forever. 0 disables.
 	MinShare float64
+	// WarmStart, when it has one entry per PE, replaces the cold
+	// demand-proportional initial point: the solver starts from this
+	// allocation (projected onto the node simplices, so an infeasible or
+	// stale incumbent is safe). Periodic retargeting passes the incumbent
+	// allocation here — near the old optimum the re-solve converges in a
+	// handful of iterations instead of re-walking the whole ascent.
+	WarmStart []float64
 }
 
 func (c *Config) fillDefaults() {
@@ -153,20 +160,32 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 	}
 	p := t.NumPEs()
 
-	// Initial point: allocate each node's budget proportionally to the
-	// unit-load CPU demand of its PEs — feasible and in the interior.
-	demand, err := t.UnitDemand()
-	if err != nil {
-		return nil, err
-	}
+	// Initial point: the warm-start incumbent when one is supplied (made
+	// feasible by projection), otherwise each node's budget is allocated
+	// proportionally to the unit-load CPU demand of its PEs — feasible and
+	// in the interior.
 	c := make([]float64, p)
-	nodeSum := make([]float64, t.NumNodes)
-	for j := 0; j < p; j++ {
-		c[j] = demand[j]*t.PEs[j].Service.EffectiveCost() + 1e-6
-		nodeSum[t.PEs[j].Node] += c[j]
-	}
-	for j := 0; j < p; j++ {
-		c[j] *= 0.95 * cfg.Headroom / nodeSum[t.PEs[j].Node]
+	if len(cfg.WarmStart) == p {
+		copy(c, cfg.WarmStart)
+		for j := range c {
+			if c[j] < 0 || math.IsNaN(c[j]) {
+				c[j] = 0
+			}
+		}
+		projectNodes(t, c, cfg.Headroom)
+	} else {
+		demand, err := t.UnitDemand()
+		if err != nil {
+			return nil, err
+		}
+		nodeSum := make([]float64, t.NumNodes)
+		for j := 0; j < p; j++ {
+			c[j] = demand[j]*t.PEs[j].Service.EffectiveCost() + 1e-6
+			nodeSum[t.PEs[j].Node] += c[j]
+		}
+		for j := 0; j < p; j++ {
+			c[j] *= 0.95 * cfg.Headroom / nodeSum[t.PEs[j].Node]
+		}
 	}
 
 	eval := func(c []float64) float64 {

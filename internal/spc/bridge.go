@@ -48,6 +48,17 @@ func (l *Link) SendHeartbeat(node int32, seq uint64) error {
 	return l.conn.SendHeartbeat(transport.Heartbeat{Node: node, Seq: seq})
 }
 
+// SendTargets implements TargetSender: disseminates an epoch-stamped CPU
+// target vector. Silently skipped when the peer has not negotiated
+// FeatureRetarget (a v1 binary has no vocabulary for the frame); the
+// periodic re-broadcast repairs the gap if the peer upgrades.
+func (l *Link) SendTargets(epoch uint64, cpu []float64) error {
+	if !l.conn.PeerSupportsRetarget() {
+		return nil
+	}
+	return l.conn.SendTargets(transport.Targets{Epoch: epoch, CPU: cpu})
+}
+
 // Serve pumps incoming frames from the peer into the cluster until the
 // connection closes or errors. Run it on its own goroutine; it returns nil
 // on orderly EOF.
@@ -70,6 +81,8 @@ func (l *Link) Serve(c *Cluster) error {
 			c.InjectFeedback(msg.Feedback.PE, msg.Feedback.RMax)
 		case transport.KindHeartbeat:
 			c.InjectHeartbeat(msg.Heartbeat.Node)
+		case transport.KindTargets:
+			c.InjectTargets(msg.Targets.Epoch, msg.Targets.CPU)
 		}
 	}
 }
@@ -153,6 +166,14 @@ func (l *ResilientLink) SendHeartbeat(node int32, seq uint64) error {
 	return l.rc.SendHeartbeat(transport.Heartbeat{Node: node, Seq: seq})
 }
 
+// SendTargets implements TargetSender. It never blocks; frames are
+// silently withheld while the link is down or the peer predates the
+// retarget feature — the periodic re-broadcast converges the peer once it
+// (re)connects with a capable hello.
+func (l *ResilientLink) SendTargets(epoch uint64, cpu []float64) error {
+	return l.rc.SendTargets(transport.Targets{Epoch: epoch, CPU: cpu})
+}
+
 // Serve pumps incoming frames into the cluster, riding across peer
 // reconnects; it returns nil once the link is closed.
 func (l *ResilientLink) Serve(c *Cluster) error {
@@ -172,6 +193,8 @@ func (l *ResilientLink) Serve(c *Cluster) error {
 			c.InjectFeedback(msg.Feedback.PE, msg.Feedback.RMax)
 		case transport.KindHeartbeat:
 			c.InjectHeartbeat(msg.Heartbeat.Node)
+		case transport.KindTargets:
+			c.InjectTargets(msg.Targets.Epoch, msg.Targets.CPU)
 		}
 	}
 }
@@ -264,6 +287,26 @@ func (r *Router) SendHeartbeat(node int32, seq uint64) error {
 	return firstErr
 }
 
+// SendTargets implements TargetSender: target sets are broadcast to every
+// peer link that supports them (receivers enforce epoch ordering, so a
+// peer seeing the same set twice is harmless).
+func (r *Router) SendTargets(epoch uint64, cpu []float64) error {
+	r.mu.RLock()
+	peers := r.peers
+	r.mu.RUnlock()
+	var firstErr error
+	for _, p := range peers {
+		ts, ok := p.(TargetSender)
+		if !ok {
+			continue
+		}
+		if err := ts.SendTargets(epoch, cpu); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Interface compliance checks.
 var (
 	_ RemoteLink      = (*Link)(nil)
@@ -273,4 +316,7 @@ var (
 	_ HeartbeatSender = (*Link)(nil)
 	_ HeartbeatSender = (*Router)(nil)
 	_ HeartbeatSender = (*ResilientLink)(nil)
+	_ TargetSender    = (*Link)(nil)
+	_ TargetSender    = (*Router)(nil)
+	_ TargetSender    = (*ResilientLink)(nil)
 )

@@ -87,6 +87,39 @@ func (p *Passthrough) Process(in sdo.SDO, emit func(sdo.SDO)) error {
 	return nil
 }
 
+// StepCost is a deterministic passthrough processor whose per-SDO cost
+// steps from base to stepped at virtual time at — the canonical workload
+// drift for exercising the adaptive loop (E11). The deployed topology
+// keeps advertising the pre-step cost, so only online calibration can see
+// the change; a run with frozen tier-1 targets stays misallocated.
+type StepCost struct {
+	out               sdo.StreamID
+	base, stepped, at float64
+	seq               uint64
+}
+
+// NewStepCost builds a step-cost processor emitting on stream out: the
+// per-SDO cost is base before virtual time at, stepped from then on.
+func NewStepCost(out sdo.StreamID, base, stepped, at float64) *StepCost {
+	return &StepCost{out: out, base: base, stepped: stepped, at: at}
+}
+
+// NextCost implements CostModeler. All fields it reads are immutable, so
+// concurrent calls from the scheduler and the PE goroutine are safe.
+func (p *StepCost) NextCost(now float64) float64 {
+	if now >= p.at {
+		return p.stepped
+	}
+	return p.base
+}
+
+// Process implements Processor: forward one derived SDO.
+func (p *StepCost) Process(in sdo.SDO, emit func(sdo.SDO)) error {
+	emit(in.Derive(p.out, p.seq, in.Bytes))
+	p.seq++
+	return nil
+}
+
 // measuredCost tracks an EWMA of observed per-SDO processing durations for
 // processors without a cost model.
 type measuredCost struct {
@@ -124,4 +157,6 @@ var (
 	_ Processor   = (*Synthetic)(nil)
 	_ CostModeler = (*Synthetic)(nil)
 	_ Processor   = (*Passthrough)(nil)
+	_ Processor   = (*StepCost)(nil)
+	_ CostModeler = (*StepCost)(nil)
 )

@@ -1,0 +1,265 @@
+// Online retargeting: the runtime half of the paper's adaptive loop.
+// Tier 1 solves for CPU targets c̄_j once at deployment; this file lets it
+// re-solve against *measured* rate models and push the new targets into a
+// live cluster without draining a buffer or restarting a PE. Targets are
+// epoch-numbered: every dissemination carries the epoch of the solve that
+// produced it, receivers reject anything not strictly newer, and the Δt
+// schedulers apply a new epoch at the top of their next tick by adjusting
+// token-bucket rates in place — the data plane never notices.
+package spc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"aces/internal/optimize"
+)
+
+// targetSet is an immutable epoch-stamped CPU target vector. The cluster
+// holds the current one in an atomic pointer: schedulers load it once per
+// tick (no lock, no allocation) and the control plane swaps in whole new
+// sets, so a tick sees either the old targets or the new ones, never a
+// half-written mix.
+type targetSet struct {
+	epoch uint64
+	cpu   []float64
+}
+
+// TargetSender is the uplink extension for target dissemination, the
+// retargeting analogue of HeartbeatSender: the coordinator broadcasts each
+// accepted epoch to peer processes. Senders must be best-effort and
+// non-blocking; dissemination is periodic and epoch-idempotent, so a lost
+// frame is repaired by the next broadcast.
+type TargetSender interface {
+	SendTargets(epoch uint64, cpu []float64) error
+}
+
+// ErrStaleEpoch reports a SetTargets whose epoch is not strictly newer
+// than the applied one — a late or duplicate dissemination, dropped so an
+// out-of-order frame can never roll the cluster back to old targets.
+var ErrStaleEpoch = errors.New("spc: stale target epoch")
+
+// TargetsEpoch returns the epoch of the currently applied target set
+// (0 = the deployment-time targets from Config.CPU).
+func (c *Cluster) TargetsEpoch() uint64 { return c.targets.Load().epoch }
+
+// Targets returns the applied epoch and a copy of its CPU target vector.
+func (c *Cluster) Targets() (uint64, []float64) {
+	ts := c.targets.Load()
+	return ts.epoch, append([]float64(nil), ts.cpu...)
+}
+
+// Retargets returns how many target epochs this process has accepted.
+func (c *Cluster) Retargets() int64 { return c.retargets.Load() }
+
+// SetTargets applies a new CPU target vector under the given epoch and
+// broadcasts it to peer processes (when the uplink supports targets). The
+// epoch must be strictly greater than the applied one; stale epochs return
+// ErrStaleEpoch and change nothing. Application is hitless: node
+// schedulers fold the new rates into their token buckets on the next tick,
+// buffers and in-flight SDOs are untouched, and no PE restarts.
+func (c *Cluster) SetTargets(epoch uint64, cpu []float64) error {
+	if err := c.applyTargets(epoch, cpu); err != nil {
+		return err
+	}
+	c.broadcastTargets()
+	return nil
+}
+
+// InjectTargets applies a target set received from a peer process. Stale
+// epochs are dropped silently — re-dissemination makes duplicates routine,
+// not errors — and nothing is re-broadcast (the coordinator owns
+// dissemination; echoing would make target storms).
+func (c *Cluster) InjectTargets(epoch uint64, cpu []float64) {
+	err := c.applyTargets(epoch, cpu)
+	if err != nil && !errors.Is(err, ErrStaleEpoch) && c.reg != nil {
+		// Malformed vectors from a peer are a deployment bug worth a trace
+		// in telemetry, but never worth crashing the data plane over.
+		c.reg.Counter("retarget_rejects_total", nil).Inc()
+	}
+}
+
+// applyTargets validates and swaps in a new target set.
+func (c *Cluster) applyTargets(epoch uint64, cpu []float64) error {
+	if len(cpu) != len(c.pes) {
+		return fmt.Errorf("spc: target vector has %d entries, topology has %d PEs", len(cpu), len(c.pes))
+	}
+	clean := make([]float64, len(cpu))
+	for j, v := range cpu {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("spc: target for PE %d is %v", j, v)
+		}
+		clean[j] = v
+	}
+	ts := &targetSet{epoch: epoch, cpu: clean}
+	for {
+		cur := c.targets.Load()
+		if epoch <= cur.epoch {
+			return ErrStaleEpoch
+		}
+		if !c.targets.CompareAndSwap(cur, ts) {
+			continue
+		}
+		// A PE retargeted to zero is decommissioned as far as flow control
+		// goes: forget its advertisement so upstream Eq. 8 bounds stop
+		// honouring a ghost r_max it will never refresh (it re-registers
+		// automatically if a later epoch revives it and it publishes again).
+		for j := range clean {
+			if cur.cpu[j] > 0 && clean[j] == 0 {
+				c.fb.forget(int32(j))
+			}
+		}
+		c.retargets.Add(1)
+		if c.gEpoch != nil {
+			c.gEpoch.Set(float64(epoch))
+		}
+		return nil
+	}
+}
+
+// applyEpoch re-tunes one node's token buckets to a new target epoch. The
+// node scheduler calls it at the top of a tick, so the scheduler-owned
+// bucket state is safe to touch. Parked PEs are skipped — the breaker owns
+// their (zero) rate; if a later recovery unparks one it rejoins at
+// whatever epoch is then current. SetRate preserves each bucket's level
+// and burst horizon, so banked entitlement survives the retune: the
+// application is a rate change, not a reset.
+func (c *Cluster) applyEpoch(peers []*peRuntime, tgt *targetSet) {
+	for _, pr := range peers {
+		if !pr.parked {
+			pr.bucket.SetRate(tgt.cpu[pr.id])
+		}
+		if pr.gTarget != nil {
+			pr.gTarget.Set(tgt.cpu[pr.id])
+		}
+	}
+}
+
+// BroadcastTargets re-disseminates the applied target set to peers. Safe
+// to call any time: receivers drop stale epochs, so repetition only
+// repairs losses and late-joining peers — call it after a peer reconnects
+// if no periodic retarget loop is running to do it for you.
+func (c *Cluster) BroadcastTargets() { c.broadcastTargets() }
+
+func (c *Cluster) broadcastTargets() {
+	if c.tgs == nil {
+		return
+	}
+	ts := c.targets.Load()
+	// Best effort by contract: the next periodic broadcast repairs a loss.
+	_ = c.tgs.SendTargets(ts.epoch, ts.cpu)
+}
+
+// calAccumulate charges one processed SDO to the PE's calibration window.
+// Called at the budget-spend site with pr.mu held.
+func (pr *peRuntime) calAccumulate(cost float64) {
+	pr.calCPU += cost
+	pr.calN++
+}
+
+// calSample closes the PE's calibration window at virtual time now,
+// folding the spent CPU and processed count into the window trackers over
+// the *measured* elapsed time (TickFor) — the scheduler that drives it
+// runs on OS timers that slip, and rating a late window over the nominal
+// interval would bias the model by exactly the slip factor.
+func (pr *peRuntime) calSample(now float64) {
+	pr.mu.Lock()
+	elapsed := now - pr.calLast
+	pr.calLast = now
+	pr.trkCPU.Observe(pr.calCPU)
+	pr.trkRate.Observe(pr.calN)
+	pr.calCPU, pr.calN = 0, 0
+	pr.trkCPU.TickFor(elapsed)
+	pr.trkRate.TickFor(elapsed)
+	pr.mu.Unlock()
+}
+
+// calRates returns the PE's smoothed (CPU fraction spent, SDOs/s
+// processed) pair — one rate-model sample for the calibrator.
+func (pr *peRuntime) calRates() (cpuFrac, rate float64) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.trkCPU.Rate(), pr.trkRate.Rate()
+}
+
+// RetargetConfig configures the automatic adaptive loop.
+type RetargetConfig struct {
+	// Every is the virtual seconds between re-solves (required, > 0).
+	Every float64
+	// Optimize configures the tier-1 solver. WarmStart is managed by the
+	// loop (each re-solve starts from the incumbent targets).
+	Optimize optimize.Config
+	// Lambda is the RLS forgetting factor (0 → 0.98).
+	Lambda float64
+	// MinSamples gates calibration: a PE observed in fewer windows keeps
+	// its declared model (0 → the calibrator default).
+	MinSamples int
+	// OnRetarget, when set, is invoked after each accepted epoch with the
+	// new targets (testing and logging hook; called from the loop
+	// goroutine).
+	OnRetarget func(epoch uint64, cpu []float64)
+}
+
+// StartRetarget launches the adaptive loop on this process: every Every
+// virtual seconds it samples each local PE's measured rate model, re-runs
+// the tier-1 solver on the calibrated topology warm-started from the
+// incumbent, and applies + broadcasts the result as the next epoch. Remote
+// PEs keep their declared models (their windows are not visible here), so
+// run the loop on the process hosting the PEs whose drift matters — or on
+// every process; epoch ordering makes concurrent loops safe, just wasteful.
+// The loop stops with the cluster.
+func (c *Cluster) StartRetarget(rc RetargetConfig) error {
+	if rc.Every <= 0 {
+		return fmt.Errorf("spc: RetargetConfig.Every must be positive, got %g", rc.Every)
+	}
+	cal := optimize.NewCalibrator(c.cfg.Topo, rc.Lambda, rc.MinSamples)
+	wall := time.Duration(rc.Every / c.scale * float64(time.Second))
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(wall)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			c.retargetOnce(cal, rc)
+		}
+	}()
+	return nil
+}
+
+// retargetOnce runs one iteration of the adaptive loop: observe, re-solve,
+// apply, disseminate.
+func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
+	for _, pr := range c.pes {
+		if pr == nil || pr.breaker.Load() {
+			continue
+		}
+		cpuFrac, rate := pr.calRates()
+		cal.Observe(int(pr.id), cpuFrac, rate)
+	}
+	cur := c.targets.Load()
+	oc := rc.Optimize
+	oc.WarmStart = cur.cpu
+	alloc, err := optimize.Solve(cal.Calibrated(), oc)
+	if err != nil {
+		// An unsolvable calibrated topology (pathological estimates slipped
+		// the guards) must not kill the loop; keep the incumbent targets.
+		c.broadcastTargets()
+		return
+	}
+	if err := c.SetTargets(cur.epoch+1, alloc.CPU); err != nil {
+		// Lost a race with a concurrent retarget; its targets stand.
+		// Re-disseminate whatever is current so peers converge regardless.
+		c.broadcastTargets()
+		return
+	}
+	if rc.OnRetarget != nil {
+		rc.OnRetarget(cur.epoch+1, alloc.CPU)
+	}
+}

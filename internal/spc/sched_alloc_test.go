@@ -23,8 +23,16 @@ func TestSchedulerTickZeroAllocs(t *testing.T) {
 		scr := newSchedScratch(len(peers))
 		dt := c.cfg.Dt
 		now := c.clock.Now()
+		// Retarget mid-test so the tick path under measurement is the
+		// retargeting-enabled one: the epoch check must stay one pointer
+		// load + compare, and applying the new epoch happens before the
+		// measured window (a one-time SetRate sweep, not a per-tick cost).
+		if err := c.SetTargets(1, []float64{0.25, 0.25, 0.25, 0.25}); err != nil {
+			t.Fatal(err)
+		}
 		// One warm-up tick: the first r_max publish per PE inserts its
-		// feedback-map key, a one-time cost by design.
+		// feedback-map key, a one-time cost by design (it also folds the
+		// new target epoch into the buckets).
 		c.schedulerTick(peers, scr, now, dt)
 		allocs := testing.AllocsPerRun(100, func() {
 			now += dt

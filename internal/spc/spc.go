@@ -17,6 +17,7 @@ import (
 	"aces/internal/policy"
 	"aces/internal/sdo"
 	"aces/internal/sim"
+	"aces/internal/stats"
 	"aces/internal/workload"
 )
 
@@ -141,6 +142,7 @@ type peRuntime struct {
 	// Telemetry handles (nil when Config.Telemetry is unset). Gauges are
 	// sampled by the scheduler; the shed counter is bumped on drop paths.
 	gOcc, gTokens, gRmax, gGrant *obs.Gauge
+	gTarget                      *obs.Gauge
 	cSheds                       *obs.Counter
 	cRestarts                    *obs.Counter
 	gBreaker                     *obs.Gauge
@@ -154,6 +156,13 @@ type peRuntime struct {
 	cond   *sync.Cond
 	budget float64 // virtual CPU-seconds granted and unspent
 	mcost  measuredCost
+	// Calibration window (guarded by mu): CPU actually spent and SDOs
+	// processed since the last calSample, plus the smoothed window
+	// trackers the retarget loop reads. calLast is the window-open time.
+	calCPU, calN float64
+	calLast      float64
+	trkCPU       *stats.RateTracker
+	trkRate      *stats.RateTracker
 
 	held    atomic.Int32 // 1 while the PE goroutine holds a popped SDO
 	blocked atomic.Bool  // lock-step: waiting on a full downstream buffer
@@ -216,6 +225,12 @@ func (s *safeFeedback) minBound(down []int32) float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.fb.MinBound(down)
+}
+
+func (s *safeFeedback) forget(j int32) {
+	s.mu.Lock()
+	s.fb.Forget(j)
+	s.mu.Unlock()
 }
 
 func (s *safeFeedback) markDown(j int32, down bool) {
@@ -312,6 +327,15 @@ type Cluster struct {
 	// produces the time series instead of every scheduler racing to.
 	snapNode int
 
+	// Retargeting state: targets is the applied epoch-stamped CPU target
+	// set (schedulers load it once per tick), tgs the uplink's target
+	// dissemination extension (nil if unsupported), retargets the count of
+	// accepted epochs, gEpoch its telemetry gauge.
+	targets   atomic.Pointer[targetSet]
+	tgs       TargetSender
+	retargets atomic.Int64
+	gEpoch    *obs.Gauge
+
 	ctx     context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -398,6 +422,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			weight: pe.Weight,
 			buf:    NewBuffer(bufCap),
 			bucket: controller.NewTokenBucket(cfg.CPU[j], cfg.BurstTicks),
+			// Calibration windows close every 10th tick; the nominal
+			// interval only matters for Tick(), which the live scheduler
+			// never uses (it rates windows over measured elapsed time).
+			trkCPU:  stats.NewRateTracker(10*cfg.Dt, 0.3),
+			trkRate: stats.NewRateTracker(10*cfg.Dt, 0.3),
 		}
 		pr.cond = sync.NewCond(&pr.mu)
 		if c.reg != nil {
@@ -406,6 +435,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			pr.gTokens = c.reg.Gauge("tokens", labels)
 			pr.gRmax = c.reg.Gauge("rmax", labels)
 			pr.gGrant = c.reg.Gauge("cpu_grant", labels)
+			pr.gTarget = c.reg.Gauge("target_cpu", labels)
+			pr.gTarget.Set(cfg.CPU[j])
 			pr.cSheds = c.reg.Counter("sheds_total", labels)
 			pr.cRestarts = c.reg.Counter("pe_restarts_total", labels)
 			pr.gBreaker = c.reg.Gauge("breaker_open", labels)
@@ -501,6 +532,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if hbs, ok := cfg.Uplink.(HeartbeatSender); ok {
 			c.hbs = hbs
 		}
+	}
+	// Epoch 0 is the deployment-time allocation; schedulers apply later
+	// epochs hitlessly as SetTargets/InjectTargets install them.
+	c.targets.Store(&targetSet{cpu: append([]float64(nil), cfg.CPU...)})
+	if tgs, ok := cfg.Uplink.(TargetSender); ok {
+		c.tgs = tgs
+	}
+	if c.reg != nil {
+		c.gEpoch = c.reg.Gauge("retarget_epoch", nil)
 	}
 	return c, nil
 }
@@ -673,6 +713,13 @@ type schedScratch struct {
 	ticks   []controller.PETick
 	costs   []float64
 	planner controller.Planner
+	// appliedEpoch is the target epoch this node's token buckets are
+	// currently tuned to. schedulerTick compares it against the cluster's
+	// atomic target set at the top of every tick — one pointer load and an
+	// integer compare on the steady-state path — and folds a newer epoch's
+	// rates into the buckets in place, which is the whole hitless-retarget
+	// mechanism: no drain, no restart, no pause.
+	appliedEpoch uint64
 }
 
 func newSchedScratch(n int) *schedScratch {
@@ -690,6 +737,11 @@ func (c *Cluster) runScheduler(n int) {
 	scr := newSchedScratch(len(peers))
 	sample := 0
 	last := c.clock.Now()
+	for _, pr := range peers {
+		pr.mu.Lock()
+		pr.calLast = last
+		pr.mu.Unlock()
+	}
 	// The snapshot node's scheduler owns the failure domain's periodic
 	// work: sending liveness beacons and sweeping the detector.
 	healthOwner := n == c.snapNode && c.det != nil
@@ -725,6 +777,9 @@ func (c *Cluster) runScheduler(n int) {
 		if sample%10 == 0 {
 			for _, pr := range peers {
 				c.col.bufferSample(now, float64(pr.occupancy()))
+				// Close the PE's calibration window over measured elapsed
+				// virtual time — rate-model samples for the adaptive loop.
+				pr.calSample(now)
 			}
 			if n == c.snapNode {
 				c.sampleLinks()
@@ -746,6 +801,14 @@ func (c *Cluster) runScheduler(n int) {
 func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt float64) {
 	pol := c.cfg.Policy
 	elapsedTicks := dt / c.cfg.Dt
+	// One atomic load per tick decides which tier-1 targets govern it; an
+	// epoch change re-tunes the token buckets before any planning happens,
+	// so a tick never mixes old rates with new targets.
+	tgt := c.targets.Load()
+	if tgt.epoch != scr.appliedEpoch {
+		c.applyEpoch(peers, tgt)
+		scr.appliedEpoch = tgt.epoch
+	}
 	ticks := scr.ticks[:len(peers)]
 	costs := scr.costs[:len(peers)]
 	for i, pr := range peers {
@@ -756,7 +819,7 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			// A parked PE contributes no work and asks for no share; the
 			// planner redistributes its target to co-located PEs exactly
 			// as it does for a lock-step-blocked one.
-			ticks[i] = controller.PETick{Target: c.cfg.CPU[pr.id], Blocked: true}
+			ticks[i] = controller.PETick{Target: tgt.cpu[pr.id], Blocked: true}
 			costs[i] = 0
 			continue
 		}
@@ -782,7 +845,7 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			capFrac = controller.RateToCPU(c.fb.minBound(pr.downID)*elapsedTicks, cost, mult, dt)
 		}
 		ticks[i] = controller.PETick{
-			Target: c.cfg.CPU[pr.id],
+			Target: tgt.cpu[pr.id],
 			// Bucket levels are in Δt-fractions; express them as a
 			// fraction of this planning period.
 			Tokens:    pr.bucket.Level() / elapsedTicks,
@@ -843,7 +906,7 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 				// token surplus folds into ρ over a short horizon, exactly
 				// as in the simulator, so throttled PEs advertise the burst
 				// capacity they actually hold.
-				cpuRate := c.cfg.CPU[pr.id]
+				cpuRate := tgt.cpu[pr.id]
 				if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
 					cpuRate += surplus / 5
 				}
@@ -1078,6 +1141,8 @@ func (c *Cluster) Report(now float64) metrics.Report {
 			rep.BreakersOpen++
 		}
 	}
+	rep.TargetEpoch = c.targets.Load().epoch
+	rep.Retargets = c.retargets.Load()
 	return rep
 }
 

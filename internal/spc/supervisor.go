@@ -171,6 +171,10 @@ func (c *Cluster) runPEOnce(pr *peRuntime) (panicked bool) {
 			pr.mu.Lock()
 		}
 		pr.budget -= cost
+		// The spent budget doubles as the calibration signal: CPU actually
+		// burned (not granted) and SDOs actually processed are exactly the
+		// (c, r) pair the rate-model estimator regresses over.
+		pr.calAccumulate(cost)
 		pr.mu.Unlock()
 
 		var start time.Time

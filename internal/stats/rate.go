@@ -27,10 +27,23 @@ func NewRateTracker(interval, alpha float64) *RateTracker {
 // Observe adds quantity q to the current interval.
 func (t *RateTracker) Observe(q float64) { t.acc += q }
 
-// Tick closes the current interval and folds it into the smoothed rate.
-// Call exactly once per Δt.
-func (t *RateTracker) Tick() {
-	sample := t.acc / t.interval
+// Tick closes the current interval and folds it into the smoothed rate,
+// assuming the interval ran for its nominal Δt. Call exactly once per Δt.
+// A live scheduler whose timer fired late or coalesced must use TickFor
+// with the measured elapsed time instead — dividing by the nominal
+// interval would bias the rate high by exactly the slip factor.
+func (t *RateTracker) Tick() { t.TickFor(t.interval) }
+
+// TickFor closes the current interval using the measured elapsed time in
+// seconds, mirroring TokenBucket.RefillFor: the accumulated quantity is
+// divided by the time that actually passed, so late or coalesced ticks
+// yield unbiased samples. Non-positive elapsed drops the interval (the
+// quantity is retained for the next one — no time passed to rate it over).
+func (t *RateTracker) TickFor(elapsed float64) {
+	if elapsed <= 0 {
+		return
+	}
+	sample := t.acc / elapsed
 	t.acc = 0
 	if !t.primed {
 		t.rate = sample

@@ -337,3 +337,35 @@ func TestAutoCorr(t *testing.T) {
 		t.Errorf("degenerate lags should be 0")
 	}
 }
+
+func TestRateTrackerTickForUnbiasedOnLateTicks(t *testing.T) {
+	// A nominal 1s scheduler that slips to 2s intervals must not report
+	// double the true rate: 10 events over a measured 2s is 5/s.
+	tr := NewRateTracker(1.0, 1.0)
+	tr.Observe(10)
+	tr.TickFor(2.0)
+	if tr.Rate() != 5 {
+		t.Errorf("Rate after late tick = %g, want 5", tr.Rate())
+	}
+	// Nominal Tick() is TickFor(interval).
+	tr.Reset()
+	tr.Observe(10)
+	tr.Tick()
+	if tr.Rate() != 10 {
+		t.Errorf("Rate after nominal tick = %g, want 10", tr.Rate())
+	}
+}
+
+func TestRateTrackerTickForZeroElapsedRetainsQuantity(t *testing.T) {
+	tr := NewRateTracker(1.0, 1.0)
+	tr.Observe(4)
+	tr.TickFor(0) // coalesced tick: no time passed, nothing to rate over
+	if tr.Rate() != 0 {
+		t.Fatalf("Rate after zero-elapsed tick = %g, want 0 (unprimed)", tr.Rate())
+	}
+	tr.Observe(4)
+	tr.TickFor(2)
+	if tr.Rate() != 4 {
+		t.Errorf("Rate = %g, want (4+4)/2 = 4 (quantity lost on zero-elapsed tick)", tr.Rate())
+	}
+}

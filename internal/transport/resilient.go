@@ -257,6 +257,38 @@ func (rc *ResilientConn) PeerSupportsHeartbeat() bool {
 	return cur != nil && cur.PeerSupportsHeartbeat()
 }
 
+// SendTargets enqueues one epoch-numbered target vector, or silently
+// discards it when there is no live connection or the peer has not (yet)
+// advertised FeatureRetarget — target dissemination is periodic and
+// epoch-idempotent, so the next broadcast after the peer's hello repairs
+// it, while queueing targets for a dead link would only deliver a stale
+// epoch after reconnect. Never blocks.
+func (rc *ResilientConn) SendTargets(t Targets) error {
+	rc.mu.Lock()
+	cur := rc.cur
+	closed := rc.closed
+	rc.mu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	if cur == nil || !cur.PeerSupportsRetarget() {
+		return nil
+	}
+	bp := getBuf()
+	body := encodeTargets((*bp)[:0], t)
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindTargets, body: body, buf: bp})
+}
+
+// PeerSupportsRetarget reports whether the current connection's peer
+// advertised retarget support (false while disconnected).
+func (rc *ResilientConn) PeerSupportsRetarget() bool {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	return cur != nil && cur.PeerSupportsRetarget()
+}
+
 func (rc *ResilientConn) enqueue(f outFrame) error {
 	select {
 	case <-rc.done:
@@ -368,10 +400,10 @@ func (rc *ResilientConn) invalidate(gen int) {
 }
 
 // localFeatures is the feature set this endpoint announces in its hello:
-// heartbeat decoding is intrinsic to this protocol version, batch framing
-// is opt-in.
+// heartbeat and retarget decoding are intrinsic to this protocol version,
+// batch framing is opt-in.
 func (rc *ResilientConn) localFeatures() uint64 {
-	f := FeatureHeartbeat
+	f := FeatureHeartbeat | FeatureRetarget
 	if rc.opts.BatchMax > 1 {
 		f |= FeatureBatch
 	}

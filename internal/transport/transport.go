@@ -10,6 +10,7 @@
 //	hello  := version(u8) features(u64)
 //	batch  := count(u32) { kind(u8) mlen(u32) member } × count
 //	hbeat  := node(i32) seq(u64)
+//	tgt    := epoch(u64) count(u32) cpu(f64 bits) × count
 //
 // trace is the observability trace ID (0 = unsampled): carrying it inside
 // the routed frame is what lets a per-SDO trace be stitched across the
@@ -64,6 +65,13 @@ const (
 	// control path (never batched, like feedback) and is only sent to
 	// peers that advertised FeatureHeartbeat.
 	KindHeartbeat
+	// KindTargets carries an epoch-numbered tier-1 CPU target vector
+	// (retargeting, paper §V-B: the optimizer re-runs periodically and the
+	// new c̄_j must reach every node). It rides the control path (never
+	// batched) and is only sent to peers that advertised FeatureRetarget;
+	// receivers reject stale epochs, so duplicated or reordered target
+	// frames are harmless.
+	KindTargets
 )
 
 // protocolVersion is announced in hello frames. Version 2 adds batch
@@ -76,6 +84,10 @@ const FeatureBatch uint64 = 1 << 0
 // FeatureHeartbeat advertises that this endpoint decodes KindHeartbeat
 // frames and participates in heartbeat membership.
 const FeatureHeartbeat uint64 = 1 << 1
+
+// FeatureRetarget advertises that this endpoint decodes KindTargets
+// frames and applies epoch-numbered tier-1 retargets.
+const FeatureRetarget uint64 = 1 << 2
 
 // Feedback is a control-plane advertisement: PE j accepts at most RMax
 // SDOs per control tick.
@@ -92,15 +104,26 @@ type Heartbeat struct {
 	Seq  uint64
 }
 
-// Message is a decoded frame: exactly one of SDO/Feedback/Heartbeat is
-// meaningful per Kind; To is set for routed frames. Batch frames are
-// decoded into their members, so Recv only ever yields
-// data/routed/feedback/heartbeat messages.
+// Targets is an epoch-numbered tier-1 CPU target vector: CPU[j] is the
+// new c̄_j for PE j (the vector always spans the whole topology; nodes
+// apply the entries for their local PEs). Epochs are totally ordered per
+// deployment — a receiver holding epoch e ignores any frame with
+// epoch ≤ e, which makes redelivery and reordering harmless.
+type Targets struct {
+	Epoch uint64
+	CPU   []float64
+}
+
+// Message is a decoded frame: exactly one of SDO/Feedback/Heartbeat/
+// Targets is meaningful per Kind; To is set for routed frames. Batch
+// frames are decoded into their members, so Recv only ever yields
+// data/routed/feedback/heartbeat/targets messages.
 type Message struct {
 	Kind      Kind
 	SDO       sdo.SDO
 	Feedback  Feedback
 	Heartbeat Heartbeat
+	Targets   Targets
 	// To is the destination PE of a KindRouted frame.
 	To sdo.PEID
 }
@@ -219,6 +242,12 @@ func (c *Conn) PeerSupportsHeartbeat() bool {
 	return c.peerFeatures.Load()&FeatureHeartbeat != 0
 }
 
+// PeerSupportsRetarget reports whether the peer's hello advertised
+// target-frame decoding. False until a hello arrives.
+func (c *Conn) PeerSupportsRetarget() bool {
+	return c.peerFeatures.Load()&FeatureRetarget != 0
+}
+
 // setPeerFeatures force-sets the peer feature bits (tests that need
 // batching active without running a Recv loop on the sender side).
 func (c *Conn) setPeerFeatures(f uint64) { c.peerFeatures.Store(f) }
@@ -307,6 +336,48 @@ func encodeHeartbeat(dst []byte, hb Heartbeat) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(hb.Node))
 	dst = binary.BigEndian.AppendUint64(dst, hb.Seq)
 	return dst
+}
+
+// SendTargets writes one epoch-numbered target vector. Like feedback and
+// heartbeats, target frames keep their own frames (never batched): a
+// retarget must not wait behind a data burst.
+func (c *Conn) SendTargets(t Targets) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	body := encodeTargets((*bp)[:0], t)
+	*bp = body[:0]
+	return c.send(KindTargets, body)
+}
+
+// encodeTargets appends the targets-frame body to dst:
+// epoch(u64) count(u32) cpu(f64 bits)×count.
+func encodeTargets(dst []byte, t Targets) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, t.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.CPU)))
+	for _, c := range t.CPU {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c))
+	}
+	return dst
+}
+
+// decodeTargets decodes a targets-frame body. The CPU vector is copied
+// out, so the caller may recycle the buffer immediately.
+func decodeTargets(body []byte) (Targets, error) {
+	if len(body) < 12 {
+		return Targets{}, fmt.Errorf("transport: short targets frame (%d bytes)", len(body))
+	}
+	t := Targets{Epoch: binary.BigEndian.Uint64(body[0:8])}
+	count := binary.BigEndian.Uint32(body[8:12])
+	if int(count)*8 != len(body)-12 {
+		return Targets{}, fmt.Errorf("transport: targets count %d disagrees with frame size", count)
+	}
+	if count > 0 {
+		t.CPU = make([]float64, count)
+		for i := range t.CPU {
+			t.CPU[i] = math.Float64frombits(binary.BigEndian.Uint64(body[12+8*i:]))
+		}
+	}
+	return t, nil
 }
 
 // send writes one frame and flushes: the contract for direct Conn users
@@ -462,6 +533,12 @@ func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, e
 			Node: int32(binary.BigEndian.Uint32(body[0:4])),
 			Seq:  binary.BigEndian.Uint64(body[4:12]),
 		}}, false, nil
+	case KindTargets:
+		t, err := decodeTargets(body)
+		if err != nil {
+			return Message{}, false, err
+		}
+		return Message{Kind: KindTargets, Targets: t}, false, nil
 	case KindBatch:
 		if err := c.decodeBatch(body); err != nil {
 			return Message{}, false, err

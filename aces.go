@@ -109,12 +109,23 @@ type (
 	RateModel = optimize.RateModel
 	// RLS is the recursive-least-squares estimator behind Calibrator.
 	RLS = optimize.RLS
+	// ElasticAllocation is the elastic tier-1 result: per-replica-slot CPU
+	// targets plus the chosen replica count per PE.
+	ElasticAllocation = optimize.ElasticAllocation
 )
 
 // Optimize computes time-averaged CPU targets maximizing the weighted
 // throughput of the topology (paper §V-B).
 func Optimize(t *Topology, cfg OptimizeConfig) (*Allocation, error) {
 	return optimize.Solve(t, cfg)
+}
+
+// OptimizeElastic is the elastic tier-1 solve: it additionally chooses how
+// many replica slots of each elastic PE (MaxReplicas > 1) to activate, and
+// how much CPU each active slot gets on its node. Apply the result with
+// Cluster.SetReplicaTargets.
+func OptimizeElastic(t *Topology, cfg OptimizeConfig) (*ElasticAllocation, error) {
+	return optimize.SolveElastic(t, cfg)
 }
 
 // NewCalibrator builds a rate-model calibrator over a deployed topology;

@@ -33,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aces-bench", flag.ContinueOnError)
 	var (
 		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
-		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|retarget|all")
+		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|retarget|elastic|all")
 		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
 		jsonTo = fs.String("json", "", "also write per-experiment results as machine-readable JSON to this file")
 		pes    = fs.Int("pes", 0, "override topology PE count")
@@ -47,6 +47,8 @@ func run(args []string) error {
 		chaosSeed = fs.Int64("chaos-seed", 1, "chaos experiment: fault-schedule seed")
 
 		retargetSeed = fs.Int64("retarget-seed", 7, "retarget experiment: deployment seed")
+
+		elasticSeed = fs.Int64("elastic-seed", 7, "elastic experiment: deployment seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -250,6 +252,20 @@ func run(args []string) error {
 			if !row.Recovered {
 				return fmt.Errorf("adaptive loop did not recover (adaptive %.0f%%, frozen %.0f%% of oracle, peer epoch %d)",
 					100*row.AdaptiveFrac, 100*row.FrozenFrac, row.PeerEpoch)
+			}
+			return nil
+		}},
+		{"elastic", func() error {
+			eo := experiments.ElasticOptions{Seed: *elasticSeed}
+			row, err := experiments.RunElastic(eo)
+			if err != nil {
+				return err
+			}
+			addJSON("elastic", []experiments.ElasticRow{row})
+			experiments.FormatElastic(w, row)
+			if !row.Recovered {
+				return fmt.Errorf("elastic loop did not absorb the hotspot (elastic %.0f%%, frozen %.0f%% of oracle, %d replicas, peer epoch %d)",
+					100*row.ElasticFrac, 100*row.FrozenFrac, row.ActiveReplicas, row.PeerEpoch)
 			}
 			return nil
 		}},

@@ -25,6 +25,12 @@
 //
 //	aces-spc -mode local -pes 60 -nodes 10 -retarget-every 2 -duration 30
 //
+// With -elastic the loop also picks per-PE replica counts from the
+// calibrated model (PEs need replica slots: max_replicas in the topology,
+// or grant them everywhere with -replicas-max):
+//
+//	aces-spc -mode local -retarget-every 2 -elastic -replicas-max 3
+//
 // Local and node modes optionally expose live inspection endpoints
 // (/debug/report, /debug/telemetry, /debug/traces, /debug/graph,
 // /debug/health) and sampled per-SDO tracing:
@@ -80,17 +86,23 @@ func run(args []string) error {
 		traceOut   = fs.String("trace-out", "", "write retained spans as JSONL to this file at exit")
 		hbEvery    = fs.Float64("heartbeat-every", 0.5, "membership beacon period in virtual seconds (node mode; 0 disables heartbeats)")
 		rtEvery    = fs.Float64("retarget-every", 0, "re-solve tier-1 targets from calibrated rate models every this many virtual seconds (local/node; 0 = off)")
+		rtElastic  = fs.Bool("elastic", false, "let the adaptive loop also choose per-PE replica counts (local/node; needs -retarget-every and replica slots from the topology or -replicas-max)")
+		repMax     = fs.Int("replicas-max", 0, "give every non-join PE this many replica slots, overriding the topology's max_replicas (local/node; unpinned slots place round-robin across nodes; 0 = as declared)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ob := obsOpts{debugAddr: *debugAddr, traceEvery: *traceEvery, traceBuf: *traceBuf, traceOut: *traceOut}
+	el := elasticOpts{elastic: *rtElastic, replicasMax: *repMax}
+	if el.elastic && *rtEvery <= 0 {
+		return fmt.Errorf("-elastic needs the adaptive loop: set -retarget-every")
+	}
 	switch *mode {
 	case "local":
-		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, *rtEvery, ob)
+		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, *rtEvery, el, ob)
 	case "node":
 		up := uplinkOpts{queue: *upQueue, timeout: *upTimeout, batchMax: *batchMax, batchLinger: *batchLing}
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, *rtEvery, up, ob)
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, *rtEvery, up, el, ob)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -106,6 +118,58 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// elasticOpts bundles the replication flags shared by local and node
+// modes.
+type elasticOpts struct {
+	elastic     bool
+	replicasMax int
+}
+
+// apply rewrites the topology's replica grants when -replicas-max is set:
+// every non-join PE gets exactly that many slots (1 = replication off),
+// placed by the topology's usual pinned/round-robin rule. Join PEs keep a
+// single slot — per-upstream pairing is not partitionable by key-hash.
+func (e elasticOpts) apply(topo *aces.Topology) {
+	if e.replicasMax <= 0 {
+		return
+	}
+	for j := range topo.PEs {
+		if topo.PEs[j].Join {
+			continue
+		}
+		topo.PEs[j].MaxReplicas = e.replicasMax
+	}
+}
+
+// startRetarget turns the adaptive loop on (plain or elastic) and
+// announces it.
+func (e elasticOpts) startRetarget(cl *aces.Cluster, rtEvery float64) error {
+	if rtEvery <= 0 {
+		return nil
+	}
+	if err := cl.StartRetarget(aces.RetargetConfig{Every: rtEvery, Elastic: e.elastic}); err != nil {
+		return err
+	}
+	if e.elastic {
+		fmt.Printf("adaptive loop on: elastic re-solve (targets + replica counts) every %gs virtual\n", rtEvery)
+	} else {
+		fmt.Printf("adaptive loop on: re-solving calibrated targets every %gs virtual\n", rtEvery)
+	}
+	return nil
+}
+
+// report prints the replication outcome once the run is over.
+func (e elasticOpts) report(peak int) {
+	if !e.elastic && e.replicasMax <= 0 {
+		return
+	}
+	grant := "as declared"
+	if e.replicasMax > 0 {
+		grant = fmt.Sprintf("cap %d", e.replicasMax)
+	}
+	fmt.Printf("replicas            peak %d active slots on one PE (%s)\n", peak, grant)
 }
 
 // obsOpts bundles the observability flags shared by local and node modes.
@@ -178,7 +242,7 @@ func (o obsOpts) serve(cl *aces.Cluster, topo *aces.Topology, title string,
 	}, nil
 }
 
-func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale, rtEvery float64, ob obsOpts) error {
+func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale, rtEvery float64, el elasticOpts, ob obsOpts) error {
 	pol, err := aces.ParsePolicy(polName)
 	if err != nil {
 		return err
@@ -210,6 +274,7 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 			return err
 		}
 	}
+	el.apply(topo)
 	if cpu == nil {
 		alloc, err := aces.Optimize(topo, aces.OptimizeConfig{
 			MaxIters: 800, Utility: aces.LinearUtility{}, MinShare: 0.02,
@@ -232,11 +297,8 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 		return err
 	}
 	defer cleanup()
-	if rtEvery > 0 {
-		if err := cl.StartRetarget(aces.RetargetConfig{Every: rtEvery}); err != nil {
-			return err
-		}
-		fmt.Printf("adaptive loop on: re-solving calibrated targets every %gs virtual\n", rtEvery)
+	if err := el.startRetarget(cl, rtEvery); err != nil {
+		return err
 	}
 	fmt.Printf("running %d PEs on %d nodes under %s for %.0fs virtual (%.0f× wall speed)...\n",
 		topo.NumPEs(), topo.NumNodes, pol, duration, scale)
@@ -251,6 +313,7 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 	if rep.Retargets > 0 {
 		fmt.Printf("retargets           %d (final epoch %d)\n", rep.Retargets, rep.TargetEpoch)
 	}
+	el.report(rep.ActiveReplicas)
 	return nil
 }
 
@@ -324,7 +387,7 @@ type uplinkOpts struct {
 // never block the PE emit path or the Δt scheduler, and a stalled or
 // severed peer triggers automatic reconnection while the local partition
 // keeps running.
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery, rtEvery float64, up uplinkOpts, ob obsOpts) error {
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery, rtEvery float64, up uplinkOpts, el elasticOpts, ob obsOpts) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -355,6 +418,9 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	if err := doc.Topology.Rebuild(); err != nil {
 		return err
 	}
+	// Every partition must apply the same override or their replica-slot
+	// layouts disagree (same rule as sharing the topology JSON itself).
+	el.apply(doc.Topology)
 	var nodes []aces.NodeID
 	for _, part := range strings.Split(localNodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -414,11 +480,8 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	// The adaptive loop calibrates local PEs only, so every partition may
 	// run it; epoch ordering keeps concurrent re-solves consistent. New
 	// epochs ride the same uplink as heartbeats (v1 peers are skipped).
-	if rtEvery > 0 {
-		if err := cl.StartRetarget(aces.RetargetConfig{Every: rtEvery}); err != nil {
-			return err
-		}
-		fmt.Printf("adaptive loop on: re-solving calibrated targets every %gs virtual\n", rtEvery)
+	if err := el.startRetarget(cl, rtEvery); err != nil {
+		return err
 	}
 	fmt.Printf("hosting nodes %v of %d-PE topology under %s for %.0fs virtual...\n",
 		nodes, doc.Topology.NumPEs(), pol, duration)
@@ -443,5 +506,6 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	if rep.Retargets > 0 {
 		fmt.Printf("retargets           %d (final epoch %d)\n", rep.Retargets, rep.TargetEpoch)
 	}
+	el.report(rep.ActiveReplicas)
 	return nil
 }

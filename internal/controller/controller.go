@@ -485,6 +485,20 @@ func (f *Feedback) Forget(j int32) {
 	f.forgot[j] = true
 }
 
+// Recover erases PE j's failure mark AND its stale advertisement,
+// returning it to the never-seen cold-start state. Membership calls it on
+// a dead → alive transition: the last advertisement predates the outage
+// (often pinned near 0 by the dying host's congestion), so keeping it
+// would hold upstream Eq. 8 bounds closed until a fresh feedback frame
+// happens to arrive. Cold start must not stall the pipeline, so a
+// recovered PE is unconstrained until its next advertisement — which the
+// per-tick feedback cycle delivers within one interval.
+func (f *Feedback) Recover(j int32) {
+	delete(f.rmax, j)
+	delete(f.down, j)
+	delete(f.forgot, j)
+}
+
 // AllDown reports whether the listed PEs are all marked down (false for
 // an empty list). Senders use it to detect that every downstream
 // advertisement is a failure artifact and freeze their flow controller
@@ -553,6 +567,101 @@ func (f *Feedback) MinBound(downstream []int32) float64 {
 		}
 	}
 	return bound
+}
+
+// GroupedOutputBound is Eq. 8 for a sender whose downstream PEs are
+// replica groups: groups[d] lists the feedback keys of the ACTIVE replicas
+// of logical PE d, the group's capacity is the SUM of its members'
+// advertisements (any replica can absorb any key's share of the stream),
+// and the bound is the max over downstream groups, exactly as OutputBound
+// takes the max over PEs. Member semantics match the singleton bound:
+// downed and forgotten replicas contribute 0 without unconstraining, a
+// silent never-seen member makes the whole bound +Inf (cold start must not
+// stall), and a singleton group reproduces OutputBound bit for bit.
+func (f *Feedback) GroupedOutputBound(groups [][]int32, downstream []int32) float64 {
+	if len(downstream) == 0 {
+		return math.Inf(1)
+	}
+	bound := 0.0
+	for _, d := range downstream {
+		sum := 0.0
+		for _, k := range groups[d] {
+			if f.down[k] || f.forgot[k] {
+				continue
+			}
+			r, ok := f.rmax[k]
+			if !ok {
+				return math.Inf(1)
+			}
+			sum += r
+		}
+		if sum > bound {
+			bound = sum
+		}
+	}
+	return bound
+}
+
+// GroupedMinBound is the min-flow counterpart of GroupedOutputBound: the
+// slowest downstream GROUP gates the sender, a group's capacity being the
+// sum over its live members. A fully-downed group gates at 0 (a dead
+// group accepts nothing); partially-downed members just contribute 0.
+// Singleton groups reproduce MinBound exactly.
+func (f *Feedback) GroupedMinBound(groups [][]int32, downstream []int32) float64 {
+	if len(downstream) == 0 {
+		return math.Inf(1)
+	}
+	bound := math.Inf(1)
+	for _, d := range downstream {
+		sum := 0.0
+		seen := false
+		allDown := len(groups[d]) > 0
+		for _, k := range groups[d] {
+			if f.down[k] {
+				continue
+			}
+			allDown = false
+			if f.forgot[k] {
+				continue
+			}
+			r, ok := f.rmax[k]
+			if !ok {
+				continue
+			}
+			sum += r
+			seen = true
+		}
+		if allDown {
+			return 0
+		}
+		if !seen {
+			continue
+		}
+		if sum < bound {
+			bound = sum
+		}
+	}
+	return bound
+}
+
+// GroupedAllDown reports whether every replica of every downstream group
+// is marked down (false for an empty downstream set). Singleton groups
+// reproduce AllDown exactly.
+func (f *Feedback) GroupedAllDown(groups [][]int32, downstream []int32) bool {
+	if len(downstream) == 0 {
+		return false
+	}
+	for _, d := range downstream {
+		if len(groups[d]) == 0 {
+			return false
+		}
+		for _, k := range groups[d] {
+			if !f.down[k] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // String renders the board for debugging.

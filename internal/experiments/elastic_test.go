@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The acceptance test for elastic parallelism (E12): a 10× hotspot on one
+// PE of a 3-node deployment exceeds anything a single node can absorb, so
+// the frozen topology is structurally stuck; the elastic adaptive loop
+// must discover the new cost online, fan the PE out across its replica
+// slots (> 1 active), and reach ≥ 90% of the true-cost elastic oracle.
+// Replica targets must reach the peer process (epoch ≥ 1 on process B).
+func TestElasticRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic runs take a few wall seconds")
+	}
+	row, err := RunElastic(ElasticOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pre=%.0f frozen=%.0f elastic=%.0f oracle=%.0f frozen/oracle=%.2f elastic/oracle=%.2f replicas=%d epochs=%d peer=%d",
+		row.PreRate, row.FrozenRate, row.ElasticRate, row.OracleRate,
+		row.FrozenFrac, row.ElasticFrac, row.ActiveReplicas, row.Epochs, row.PeerEpoch)
+
+	if row.PreRate <= 0 {
+		t.Fatalf("PreRate = %g, want > 0 (deployment never reached steady state)", row.PreRate)
+	}
+	if row.OracleRate <= 0 {
+		t.Fatalf("OracleRate = %g, want > 0", row.OracleRate)
+	}
+	// The hotspot must bind: no single-node allocation absorbs it.
+	if row.FrozenFrac >= 0.90 {
+		t.Errorf("frozen run at %.0f%% of oracle — the hotspot did not bind, the experiment proves nothing", 100*row.FrozenFrac)
+	}
+	if row.ElasticFrac < 0.90 {
+		t.Errorf("elastic run at %.0f%% of oracle, want ≥ 90%%", 100*row.ElasticFrac)
+	}
+	// Recovery must come from replication, not from retuning the primary.
+	if row.ActiveReplicas <= 1 {
+		t.Errorf("elastic loop never activated a second replica (peak = %d)", row.ActiveReplicas)
+	}
+	if row.PeerEpoch < 1 {
+		t.Errorf("peer process never received a replica-target epoch — dissemination broken")
+	}
+	if !row.Recovered {
+		t.Errorf("run verdict = not recovered")
+	}
+}

@@ -44,6 +44,45 @@ type PE struct {
 	// buffer capacity, and the output inherits the *oldest* input's origin
 	// so latency reflects the slowest-arriving component.
 	Join bool `json:"join,omitempty"`
+	// MaxReplicas caps how far this logical PE may fan out into parallel
+	// replicas (0 or 1 = not elastic). Replica slot 0 is the primary on
+	// Node; further slots are placed by ReplicaNodes. The elastic tier-1
+	// solve chooses how many slots are active — each active replica adds
+	// a·c̄ − b capacity but pays the Overhead tax b again. Join PEs cannot
+	// replicate (a join's per-upstream pairing is not partitionable by
+	// key-hash).
+	MaxReplicas int `json:"max_replicas,omitempty"`
+	// ReplicaNodes optionally pins replica slots 1..MaxReplicas-1 to
+	// nodes. Missing entries are placed round-robin across the nodes of
+	// the topology starting after the primary's node.
+	ReplicaNodes []sdo.NodeID `json:"replica_nodes,omitempty"`
+}
+
+// Replicas returns the replica slot count of PE j: MaxReplicas, floored at
+// one (every PE has at least its primary slot).
+func (t *Topology) Replicas(j sdo.PEID) int {
+	if m := t.PEs[j].MaxReplicas; m > 1 {
+		return m
+	}
+	return 1
+}
+
+// ReplicaPlacement returns the node of every replica slot of PE j. Slot 0
+// is always the primary's Node; slots named by ReplicaNodes are pinned,
+// and any remaining slots go round-robin across the topology's nodes
+// starting after the primary.
+func (t *Topology) ReplicaPlacement(j sdo.PEID) []sdo.NodeID {
+	n := t.Replicas(j)
+	out := make([]sdo.NodeID, n)
+	out[0] = t.PEs[j].Node
+	for r := 1; r < n; r++ {
+		if r-1 < len(t.PEs[j].ReplicaNodes) {
+			out[r] = t.PEs[j].ReplicaNodes[r-1]
+		} else {
+			out[r] = sdo.NodeID((int(t.PEs[j].Node) + r) % t.NumNodes)
+		}
+	}
+	return out
 }
 
 // Source describes one external input stream entering the system at an
@@ -365,6 +404,23 @@ func (t *Topology) Validate() error {
 	for j := range t.PEs {
 		if t.PEs[j].Join && len(t.up[j]) < 2 {
 			return fmt.Errorf("graph: join PE %d needs at least 2 upstream PEs, has %d", j, len(t.up[j]))
+		}
+	}
+	for j := range t.PEs {
+		pe := &t.PEs[j]
+		if pe.MaxReplicas <= 1 {
+			continue
+		}
+		if pe.Join {
+			return fmt.Errorf("graph: join PE %d cannot replicate (per-upstream pairing is not key-partitionable)", j)
+		}
+		if len(pe.ReplicaNodes) > pe.MaxReplicas-1 {
+			return fmt.Errorf("graph: PE %d names %d replica nodes but has only %d extra slots", j, len(pe.ReplicaNodes), pe.MaxReplicas-1)
+		}
+		for r, n := range pe.ReplicaNodes {
+			if n < 0 || int(n) >= t.NumNodes {
+				return fmt.Errorf("graph: PE %d replica slot %d placed on invalid node %d (have %d nodes)", j, r+1, n, t.NumNodes)
+			}
 		}
 	}
 	return nil

@@ -135,6 +135,9 @@ type Report struct {
 	// Retargets counts the target epochs this process accepted during the
 	// run (its own re-solves plus disseminations from peers).
 	Retargets int64 `json:"retargets,omitempty"`
+	// ActiveReplicas is the largest per-PE count of active replica slots
+	// under the applied target set (1 for a run that never scaled out).
+	ActiveReplicas int `json:"active_replicas,omitempty"`
 	// PERestarts counts supervisor panic-recoveries across local PEs.
 	PERestarts int64 `json:"pe_restarts,omitempty"`
 	// BreakersOpen counts local PEs whose restart circuit breaker has

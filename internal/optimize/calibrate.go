@@ -7,6 +7,7 @@
 package optimize
 
 import (
+	"math"
 	"sync"
 
 	"aces/internal/graph"
@@ -20,6 +21,12 @@ import (
 // sample window per PE.
 type RLS struct {
 	a, b float64
+	// a0/b0 is the declared-model prior the estimator was seeded with,
+	// kept as the sanity floor: adversarial sample runs (idle-window
+	// bursts, measurement glitches) that drive the slope non-positive or
+	// the covariance non-finite reset the estimate here instead of handing
+	// the solver a degenerate "negative capacity" model.
+	a0, b0 float64
 	// p11/p12/p22 is the symmetric parameter covariance P. It starts as
 	// the prior confidence and shrinks along excited directions; the
 	// forgetting factor re-inflates it so the estimate tracks drift.
@@ -49,7 +56,19 @@ func NewRLS(a0, b0, lambda float64) *RLS {
 	// unless the data genuinely bends; that is the right failure mode,
 	// since the prior b comes from the deployed topology.
 	pa := a0*a0 + 1
-	return &RLS{a: a0, b: b0, p11: pa, p22: 1, lambda: lambda}
+	return &RLS{a: a0, b: b0, a0: a0, b0: b0, p11: pa, p22: 1, lambda: lambda}
+}
+
+// rlsSlopeEps is the smallest admissible rate-model slope. An estimate at
+// or below it means the data claims "more CPU, fewer SDOs" — a physical
+// impossibility that only adversarial sample runs produce.
+const rlsSlopeEps = 1e-9
+
+// resetToPrior restores the declared-model prior, both parameters and
+// covariance. Called when an update leaves the estimate degenerate.
+func (r *RLS) resetToPrior() {
+	r.a, r.b = r.a0, r.b0
+	r.p11, r.p12, r.p22 = r.a0*r.a0+1, 0, 1
 }
 
 // Observe folds one window sample (cpu fraction spent, processing rate)
@@ -80,6 +99,20 @@ func (r *RLS) Observe(c, rate float64) {
 	}
 	r.p11, r.p12, r.p22 = p11, p12, p22
 	r.n++
+	// Sanity floor: a burst of degenerate windows (idle stretches sampled
+	// as near-zero CPU with leftover rate, or the reverse) can drive the
+	// slope non-positive or blow the covariance up to NaN/Inf. Calibrated()
+	// would hand that to the solver as a model with negative capacity, so
+	// clamp back to the declared prior and let fresh data re-learn.
+	if r.a <= rlsSlopeEps ||
+		!isFinite(r.a) || !isFinite(r.b) ||
+		!isFinite(r.p11) || !isFinite(r.p12) || !isFinite(r.p22) {
+		r.resetToPrior()
+	}
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Estimate returns the current (â, b̂) and the number of samples folded in.

@@ -58,6 +58,60 @@ func TestRLSTracksCostStepUnderCollinearData(t *testing.T) {
 	}
 }
 
+// TestRLSClampsDegenerateEstimates covers the sanity floor: adversarial
+// sample runs — idle-window bursts with leftover rate, "more CPU, fewer
+// SDOs" sequences, non-finite inputs — used to drive the slope negative or
+// the covariance to NaN, and Calibrated() would hand the solver a model
+// with negative capacity. The estimator must clamp back to the declared
+// prior instead, and re-learn from clean data afterwards.
+func TestRLSClampsDegenerateEstimates(t *testing.T) {
+	// A "more CPU, fewer SDOs" run: physically impossible, only produced
+	// by pathological sampling. It drives â toward negative territory.
+	// The estimator keeps chasing the impossible line and the clamp keeps
+	// resetting it, so the invariant is per-update: the exposed slope must
+	// never be non-positive, no matter where the run stops.
+	r := NewRLS(500, 0, 0.9)
+	for i := 0; i < 200; i++ {
+		c := 0.1 + 0.8*float64(i%10)/10
+		r.Observe(c, 80-80*c) // slope −80
+		if a, _, _ := r.Estimate(); a <= rlsSlopeEps {
+			t.Fatalf("negative-slope data left â = %g (≤ eps) after sample %d", a, i)
+		}
+	}
+	a, b, _ := r.Estimate()
+
+	// Non-finite samples poison every parameter in one update; the clamp
+	// must catch the NaN/Inf before Estimate exposes it.
+	for _, bad := range [][2]float64{{math.NaN(), 100}, {0.3, math.NaN()}, {math.Inf(1), 100}, {0.3, math.Inf(1)}} {
+		r := NewRLS(500, 2, 0.98)
+		r.Observe(0.3, 150) // one sane sample first
+		r.Observe(bad[0], bad[1])
+		a, b, _ := r.Estimate()
+		if !isFinite(a) || !isFinite(b) || a <= rlsSlopeEps {
+			t.Errorf("Observe(%g, %g) left estimate â=%g b̂=%g", bad[0], bad[1], a, b)
+		}
+	}
+
+	// Idle-sample burst: near-zero CPU windows with residual rate claim an
+	// enormous negative intercept. Whatever the burst does, the estimator
+	// must stay finite and recover the true line from fresh clean data.
+	r = NewRLS(500, 0, 0.9)
+	for i := 0; i < 50; i++ {
+		r.Observe(1e-8, 30)
+	}
+	a, b, _ = r.Estimate()
+	if !isFinite(a) || !isFinite(b) || a <= rlsSlopeEps {
+		t.Fatalf("idle burst left â=%g b̂=%g", a, b)
+	}
+	for i := 0; i < 200; i++ {
+		c := 0.1 + 0.8*float64(i%10)/10
+		r.Observe(c, 400*c)
+	}
+	if a, b, _ := r.Estimate(); math.Abs((a*0.3-b)-400*0.3) > 0.1*400*0.3 {
+		t.Errorf("post-burst model predicts %g at c=0.3, want ≈120 (â=%g b̂=%g)", a*0.3-b, a, b)
+	}
+}
+
 func TestCalibratorCalibratedSwapsMeasuredModels(t *testing.T) {
 	topo := chainTopo(t, []float64{0.002, 0.004}, 1000)
 	cal := NewCalibrator(topo, 0.98, 8)

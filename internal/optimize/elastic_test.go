@@ -1,0 +1,142 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"aces/internal/graph"
+	"aces/internal/sdo"
+)
+
+// hotTopo builds the canonical elastic scenario: a 2-node deployment whose
+// middle PE is too expensive for one node. PE 0 (cheap ingress, node 0) →
+// PE 1 (hot, cost `hotCost`, node 0, MaxReplicas 2 with the extra slot on
+// node 1) → PE 2 (cheap egress, node 1, weight 1).
+func hotTopo(t *testing.T, srcRate, hotCost float64) *graph.Topology {
+	t.Helper()
+	topo := graph.New(2, 50)
+	a := topo.AddPE(graph.PE{Service: uniformService(0.0001), Node: 0})
+	b := topo.AddPE(graph.PE{
+		Service: uniformService(hotCost), Node: 0,
+		MaxReplicas: 2, ReplicaNodes: []sdo.NodeID{1},
+	})
+	c := topo.AddPE(graph.PE{Service: uniformService(0.00005), Node: 1, Weight: 1})
+	if err := topo.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: a, Rate: srcRate, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestSolveElasticMatchesSolveWithoutReplicas(t *testing.T) {
+	// A topology with no elastic PEs has exactly Solve's feasible set; the
+	// two solvers must land on the same optimum.
+	topo := chainTopo(t, []float64{0.002, 0.004, 0.003}, 200)
+	plain, err := Solve(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := SolveElastic(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ea.WeightedThroughput-plain.WeightedThroughput) > 0.03*plain.WeightedThroughput {
+		t.Errorf("elastic wt %g vs plain wt %g on a replica-free topology",
+			ea.WeightedThroughput, plain.WeightedThroughput)
+	}
+	for j := range ea.Replica {
+		if len(ea.Replica[j]) != 1 {
+			t.Fatalf("PE %d got %d slots, want 1", j, len(ea.Replica[j]))
+		}
+		if ea.Replica[j][0] != ea.CPU[j] {
+			t.Errorf("PE %d slot/logical mismatch: %g vs %g", j, ea.Replica[j][0], ea.CPU[j])
+		}
+		if ea.Replicas[j] > 1 {
+			t.Errorf("PE %d reports %d active replicas", j, ea.Replicas[j])
+		}
+	}
+}
+
+func TestSolveElasticScalesOutHotPE(t *testing.T) {
+	// 400/s through a 4 ms PE needs 1.6 CPU — impossible on one node, so
+	// the frozen solve tops out near 250/s while the elastic solve must
+	// activate the second slot and carry (nearly) the whole offered load.
+	topo := hotTopo(t, 400, 0.004)
+	frozen, err := Solve(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := SolveElastic(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.WeightedThroughput > 260 {
+		t.Fatalf("frozen solve claims %g/s, the hot PE should cap it ≈250/s", frozen.WeightedThroughput)
+	}
+	if ea.Replicas[1] != 2 {
+		t.Errorf("elastic solve activated %d replicas of the hot PE, want 2 (slots %v)",
+			ea.Replicas[1], ea.Replica[1])
+	}
+	if ea.WeightedThroughput < 0.9*400 {
+		t.Errorf("elastic wt = %g, want ≥ 360 (≥90%% of offered load)", ea.WeightedThroughput)
+	}
+	// Per-node feasibility: each node's slots must fit its simplex.
+	use := make([]float64, topo.NumNodes)
+	for j := range ea.Replica {
+		for r, v := range ea.Replica[j] {
+			use[topo.ReplicaPlacement(sdo.PEID(j))[r]] += v
+		}
+	}
+	for n, u := range use {
+		if u > 1+1e-9 {
+			t.Errorf("node %d oversubscribed: Σc = %g", n, u)
+		}
+	}
+}
+
+func TestSolveElasticParsimonyPrunesIdleReplicas(t *testing.T) {
+	// At 100/s the hot PE needs only 0.4 CPU: one slot suffices, and the
+	// parsimony pass must prune the second instead of leaving solver dust
+	// that would spin up a warm replica for nothing.
+	topo := hotTopo(t, 100, 0.004)
+	ea, err := SolveElastic(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Replicas[1] != 1 {
+		t.Errorf("low demand kept %d replicas active (slots %v), want 1",
+			ea.Replicas[1], ea.Replica[1])
+	}
+	if ea.WeightedThroughput < 95 {
+		t.Errorf("wt = %g, want ≈100", ea.WeightedThroughput)
+	}
+}
+
+func TestSolveElasticWarmStart(t *testing.T) {
+	topo := hotTopo(t, 400, 0.004)
+	cold, err := SolveElastic(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SolveElastic(topo, Config{WarmStartReplica: cold.Replica})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WeightedThroughput < 0.97*cold.WeightedThroughput {
+		t.Errorf("warm wt %g vs cold wt %g", warm.WeightedThroughput, cold.WeightedThroughput)
+	}
+	// A malformed warm start (wrong shape, garbage values) must fall back
+	// to the cold start, not crash or produce an infeasible point.
+	bad, err := SolveElastic(topo, Config{WarmStartReplica: [][]float64{{math.NaN()}, {-3, 2, 2}, {1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.WeightedThroughput < 0.9*cold.WeightedThroughput {
+		t.Errorf("bad warm start degraded the solve: %g vs %g", bad.WeightedThroughput, cold.WeightedThroughput)
+	}
+}

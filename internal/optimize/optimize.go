@@ -131,6 +131,10 @@ type Config struct {
 	// allocation here — near the old optimum the re-solve converges in a
 	// handful of iterations instead of re-walking the whole ascent.
 	WarmStart []float64
+	// WarmStartReplica is SolveElastic's warm start: per-PE per-replica-
+	// slot incumbents, shaped like the topology's replica placement. Solve
+	// ignores it.
+	WarmStartReplica [][]float64
 }
 
 func (c *Config) fillDefaults() {

@@ -65,6 +65,12 @@ type SDO struct {
 	// It is per-hop state: the receiving process re-stamps it on arrival,
 	// and it does not travel on the wire.
 	TraceEnq float64
+	// Key is the partition key for replica routing: SDOs with equal keys
+	// are routed to the same replica of an elastic PE, so stateful PEs keep
+	// per-key affinity across fan-out. Zero means unkeyed; unkeyed SDOs are
+	// spread per-SDO by (Stream, Seq). Key is in-process routing state —
+	// the sender decides the replica, so it does not travel on the wire.
+	Key uint64
 	// Payload is opaque application data. The control plane and both
 	// substrates never inspect it.
 	Payload any
@@ -72,7 +78,8 @@ type SDO struct {
 
 // Derive returns an output SDO produced from s by a PE writing to stream
 // out: the origin is inherited, the hop count incremented, and the sequence
-// number replaced by seq.
+// number replaced by seq. The partition key is inherited too, so a keyed
+// lineage keeps replica affinity across every hop of the DAG.
 func (s SDO) Derive(out StreamID, seq uint64, bytes int) SDO {
 	return SDO{
 		Stream:  out,
@@ -81,6 +88,7 @@ func (s SDO) Derive(out StreamID, seq uint64, bytes int) SDO {
 		Bytes:   bytes,
 		Hops:    s.Hops + 1,
 		Trace:   s.Trace,
+		Key:     s.Key,
 		Payload: s.Payload,
 	}
 }

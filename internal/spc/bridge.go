@@ -33,6 +33,34 @@ func (l *Link) SendSDO(to sdo.PEID, s sdo.SDO) error {
 	return l.conn.SendRouted(to, s)
 }
 
+// SendReplicaSDO implements ElasticLink: addresses one replica slot of a
+// logical PE. Peers that never negotiated FeatureElastic have no replica
+// vocabulary; the frame degrades to a routed frame for the logical PE and
+// the receiver re-routes through its own target set.
+func (l *Link) SendReplicaSDO(to sdo.PEID, rep int32, s sdo.SDO) error {
+	if _, ok := s.Payload.([]byte); !ok && s.Payload != nil {
+		s.Payload = nil // same wire constraint as SendSDO
+	}
+	if !l.conn.PeerSupportsElastic() {
+		return l.conn.SendRouted(to, s)
+	}
+	return l.conn.SendReplica(to, rep, s)
+}
+
+// SendReplicaTargets implements ReplicaTargetSender: disseminates a
+// per-replica target matrix. Peers without FeatureElastic get the logical
+// (collapsed) vector over the v2 targets frame when they support it, and
+// nothing otherwise — exactly one control frame per epoch either way.
+func (l *Link) SendReplicaTargets(epoch uint64, cpu [][]float64) error {
+	if l.conn.PeerSupportsElastic() {
+		return l.conn.SendReplicaTargets(transport.ReplicaTargets{Epoch: epoch, CPU: cpu})
+	}
+	if l.conn.PeerSupportsRetarget() {
+		return l.conn.SendTargets(transport.Targets{Epoch: epoch, CPU: collapseTargets(cpu)})
+	}
+	return nil
+}
+
 // SendFeedback implements RemoteLink.
 func (l *Link) SendFeedback(pe int32, rmax float64) error {
 	return l.conn.SendFeedback(transport.Feedback{PE: pe, RMax: rmax})
@@ -83,6 +111,10 @@ func (l *Link) Serve(c *Cluster) error {
 			c.InjectHeartbeat(msg.Heartbeat.Node)
 		case transport.KindTargets:
 			c.InjectTargets(msg.Targets.Epoch, msg.Targets.CPU)
+		case transport.KindReplica:
+			c.InjectReplicaSDO(msg.To, msg.Rep, msg.SDO)
+		case transport.KindReplicaTargets:
+			c.InjectReplicaTargets(msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
 		}
 	}
 }
@@ -112,7 +144,7 @@ func NewResilientLink(dial transport.DialFunc, opts transport.ResilientOptions) 
 		// Only data frames are billed as in-flight loss: feedback and
 		// heartbeats are best-effort by contract (the next tick or beacon
 		// repairs them), so billing their drops would overstate loss.
-		if kind == transport.KindData || kind == transport.KindRouted {
+		if kind == transport.KindData || kind == transport.KindRouted || kind == transport.KindReplica {
 			l.noteLoss(hops, trace)
 		}
 		if userDrop != nil {
@@ -174,6 +206,25 @@ func (l *ResilientLink) SendTargets(epoch uint64, cpu []float64) error {
 	return l.rc.SendTargets(transport.Targets{Epoch: epoch, CPU: cpu})
 }
 
+// SendReplicaSDO implements ElasticLink. It never blocks; the underlying
+// conn degrades the frame to a routed one for non-elastic peers.
+func (l *ResilientLink) SendReplicaSDO(to sdo.PEID, rep int32, s sdo.SDO) error {
+	if _, ok := s.Payload.([]byte); !ok && s.Payload != nil {
+		s.Payload = nil // same wire constraint as Link.SendSDO
+	}
+	return l.rc.SendReplica(to, rep, s)
+}
+
+// SendReplicaTargets implements ReplicaTargetSender. It never blocks;
+// non-elastic-but-retarget-capable peers get the collapsed logical vector
+// so the two frame kinds never double-deliver one epoch.
+func (l *ResilientLink) SendReplicaTargets(epoch uint64, cpu [][]float64) error {
+	if l.rc.PeerSupportsElastic() {
+		return l.rc.SendReplicaTargets(transport.ReplicaTargets{Epoch: epoch, CPU: cpu})
+	}
+	return l.rc.SendTargets(transport.Targets{Epoch: epoch, CPU: collapseTargets(cpu)})
+}
+
 // Serve pumps incoming frames into the cluster, riding across peer
 // reconnects; it returns nil once the link is closed.
 func (l *ResilientLink) Serve(c *Cluster) error {
@@ -195,6 +246,10 @@ func (l *ResilientLink) Serve(c *Cluster) error {
 			c.InjectHeartbeat(msg.Heartbeat.Node)
 		case transport.KindTargets:
 			c.InjectTargets(msg.Targets.Epoch, msg.Targets.CPU)
+		case transport.KindReplica:
+			c.InjectReplicaSDO(msg.To, msg.Rep, msg.SDO)
+		case transport.KindReplicaTargets:
+			c.InjectReplicaTargets(msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
 		}
 	}
 }
@@ -222,14 +277,18 @@ func (l *ResilientLink) Close() error { return l.rc.Close() }
 // Router fans a partitioned deployment out to several Links, choosing by
 // destination PE. It implements RemoteLink itself.
 type Router struct {
-	mu     sync.RWMutex
-	routes map[sdo.PEID]RemoteLink
-	peers  []RemoteLink
+	mu        sync.RWMutex
+	routes    map[sdo.PEID]RemoteLink
+	repRoutes map[int64]RemoteLink // (pe, rep) slots pinned to a link
+	peers     []RemoteLink
 }
 
 // NewRouter returns an empty router.
 func NewRouter() *Router {
-	return &Router{routes: make(map[sdo.PEID]RemoteLink)}
+	return &Router{
+		routes:    make(map[sdo.PEID]RemoteLink),
+		repRoutes: make(map[int64]RemoteLink),
+	}
 }
 
 // AddPeer registers a link and the set of PEs it reaches.
@@ -242,6 +301,19 @@ func (r *Router) AddPeer(link RemoteLink, pes ...sdo.PEID) {
 	}
 }
 
+func repRouteKey(pe sdo.PEID, rep int32) int64 {
+	return int64(pe)<<32 | int64(uint32(rep))
+}
+
+// AddReplica pins one replica slot of a logical PE to a link, for
+// deployments whose replica placements span different peers than the
+// primary. Slots without an explicit pin fall back to the PE's route.
+func (r *Router) AddReplica(link RemoteLink, pe sdo.PEID, rep int32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.repRoutes[repRouteKey(pe, rep)] = link
+}
+
 // SendSDO implements RemoteLink.
 func (r *Router) SendSDO(to sdo.PEID, s sdo.SDO) error {
 	r.mu.RLock()
@@ -251,6 +323,50 @@ func (r *Router) SendSDO(to sdo.PEID, s sdo.SDO) error {
 		return errors.New("spc: no route to PE")
 	}
 	return link.SendSDO(to, s)
+}
+
+// SendReplicaSDO implements ElasticLink: replica-pinned routes win, then
+// the logical PE's route. Links that are not elastic-capable get the SDO
+// as a plain routed frame for the logical PE.
+func (r *Router) SendReplicaSDO(to sdo.PEID, rep int32, s sdo.SDO) error {
+	r.mu.RLock()
+	link, ok := r.repRoutes[repRouteKey(to, rep)]
+	if !ok {
+		link, ok = r.routes[to]
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return errors.New("spc: no route to PE replica")
+	}
+	if el, isElastic := link.(ElasticLink); isElastic {
+		return el.SendReplicaSDO(to, rep, s)
+	}
+	return link.SendSDO(to, s)
+}
+
+// SendReplicaTargets implements ReplicaTargetSender: the matrix is
+// broadcast to every peer; links without replica vocabulary get the
+// collapsed logical vector when they can carry targets at all.
+func (r *Router) SendReplicaTargets(epoch uint64, cpu [][]float64) error {
+	r.mu.RLock()
+	peers := r.peers
+	r.mu.RUnlock()
+	var firstErr error
+	for _, p := range peers {
+		var err error
+		switch l := p.(type) {
+		case ReplicaTargetSender:
+			err = l.SendReplicaTargets(epoch, cpu)
+		case TargetSender:
+			err = l.SendTargets(epoch, collapseTargets(cpu))
+		default:
+			continue
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // SendFeedback implements RemoteLink: advertisements are broadcast to all
@@ -319,4 +435,11 @@ var (
 	_ TargetSender    = (*Link)(nil)
 	_ TargetSender    = (*Router)(nil)
 	_ TargetSender    = (*ResilientLink)(nil)
+
+	_ ElasticLink         = (*Link)(nil)
+	_ ElasticLink         = (*Router)(nil)
+	_ ElasticLink         = (*ResilientLink)(nil)
+	_ ReplicaTargetSender = (*Link)(nil)
+	_ ReplicaTargetSender = (*Router)(nil)
+	_ ReplicaTargetSender = (*ResilientLink)(nil)
 )

@@ -24,7 +24,17 @@ import (
 // half-written mix.
 type targetSet struct {
 	epoch uint64
-	cpu   []float64
+	// cpu holds the LOGICAL per-PE targets (sum over replica slots).
+	cpu []float64
+	// rep holds the per-replica-slot targets; nil for a set installed
+	// through the logical path (everything runs on the primaries).
+	rep [][]float64
+	// route[j] is PE j's replica routing ring (singleton for one active
+	// slot); groupKeys[j] the feedback keys of its ACTIVE slots, which the
+	// grouped Eq. 8 bounds sum. Both are built locally by makeTargetSet —
+	// ring entries hold this process's runtime pointers.
+	route     [][]replicaRef
+	groupKeys [][]int32
 }
 
 // TargetSender is the uplink extension for target dissemination, the
@@ -81,7 +91,11 @@ func (c *Cluster) InjectTargets(epoch uint64, cpu []float64) {
 	}
 }
 
-// applyTargets validates and swaps in a new target set.
+// applyTargets validates and swaps in a new LOGICAL target set. A logical
+// epoch collapses every replica group onto its primary (a v1 coordinator
+// wins outright — the epoch order is the only authority); slots the
+// collapse deactivates are forgotten on the feedback board and drained by
+// their node schedulers exactly as an elastic scale-in would.
 func (c *Cluster) applyTargets(epoch uint64, cpu []float64) error {
 	if len(cpu) != len(c.pes) {
 		return fmt.Errorf("spc: target vector has %d entries, topology has %d PEs", len(cpu), len(c.pes))
@@ -93,30 +107,7 @@ func (c *Cluster) applyTargets(epoch uint64, cpu []float64) error {
 		}
 		clean[j] = v
 	}
-	ts := &targetSet{epoch: epoch, cpu: clean}
-	for {
-		cur := c.targets.Load()
-		if epoch <= cur.epoch {
-			return ErrStaleEpoch
-		}
-		if !c.targets.CompareAndSwap(cur, ts) {
-			continue
-		}
-		// A PE retargeted to zero is decommissioned as far as flow control
-		// goes: forget its advertisement so upstream Eq. 8 bounds stop
-		// honouring a ghost r_max it will never refresh (it re-registers
-		// automatically if a later epoch revives it and it publishes again).
-		for j := range clean {
-			if cur.cpu[j] > 0 && clean[j] == 0 {
-				c.fb.forget(int32(j))
-			}
-		}
-		c.retargets.Add(1)
-		if c.gEpoch != nil {
-			c.gEpoch.Set(float64(epoch))
-		}
-		return nil
-	}
+	return c.installTargets(c.makeTargetSet(epoch, clean, nil))
 }
 
 // applyEpoch re-tunes one node's token buckets to a new target epoch. The
@@ -128,11 +119,22 @@ func (c *Cluster) applyTargets(epoch uint64, cpu []float64) error {
 // application is a rate change, not a reset.
 func (c *Cluster) applyEpoch(peers []*peRuntime, tgt *targetSet) {
 	for _, pr := range peers {
+		slot := tgt.slot(pr.id, pr.rep)
 		if !pr.parked {
-			pr.bucket.SetRate(tgt.cpu[pr.id])
+			pr.bucket.SetRate(slot)
 		}
 		if pr.gTarget != nil {
-			pr.gTarget.Set(tgt.cpu[pr.id])
+			pr.gTarget.Set(slot)
+		}
+		if pr.rep != 0 {
+			// Scale-in / migration half of an epoch: a replica slot whose
+			// target just dropped to zero hands its queued SDOs to the
+			// replicas the new epoch's ring elects.
+			active := slot > 0
+			if pr.wasActive && !active {
+				c.drainReplica(pr, tgt)
+			}
+			pr.wasActive = active
 		}
 	}
 }
@@ -144,11 +146,19 @@ func (c *Cluster) applyEpoch(peers []*peRuntime, tgt *targetSet) {
 func (c *Cluster) BroadcastTargets() { c.broadcastTargets() }
 
 func (c *Cluster) broadcastTargets() {
+	ts := c.targets.Load()
+	// Best effort by contract: the next periodic broadcast repairs a loss.
+	// A replica-form set goes out through the elastic extension when the
+	// uplink has one — the link layer collapses per peer as needed, so a
+	// dual-capable peer sees exactly one frame per epoch. Without the
+	// extension, every peer gets the collapsed logical vector.
+	if ts.rep != nil && c.rts != nil {
+		_ = c.rts.SendReplicaTargets(ts.epoch, ts.rep)
+		return
+	}
 	if c.tgs == nil {
 		return
 	}
-	ts := c.targets.Load()
-	// Best effort by contract: the next periodic broadcast repairs a loss.
 	_ = c.tgs.SendTargets(ts.epoch, ts.cpu)
 }
 
@@ -196,6 +206,12 @@ type RetargetConfig struct {
 	// MinSamples gates calibration: a PE observed in fewer windows keeps
 	// its declared model (0 → the calibrator default).
 	MinSamples int
+	// Elastic switches the re-solve to SolveElastic: the loop chooses
+	// per-replica-slot targets from the calibrated models (a replica adds
+	// a_j·c̄ − b_j capacity but pays the overhead b_j again) and
+	// disseminates them as replica target sets; peers that predate the
+	// elastic feature receive the collapsed logical vector.
+	Elastic bool
 	// OnRetarget, when set, is invoked after each accepted epoch with the
 	// new targets (testing and logging hook; called from the loop
 	// goroutine).
@@ -216,9 +232,12 @@ func (c *Cluster) StartRetarget(rc RetargetConfig) error {
 	}
 	cal := optimize.NewCalibrator(c.cfg.Topo, rc.Lambda, rc.MinSamples)
 	wall := time.Duration(rc.Every / c.scale * float64(time.Second))
-	c.wg.Add(1)
+	// The loop joins rtWG, not the data plane's wg: Stop waits this
+	// goroutine out FIRST, so a re-solve can never overlap buffer
+	// teardown (retarget-vs-shutdown race).
+	c.rtWG.Add(1)
 	go func() {
-		defer c.wg.Done()
+		defer c.rtWG.Done()
 		ticker := time.NewTicker(wall)
 		defer ticker.Stop()
 		for {
@@ -236,8 +255,13 @@ func (c *Cluster) StartRetarget(rc RetargetConfig) error {
 // retargetOnce runs one iteration of the adaptive loop: observe, re-solve,
 // apply, disseminate.
 func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
-	for _, pr := range c.pes {
-		if pr == nil || pr.breaker.Load() {
+	// Every local replica slot's window is one sample for its LOGICAL PE's
+	// rate model: replicas run the same code on the same stream, so each
+	// (CPU spent, SDOs processed) pair regresses the same per-instance
+	// h_j. Dormant slots contribute idle windows, which the calibrator
+	// discards on its own.
+	for _, pr := range c.prs {
+		if pr.breaker.Load() {
 			continue
 		}
 		cpuFrac, rate := pr.calRates()
@@ -245,6 +269,22 @@ func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
 	}
 	cur := c.targets.Load()
 	oc := rc.Optimize
+	if rc.Elastic {
+		oc.WarmStartReplica = cur.rep
+		ea, err := optimize.SolveElastic(cal.Calibrated(), oc)
+		if err != nil {
+			c.broadcastTargets()
+			return
+		}
+		if err := c.SetReplicaTargets(cur.epoch+1, ea.Replica); err != nil {
+			c.broadcastTargets()
+			return
+		}
+		if rc.OnRetarget != nil {
+			rc.OnRetarget(cur.epoch+1, ea.CPU)
+		}
+		return
+	}
 	oc.WarmStart = cur.cpu
 	alloc, err := optimize.Solve(cal.Calibrated(), oc)
 	if err != nil {

@@ -41,8 +41,16 @@ type Config struct {
 	// B0Frac, QWeight, RWeight and BurstTicks mirror the simulator's
 	// controller parameters.
 	B0Frac, QWeight, RWeight, BurstTicks float64
-	// Processors overrides the default synthetic workload per PE.
+	// Processors overrides the default synthetic workload per PE (its
+	// primary replica slot; see ReplicaProcs for the others).
 	Processors map[sdo.PEID]Processor
+	// ReplicaProcs builds the processor for replica slot rep (> 0) of PE j.
+	// Processors are stateful, so replicas can never share the primary's
+	// instance; elastic PEs with custom Processors must supply a factory.
+	// When nil (or when the factory returns nil) each replica gets an
+	// independently seeded synthetic workload from the PE's declared
+	// service model.
+	ReplicaProcs func(j sdo.PEID, rep int32) Processor
 	// LocalNodes restricts this process to hosting the PEs placed on the
 	// listed nodes (empty = host everything). Edges whose target lives in
 	// a peer process are forwarded through Uplink; SDOs and feedback from
@@ -126,17 +134,26 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// peRuntime is the live counterpart of the simulator's peState.
+// peRuntime is the live counterpart of the simulator's peState — one
+// replica slot of a logical PE (slot 0 is the primary; non-elastic PEs
+// have only that).
 type peRuntime struct {
-	id     sdo.PEID
+	id sdo.PEID
+	// rep is the replica slot index; key the slot's feedback-board key
+	// (key == int32(id) for the primary, so pre-elastic wire frames and
+	// bounds keep their meaning).
+	rep int32
+	key int32
+	// egress marks a PE with no downstream in the topology.
+	egress bool
 	node   sdo.NodeID
 	weight float64
 	buf    *Buffer
 	proc   Processor
 	model  CostModeler // nil → measured costs
-	down   []*peRuntime
-	// remote lists downstream PEs hosted by peer processes.
-	remote []sdo.PEID
+	// downID lists the LOGICAL downstream PE ids; the applied target set's
+	// routing rings and key groups resolve them to replica slots per tick
+	// and per SDO.
 	downID []int32
 
 	// Telemetry handles (nil when Config.Telemetry is unset). Gauges are
@@ -173,6 +190,10 @@ type peRuntime struct {
 	// parked records that the scheduler has acted on a tripped breaker:
 	// bucket rate zeroed, share released, r_max = 0 advertised.
 	parked bool
+	// wasActive tracks whether this replica slot had a positive target
+	// under the last applied epoch (scheduler-owned; drives the drain on
+	// an active → inactive transition).
+	wasActive bool
 }
 
 // occupancy counts buffered plus held SDOs.
@@ -239,10 +260,28 @@ func (s *safeFeedback) markDown(j int32, down bool) {
 	s.mu.Unlock()
 }
 
-func (s *safeFeedback) allDown(down []int32) bool {
+func (s *safeFeedback) recover(j int32) {
+	s.mu.Lock()
+	s.fb.Recover(j)
+	s.mu.Unlock()
+}
+
+func (s *safeFeedback) groupedOutputBound(groups [][]int32, down []int32) float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.fb.AllDown(down)
+	return s.fb.GroupedOutputBound(groups, down)
+}
+
+func (s *safeFeedback) groupedMinBound(groups [][]int32, down []int32) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fb.GroupedMinBound(groups, down)
+}
+
+func (s *safeFeedback) groupedAllDown(groups [][]int32, down []int32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fb.GroupedAllDown(groups, down)
 }
 
 // safeCollector guards a metrics.Collector for concurrent recording.
@@ -287,10 +326,15 @@ type Cluster struct {
 	cfg   Config
 	clock Clock
 	scale float64
-	pes   []*peRuntime
-	nodes [][]*peRuntime
-	fb    *safeFeedback
-	col   *safeCollector
+	// pes[j] is PE j's primary replica slot (nil when hosted elsewhere);
+	// replicas[j][r] all of its local slots; prs the flat list of every
+	// local slot runtime.
+	pes      []*peRuntime
+	replicas [][]*peRuntime
+	prs      []*peRuntime
+	nodes    [][]*peRuntime
+	fb       *safeFeedback
+	col      *safeCollector
 
 	// local[j] reports whether PE j is hosted by this process.
 	local []bool
@@ -335,10 +379,17 @@ type Cluster struct {
 	tgs       TargetSender
 	retargets atomic.Int64
 	gEpoch    *obs.Gauge
+	// els and rts are the uplink's elastic extensions (nil if unsupported):
+	// replica-addressed SDO forwarding and replica target dissemination.
+	els ElasticLink
+	rts ReplicaTargetSender
 
-	ctx     context.Context
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	// rtWG joins the retarget loop separately: Stop quiesces it BEFORE
+	// closing buffers, so a re-solve can never race cluster teardown.
+	rtWG    sync.WaitGroup
 	started bool
 	mu      sync.Mutex
 }
@@ -385,11 +436,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for j := 0; j < t.NumPEs(); j++ {
 		c.local[j] = localNode[t.PEs[j].Node]
 	}
+	// A deployment is partitioned when ANY replica slot — not just a
+	// primary — is placed on a node this process does not host.
 	partitioned := false
-	for _, l := range c.local {
-		if !l {
-			partitioned = true
-			break
+	for j := 0; j < t.NumPEs(); j++ {
+		for _, n := range t.ReplicaPlacement(sdo.PEID(j)) {
+			if !localNode[n] {
+				partitioned = true
+			}
 		}
 	}
 	if partitioned {
@@ -397,6 +451,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		for j := 0; j < t.NumPEs(); j++ {
 			for _, d := range t.Down(sdo.PEID(j)) {
 				if c.local[j] != c.local[d] {
+					crossing = true
+				}
+			}
+			// A replica group split across the boundary crosses by
+			// construction: upstreams route to every active slot.
+			for _, n := range t.ReplicaPlacement(sdo.PEID(j)) {
+				if localNode[n] != c.local[j] {
 					crossing = true
 				}
 			}
@@ -410,79 +471,114 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("spc: %v cannot cross a partition boundary (blocking needs local buffers)", cfg.Policy)
 		}
 	}
+	c.replicas = make([][]*peRuntime, t.NumPEs())
 	for j := 0; j < t.NumPEs(); j++ {
-		if !c.local[j] {
-			continue
-		}
 		pe := &t.PEs[j]
-		bufCap := t.BufferSize(sdo.PEID(j))
-		pr := &peRuntime{
-			id:     sdo.PEID(j),
-			node:   pe.Node,
-			weight: pe.Weight,
-			buf:    NewBuffer(bufCap),
-			bucket: controller.NewTokenBucket(cfg.CPU[j], cfg.BurstTicks),
-			// Calibration windows close every 10th tick; the nominal
-			// interval only matters for Tick(), which the live scheduler
-			// never uses (it rates windows over measured elapsed time).
-			trkCPU:  stats.NewRateTracker(10*cfg.Dt, 0.3),
-			trkRate: stats.NewRateTracker(10*cfg.Dt, 0.3),
-		}
-		pr.cond = sync.NewCond(&pr.mu)
-		if c.reg != nil {
-			labels := obs.Labels{"pe": fmt.Sprint(j), "node": fmt.Sprint(pe.Node)}
-			pr.gOcc = c.reg.Gauge("buffer_occupancy", labels)
-			pr.gTokens = c.reg.Gauge("tokens", labels)
-			pr.gRmax = c.reg.Gauge("rmax", labels)
-			pr.gGrant = c.reg.Gauge("cpu_grant", labels)
-			pr.gTarget = c.reg.Gauge("target_cpu", labels)
-			pr.gTarget.Set(cfg.CPU[j])
-			pr.cSheds = c.reg.Counter("sheds_total", labels)
-			pr.cRestarts = c.reg.Counter("pe_restarts_total", labels)
-			pr.gBreaker = c.reg.Gauge("breaker_open", labels)
-		}
-		if p, ok := cfg.Processors[sdo.PEID(j)]; ok && p != nil {
-			pr.proc = p
-			if m, ok := p.(CostModeler); ok {
-				pr.model = m
+		place := t.ReplicaPlacement(sdo.PEID(j))
+		c.replicas[j] = make([]*peRuntime, len(place))
+		for r, node := range place {
+			if !localNode[node] {
+				continue
 			}
-		} else {
-			syn := NewSynthetic(pe.Service, sdo.StreamID(1000+j), sim.Substream(cfg.Seed, uint64(j)+1000))
-			pr.proc = syn
-			pr.model = syn
-		}
-		if cfg.Policy.UsesFeedback() {
-			gains, err := control.Design(control.DesignConfig{
-				Delay: 2, QWeight: cfg.QWeight, RWeight: cfg.RWeight, Smoothing: 1,
-				B0: cfg.B0Frac * float64(bufCap),
-			})
-			if err != nil {
-				cancel()
-				return nil, fmt.Errorf("spc: PE %d gain design: %w", j, err)
+			bufCap := t.BufferSize(sdo.PEID(j))
+			// Epoch 0 is the deployment-time allocation: the whole logical
+			// target runs on the primary; replica slots are built dormant
+			// and wake when an elastic epoch assigns them CPU.
+			target0 := 0.0
+			if r == 0 {
+				target0 = cfg.CPU[j]
 			}
-			fc, err := control.NewFlowController(gains, 0)
-			if err != nil {
-				cancel()
-				return nil, fmt.Errorf("spc: PE %d controller: %w", j, err)
+			pr := &peRuntime{
+				id:     sdo.PEID(j),
+				rep:    int32(r),
+				key:    repKey(int32(j), int32(r)),
+				egress: len(t.Down(sdo.PEID(j))) == 0,
+				node:   node,
+				weight: pe.Weight,
+				buf:    NewBuffer(bufCap),
+				bucket: controller.NewTokenBucket(target0, cfg.BurstTicks),
+				// Calibration windows close every 10th tick; the nominal
+				// interval only matters for Tick(), which the live scheduler
+				// never uses (it rates windows over measured elapsed time).
+				trkCPU:  stats.NewRateTracker(10*cfg.Dt, 0.3),
+				trkRate: stats.NewRateTracker(10*cfg.Dt, 0.3),
 			}
-			pr.fc = fc
+			pr.cond = sync.NewCond(&pr.mu)
+			if c.reg != nil {
+				labels := obs.Labels{"pe": fmt.Sprint(j), "node": fmt.Sprint(node)}
+				if r > 0 {
+					labels["rep"] = fmt.Sprint(r)
+				}
+				pr.gOcc = c.reg.Gauge("buffer_occupancy", labels)
+				pr.gTokens = c.reg.Gauge("tokens", labels)
+				pr.gRmax = c.reg.Gauge("rmax", labels)
+				pr.gGrant = c.reg.Gauge("cpu_grant", labels)
+				pr.gTarget = c.reg.Gauge("target_cpu", labels)
+				pr.gTarget.Set(target0)
+				pr.cSheds = c.reg.Counter("sheds_total", labels)
+				pr.cRestarts = c.reg.Counter("pe_restarts_total", labels)
+				pr.gBreaker = c.reg.Gauge("breaker_open", labels)
+			}
+			switch {
+			case r == 0:
+				if p, ok := cfg.Processors[sdo.PEID(j)]; ok && p != nil {
+					pr.proc = p
+					if m, ok := p.(CostModeler); ok {
+						pr.model = m
+					}
+				}
+			case cfg.ReplicaProcs != nil:
+				if p := cfg.ReplicaProcs(sdo.PEID(j), int32(r)); p != nil {
+					pr.proc = p
+					if m, ok := p.(CostModeler); ok {
+						pr.model = m
+					}
+				}
+			}
+			if pr.proc == nil {
+				// Independently seeded per slot: replicas must never share
+				// a stateful workload instance.
+				syn := NewSynthetic(pe.Service, sdo.StreamID(1000+j), sim.Substream(cfg.Seed, uint64(j)+1000+uint64(r)*8191))
+				pr.proc = syn
+				pr.model = syn
+			}
+			if cfg.Policy.UsesFeedback() {
+				gains, err := control.Design(control.DesignConfig{
+					Delay: 2, QWeight: cfg.QWeight, RWeight: cfg.RWeight, Smoothing: 1,
+					B0: cfg.B0Frac * float64(bufCap),
+				})
+				if err != nil {
+					cancel()
+					return nil, fmt.Errorf("spc: PE %d gain design: %w", j, err)
+				}
+				fc, err := control.NewFlowController(gains, 0)
+				if err != nil {
+					cancel()
+					return nil, fmt.Errorf("spc: PE %d controller: %w", j, err)
+				}
+				pr.fc = fc
+			}
+			c.replicas[j][r] = pr
+			c.prs = append(c.prs, pr)
+			c.nodes[node] = append(c.nodes[node], pr)
 		}
-		c.pes[j] = pr
-		c.nodes[pe.Node] = append(c.nodes[pe.Node], pr)
+		c.pes[j] = c.replicas[j][0]
 	}
 	for j := 0; j < t.NumPEs(); j++ {
-		if !c.local[j] {
+		downs := t.Down(sdo.PEID(j))
+		if len(downs) == 0 {
 			continue
 		}
-		for _, d := range t.Down(sdo.PEID(j)) {
-			if c.local[d] {
-				c.pes[j].down = append(c.pes[j].down, c.pes[d])
-			} else {
-				c.pes[j].remote = append(c.pes[j].remote, d)
+		// Feedback bounds consider every downstream group; remote r_max
+		// arrives via InjectFeedback under the advertising slot's key.
+		ids := make([]int32, len(downs))
+		for i, d := range downs {
+			ids[i] = int32(d)
+		}
+		for _, pr := range c.replicas[j] {
+			if pr != nil {
+				pr.downID = ids
 			}
-			// Feedback bounds consider every downstream; remote r_max
-			// arrives via InjectFeedback.
-			c.pes[j].downID = append(c.pes[j].downID, int32(d))
 		}
 	}
 	for n := range c.nodes {
@@ -502,22 +598,33 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.remotePEs = make(map[int32][]int32)
 		for j := 0; j < t.NumPEs(); j++ {
-			if !c.local[j] {
-				n := int32(t.PEs[j].Node)
-				c.remotePEs[n] = append(c.remotePEs[n], int32(j))
+			for r, n := range t.ReplicaPlacement(sdo.PEID(j)) {
+				if !localNode[n] {
+					c.remotePEs[int32(n)] = append(c.remotePEs[int32(n)], repKey(int32(j), int32(r)))
+				}
 			}
 		}
 		c.gMember = make(map[int32]*obs.Gauge)
-		// A membership verdict on a peer node marks every PE it hosts up
-		// or down on the local feedback board: Eq. 8 then treats those
-		// PEs as r_max = 0 (suspect/dead) instead of silent-unconstrained.
+		// A membership verdict on a peer node marks every replica slot it
+		// hosts up or down on the local feedback board: Eq. 8 then treats
+		// those slots as r_max = 0 (suspect/dead) instead of
+		// silent-unconstrained. Recovery goes the other way COMPLETELY:
+		// the down-mark is cleared AND the stale pre-outage advertisement
+		// erased, so the recovered slot re-enters cold-start-unconstrained
+		// and upstream bounds reopen the moment the verdict flips, not
+		// whenever a fresh feedback frame happens to overwrite a ghost
+		// r_max pinned near 0 by the dying host's congestion.
 		c.det = health.New(health.Options{
 			SuspectAfter: cfg.Health.SuspectAfter,
 			DeadAfter:    cfg.Health.DeadAfter,
 		}, func(peer int32, _, to health.State) {
 			down := to != health.Alive
-			for _, pe := range c.remotePEs[peer] {
-				c.fb.markDown(pe, down)
+			for _, key := range c.remotePEs[peer] {
+				if down {
+					c.fb.markDown(key, true)
+				} else {
+					c.fb.recover(key)
+				}
 			}
 			if g := c.gMember[peer]; g != nil {
 				g.Set(float64(to))
@@ -535,9 +642,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	// Epoch 0 is the deployment-time allocation; schedulers apply later
 	// epochs hitlessly as SetTargets/InjectTargets install them.
-	c.targets.Store(&targetSet{cpu: append([]float64(nil), cfg.CPU...)})
+	c.targets.Store(c.makeTargetSet(0, append([]float64(nil), cfg.CPU...), nil))
 	if tgs, ok := cfg.Uplink.(TargetSender); ok {
 		c.tgs = tgs
+	}
+	if els, ok := cfg.Uplink.(ElasticLink); ok {
+		c.els = els
+	}
+	if rts, ok := cfg.Uplink.(ReplicaTargetSender); ok {
+		c.rts = rts
 	}
 	if c.reg != nil {
 		c.gEpoch = c.reg.Gauge("retarget_epoch", nil)
@@ -553,10 +666,7 @@ func (c *Cluster) Start() error {
 		return fmt.Errorf("spc: cluster already started")
 	}
 	c.started = true
-	for _, pr := range c.pes {
-		if pr == nil {
-			continue
-		}
+	for _, pr := range c.prs {
 		pr := pr
 		c.wg.Add(1)
 		go func() {
@@ -593,13 +703,14 @@ func (c *Cluster) Start() error {
 	return nil
 }
 
-// Stop cancels all goroutines and waits for them to exit.
+// Stop cancels all goroutines and waits for them to exit. The retarget
+// loop is quiesced FIRST (context-joined on its own wait group): a
+// re-solve caught mid-flight would otherwise race buffer teardown and the
+// final target swap against the dying schedulers.
 func (c *Cluster) Stop() {
 	c.cancel()
-	for _, pr := range c.pes {
-		if pr == nil {
-			continue
-		}
+	c.rtWG.Wait()
+	for _, pr := range c.prs {
 		pr.buf.Close()
 		pr.mu.Lock()
 		pr.cond.Broadcast()
@@ -638,9 +749,13 @@ func (c *Cluster) traceDrop(s sdo.SDO, pe int32, node int32, ev obs.Event) {
 	})
 }
 
-// emitter builds the policy-appropriate emit callback for a PE.
+// emitter builds the policy-appropriate emit callback for a PE. Each
+// emitted SDO is routed per downstream LOGICAL PE through the applied
+// target set's replica ring: keyed SDOs stick to one replica, unkeyed
+// ones spread by (Stream, Seq), and a non-elastic downstream's singleton
+// ring reproduces the pre-elastic path exactly.
 func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
-	if len(pr.down) == 0 && len(pr.remote) == 0 {
+	if pr.egress {
 		return func(out sdo.SDO) {
 			now := c.clock.Now()
 			lat := time.Since(out.Origin).Seconds() * c.scale
@@ -659,7 +774,20 @@ func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
 			// re-stamp with their own clock.
 			out.TraceEnq = c.clock.Now()
 		}
-		for _, dst := range pr.down {
+		tgt := c.targets.Load()
+		for _, d := range pr.downID {
+			ref := tgt.pick(sdo.PEID(d), out)
+			dst := ref.pr
+			if dst == nil {
+				// Cross-partition forwarding is non-blocking by
+				// construction; a failed link counts as in-flight loss at
+				// the sender.
+				if err := c.sendReplicaSDO(ref.pe, ref.rep, out); err != nil {
+					c.col.inFlightDrop(c.clock.Now(), out.Hops)
+					c.traceDrop(out, d, -1, obs.EventUplinkDrop)
+				}
+				continue
+			}
 			switch {
 			case blocking:
 				pr.blocked.Store(true)
@@ -680,14 +808,6 @@ func (c *Cluster) emitter(pr *peRuntime) func(sdo.SDO) {
 					c.col.inFlightDrop(c.clock.Now(), out.Hops)
 					c.traceDrop(out, int32(dst.id), int32(dst.node), obs.EventDrop)
 				}
-			}
-		}
-		for _, d := range pr.remote {
-			// Cross-partition forwarding is non-blocking by construction;
-			// a failed link counts as in-flight loss at the sender.
-			if err := c.cfg.Uplink.SendSDO(d, out); err != nil {
-				c.col.inFlightDrop(c.clock.Now(), out.Hops)
-				c.traceDrop(out, int32(d), -1, obs.EventUplinkDrop)
 			}
 		}
 	}
@@ -819,7 +939,15 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			// A parked PE contributes no work and asks for no share; the
 			// planner redistributes its target to co-located PEs exactly
 			// as it does for a lock-step-blocked one.
-			ticks[i] = controller.PETick{Target: tgt.cpu[pr.id], Blocked: true}
+			ticks[i] = controller.PETick{Target: tgt.slot(pr.id, pr.rep), Blocked: true}
+			costs[i] = 0
+			continue
+		}
+		if pr.rep != 0 && tgt.slot(pr.id, pr.rep) == 0 {
+			// Dormant replica slot: no target, no work routed to it, no
+			// share to ask for. It earns and publishes nothing until an
+			// epoch activates it.
+			ticks[i] = controller.PETick{Blocked: true}
 			costs[i] = 0
 			continue
 		}
@@ -837,15 +965,18 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			mult = syn.svc.Params().MeanMult
 		}
 		// Advertised r_max is in SDOs per nominal Δt; scale it to this
-		// planning period before converting to a CPU fraction.
+		// planning period before converting to a CPU fraction. Bounds are
+		// grouped: a replicated downstream's capacity is the SUM of its
+		// active slots' advertisements (singleton groups reproduce the
+		// ungrouped bounds exactly).
 		switch pol {
 		case policy.ACES, policy.ACESStrictCPU:
-			capFrac = controller.RateToCPU(c.fb.outputBound(pr.downID)*elapsedTicks, cost, mult, dt)
+			capFrac = controller.RateToCPU(c.fb.groupedOutputBound(tgt.groupKeys, pr.downID)*elapsedTicks, cost, mult, dt)
 		case policy.ACESMinFlow:
-			capFrac = controller.RateToCPU(c.fb.minBound(pr.downID)*elapsedTicks, cost, mult, dt)
+			capFrac = controller.RateToCPU(c.fb.groupedMinBound(tgt.groupKeys, pr.downID)*elapsedTicks, cost, mult, dt)
 		}
 		ticks[i] = controller.PETick{
-			Target: tgt.cpu[pr.id],
+			Target: tgt.slot(pr.id, pr.rep),
 			// Bucket levels are in Δt-fractions; express them as a
 			// fraction of this planning period.
 			Tokens:    pr.bucket.Level() / elapsedTicks,
@@ -882,6 +1013,11 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			// grant or publish for a parked PE.
 			continue
 		}
+		if pr.rep != 0 && tgt.slot(pr.id, pr.rep) == 0 {
+			// Dormant replica: its key is in no group (installTargets
+			// forgot it on deactivation), so there is nothing to publish.
+			continue
+		}
 		pr.bucket.RefillFor(elapsedTicks)
 		pr.bucket.Spend(alloc[i] * elapsedTicks)
 		if pr.gGrant != nil {
@@ -892,7 +1028,7 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 		}
 		if pol.UsesFeedback() {
 			var rmax float64
-			if len(pr.downID) > 0 && c.fb.allDown(pr.downID) {
+			if len(pr.downID) > 0 && c.fb.groupedAllDown(tgt.groupKeys, pr.downID) {
 				// Every downstream is a failure artifact (suspect or dead
 				// peers, tripped breakers). Updating the LQR against the
 				// r_max = 0 picture would integrate a phantom buffer error
@@ -906,7 +1042,7 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 				// token surplus folds into ρ over a short horizon, exactly
 				// as in the simulator, so throttled PEs advertise the burst
 				// capacity they actually hold.
-				cpuRate := tgt.cpu[pr.id]
+				cpuRate := tgt.slot(pr.id, pr.rep)
 				if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
 					cpuRate += surplus / 5
 				}
@@ -921,20 +1057,25 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			if pr.gRmax != nil {
 				pr.gRmax.Set(rmax)
 			}
-			c.fb.publish(int32(pr.id), rmax)
+			// Advertisements go out under the slot's key: the primary's
+			// key is the PE id (pre-elastic wire compatibility), replicas
+			// publish under their composite keys and the grouped bounds
+			// sum them.
+			c.fb.publish(pr.key, rmax)
 			if c.cfg.Uplink != nil {
 				// Best effort: a lost advertisement is repaired next
 				// tick; peers treat silence as unconstrained only
 				// before the first one arrives.
-				_ = c.cfg.Uplink.SendFeedback(int32(pr.id), rmax)
+				_ = c.cfg.Uplink.SendFeedback(pr.key, rmax)
 			}
 		}
 	}
 }
 
-// runSource injects SDOs at the arrival process's virtual schedule.
+// runSource injects SDOs at the arrival process's virtual schedule,
+// routing each one through the target PE's replica ring (singleton for
+// non-elastic targets — the pre-elastic path exactly).
 func (c *Cluster) runSource(src graph.Source, proc workload.ArrivalProcess) {
-	target := c.pes[src.Target]
 	var seq uint64
 	nextV := c.clock.Now()
 	for {
@@ -963,6 +1104,16 @@ func (c *Cluster) runSource(src graph.Source, proc workload.ArrivalProcess) {
 				s.Trace = id
 				s.TraceEnq = c.clock.Now()
 			}
+		}
+		ref := c.targets.Load().pick(src.Target, s)
+		target := ref.pr
+		if target == nil {
+			// The ring elected a replica hosted by a peer process.
+			if err := c.sendReplicaSDO(ref.pe, ref.rep, s); err != nil {
+				c.col.inputDrop(c.clock.Now())
+				c.traceDrop(s, int32(src.Target), -1, obs.EventUplinkDrop)
+			}
+			continue
 		}
 		if c.cfg.Policy == policy.LoadShed && target.buf.Len() >= shedThreshold(target.buf.Cap()) {
 			c.col.inputDrop(c.clock.Now())
@@ -1002,12 +1153,27 @@ func (c *Cluster) InjectSDO(to sdo.PEID, s sdo.SDO) {
 		// is not ours, so the hop's enqueue stamp restarts here.
 		s.TraceEnq = c.clock.Now()
 	}
-	if int(to) < 0 || int(to) >= len(c.pes) || c.pes[to] == nil {
+	if int(to) < 0 || int(to) >= len(c.pes) {
 		c.col.inFlightDrop(c.clock.Now(), s.Hops)
 		c.traceDrop(s, int32(to), -1, obs.EventDrop)
 		return
 	}
-	dst := c.pes[to]
+	// Logical delivery picks among the LOCAL replica slots of the target
+	// (the sender either predates replica addressing or deferred the
+	// choice); nil means no slot of this PE lives here.
+	dst := c.targets.Load().pickLocal(to, s)
+	if dst == nil {
+		c.col.inFlightDrop(c.clock.Now(), s.Hops)
+		c.traceDrop(s, int32(to), -1, obs.EventDrop)
+		return
+	}
+	c.admit(dst, s)
+}
+
+// admit applies local admission semantics (threshold shedding under
+// LoadShed, drop on overflow) for an SDO arriving from a peer process or
+// a replica drain.
+func (c *Cluster) admit(dst *peRuntime, s sdo.SDO) {
 	if c.cfg.Policy == policy.LoadShed && dst.buf.Len() >= shedThreshold(dst.buf.Cap()) {
 		c.col.inFlightDrop(c.clock.Now(), s.Hops)
 		c.traceDrop(s, int32(dst.id), int32(dst.node), obs.EventShed)
@@ -1132,17 +1298,20 @@ func (c *Cluster) Report(now float64) metrics.Report {
 			})
 		}
 	}
-	for _, pr := range c.pes {
-		if pr == nil {
-			continue
-		}
+	for _, pr := range c.prs {
 		rep.PERestarts += pr.restarts.Load()
 		if pr.breaker.Load() {
 			rep.BreakersOpen++
 		}
 	}
-	rep.TargetEpoch = c.targets.Load().epoch
+	ts := c.targets.Load()
+	rep.TargetEpoch = ts.epoch
 	rep.Retargets = c.retargets.Load()
+	for j := range c.replicas {
+		if n := c.ActiveReplicas(sdo.PEID(j)); n > rep.ActiveReplicas {
+			rep.ActiveReplicas = n
+		}
+	}
 	return rep
 }
 

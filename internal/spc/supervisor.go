@@ -84,7 +84,7 @@ func (c *Cluster) runPE(pr *peRuntime) {
 	// Per-PE seeded jitter: deterministic schedules stay deterministic,
 	// and co-located PEs crashed by the same fault do not restart in
 	// lockstep.
-	rng := rand.New(rand.NewSource(c.cfg.Seed ^ (int64(pr.id)+1)*0x5851F42D4C957F2D))
+	rng := rand.New(rand.NewSource(c.cfg.Seed ^ (int64(pr.key)+1)*0x5851F42D4C957F2D))
 	backoff := so.BackoffMin
 	for {
 		panicked := c.runPEOnce(pr)
@@ -198,7 +198,7 @@ func (c *Cluster) runPEOnce(pr *peRuntime) (panicked bool) {
 			// Egress PEs mark the trace terminal (their emit callback has
 			// already recorded the delivery metrics).
 			ev := obs.EventProcessed
-			if len(pr.down) == 0 && len(pr.remote) == 0 {
+			if pr.egress {
 				ev = obs.EventEgress
 			}
 			c.tracer.Record(obs.Span{
@@ -267,14 +267,14 @@ func (c *Cluster) parkPE(pr *peRuntime, pol policy.Policy) {
 	pr.parked = true
 	pr.bucket.SetRate(0)
 	pr.bucket.Spend(pr.bucket.Level())
-	c.fb.markDown(int32(pr.id), true)
+	c.fb.markDown(pr.key, true)
 	if pol.UsesFeedback() {
-		c.fb.publish(int32(pr.id), 0)
+		c.fb.publish(pr.key, 0)
 		if pr.gRmax != nil {
 			pr.gRmax.Set(0)
 		}
 		if c.cfg.Uplink != nil {
-			_ = c.cfg.Uplink.SendFeedback(int32(pr.id), 0)
+			_ = c.cfg.Uplink.SendFeedback(pr.key, 0)
 		}
 	}
 	if pr.gBreaker != nil {
@@ -291,9 +291,10 @@ func (c *Cluster) InjectHeartbeat(node int32) {
 	}
 }
 
-// PEHealth is one local PE's supervision status.
+// PEHealth is one local PE replica slot's supervision status.
 type PEHealth struct {
 	PE          int32 `json:"pe"`
+	Rep         int32 `json:"rep,omitempty"`
 	Node        int32 `json:"node"`
 	Restarts    int64 `json:"restarts"`
 	BreakerOpen bool  `json:"breaker_open"`
@@ -321,12 +322,9 @@ func (c *Cluster) Health() HealthStatus {
 		st.Members = c.det.Snapshot()
 		st.AllAlive = c.det.AllAlive()
 	}
-	for _, pr := range c.pes {
-		if pr == nil {
-			continue
-		}
+	for _, pr := range c.prs {
 		st.PEs = append(st.PEs, PEHealth{
-			PE: int32(pr.id), Node: int32(pr.node),
+			PE: int32(pr.id), Rep: pr.rep, Node: int32(pr.node),
 			Restarts:    pr.restarts.Load(),
 			BreakerOpen: pr.breaker.Load(),
 		})

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"aces/internal/sdo"
+)
+
+func TestReplicaFrameRoundTrip(t *testing.T) {
+	client, server := pair(t)
+	in := sdo.SDO{Stream: 3, Seq: 41, Key: 0xDEADBEEF, Hops: 2, Payload: []byte("k7")}
+	if err := client.SendReplica(5, 2, in); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != KindReplica || msg.To != 5 || msg.Rep != 2 {
+		t.Fatalf("replica frame lost its address: %+v", msg)
+	}
+	if msg.SDO.Seq != 41 || msg.SDO.Key != 0xDEADBEEF || msg.SDO.Hops != 2 {
+		t.Errorf("SDO mangled: %+v", msg.SDO)
+	}
+	if string(msg.SDO.Payload.([]byte)) != "k7" {
+		t.Errorf("payload mangled: %v", msg.SDO.Payload)
+	}
+}
+
+func TestReplicaTargetsRoundTrip(t *testing.T) {
+	client, server := pair(t)
+	in := ReplicaTargets{Epoch: 12, CPU: [][]float64{{0.3}, {0.25, 0, 0.45}, {}}}
+	if err := client.SendReplicaTargets(in); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != KindReplicaTargets || msg.ReplicaTargets.Epoch != 12 {
+		t.Fatalf("replica-targets frame lost: %+v", msg)
+	}
+	got := msg.ReplicaTargets.CPU
+	if len(got) != 3 || len(got[0]) != 1 || len(got[1]) != 3 || len(got[2]) != 0 {
+		t.Fatalf("matrix shape mangled: %v", got)
+	}
+	for j := range in.CPU {
+		for r := range in.CPU[j] {
+			if got[j][r] != in.CPU[j][r] {
+				t.Errorf("CPU[%d][%d] = %g, want %g", j, r, got[j][r], in.CPU[j][r])
+			}
+		}
+	}
+}
+
+func TestRecvRejectsBadReplicaFrame(t *testing.T) {
+	client, server := pair(t)
+	if err := client.send(KindReplica, []byte{0, 0, 0, 1}); err != nil {
+		t.Fatal(err) // 4 bytes: PE but no replica slot, no SDO
+	}
+	if _, err := server.Recv(); err == nil {
+		t.Errorf("short replica frame accepted")
+	}
+}
+
+// TestResilientReplicaFallsBackForOldPeer: against a peer that never
+// negotiated FeatureElastic, a replica-addressed SDO must degrade to a
+// plain routed frame — the data survives, only the slot pinning is lost —
+// and replica target matrices must be withheld entirely.
+func TestResilientReplicaFallsBackForOldPeer(t *testing.T) {
+	lis, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	rcA := NewResilientConn(func() (*Conn, error) {
+		return Dial(lis.Addr(), time.Second)
+	}, ResilientOptions{})
+	defer rcA.Close()
+
+	// Peer B is a raw conn whose hand-written hello advertises retarget but
+	// NOT elastic — an un-upgraded binary one protocol generation back.
+	gotRouted := make(chan Message, 4)
+	accepted := make(chan *Conn, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+		if err := conn.SendHello(FeatureHeartbeat | FeatureRetarget); err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Kind == KindRouted || msg.Kind == KindReplica {
+				gotRouted <- msg
+			}
+		}
+	}()
+	go func() {
+		for {
+			if _, err := rcA.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() {
+		if conn := <-accepted; conn != nil {
+			conn.Close()
+		}
+	}()
+
+	waitFor(t, 5*time.Second, func() bool { return rcA.PeerSupportsRetarget() }, "hello negotiation")
+	if rcA.PeerSupportsElastic() {
+		t.Fatalf("non-elastic peer credited with FeatureElastic")
+	}
+	if err := rcA.SendReplica(4, 1, sdo.SDO{Seq: 77}); err != nil {
+		t.Fatalf("SendReplica: %v", err)
+	}
+	select {
+	case msg := <-gotRouted:
+		if msg.Kind != KindRouted || msg.To != 4 || msg.SDO.Seq != 77 {
+			t.Errorf("fallback frame wrong: %+v", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica SDO never degraded to a routed frame")
+	}
+}

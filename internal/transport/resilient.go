@@ -218,6 +218,25 @@ func (rc *ResilientConn) SendRouted(to sdo.PEID, s sdo.SDO) error {
 	return rc.enqueue(outFrame{kind: KindRouted, body: body, buf: bp, hops: s.Hops, trace: s.Trace})
 }
 
+// SendReplica enqueues a data frame addressed to replica slot `rep` of PE
+// `to` in the peer process. When the peer has not (yet) advertised
+// FeatureElastic the frame falls back to a plain routed frame — the
+// receiver re-routes it locally among its own replicas, trading exact
+// key affinity for delivery. It never blocks.
+func (rc *ResilientConn) SendReplica(to sdo.PEID, rep int32, s sdo.SDO) error {
+	if !rc.PeerSupportsElastic() {
+		return rc.SendRouted(to, s)
+	}
+	bp := getBuf()
+	body, err := encodeReplica((*bp)[:0], to, rep, s)
+	if err != nil {
+		putBuf(bp)
+		return err
+	}
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindReplica, body: body, buf: bp, hops: s.Hops, trace: s.Trace})
+}
+
 // SendFeedback enqueues one control frame. It never blocks.
 func (rc *ResilientConn) SendFeedback(f Feedback) error {
 	bp := getBuf()
@@ -287,6 +306,38 @@ func (rc *ResilientConn) PeerSupportsRetarget() bool {
 	cur := rc.cur
 	rc.mu.Unlock()
 	return cur != nil && cur.PeerSupportsRetarget()
+}
+
+// SendReplicaTargets enqueues one epoch-numbered per-replica target set,
+// with the same silent-discard contract as SendTargets: no live
+// connection or no FeatureElastic in the peer's hello means the periodic
+// re-broadcast repairs it later. Callers that can collapse the set to a
+// logical Targets vector should do so for retarget-only peers. Never
+// blocks.
+func (rc *ResilientConn) SendReplicaTargets(rt ReplicaTargets) error {
+	rc.mu.Lock()
+	cur := rc.cur
+	closed := rc.closed
+	rc.mu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	if cur == nil || !cur.PeerSupportsElastic() {
+		return nil
+	}
+	bp := getBuf()
+	body := encodeReplicaTargets((*bp)[:0], rt)
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindReplicaTargets, body: body, buf: bp})
+}
+
+// PeerSupportsElastic reports whether the current connection's peer
+// advertised replica-frame support (false while disconnected).
+func (rc *ResilientConn) PeerSupportsElastic() bool {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	return cur != nil && cur.PeerSupportsElastic()
 }
 
 func (rc *ResilientConn) enqueue(f outFrame) error {
@@ -403,7 +454,7 @@ func (rc *ResilientConn) invalidate(gen int) {
 // heartbeat and retarget decoding are intrinsic to this protocol version,
 // batch framing is opt-in.
 func (rc *ResilientConn) localFeatures() uint64 {
-	f := FeatureHeartbeat | FeatureRetarget
+	f := FeatureHeartbeat | FeatureRetarget | FeatureElastic
 	if rc.opts.BatchMax > 1 {
 		f |= FeatureBatch
 	}
@@ -578,7 +629,9 @@ func (rc *ResilientConn) fillBurst(burst *[]outFrame) {
 // batchable reports whether a frame kind may ride inside a batch frame.
 // Feedback stays on its own frames: the control path's advertisements are
 // latency-sensitive and must remain decodable by batch-unaware peers.
-func batchable(k Kind) bool { return k == KindData || k == KindRouted }
+// Replica frames are batchable — a FeatureElastic peer necessarily speaks
+// protocol v2, and the sender only emits them post-hello.
+func batchable(k Kind) bool { return k == KindData || k == KindRouted || k == KindReplica }
 
 // writeBurst writes the burst as a sequence of batch frames (runs of
 // batchable frames, when negotiated) and single frames, flushing with the

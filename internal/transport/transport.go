@@ -11,6 +11,8 @@
 //	batch  := count(u32) { kind(u8) mlen(u32) member } × count
 //	hbeat  := node(i32) seq(u64)
 //	tgt    := epoch(u64) count(u32) cpu(f64 bits) × count
+//	rep    := pe(i32) replica(i32) data
+//	rtgt   := epoch(u64) peCount(u32) { slots(u32) cpu(f64 bits)×slots } × peCount
 //
 // trace is the observability trace ID (0 = unsampled): carrying it inside
 // the routed frame is what lets a per-SDO trace be stitched across the
@@ -72,6 +74,17 @@ const (
 	// receivers reject stale epochs, so duplicated or reordered target
 	// frames are harmless.
 	KindTargets
+	// KindReplica is a routed data frame addressed to a specific replica
+	// of a PE (elastic parallelism): the SENDING process picks the replica
+	// by key-hash so per-key affinity survives the process boundary. Only
+	// sent to peers that advertised FeatureElastic; against older peers the
+	// sender falls back to KindRouted and the receiver re-routes locally.
+	KindReplica
+	// KindReplicaTargets carries an epoch-numbered tier-1 target set with
+	// per-replica-slot placement — the elastic superset of KindTargets.
+	// Control path (never batched), FeatureElastic-gated, same stale-epoch
+	// rejection as KindTargets.
+	KindReplicaTargets
 )
 
 // protocolVersion is announced in hello frames. Version 2 adds batch
@@ -88,6 +101,10 @@ const FeatureHeartbeat uint64 = 1 << 1
 // FeatureRetarget advertises that this endpoint decodes KindTargets
 // frames and applies epoch-numbered tier-1 retargets.
 const FeatureRetarget uint64 = 1 << 2
+
+// FeatureElastic advertises that this endpoint decodes KindReplica and
+// KindReplicaTargets frames and hosts replica groups.
+const FeatureElastic uint64 = 1 << 3
 
 // Feedback is a control-plane advertisement: PE j accepts at most RMax
 // SDOs per control tick.
@@ -114,18 +131,29 @@ type Targets struct {
 	CPU   []float64
 }
 
+// ReplicaTargets is the elastic target set: CPU[j][r] is the new c̄ of
+// replica slot r of PE j (slot 0 is the primary, so collapsing each row
+// to its sum recovers a Targets vector). Epoch ordering matches Targets.
+type ReplicaTargets struct {
+	Epoch uint64
+	CPU   [][]float64
+}
+
 // Message is a decoded frame: exactly one of SDO/Feedback/Heartbeat/
 // Targets is meaningful per Kind; To is set for routed frames. Batch
 // frames are decoded into their members, so Recv only ever yields
 // data/routed/feedback/heartbeat/targets messages.
 type Message struct {
-	Kind      Kind
-	SDO       sdo.SDO
-	Feedback  Feedback
-	Heartbeat Heartbeat
-	Targets   Targets
-	// To is the destination PE of a KindRouted frame.
+	Kind           Kind
+	SDO            sdo.SDO
+	Feedback       Feedback
+	Heartbeat      Heartbeat
+	Targets        Targets
+	ReplicaTargets ReplicaTargets
+	// To is the destination PE of a KindRouted or KindReplica frame.
 	To sdo.PEID
+	// Rep is the destination replica slot of a KindReplica frame.
+	Rep int32
 }
 
 // maxFrame bounds a frame body; anything larger is a protocol error, not a
@@ -248,6 +276,12 @@ func (c *Conn) PeerSupportsRetarget() bool {
 	return c.peerFeatures.Load()&FeatureRetarget != 0
 }
 
+// PeerSupportsElastic reports whether the peer's hello advertised
+// replica-frame decoding. False until a hello arrives.
+func (c *Conn) PeerSupportsElastic() bool {
+	return c.peerFeatures.Load()&FeatureElastic != 0
+}
+
 // setPeerFeatures force-sets the peer feature bits (tests that need
 // batching active without running a Recv loop on the sender side).
 func (c *Conn) setPeerFeatures(f uint64) { c.peerFeatures.Store(f) }
@@ -280,6 +314,7 @@ func encodeSDO(dst []byte, s sdo.SDO) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(s.Origin.UnixNano()))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(s.Hops))
 	dst = binary.BigEndian.AppendUint64(dst, s.Trace)
+	dst = binary.BigEndian.AppendUint64(dst, s.Key)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
 	dst = append(dst, payload...)
 	return dst, nil
@@ -302,6 +337,41 @@ func (c *Conn) SendRouted(to sdo.PEID, s sdo.SDO) error {
 func encodeRouted(dst []byte, to sdo.PEID, s sdo.SDO) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(to))
 	return encodeSDO(dst, s)
+}
+
+// SendReplica writes a data frame addressed to a specific replica slot of
+// a PE in a peer process. Callers must gate on PeerSupportsElastic (and
+// fall back to SendRouted otherwise).
+func (c *Conn) SendReplica(to sdo.PEID, rep int32, s sdo.SDO) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	body, err := encodeReplica((*bp)[:0], to, rep, s)
+	if err != nil {
+		return err
+	}
+	*bp = body[:0]
+	return c.send(KindReplica, body)
+}
+
+// encodeReplica appends the replica-frame body (PE + replica slot + SDO).
+func encodeReplica(dst []byte, to sdo.PEID, rep int32, s sdo.SDO) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(to))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(rep))
+	return encodeSDO(dst, s)
+}
+
+// decodeReplica decodes a replica-frame body: PE + replica slot + SDO.
+func decodeReplica(body []byte) (sdo.PEID, int32, sdo.SDO, error) {
+	if len(body) < 8 {
+		return 0, 0, sdo.SDO{}, fmt.Errorf("transport: short replica frame (%d bytes)", len(body))
+	}
+	to := sdo.PEID(int32(binary.BigEndian.Uint32(body[0:4])))
+	rep := int32(binary.BigEndian.Uint32(body[4:8]))
+	s, err := decodeSDO(body[8:])
+	if err != nil {
+		return 0, 0, sdo.SDO{}, err
+	}
+	return to, rep, s, nil
 }
 
 // SendFeedback writes one control frame.
@@ -378,6 +448,66 @@ func decodeTargets(body []byte) (Targets, error) {
 		}
 	}
 	return t, nil
+}
+
+// SendReplicaTargets writes one epoch-numbered per-replica target set.
+// Control-path contract matches SendTargets: own frame, never batched.
+// Callers must gate on PeerSupportsElastic.
+func (c *Conn) SendReplicaTargets(rt ReplicaTargets) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	body := encodeReplicaTargets((*bp)[:0], rt)
+	*bp = body[:0]
+	return c.send(KindReplicaTargets, body)
+}
+
+// encodeReplicaTargets appends the replica-targets body:
+// epoch(u64) peCount(u32) { slotCount(u32) cpu(f64 bits)×slotCount } × peCount.
+func encodeReplicaTargets(dst []byte, rt ReplicaTargets) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, rt.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(rt.CPU)))
+	for _, row := range rt.CPU {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(row)))
+		for _, c := range row {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c))
+		}
+	}
+	return dst
+}
+
+// decodeReplicaTargets decodes a replica-targets body. Rows are copied
+// out, so the caller may recycle the buffer immediately.
+func decodeReplicaTargets(body []byte) (ReplicaTargets, error) {
+	if len(body) < 12 {
+		return ReplicaTargets{}, fmt.Errorf("transport: short replica-targets frame (%d bytes)", len(body))
+	}
+	rt := ReplicaTargets{Epoch: binary.BigEndian.Uint64(body[0:8])}
+	peCount := binary.BigEndian.Uint32(body[8:12])
+	if peCount > maxFrame/4 {
+		return ReplicaTargets{}, fmt.Errorf("transport: replica-targets PE count %d out of range", peCount)
+	}
+	rest := body[12:]
+	rt.CPU = make([][]float64, peCount)
+	for j := uint32(0); j < peCount; j++ {
+		if len(rest) < 4 {
+			return ReplicaTargets{}, fmt.Errorf("transport: truncated replica-targets row %d", j)
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		rest = rest[4:]
+		if n > maxBatchMembers || int(n)*8 > len(rest) {
+			return ReplicaTargets{}, fmt.Errorf("transport: replica-targets row %d slot count %d out of range", j, n)
+		}
+		row := make([]float64, n)
+		for r := range row {
+			row[r] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*r:]))
+		}
+		rt.CPU[j] = row
+		rest = rest[8*n:]
+	}
+	if len(rest) != 0 {
+		return ReplicaTargets{}, fmt.Errorf("transport: %d trailing bytes after replica-targets rows", len(rest))
+	}
+	return rt, nil
 }
 
 // send writes one frame and flushes: the contract for direct Conn users
@@ -539,6 +669,18 @@ func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, e
 			return Message{}, false, err
 		}
 		return Message{Kind: KindTargets, Targets: t}, false, nil
+	case KindReplica:
+		to, rep, s, err := decodeReplica(body)
+		if err != nil {
+			return Message{}, false, err
+		}
+		return Message{Kind: KindReplica, SDO: s, To: to, Rep: rep}, false, nil
+	case KindReplicaTargets:
+		rt, err := decodeReplicaTargets(body)
+		if err != nil {
+			return Message{}, false, err
+		}
+		return Message{Kind: KindReplicaTargets, ReplicaTargets: rt}, false, nil
 	case KindBatch:
 		if err := c.decodeBatch(body); err != nil {
 			return Message{}, false, err
@@ -558,8 +700,8 @@ func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, e
 }
 
 // decodeBatch splits a batch body into c.pending. Members may only be
-// data or routed frames; anything else (nested batches, control frames)
-// is a protocol error.
+// data, routed or replica frames; anything else (nested batches, control
+// frames) is a protocol error.
 func (c *Conn) decodeBatch(body []byte) error {
 	if len(body) < 4 {
 		return fmt.Errorf("transport: short batch frame (%d bytes)", len(body))
@@ -594,6 +736,12 @@ func (c *Conn) decodeBatch(body []byte) error {
 				return err
 			}
 			c.pending = append(c.pending, Message{Kind: KindRouted, SDO: s, To: to})
+		case KindReplica:
+			to, rep, s, err := decodeReplica(mbody)
+			if err != nil {
+				return err
+			}
+			c.pending = append(c.pending, Message{Kind: KindReplica, SDO: s, To: to, Rep: rep})
 		default:
 			return fmt.Errorf("transport: batch member %d has non-data kind %d", i, k)
 		}
@@ -606,8 +754,10 @@ func (c *Conn) decodeBatch(body []byte) error {
 }
 
 // sdoHeaderLen is the fixed prefix of a data-frame body: stream(4) +
-// seq(8) + origin(8) + hops(4) + trace(8) + payloadLen(4).
-const sdoHeaderLen = 36
+// seq(8) + origin(8) + hops(4) + trace(8) + key(8) + payloadLen(4). The
+// partition key rides every data frame so a receiver can re-route the SDO
+// among its local replicas with the same key affinity the sender used.
+const sdoHeaderLen = 44
 
 // decodeSDO decodes a data-frame body. The payload (if any) is copied out
 // of body, so the caller may recycle the buffer immediately.
@@ -621,8 +771,9 @@ func decodeSDO(body []byte) (sdo.SDO, error) {
 		Origin: time.Unix(0, int64(binary.BigEndian.Uint64(body[12:20]))),
 		Hops:   int(int32(binary.BigEndian.Uint32(body[20:24]))),
 		Trace:  binary.BigEndian.Uint64(body[24:32]),
+		Key:    binary.BigEndian.Uint64(body[32:40]),
 	}
-	plen := binary.BigEndian.Uint32(body[32:36])
+	plen := binary.BigEndian.Uint32(body[40:44])
 	if int(plen) != len(body)-sdoHeaderLen {
 		return sdo.SDO{}, fmt.Errorf("transport: payload length %d disagrees with frame size", plen)
 	}

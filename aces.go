@@ -1,12 +1,14 @@
 package aces
 
 import (
+	"io"
 	"time"
 
 	"aces/internal/chaos"
 	"aces/internal/control"
 	"aces/internal/experiments"
 	"aces/internal/graph"
+	"aces/internal/hier"
 	"aces/internal/metrics"
 	"aces/internal/obs"
 	"aces/internal/optimize"
@@ -320,6 +322,50 @@ func NewPanicInjector(inner Processor) *PanicInjector { return spc.NewPanicInjec
 // cost is base before virtual time at and stepped from then on.
 func NewStepCost(out StreamID, base, stepped, at float64) *StepCost {
 	return spc.NewStepCost(out, base, stepped, at)
+}
+
+// The hierarchical control plane (internal/hier): region-decomposed
+// tier-1 solves coordinated by a thin root through priced cut edges,
+// with targets disseminated down a spanning tree of processes.
+type (
+	// HierPartitionConfig parameterizes the region partition of a PE
+	// graph.
+	HierPartitionConfig = hier.PartitionConfig
+	// HierRegion is one region of a decomposition.
+	HierRegion = hier.Region
+	// HierDecomposition is a complete region partition of a topology.
+	HierDecomposition = hier.Decomposition
+	// HierConfig tunes the hierarchical tier-1 solve.
+	HierConfig = hier.Config
+	// HierAllocation is the assembled, full-topology-shaped output of a
+	// hierarchical solve.
+	HierAllocation = hier.Allocation
+	// HierRegionStat reports one region's share of a hierarchical solve.
+	HierRegionStat = hier.RegionStat
+	// HierRetargetConfig switches Cluster.StartRetarget to the
+	// hierarchical solver (RetargetConfig.Hier).
+	HierRetargetConfig = spc.HierRetarget
+	// EpochAckSender is the uplink extension carrying dissemination acks
+	// up the target tree (implemented by Link, Router and ResilientLink).
+	EpochAckSender = spc.EpochAckSender
+)
+
+// HierPartition decomposes a topology into regions, minimizing the
+// stream volume crossing region boundaries under a per-region PE budget.
+func HierPartition(t *Topology, cfg HierPartitionConfig) (*HierDecomposition, error) {
+	return hier.Partition(t, cfg)
+}
+
+// HierSolve runs the hierarchical tier-1 solve over a decomposition; the
+// result is shaped like the monolithic Optimize output.
+func HierSolve(t *Topology, d *HierDecomposition, cfg HierConfig) (*HierAllocation, error) {
+	return hier.Solve(t, d, cfg)
+}
+
+// WriteHierDOT renders a region decomposition as a Graphviz digraph with
+// cut edges highlighted (aces-topo -regions uses it).
+func WriteHierDOT(w io.Writer, t *Topology, d *HierDecomposition, title string) error {
+	return hier.WriteDOT(w, t, d, title)
 }
 
 // The deterministic chaos harness (internal/chaos): seeded fault

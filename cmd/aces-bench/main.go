@@ -33,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aces-bench", flag.ContinueOnError)
 	var (
 		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
-		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|retarget|elastic|all")
+		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|retarget|elastic|hier|all")
 		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
 		jsonTo = fs.String("json", "", "also write per-experiment results as machine-readable JSON to this file")
 		pes    = fs.Int("pes", 0, "override topology PE count")
@@ -49,6 +49,10 @@ func run(args []string) error {
 		retargetSeed = fs.Int64("retarget-seed", 7, "retarget experiment: deployment seed")
 
 		elasticSeed = fs.Int64("elastic-seed", 7, "elastic experiment: deployment seed")
+
+		hierSeed     = fs.Int64("hier-seed", 13, "hier experiment: topology seed")
+		hierDeadline = fs.Duration("hier-deadline", 0, "hier experiment: per-epoch solve deadline (0 = default)")
+		solverBase   = fs.String("solver-baseline", "", "hier experiment: committed -json output to regress against (>20% normalized hier solve time or <95% quality fails)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -269,6 +273,29 @@ func run(args []string) error {
 			}
 			return nil
 		}},
+		{"hier", func() error {
+			ho := experiments.HierOptions{Seed: *hierSeed, Deadline: *hierDeadline, Quick: *quick}
+			res, err := experiments.RunHier(ho)
+			if err != nil {
+				return err
+			}
+			addJSON("hier", res)
+			experiments.FormatHier(w, res)
+			if *solverBase != "" {
+				base, err := loadHierBaseline(*solverBase)
+				if err != nil {
+					return err
+				}
+				if err := experiments.CompareHier(base, res); err != nil {
+					return fmt.Errorf("vs %s: %w", *solverBase, err)
+				}
+				fmt.Fprintf(w, "  baseline check vs %s: OK\n\n", *solverBase)
+			}
+			if !res.OK {
+				return fmt.Errorf("hierarchical control plane missed the acceptance bar (see table above)")
+			}
+			return nil
+		}},
 	}
 
 	start := time.Now()
@@ -333,4 +360,33 @@ func loadTransportBaseline(path string) ([]experiments.TransportRow, error) {
 		}
 	}
 	return nil, fmt.Errorf("baseline %s has no transport experiment", path)
+}
+
+// loadHierBaseline extracts the hier experiment result from a committed
+// `aces-bench -json` output file (BENCH_solver_scale.json).
+func loadHierBaseline(path string) (experiments.HierResult, error) {
+	var zero experiments.HierResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return zero, fmt.Errorf("baseline: %w", err)
+	}
+	var doc struct {
+		Experiments []struct {
+			Name string          `json:"name"`
+			Rows json.RawMessage `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return zero, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for _, e := range doc.Experiments {
+		if e.Name == "hier" {
+			var res experiments.HierResult
+			if err := json.Unmarshal(e.Rows, &res); err != nil {
+				return zero, fmt.Errorf("baseline %s: %w", path, err)
+			}
+			return res, nil
+		}
+	}
+	return zero, fmt.Errorf("baseline %s has no hier experiment", path)
 }

@@ -45,6 +45,7 @@ func run(args []string) error {
 		lambdaS  = fs.Float64("lambda-s", 10, "burstiness dwell scale λ_S")
 		solve    = fs.Bool("solve", false, "attach tier-1 CPU targets")
 		iters    = fs.Int("iters", 1500, "tier-1 solver iterations (with -solve)")
+		regions  = fs.Int("regions", 0, "decompose into this many control regions; -dot then renders the decomposition with cut edges highlighted")
 		out      = fs.String("o", "", "output file (default stdout)")
 		dotOut   = fs.String("dot", "", "also write a Graphviz rendering to this file")
 		validate = fs.String("validate", "", "validate an existing topology JSON instead of generating")
@@ -91,15 +92,35 @@ func run(args []string) error {
 		return err
 	}
 
+	var dec *aces.HierDecomposition
+	if *regions > 0 {
+		dec, err = aces.HierPartition(topo, aces.HierPartitionConfig{Regions: *regions})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "regions: %d over %d nodes, %d cut edges carrying %.1f%% of stream volume\n",
+			len(dec.Regions), topo.NumNodes, len(dec.Cut), 100*dec.CutFraction())
+		for _, r := range dec.Regions {
+			fmt.Fprintf(os.Stderr, "  region %d: %d PEs on %d nodes\n", r.ID, len(r.PEs), len(r.Nodes))
+		}
+	}
+
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)
 		if err != nil {
 			return err
 		}
 		title := fmt.Sprintf("%d PEs / %d nodes (seed %d)", topo.NumPEs(), topo.NumNodes, *seed)
-		if err := topo.WriteDOT(f, title); err != nil {
+		werr := error(nil)
+		if dec != nil {
+			title += fmt.Sprintf(", %d regions", len(dec.Regions))
+			werr = aces.WriteHierDOT(f, topo, dec, title)
+		} else {
+			werr = topo.WriteDOT(f, title)
+		}
+		if werr != nil {
 			f.Close()
-			return err
+			return werr
 		}
 		if err := f.Close(); err != nil {
 			return err

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A miniature E13 must run end to end: both solvers at every ladder
+// point, the partition, and the three simulator runs wired through
+// streamsim.StartRetarget. The acceptance verdict itself is only gated
+// at real scale (aces-bench / CI) — at toy scale the decomposition's
+// relay overhead dominates, so here we assert mechanics, not quality.
+func TestRunHierMiniature(t *testing.T) {
+	res, err := RunHier(HierOptions{
+		Scales:      []int{60, 120},
+		PEsPerNode:  6,
+		RegionPEs:   30,
+		MonoIters:   120,
+		RegionIters: 40,
+		Sweeps:      2,
+		Deadline:    20 * time.Second,
+		SimPEs:      60,
+		SimDuration: 2,
+		SimEvery:    0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scales) != 2 {
+		t.Fatalf("scale rows = %d, want 2", len(res.Scales))
+	}
+	for _, r := range res.Scales {
+		if r.Regions < 2 {
+			t.Errorf("scale %d: %d regions, want ≥ 2", r.PEs, r.Regions)
+		}
+		if r.MonoWT <= 0 || r.HierWT <= 0 {
+			t.Errorf("scale %d: zero throughput (mono %.2f, hier %.2f)", r.PEs, r.MonoWT, r.HierWT)
+		}
+		if r.HierFrac <= 0.5 {
+			t.Errorf("scale %d: hier/mono %.2f implausibly low", r.PEs, r.HierFrac)
+		}
+	}
+	if res.Sim.Epochs < 1 {
+		t.Errorf("sim installed %d retarget epochs, want ≥ 1", res.Sim.Epochs)
+	}
+	if res.Sim.UniformWT <= 0 || res.Sim.MonoWT <= 0 || res.Sim.HierWT <= 0 {
+		t.Errorf("sim throughputs: %+v", res.Sim)
+	}
+
+	var sb strings.Builder
+	FormatHier(&sb, res)
+	if !strings.Contains(sb.String(), "E13") || !strings.Contains(sb.String(), "verdict") {
+		t.Errorf("FormatHier output broken:\n%s", sb.String())
+	}
+}
+
+func TestCompareHierGates(t *testing.T) {
+	mk := func(scales []int, ms []float64, frac float64) HierResult {
+		r := HierResult{}
+		for i, p := range scales {
+			r.Scales = append(r.Scales, HierScaleRow{PEs: p, HierMillis: ms[i], HierFrac: frac, MonoConverged: true})
+		}
+		return r
+	}
+	base := mk([]int{500, 1000, 2000, 5000}, []float64{100, 210, 450, 1200}, 0.97)
+
+	// Same shape, different machine speed: must pass (normalization).
+	if err := CompareHier(base, mk([]int{500, 1000, 2000, 5000}, []float64{200, 420, 900, 2400}, 0.97)); err != nil {
+		t.Errorf("uniform 2× slower machine flagged: %v", err)
+	}
+	// Quick prefix ladder: only common scales compared, must pass.
+	if err := CompareHier(base, mk([]int{500, 1000}, []float64{100, 215}, 0.97)); err != nil {
+		t.Errorf("prefix ladder flagged: %v", err)
+	}
+	// One point's normalized cost grew 2×: the curve bent, must fail.
+	if err := CompareHier(base, mk([]int{500, 1000, 2000, 5000}, []float64{100, 210, 450, 2600}, 0.97)); err == nil {
+		t.Error("superlinear blow-up at 5000 not flagged")
+	}
+	// Quality regression below the 95% bar must fail.
+	if err := CompareHier(base, mk([]int{500, 1000, 2000, 5000}, []float64{100, 210, 450, 1200}, 0.90)); err == nil {
+		t.Error("hier_frac 0.90 not flagged")
+	}
+	// Disjoint ladders cannot be compared.
+	if err := CompareHier(base, mk([]int{300, 600}, []float64{50, 110}, 0.97)); err == nil {
+		t.Error("disjoint ladder accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package hier
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aces/internal/graph"
+)
+
+// regionPalette colors region clusters in the DOT rendering; regions
+// beyond the palette cycle through it.
+var regionPalette = []string{
+	"#cfe2f3", "#d9ead3", "#fff2cc", "#f4cccc",
+	"#d9d2e9", "#fce5cd", "#d0e0e3", "#ead1dc",
+}
+
+// WriteDOT renders a region decomposition as a Graphviz digraph: one
+// colored cluster per region with the physical nodes sub-clustered
+// inside it, and the cut edges — the streams the root prices — drawn
+// bold and dashed across cluster boundaries. `dot -Tsvg` turns it into
+// the picture of what each regional solver owns and what the root
+// coordinates.
+func WriteDOT(w io.Writer, t *graph.Topology, d *Decomposition, title string) error {
+	if len(d.RegionOf) != t.NumPEs() {
+		return fmt.Errorf("hier: decomposition covers %d PEs, topology has %d", len(d.RegionOf), t.NumPEs())
+	}
+	cut := make(map[graph.Edge]bool, len(d.Cut))
+	for _, e := range d.Cut {
+		cut[e] = true
+	}
+	var b strings.Builder
+	b.WriteString("digraph aces_hier {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", title)
+	}
+	for _, reg := range d.Regions {
+		color := regionPalette[reg.ID%len(regionPalette)]
+		fmt.Fprintf(&b, "  subgraph cluster_r%d {\n    label=\"region %d (%d PEs)\";\n    style=filled;\n    color=%q;\n",
+			reg.ID, reg.ID, len(reg.PEs), color)
+		for _, n := range reg.Nodes {
+			ids := t.OnNode(n)
+			if len(ids) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    subgraph cluster_r%dn%d {\n      label=\"node %d\";\n      style=dashed;\n      color=black;\n", reg.ID, n, n)
+			for _, id := range ids {
+				pe := &t.PEs[id]
+				attrs := ""
+				if t.IsEgress(id) {
+					attrs = fmt.Sprintf(", style=\"rounded,filled\", fillcolor=lightgrey, xlabel=\"w=%.2g\"", pe.Weight)
+				}
+				fmt.Fprintf(&b, "      pe%d [label=%q%s];\n", id, pe.Name, attrs)
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("  }\n")
+	}
+	for i, s := range t.Sources {
+		fmt.Fprintf(&b, "  src%d [shape=diamond, label=\"s%d @%.3g/s\"];\n", i, s.Stream, s.Rate)
+		fmt.Fprintf(&b, "  src%d -> pe%d;\n", i, s.Target)
+	}
+	for _, e := range t.Edges {
+		if cut[e] {
+			fmt.Fprintf(&b, "  pe%d -> pe%d [style=dashed, penwidth=2, color=red];\n", e.From, e.To)
+		} else {
+			fmt.Fprintf(&b, "  pe%d -> pe%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,344 @@
+package hier
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aces/internal/graph"
+	"aces/internal/optimize"
+	"aces/internal/sdo"
+	"aces/internal/workload"
+)
+
+func genTopo(t *testing.T, pes, nodes int, seed int64) *graph.Topology {
+	t.Helper()
+	topo, err := graph.Generate(graph.DefaultGenConfig(pes, nodes, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// Two identical partition runs — and a partition of an identically
+// regenerated topology — must agree bit-for-bit. The retarget loop
+// computes the decomposition once and reuses it; determinism is what
+// makes that reuse (and cross-process agreement) sound.
+func TestPartitionDeterministic(t *testing.T) {
+	cfg := PartitionConfig{Regions: 6}
+	a, err := Partition(genTopo(t, 400, 40, 11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(genTopo(t, 400, 40, 11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.RegionOf) != len(b.RegionOf) {
+		t.Fatalf("length mismatch: %d vs %d", len(a.RegionOf), len(b.RegionOf))
+	}
+	for j := range a.RegionOf {
+		if a.RegionOf[j] != b.RegionOf[j] {
+			t.Fatalf("PE %d region differs across runs: %d vs %d", j, a.RegionOf[j], b.RegionOf[j])
+		}
+	}
+	if a.CutWeight != b.CutWeight {
+		t.Fatalf("cut weight differs: %g vs %g", a.CutWeight, b.CutWeight)
+	}
+}
+
+// Every PE lands in exactly one region, regions respect the PE budget,
+// and regions are node-granular (no node split across regions).
+func TestPartitionCoversBudgetNodeGranular(t *testing.T) {
+	topo := genTopo(t, 500, 50, 3)
+	cfg := PartitionConfig{Regions: 8}
+	d, err := Partition(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxRegionPEs == 0 {
+		// fillDefaults ran on a copy; recompute the derived budget.
+		even := (500 + 8 - 1) / 8
+		cfg.MaxRegionPEs = even + (even*3+9)/10
+	}
+	seen := make([]int, topo.NumPEs())
+	for _, reg := range d.Regions {
+		if len(reg.PEs) == 0 {
+			t.Errorf("region %d is empty", reg.ID)
+		}
+		if len(reg.PEs) > cfg.MaxRegionPEs {
+			t.Errorf("region %d holds %d PEs, budget %d", reg.ID, len(reg.PEs), cfg.MaxRegionPEs)
+		}
+		for _, pe := range reg.PEs {
+			seen[pe]++
+			if d.RegionOf[pe] != reg.ID {
+				t.Errorf("PE %d listed in region %d but RegionOf says %d", pe, reg.ID, d.RegionOf[pe])
+			}
+		}
+	}
+	for j, n := range seen {
+		if n != 1 {
+			t.Errorf("PE %d assigned %d times (orphaned or duplicated)", j, n)
+		}
+	}
+	for j := range topo.PEs {
+		if d.RegionOf[j] != d.NodeRegion[topo.PEs[j].Node] {
+			t.Errorf("PE %d in region %d but its node %d belongs to region %d",
+				j, d.RegionOf[j], topo.PEs[j].Node, d.NodeRegion[topo.PEs[j].Node])
+		}
+	}
+}
+
+// The weighted-attachment partitioner must cut no more stream volume
+// than the weight-blind BFS baseline on E12/E13-style topologies.
+func TestPartitionCutNoWorseThanBFS(t *testing.T) {
+	cases := []struct {
+		pes, nodes, regions int
+		seed                int64
+	}{
+		{500, 50, 8, 1},   // E12 scale
+		{1000, 100, 8, 2}, // E13 low end
+		{400, 40, 4, 7},
+	}
+	for _, tc := range cases {
+		topo := genTopo(t, tc.pes, tc.nodes, tc.seed)
+		smart, err := Partition(topo, PartitionConfig{Regions: tc.regions})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := PartitionBFS(topo, tc.regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smart.CutWeight > naive.CutWeight*1.0001 {
+			t.Errorf("pes=%d seed=%d: Partition cut %.3f (%.1f%%) worse than BFS cut %.3f (%.1f%%)",
+				tc.pes, tc.seed, smart.CutWeight, 100*smart.CutFraction(),
+				naive.CutWeight, 100*naive.CutFraction())
+		}
+	}
+}
+
+// Hand-solvable oracle: a 4-stage chain with uniform costs spanning two
+// nodes (two per node), linear utility, ample source. The monolithic
+// optimum equalizes stage rates; the cut edge carries everything the
+// downstream region can use, so after a couple of price sweeps the
+// hierarchical solve must land within a few percent of the monolithic
+// objective.
+func TestHierTwoRegionChainMatchesMonolithic(t *testing.T) {
+	topo := graph.New(2, 50)
+	costs := []float64{0.004, 0.004, 0.004, 0.004}
+	prev := sdo.NilPE
+	for i, tc := range costs {
+		w := 0.0
+		if i == len(costs)-1 {
+			w = 1
+		}
+		id := topo.AddPE(graph.PE{
+			Service: workload.ServiceParams{T0: tc, T1: tc, Rho: 0, MeanMult: 1},
+			Node:    sdo.NodeID(i / 2),
+			Weight:  w,
+		})
+		if prev != sdo.NilPE {
+			if err := topo.Connect(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	if err := topo.AddSource(graph.Source{Stream: 1, Target: 0, Rate: 1e6, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := Partition(topo, PartitionConfig{Regions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regions) != 2 {
+		t.Fatalf("expected 2 regions, got %d", len(d.Regions))
+	}
+
+	mono, err := optimize.Solve(topo, optimize.Config{Utility: optimize.LinearUtility{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Solve(topo, d, Config{
+		Optimize: optimize.Config{Utility: optimize.LinearUtility{}, MaxIters: 1500},
+		Sweeps:   6,
+		Epsilon:  1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Objective < 0.95*mono.Objective {
+		t.Errorf("hier objective %.4f < 95%% of monolithic %.4f", h.Objective, mono.Objective)
+	}
+	if h.WeightedThroughput < 0.95*mono.WeightedThroughput {
+		t.Errorf("hier wt %.2f < 95%% of monolithic wt %.2f", h.WeightedThroughput, mono.WeightedThroughput)
+	}
+	// The assembled allocation must stay node-feasible.
+	nodeSum := make([]float64, topo.NumNodes)
+	for j, c := range h.CPU {
+		if c < -1e-9 {
+			t.Fatalf("negative allocation for PE %d: %g", j, c)
+		}
+		nodeSum[topo.PEs[j].Node] += c
+	}
+	for n, s := range nodeSum {
+		if s > 1+1e-6 {
+			t.Errorf("node %d over-allocated: %.6f", n, s)
+		}
+	}
+}
+
+// On a generated E12-scale topology the hierarchical solve must recover
+// ≥90% of the monolithic objective (the ISSUE bar is 95% at E13 scale
+// with tuned sweep counts; here we hold a slightly softer floor on an
+// arbitrary small topology with few sweeps).
+func TestHierGeneratedNearMonolithic(t *testing.T) {
+	topo := genTopo(t, 200, 20, 5)
+	d, err := Partition(topo, PartitionConfig{Regions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := optimize.Solve(topo, optimize.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Solve(topo, d, Config{
+		Optimize: optimize.Config{MaxIters: 1200},
+		Sweeps:   5,
+		Epsilon:  1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Objective < 0.90*mono.Objective {
+		t.Errorf("hier objective %.4f < 90%% of monolithic %.4f (%.1f%%)",
+			h.Objective, mono.Objective, 100*h.Objective/mono.Objective)
+	}
+	nodeSum := make([]float64, topo.NumNodes)
+	for j, c := range h.CPU {
+		nodeSum[topo.PEs[j].Node] += c
+	}
+	for n, s := range nodeSum {
+		if s > 1+1e-6 {
+			t.Errorf("node %d over-allocated: %.6f", n, s)
+		}
+	}
+	if len(h.Regions) != len(d.Regions) {
+		t.Fatalf("stats for %d regions, want %d", len(h.Regions), len(d.Regions))
+	}
+	for _, rs := range h.Regions {
+		if rs.Iterations <= 0 {
+			t.Errorf("region %d reports no iterations", rs.Region)
+		}
+	}
+}
+
+// Elastic hierarchical solve: replica matrices come back full-topology
+// shaped, slots on nodes outside the PE's region stay zero, and the
+// hot PE's second in-region slot activates under overload.
+func TestHierElasticShape(t *testing.T) {
+	// Two independent chains, one per node pair, so two regions split
+	// them cleanly. Chain A's middle PE is elastic with both slots inside
+	// region A (nodes 0,1); one phantom slot lands on node 2 (region B)
+	// and must remain zero.
+	topo := graph.New(4, 50)
+	svc := func(c float64) workload.ServiceParams {
+		return workload.ServiceParams{T0: c, T1: c, Rho: 0, MeanMult: 1}
+	}
+	a0 := topo.AddPE(graph.PE{Service: svc(0.0001), Node: 0})
+	a1 := topo.AddPE(graph.PE{Service: svc(0.004), Node: 0,
+		MaxReplicas: 3, ReplicaNodes: []sdo.NodeID{1, 2}})
+	a2 := topo.AddPE(graph.PE{Service: svc(0.00005), Node: 1, Weight: 1})
+	b0 := topo.AddPE(graph.PE{Service: svc(0.0001), Node: 2})
+	b1 := topo.AddPE(graph.PE{Service: svc(0.0005), Node: 3, Weight: 1})
+	for _, e := range [][2]sdo.PEID{{a0, a1}, {a1, a2}, {b0, b1}} {
+		if err := topo.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tgt := range []sdo.PEID{a0, b0} {
+		if err := topo.AddSource(graph.Source{Stream: sdo.StreamID(i + 1), Target: tgt, Rate: 400, Burst: graph.BurstSpec{Kind: graph.BurstDeterministic}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := Partition(topo, PartitionConfig{Regions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regions) != 2 {
+		t.Fatalf("expected 2 regions, got %d", len(d.Regions))
+	}
+	if d.NodeRegion[0] != d.NodeRegion[1] || d.NodeRegion[2] != d.NodeRegion[3] || d.NodeRegion[0] == d.NodeRegion[2] {
+		t.Fatalf("unexpected node split: %v", d.NodeRegion)
+	}
+
+	h, err := Solve(topo, d, Config{
+		Optimize: optimize.Config{MaxIters: 1500},
+		Sweeps:   3,
+		Elastic:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Replica) != topo.NumPEs() {
+		t.Fatalf("replica matrix has %d rows, want %d", len(h.Replica), topo.NumPEs())
+	}
+	for j := 0; j < topo.NumPEs(); j++ {
+		if got, want := len(h.Replica[j]), topo.Replicas(sdo.PEID(j)); got != want {
+			t.Fatalf("PE %d: %d slots, want %d", j, got, want)
+		}
+	}
+	// a1's slots sit on nodes 0,1,2 — slot 2 (node 2) is outside region A.
+	if h.Replica[a1][2] != 0 {
+		t.Errorf("out-of-region replica slot carries %g CPU, want 0", h.Replica[a1][2])
+	}
+	// 400/s through a 4 ms PE needs 1.6 CPU: one node cannot carry it, so
+	// the in-region second slot must activate.
+	if h.Replica[a1][1] < 0.05 {
+		t.Errorf("in-region second slot idle (%.4f) under overload", h.Replica[a1][1])
+	}
+	if h.WeightedThroughput < 300 {
+		t.Errorf("elastic hier wt %.1f, want ≥300 (scale-out should lift chain A past one node)", h.WeightedThroughput)
+	}
+}
+
+// A microscopic deadline still yields deployable targets: sweep 1 runs
+// with truncated regional solves instead of erroring out.
+func TestHierDeadlineTruncates(t *testing.T) {
+	topo := genTopo(t, 200, 20, 9)
+	d, err := Partition(topo, PartitionConfig{Regions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Solve(topo, d, Config{
+		Optimize: optimize.Config{MaxIters: 2000},
+		Sweeps:   10,
+		Deadline: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.DeadlineExceeded {
+		t.Errorf("1µs deadline not reported as exceeded")
+	}
+	if h.Sweeps != 1 {
+		t.Errorf("ran %d sweeps under a 1µs deadline, want 1", h.Sweeps)
+	}
+	if len(h.CPU) != topo.NumPEs() {
+		t.Fatalf("no allocation returned")
+	}
+	nodeSum := make([]float64, topo.NumNodes)
+	for j, c := range h.CPU {
+		if c < -1e-9 || math.IsNaN(c) {
+			t.Fatalf("bad allocation for PE %d: %g", j, c)
+		}
+		nodeSum[topo.PEs[j].Node] += c
+	}
+	for n, s := range nodeSum {
+		if s > 1+1e-6 {
+			t.Errorf("node %d over-allocated: %.6f", n, s)
+		}
+	}
+}

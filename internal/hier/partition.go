@@ -1,0 +1,430 @@
+// Package hier is the hierarchical control plane: it decomposes the PE
+// graph into regions, runs an independent warm-started tier-1 solve per
+// region under a hard per-epoch budget, and coordinates the regions
+// through a thin root that iterates prices on the cut edges (dual-ascent
+// sweeps in the style of hierarchical multi-objective schedulers). A
+// monolithic tier-1 solve costs O(p) fluid propagations of O(p+E) each
+// per gradient iteration — superlinear in deployment size and past its
+// epoch deadline somewhere around 5k PEs; decomposing into R regions
+// divides both factors by ~R, so solve wall time scales near-linearly in
+// region count while the price iteration recovers most of the global
+// optimum's coupling across region boundaries.
+//
+// Regions are node-granular: every PE of a processing node lands in the
+// node's region, so each per-node CPU simplex (Eq. 4) stays entirely
+// inside one regional solve and regional feasibility composes into
+// global feasibility with no shared constraints — the only coupling
+// between regions is the flow on cut edges, which is exactly what the
+// root prices.
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"aces/internal/graph"
+	"aces/internal/sdo"
+)
+
+// PartitionConfig tunes the region decomposition.
+type PartitionConfig struct {
+	// Regions is the region count (required unless MaxRegionPEs is set,
+	// in which case it defaults to ceil(p / MaxRegionPEs)).
+	Regions int
+	// MaxRegionPEs is the hard per-region PE budget. 0 derives it from
+	// Regions with 30% slack over a perfectly even split — enough play
+	// for the edge-cut heuristic to cluster heavy streams, tight enough
+	// that no regional solve degenerates back toward the monolithic one.
+	MaxRegionPEs int
+	// RefinePasses bounds the greedy refinement sweeps that move single
+	// nodes between regions to reduce cut weight (default 4).
+	RefinePasses int
+}
+
+func (c *PartitionConfig) fillDefaults(p int) error {
+	if c.Regions <= 0 {
+		if c.MaxRegionPEs <= 0 {
+			return fmt.Errorf("hier: PartitionConfig needs Regions or MaxRegionPEs")
+		}
+		c.Regions = (p + c.MaxRegionPEs - 1) / c.MaxRegionPEs
+	}
+	if c.Regions < 1 {
+		c.Regions = 1
+	}
+	if c.MaxRegionPEs <= 0 {
+		even := (p + c.Regions - 1) / c.Regions
+		c.MaxRegionPEs = even + (even*3+9)/10
+	}
+	if c.RefinePasses <= 0 {
+		c.RefinePasses = 4
+	}
+	return nil
+}
+
+// Region is one partition cell: a set of processing nodes and the PEs
+// placed on them.
+type Region struct {
+	ID int
+	// Nodes are the global node IDs owned by the region (ascending).
+	Nodes []sdo.NodeID
+	// PEs are the global PE IDs owned by the region (ascending).
+	PEs []sdo.PEID
+}
+
+// Decomposition is a complete region partition of a topology.
+type Decomposition struct {
+	Regions []Region
+	// RegionOf[j] is the region ID of PE j.
+	RegionOf []int
+	// NodeRegion[n] is the region ID of node n (-1 for a node with no
+	// PEs, which no regional solve needs to know about).
+	NodeRegion []int
+	// Cut lists the PE-graph edges whose endpoints live in different
+	// regions.
+	Cut []graph.Edge
+	// CutWeight is the summed unit-demand stream rate over Cut;
+	// TotalWeight the same sum over all edges, so CutWeight/TotalWeight
+	// is the fraction of stream volume crossing region boundaries.
+	CutWeight, TotalWeight float64
+}
+
+// CutFraction returns CutWeight/TotalWeight (0 when the graph carries no
+// flow at all).
+func (d *Decomposition) CutFraction() float64 {
+	if d.TotalWeight <= 0 {
+		return 0
+	}
+	return d.CutWeight / d.TotalWeight
+}
+
+// edgeRates returns the unit-demand output rate of every PE: the stream
+// weight an edge u→v contributes to a cut is rout(u), since every
+// downstream receives a full copy of the upstream output (§III-D).
+func edgeRates(t *graph.Topology) ([]float64, error) {
+	in, err := t.UnitDemand()
+	if err != nil {
+		return nil, err
+	}
+	rout := make([]float64, len(in))
+	for j := range in {
+		m := t.PEs[j].Service.MeanMult
+		if m <= 0 {
+			m = 1
+		}
+		rout[j] = in[j] * m
+	}
+	return rout, nil
+}
+
+// nodeGraph folds the PE graph onto the placement: w[a][b] is the summed
+// unit-demand stream rate between nodes a and b (symmetric; same-node
+// edges are free and excluded). peCount[n] counts PEs on node n.
+func nodeGraph(t *graph.Topology, rout []float64) (w []map[int]float64, peCount []int) {
+	w = make([]map[int]float64, t.NumNodes)
+	peCount = make([]int, t.NumNodes)
+	for j := range t.PEs {
+		peCount[t.PEs[j].Node]++
+	}
+	add := func(a, b int, v float64) {
+		if w[a] == nil {
+			w[a] = make(map[int]float64)
+		}
+		w[a][b] += v
+	}
+	for _, e := range t.Edges {
+		a, b := int(t.PEs[e.From].Node), int(t.PEs[e.To].Node)
+		if a == b {
+			continue
+		}
+		add(a, b, rout[e.From])
+		add(b, a, rout[e.From])
+	}
+	return w, peCount
+}
+
+// Partition decomposes the topology into node-granular regions with a
+// greedy weighted-attachment growth from spread-out seeds followed by
+// refinement passes. The result is deterministic for a given topology
+// and configuration: every scan iterates in ascending node/region order
+// and ties break toward the lowest ID.
+func Partition(t *graph.Topology, cfg PartitionConfig) (*Decomposition, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("hier: %w", err)
+	}
+	p := t.NumPEs()
+	if err := cfg.fillDefaults(p); err != nil {
+		return nil, err
+	}
+	if cfg.Regions*cfg.MaxRegionPEs < p {
+		return nil, fmt.Errorf("hier: %d regions × budget %d cannot hold %d PEs",
+			cfg.Regions, cfg.MaxRegionPEs, p)
+	}
+	rout, err := edgeRates(t)
+	if err != nil {
+		return nil, err
+	}
+	w, peCount := nodeGraph(t, rout)
+
+	// Live nodes (those hosting PEs), by descending total incident
+	// stream weight — the busiest nodes anchor the partition.
+	type nodeInfo struct {
+		id       int
+		incident float64
+	}
+	var live []nodeInfo
+	for n := 0; n < t.NumNodes; n++ {
+		if peCount[n] == 0 {
+			continue
+		}
+		inc := 0.0
+		for _, v := range w[n] {
+			inc += v
+		}
+		live = append(live, nodeInfo{n, inc})
+	}
+	sort.SliceStable(live, func(i, k int) bool {
+		if live[i].incident != live[k].incident {
+			return live[i].incident > live[k].incident
+		}
+		return live[i].id < live[k].id
+	})
+	R := cfg.Regions
+	if R > len(live) {
+		R = len(live)
+	}
+
+	nodeRegion := make([]int, t.NumNodes)
+	for n := range nodeRegion {
+		nodeRegion[n] = -1
+	}
+	regionPEs := make([]int, R)
+
+	// Seeds: the heaviest node first, then repeatedly the live node least
+	// attached to any already-picked seed — a farthest-point spread so two
+	// seeds don't land inside one tightly-coupled cluster.
+	seeded := make([]bool, t.NumNodes)
+	seed := func(r, n int) {
+		nodeRegion[n] = r
+		regionPEs[r] = peCount[n]
+		seeded[n] = true
+	}
+	seed(0, live[0].id)
+	for r := 1; r < R; r++ {
+		bestN, bestAtt := -1, 0.0
+		for _, ni := range live {
+			if seeded[ni.id] {
+				continue
+			}
+			att := 0.0
+			for m, v := range w[ni.id] {
+				if nodeRegion[m] >= 0 {
+					att += v
+				}
+			}
+			if bestN < 0 || att < bestAtt {
+				bestN, bestAtt = ni.id, att
+			}
+		}
+		seed(r, bestN)
+	}
+
+	// Growth: repeatedly commit the unassigned node with the strongest
+	// attachment to a region that still has PE budget. Unattached nodes
+	// (no edges to any region yet) fall to the emptiest region, which
+	// doubles as load balancing.
+	unassigned := 0
+	for _, ni := range live {
+		if nodeRegion[ni.id] < 0 {
+			unassigned++
+		}
+	}
+	for unassigned > 0 {
+		bestN, bestR, bestGain := -1, -1, -1.0
+		for _, ni := range live {
+			n := ni.id
+			if nodeRegion[n] >= 0 {
+				continue
+			}
+			gain := make([]float64, R)
+			for m, v := range w[n] {
+				if r := nodeRegion[m]; r >= 0 {
+					gain[r] += v
+				}
+			}
+			for r := 0; r < R; r++ {
+				if regionPEs[r]+peCount[n] > cfg.MaxRegionPEs {
+					continue
+				}
+				if gain[r] > bestGain {
+					bestN, bestR, bestGain = n, r, gain[r]
+				}
+			}
+		}
+		if bestN < 0 {
+			// No region has budget for any remaining node as a whole; the
+			// PE budget is infeasible at node granularity.
+			return nil, fmt.Errorf("hier: per-region budget %d PEs cannot fit remaining nodes (node granularity)", cfg.MaxRegionPEs)
+		}
+		if bestGain <= 0 {
+			// Nothing attaches anywhere yet: place the heaviest remaining
+			// node into the emptiest region that fits it.
+			for r := 1; r < R; r++ {
+				if regionPEs[r] < regionPEs[bestR] && regionPEs[r]+peCount[bestN] <= cfg.MaxRegionPEs {
+					bestR = r
+				}
+			}
+		}
+		nodeRegion[bestN] = bestR
+		regionPEs[bestR] += peCount[bestN]
+		unassigned--
+	}
+
+	// Refinement: move single nodes to the region they attach to most,
+	// when the move strictly reduces cut weight and respects the budget.
+	for pass := 0; pass < cfg.RefinePasses; pass++ {
+		moved := false
+		for _, ni := range live {
+			n := ni.id
+			cur := nodeRegion[n]
+			gain := make([]float64, R)
+			for m, v := range w[n] {
+				if r := nodeRegion[m]; r >= 0 {
+					gain[r] += v
+				}
+			}
+			bestR := cur
+			for r := 0; r < R; r++ {
+				if r == cur || regionPEs[r]+peCount[n] > cfg.MaxRegionPEs {
+					continue
+				}
+				if gain[r] > gain[bestR]+1e-12 {
+					bestR = r
+				}
+			}
+			if bestR != cur {
+				nodeRegion[n] = bestR
+				regionPEs[cur] -= peCount[n]
+				regionPEs[bestR] += peCount[n]
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+
+	return assemble(t, rout, nodeRegion, R), nil
+}
+
+// PartitionBFS is the naive baseline: a breadth-first walk over the node
+// graph filling regions to an even PE budget in visit order, blind to
+// edge weights. Tests hold Partition's cut weight to no worse than this.
+func PartitionBFS(t *graph.Topology, regions int) (*Decomposition, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("hier: %w", err)
+	}
+	p := t.NumPEs()
+	cfg := PartitionConfig{Regions: regions}
+	if err := cfg.fillDefaults(p); err != nil {
+		return nil, err
+	}
+	rout, err := edgeRates(t)
+	if err != nil {
+		return nil, err
+	}
+	w, peCount := nodeGraph(t, rout)
+
+	nodeRegion := make([]int, t.NumNodes)
+	for n := range nodeRegion {
+		nodeRegion[n] = -1
+	}
+	budget := (p + cfg.Regions - 1) / cfg.Regions
+	r, filled := 0, 0
+	var queue []int
+	visited := make([]bool, t.NumNodes)
+	place := func(n int) {
+		if filled+peCount[n] > budget && filled > 0 && r < cfg.Regions-1 {
+			r++
+			filled = 0
+		}
+		nodeRegion[n] = r
+		filled += peCount[n]
+	}
+	for start := 0; start < t.NumNodes; start++ {
+		if visited[start] || peCount[start] == 0 {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			place(n)
+			// Neighbours in ascending node order for determinism.
+			var nbrs []int
+			for m := range w[n] {
+				nbrs = append(nbrs, m)
+			}
+			sort.Ints(nbrs)
+			for _, m := range nbrs {
+				if !visited[m] && peCount[m] > 0 {
+					visited[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+	}
+	return assemble(t, rout, nodeRegion, cfg.Regions), nil
+}
+
+// assemble builds the Decomposition bookkeeping from a node→region map.
+// Regions that ended up empty are dropped and the rest renumbered, so
+// callers always see contiguous non-empty region IDs.
+func assemble(t *graph.Topology, rout []float64, nodeRegion []int, r int) *Decomposition {
+	used := make([]bool, r)
+	for _, reg := range nodeRegion {
+		if reg >= 0 {
+			used[reg] = true
+		}
+	}
+	remap := make([]int, r)
+	n := 0
+	for i := 0; i < r; i++ {
+		if used[i] {
+			remap[i] = n
+			n++
+		} else {
+			remap[i] = -1
+		}
+	}
+	d := &Decomposition{
+		Regions:    make([]Region, n),
+		RegionOf:   make([]int, t.NumPEs()),
+		NodeRegion: append([]int(nil), nodeRegion...),
+	}
+	for i := range d.Regions {
+		d.Regions[i].ID = i
+	}
+	for node, reg := range nodeRegion {
+		if reg < 0 {
+			continue
+		}
+		reg = remap[reg]
+		d.NodeRegion[node] = reg
+		d.Regions[reg].Nodes = append(d.Regions[reg].Nodes, sdo.NodeID(node))
+	}
+	for j := range t.PEs {
+		reg := d.NodeRegion[t.PEs[j].Node]
+		d.RegionOf[j] = reg
+		d.Regions[reg].PEs = append(d.Regions[reg].PEs, sdo.PEID(j))
+	}
+	for _, e := range t.Edges {
+		wt := rout[e.From]
+		d.TotalWeight += wt
+		if d.RegionOf[e.From] != d.RegionOf[e.To] {
+			d.Cut = append(d.Cut, e)
+			d.CutWeight += wt
+		}
+	}
+	return d
+}

@@ -138,6 +138,15 @@ type Report struct {
 	// ActiveReplicas is the largest per-PE count of active replica slots
 	// under the applied target set (1 for a run that never scaled out).
 	ActiveReplicas int `json:"active_replicas,omitempty"`
+	// SolveMillis is the wall time of the most recent tier-1 re-solve on
+	// this process (0 when no retarget loop ran).
+	SolveMillis float64 `json:"solve_ms,omitempty"`
+	// TargetFramesSent counts target frames this process relayed to its
+	// dissemination-tree children (0 for flat deployments).
+	TargetFramesSent int64 `json:"target_frames_sent,omitempty"`
+	// TargetEpochLag is the applied-vs-acked epoch gap of the slowest
+	// tracked tree descendant at report time.
+	TargetEpochLag uint64 `json:"target_epoch_lag,omitempty"`
 	// PERestarts counts supervisor panic-recoveries across local PEs.
 	PERestarts int64 `json:"pe_restarts,omitempty"`
 	// BreakersOpen counts local PEs whose restart circuit breaker has

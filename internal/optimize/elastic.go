@@ -11,6 +11,7 @@ package optimize
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"aces/internal/graph"
 	"aces/internal/sdo"
@@ -35,6 +36,10 @@ type ElasticAllocation struct {
 	WeightedThroughput float64
 	// Iterations actually used by the solver.
 	Iterations int
+	// SolveMillis is the wall-clock solve time in milliseconds.
+	SolveMillis float64
+	// DeadlineExceeded is set when Config.Deadline cut the ascent short.
+	DeadlineExceeded bool
 }
 
 // activeSlotEps is the smallest CPU target that keeps a non-primary slot
@@ -59,6 +64,16 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 		return nil, err
 	}
 	p := t.NumPEs()
+
+	start := time.Now()
+	deadlineHit := false
+	expired := func() bool {
+		if cfg.Deadline <= 0 || time.Since(start) < cfg.Deadline {
+			return false
+		}
+		deadlineHit = true
+		return true
+	}
 
 	// Flatten replica slots into one decision vector. slotOf[j] lists PE
 	// j's flat indices; nodeSlots[n] the flat indices placed on node n.
@@ -138,14 +153,27 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 	step := 0.05
 	iters := 0
 	for it := 1; it <= cfg.MaxIters; it++ {
+		if expired() {
+			break
+		}
 		iters = it
 		base := eval(x)
+		// The deadline is polled inside the gradient too (one gradient is
+		// ns evals); a truncated gradient abandons the iteration.
 		const h = 1e-7
+		truncated := false
 		for i := 0; i < ns; i++ {
+			if i%64 == 63 && expired() {
+				truncated = true
+				break
+			}
 			old := x[i]
 			x[i] = old + h
 			grad[i] = (eval(x) - base) / h
 			x[i] = old
+		}
+		if truncated {
+			break
 		}
 		gnorm := 0.0
 		for _, g := range grad {
@@ -197,9 +225,17 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 		subIters = 3000
 	}
 	for it := 1; it <= subIters; it++ {
+		if expired() {
+			break
+		}
 		iters++
 		const h = 1e-7
+		truncated := false
 		for i := 0; i < ns; i++ {
+			if i%64 == 63 && expired() {
+				truncated = true
+				break
+			}
 			old := x[i]
 			x[i] = old + h
 			up := eval(x)
@@ -207,6 +243,9 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 			down := eval(x)
 			x[i] = old
 			grad[i] = (up - down) / (2 * h)
+		}
+		if truncated {
+			break
 		}
 		gnorm := 0.0
 		for _, g := range grad {
@@ -263,13 +302,15 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 
 	rin, rout := propagateElastic(t, order, slotOf, best)
 	ea := &ElasticAllocation{
-		Replica:    make([][]float64, p),
-		CPU:        make([]float64, p),
-		Replicas:   make([]int, p),
-		RIn:        rin,
-		ROut:       rout,
-		Objective:  bestObj,
-		Iterations: iters,
+		Replica:          make([][]float64, p),
+		CPU:              make([]float64, p),
+		Replicas:         make([]int, p),
+		RIn:              rin,
+		ROut:             rout,
+		Objective:        bestObj,
+		Iterations:       iters,
+		SolveMillis:      float64(time.Since(start)) / float64(time.Millisecond),
+		DeadlineExceeded: deadlineHit,
 	}
 	for j := 0; j < p; j++ {
 		ea.Replica[j] = make([]float64, len(slotOf[j]))
@@ -381,4 +422,32 @@ func projectSlots(nodeSlots [][]int, x []float64, headroom float64) {
 			x[id] = proj[i]
 		}
 	}
+}
+
+// PropagateElastic exposes the replica-group fluid model for external
+// consumers: replica[j] must have one entry per replica slot of PE j
+// (shape t.Replicas(j)). The hierarchical control plane uses it to
+// evaluate an assembled per-region elastic solution on the full graph.
+func PropagateElastic(t *graph.Topology, replica [][]float64) (rin, rout []float64, err error) {
+	order, err := t.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	p := t.NumPEs()
+	if len(replica) != p {
+		return nil, nil, fmt.Errorf("optimize: replica matrix has %d rows, topology has %d PEs", len(replica), p)
+	}
+	var x []float64
+	slotOf := make([][]int, p)
+	for j := 0; j < p; j++ {
+		if len(replica[j]) != t.Replicas(sdo.PEID(j)) {
+			return nil, nil, fmt.Errorf("optimize: replica row %d has %d slots, topology declares %d", j, len(replica[j]), t.Replicas(sdo.PEID(j)))
+		}
+		for _, v := range replica[j] {
+			slotOf[j] = append(slotOf[j], len(x))
+			x = append(x, v)
+		}
+	}
+	rin, rout = propagateElastic(t, order, slotOf, x)
+	return rin, rout, nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"aces/internal/graph"
 	"aces/internal/sdo"
@@ -103,6 +104,11 @@ type Allocation struct {
 	WeightedThroughput float64
 	// Iterations actually used by the solver.
 	Iterations int
+	// SolveMillis is the wall-clock solve time in milliseconds.
+	SolveMillis float64
+	// DeadlineExceeded is set when Config.Deadline cut the ascent short:
+	// the allocation is the best iterate found, not a converged optimum.
+	DeadlineExceeded bool
 }
 
 // Config tunes the solver.
@@ -135,6 +141,14 @@ type Config struct {
 	// slot incumbents, shaped like the topology's replica placement. Solve
 	// ignores it.
 	WarmStartReplica [][]float64
+	// Deadline bounds the solver's wall-clock time (0 = unbounded). When
+	// it expires the solver stops at the end of the current iteration and
+	// returns the best iterate found so far with DeadlineExceeded set —
+	// every iterate is feasible (projection keeps it on the node
+	// simplices), so a truncated solve still yields deployable targets.
+	// The retarget loop uses this so a pathological topology degrades the
+	// solution quality of one epoch instead of stalling the loop.
+	Deadline time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -163,6 +177,16 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 		return nil, err
 	}
 	p := t.NumPEs()
+
+	start := time.Now()
+	deadlineHit := false
+	expired := func() bool {
+		if cfg.Deadline <= 0 || time.Since(start) < cfg.Deadline {
+			return false
+		}
+		deadlineHit = true
+		return true
+	}
 
 	// Initial point: the warm-start incumbent when one is supplied (made
 	// feasible by projection), otherwise each node's budget is allocated
@@ -213,17 +237,31 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 	step := 0.05
 	iters := 0
 	for it := 1; it <= cfg.MaxIters; it++ {
+		if expired() {
+			break
+		}
 		iters = it
 		base := eval(c)
 		// Forward-difference gradient. The objective is piecewise smooth
 		// (min compositions); forward differences give a valid ascent
-		// direction almost everywhere.
+		// direction almost everywhere. One gradient is p evals — at large
+		// p that alone can dwarf the deadline, so the deadline is also
+		// polled inside the loop and a truncated gradient abandons the
+		// iteration (best holds the last complete iterate).
 		const h = 1e-7
+		truncated := false
 		for j := 0; j < p; j++ {
+			if j%64 == 63 && expired() {
+				truncated = true
+				break
+			}
 			old := c[j]
 			c[j] = old + h
 			grad[j] = (eval(c) - base) / h
 			c[j] = old
+		}
+		if truncated {
+			break
 		}
 		// Normalize the step by the gradient's scale so progress is
 		// uniform across problem sizes.
@@ -281,9 +319,17 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 		subIters = 3000
 	}
 	for it := 1; it <= subIters; it++ {
+		if expired() {
+			break
+		}
 		iters++
 		const h = 1e-7
+		truncated := false
 		for j := 0; j < p; j++ {
+			if j%64 == 63 && expired() {
+				truncated = true
+				break
+			}
 			old := c[j]
 			c[j] = old + h
 			up := eval(c)
@@ -291,6 +337,9 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 			down := eval(c)
 			c[j] = old
 			grad[j] = (up - down) / (2 * h)
+		}
+		if truncated {
+			break
 		}
 		gnorm := 0.0
 		for _, g := range grad {
@@ -326,6 +375,8 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 		Objective:          bestObj,
 		WeightedThroughput: wt,
 		Iterations:         iters,
+		SolveMillis:        float64(time.Since(start)) / float64(time.Millisecond),
+		DeadlineExceeded:   deadlineHit,
 	}, nil
 }
 

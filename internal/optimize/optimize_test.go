@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"aces/internal/graph"
 	"aces/internal/sdo"
@@ -444,5 +445,49 @@ func TestSolveWithExpUtility(t *testing.T) {
 	}
 	if alloc.WeightedThroughput < 200 {
 		t.Errorf("exp-utility solve landed at %.1f, want near capacity 250", alloc.WeightedThroughput)
+	}
+}
+
+func TestSolveDeadlineTruncates(t *testing.T) {
+	topo, err := graph.Generate(graph.DefaultGenConfig(120, 12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Solve(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.DeadlineExceeded {
+		t.Fatal("unbounded solve reported a deadline hit")
+	}
+	if full.SolveMillis <= 0 {
+		t.Errorf("unbounded solve reported SolveMillis = %g", full.SolveMillis)
+	}
+	cut, err := Solve(topo, Config{Deadline: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.DeadlineExceeded {
+		t.Fatal("1µs deadline was not reported as exceeded")
+	}
+	if cut.Iterations >= full.Iterations {
+		t.Errorf("deadline-cut solve used %d iterations, unbounded used %d", cut.Iterations, full.Iterations)
+	}
+	// A truncated solve must still be feasible and non-degenerate: the
+	// initial point is feasible and every projection keeps it so.
+	nodeSum := make([]float64, topo.NumNodes)
+	for j := range cut.CPU {
+		if cut.CPU[j] < -1e-12 {
+			t.Errorf("negative allocation c[%d] = %g", j, cut.CPU[j])
+		}
+		nodeSum[topo.PEs[j].Node] += cut.CPU[j]
+	}
+	for n, s := range nodeSum {
+		if s > 1+1e-9 {
+			t.Errorf("node %d allocated %g > 1 under deadline", n, s)
+		}
+	}
+	if cut.WeightedThroughput <= 0 {
+		t.Error("deadline-cut solve produced zero weighted throughput")
 	}
 }

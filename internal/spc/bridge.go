@@ -87,6 +87,17 @@ func (l *Link) SendTargets(epoch uint64, cpu []float64) error {
 	return l.conn.SendTargets(transport.Targets{Epoch: epoch, CPU: cpu})
 }
 
+// SendTargetAck implements EpochAckSender: reports a descendant's
+// applied epoch up the dissemination tree. Silently skipped when the
+// peer has not negotiated FeatureHier (a flat peer has no tree position
+// to account acks to).
+func (l *Link) SendTargetAck(origin int32, epoch uint64) error {
+	if !l.conn.PeerSupportsHier() {
+		return nil
+	}
+	return l.conn.SendTargetAck(transport.TargetAck{Origin: origin, Epoch: epoch})
+}
+
 // Serve pumps incoming frames from the peer into the cluster until the
 // connection closes or errors. Run it on its own goroutine; it returns nil
 // on orderly EOF.
@@ -115,6 +126,8 @@ func (l *Link) Serve(c *Cluster) error {
 			c.InjectReplicaSDO(msg.To, msg.Rep, msg.SDO)
 		case transport.KindReplicaTargets:
 			c.InjectReplicaTargets(msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
+		case transport.KindTargetAck:
+			c.InjectTargetAck(msg.TargetAck.Origin, msg.TargetAck.Epoch)
 		}
 	}
 }
@@ -225,6 +238,13 @@ func (l *ResilientLink) SendReplicaTargets(epoch uint64, cpu [][]float64) error 
 	return l.rc.SendTargets(transport.Targets{Epoch: epoch, CPU: collapseTargets(cpu)})
 }
 
+// SendTargetAck implements EpochAckSender. It never blocks; acks are
+// silently discarded while the link is down or the peer predates
+// FeatureHier — the ack after the next target frame repairs the view.
+func (l *ResilientLink) SendTargetAck(origin int32, epoch uint64) error {
+	return l.rc.SendTargetAck(transport.TargetAck{Origin: origin, Epoch: epoch})
+}
+
 // Serve pumps incoming frames into the cluster, riding across peer
 // reconnects; it returns nil once the link is closed.
 func (l *ResilientLink) Serve(c *Cluster) error {
@@ -250,6 +270,8 @@ func (l *ResilientLink) Serve(c *Cluster) error {
 			c.InjectReplicaSDO(msg.To, msg.Rep, msg.SDO)
 		case transport.KindReplicaTargets:
 			c.InjectReplicaTargets(msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
+		case transport.KindTargetAck:
+			c.InjectTargetAck(msg.TargetAck.Origin, msg.TargetAck.Epoch)
 		}
 	}
 }
@@ -423,6 +445,28 @@ func (r *Router) SendTargets(epoch uint64, cpu []float64) error {
 	return firstErr
 }
 
+// SendTargetAck implements EpochAckSender: acks are broadcast to every
+// peer that can carry them. In a well-formed tree the router's peers are
+// this process's parent (and children, which ignore acks addressed
+// upward only in the sense that they simply record them — recording a
+// descendant epoch twice is harmless).
+func (r *Router) SendTargetAck(origin int32, epoch uint64) error {
+	r.mu.RLock()
+	peers := r.peers
+	r.mu.RUnlock()
+	var firstErr error
+	for _, p := range peers {
+		as, ok := p.(EpochAckSender)
+		if !ok {
+			continue
+		}
+		if err := as.SendTargetAck(origin, epoch); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Interface compliance checks.
 var (
 	_ RemoteLink      = (*Link)(nil)
@@ -442,4 +486,8 @@ var (
 	_ ReplicaTargetSender = (*Link)(nil)
 	_ ReplicaTargetSender = (*Router)(nil)
 	_ ReplicaTargetSender = (*ResilientLink)(nil)
+
+	_ EpochAckSender = (*Link)(nil)
+	_ EpochAckSender = (*Router)(nil)
+	_ EpochAckSender = (*ResilientLink)(nil)
 )

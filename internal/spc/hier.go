@@ -1,0 +1,282 @@
+// Hierarchical dissemination: epoch-stamped targets flow DOWN a spanning
+// tree of processes (root → relays → leaves) and acks flow back UP, so
+// the root of a large deployment pushes each epoch to a handful of
+// children instead of fanning out to every node, and still learns how
+// far every descendant has applied. The tree is pure wiring on top of
+// the existing target vocabulary: a relay that applies an epoch
+// re-broadcasts the SAME frames to its own children, stale-epoch
+// rejection dedups the inevitable re-deliveries, and v1/v2 peers that
+// never advertised FeatureHier simply hang off the tree as leaves that
+// get targets and send no acks.
+package spc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"aces/internal/hier"
+	"aces/internal/optimize"
+)
+
+// hierDecomposition lets retarget.go hold the prebuilt partition without
+// importing internal/hier itself.
+type hierDecomposition = hier.Decomposition
+
+// EpochAckSender is the uplink extension for upward dissemination acks,
+// the tree-parent analogue of TargetSender. Senders must be best-effort
+// and non-blocking: a lost ack is repaired by the ack that follows the
+// next target frame.
+type EpochAckSender interface {
+	SendTargetAck(origin int32, epoch uint64) error
+}
+
+// hierRelay is a cluster's position in the dissemination tree.
+type hierRelay struct {
+	mu sync.Mutex
+	// parent receives this process's acks (nil at the root).
+	parent EpochAckSender
+	// children receive relayed target frames (empty at a leaf).
+	children []TargetSender
+	// origin is the node ID this process acks as.
+	origin int32
+	// acked[o] is the newest epoch acked by descendant origin o.
+	acked   map[int32]uint64
+	enabled bool
+}
+
+// EnableHierRelay places this process in the dissemination tree: acks go
+// to parent under the given origin node ID (parent nil at the root), and
+// every applied epoch is re-broadcast to the children. Call before
+// Start. Once enabled, SetTargets/SetReplicaTargets disseminate through
+// the children instead of the flat uplink; received epochs are relayed
+// down and acked up automatically.
+func (c *Cluster) EnableHierRelay(origin int32, parent EpochAckSender, children ...TargetSender) {
+	c.hier.mu.Lock()
+	defer c.hier.mu.Unlock()
+	c.hier.origin = origin
+	c.hier.parent = parent
+	c.hier.children = append([]TargetSender(nil), children...)
+	c.hier.acked = make(map[int32]uint64)
+	c.hier.enabled = true
+}
+
+func (c *Cluster) hierEnabled() bool {
+	c.hier.mu.Lock()
+	defer c.hier.mu.Unlock()
+	return c.hier.enabled && len(c.hier.children) > 0
+}
+
+// relayTargetsDown pushes the applied target set to every tree child:
+// replica form to children with the elastic extension, the collapsed
+// logical vector otherwise — the same per-peer degradation as the flat
+// path. Each frame increments retarget_frames_sent.
+func (c *Cluster) relayTargetsDown() {
+	c.hier.mu.Lock()
+	children := c.hier.children
+	c.hier.mu.Unlock()
+	if len(children) == 0 {
+		return
+	}
+	ts := c.targets.Load()
+	for _, child := range children {
+		var err error
+		if ts.rep != nil {
+			if rts, ok := child.(ReplicaTargetSender); ok {
+				err = rts.SendReplicaTargets(ts.epoch, ts.rep)
+			} else {
+				err = child.SendTargets(ts.epoch, ts.cpu)
+			}
+		} else {
+			err = child.SendTargets(ts.epoch, ts.cpu)
+		}
+		if err != nil {
+			continue // best effort; the next epoch or re-broadcast repairs it
+		}
+		c.framesSent.Add(1)
+		if c.reg != nil {
+			c.reg.Counter("retarget_frames_sent", nil).Inc()
+		}
+	}
+}
+
+// ackTargetsUp reports the applied epoch to the tree parent (no-op at
+// the root). Sent on EVERY received target frame, stale or fresh, so a
+// parent that re-broadcasts after a reconnect always re-learns where the
+// subtree stands.
+func (c *Cluster) ackTargetsUp() {
+	c.hier.mu.Lock()
+	parent := c.hier.parent
+	origin := c.hier.origin
+	c.hier.mu.Unlock()
+	if parent == nil {
+		return
+	}
+	_ = parent.SendTargetAck(origin, c.targets.Load().epoch)
+}
+
+// InjectTargetAck records a descendant's applied epoch and forwards the
+// ack toward the root unchanged, so every ancestor sees it. Called by
+// the link layer for KindTargetAck frames.
+func (c *Cluster) InjectTargetAck(origin int32, epoch uint64) {
+	c.hier.mu.Lock()
+	if c.hier.acked == nil {
+		c.hier.acked = make(map[int32]uint64)
+	}
+	if epoch > c.hier.acked[origin] {
+		c.hier.acked[origin] = epoch
+	}
+	parent := c.hier.parent
+	c.hier.mu.Unlock()
+	c.updateEpochLag()
+	if parent != nil {
+		_ = parent.SendTargetAck(origin, epoch)
+	}
+}
+
+// EpochLag returns the applied-vs-acked epoch gap of the slowest tracked
+// descendant (0 when no acks have been seen or everything is current).
+func (c *Cluster) EpochLag() uint64 {
+	applied := c.targets.Load().epoch
+	c.hier.mu.Lock()
+	defer c.hier.mu.Unlock()
+	var lag uint64
+	for _, e := range c.hier.acked {
+		if e < applied && applied-e > lag {
+			lag = applied - e
+		}
+	}
+	return lag
+}
+
+// TargetFramesSent returns how many target frames this process has
+// pushed to its tree children.
+func (c *Cluster) TargetFramesSent() int64 { return c.framesSent.Load() }
+
+// AckedEpochs returns a copy of the per-origin applied epochs this
+// process has learned from downstream acks (empty for leaves and flat
+// deployments).
+func (c *Cluster) AckedEpochs() map[int32]uint64 {
+	c.hier.mu.Lock()
+	defer c.hier.mu.Unlock()
+	out := make(map[int32]uint64, len(c.hier.acked))
+	for o, e := range c.hier.acked {
+		out[o] = e
+	}
+	return out
+}
+
+func (c *Cluster) updateEpochLag() {
+	if c.gEpochLag != nil {
+		c.gEpochLag.Set(float64(c.EpochLag()))
+	}
+}
+
+// noteSolve publishes one tier-1 re-solve's cost to telemetry and the
+// run report.
+func (c *Cluster) noteSolve(ms float64, iters int) {
+	c.lastSolveMs.Store(math.Float64bits(ms))
+	c.lastSolveIters.Store(int64(iters))
+	if c.gSolveMs != nil {
+		c.gSolveMs.Set(ms)
+	}
+	if c.gSolveIters != nil {
+		c.gSolveIters.Set(float64(iters))
+	}
+}
+
+// LastSolveMillis returns the wall time of the most recent tier-1
+// re-solve on this process (0 before the first).
+func (c *Cluster) LastSolveMillis() float64 {
+	return math.Float64frombits(c.lastSolveMs.Load())
+}
+
+// HierRetarget switches the adaptive loop's re-solve to the hierarchical
+// control plane (internal/hier): the calibrated topology is decomposed
+// into regions once at StartRetarget, and every epoch re-solves the
+// regions independently under the root's price coordination instead of
+// running one monolithic ascent.
+type HierRetarget struct {
+	// Regions / MaxRegionPEs parameterize the partition (at least one
+	// required; see hier.PartitionConfig).
+	Regions      int
+	MaxRegionPEs int
+	// Sweeps, Epsilon, PriceStep tune the root's dual-ascent coordination
+	// (defaults as in hier.Config).
+	Sweeps    int
+	Epsilon   float64
+	PriceStep float64
+	// Deadline is the per-epoch solve budget; a blown deadline truncates
+	// the sweep instead of stalling the loop.
+	Deadline time.Duration
+}
+
+// hierRetargetOnce is the hierarchical body of the adaptive loop: same
+// observe/apply/disseminate contract as retargetOnce, with the solve
+// delegated to hier.Solve over the prebuilt decomposition.
+func (c *Cluster) hierRetargetOnce(cal *optimize.Calibrator, rc RetargetConfig, dec *hier.Decomposition) {
+	for _, pr := range c.prs {
+		if pr.breaker.Load() {
+			continue
+		}
+		cpuFrac, rate := pr.calRates()
+		cal.Observe(int(pr.id), cpuFrac, rate)
+	}
+	cur := c.targets.Load()
+	oc := rc.Optimize
+	oc.WarmStart = cur.cpu
+	oc.WarmStartReplica = cur.rep
+	hc := hier.Config{
+		Optimize:  oc,
+		Sweeps:    rc.Hier.Sweeps,
+		Epsilon:   rc.Hier.Epsilon,
+		PriceStep: rc.Hier.PriceStep,
+		Deadline:  rc.Hier.Deadline,
+		Elastic:   rc.Elastic,
+	}
+	ha, err := hier.Solve(cal.Calibrated(), dec, hc)
+	if err != nil {
+		// Keep the incumbent; re-disseminate so peers converge regardless.
+		c.broadcastTargets()
+		return
+	}
+	iters := 0
+	for _, rs := range ha.Regions {
+		iters += rs.Iterations
+	}
+	c.noteSolve(ha.SolveMillis, iters)
+	if c.reg != nil {
+		c.reg.Gauge("hier_regions", nil).Set(float64(len(ha.Regions)))
+		c.reg.Gauge("hier_sweeps", nil).Set(float64(ha.Sweeps))
+	}
+	if rc.Elastic {
+		if err := c.SetReplicaTargets(cur.epoch+1, ha.Replica); err != nil {
+			c.broadcastTargets()
+			return
+		}
+	} else {
+		if err := c.SetTargets(cur.epoch+1, ha.CPU); err != nil {
+			c.broadcastTargets()
+			return
+		}
+	}
+	if rc.OnRetarget != nil {
+		rc.OnRetarget(cur.epoch+1, ha.CPU)
+	}
+}
+
+// buildHierDecomposition partitions the deployment topology for the
+// hierarchical retarget loop. The decomposition depends only on graph
+// shape and placement, both fixed for a deployment's lifetime, so it is
+// computed once and reused every epoch.
+func buildHierDecomposition(c *Cluster, h *HierRetarget) (*hier.Decomposition, error) {
+	dec, err := hier.Partition(c.cfg.Topo, hier.PartitionConfig{
+		Regions:      h.Regions,
+		MaxRegionPEs: h.MaxRegionPEs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("spc: hier retarget: %w", err)
+	}
+	return dec, nil
+}

@@ -253,12 +253,22 @@ func (c *Cluster) SetReplicaTargets(epoch uint64, rep [][]float64) error {
 }
 
 // InjectReplicaTargets applies a replica target set received from a peer
-// process. Stale epochs are dropped silently; nothing is re-broadcast.
+// process. Stale epochs are dropped silently; nothing is re-broadcast
+// toward flat peers. Tree relays forward fresh epochs to their children
+// and ack every received frame upward, exactly as InjectTargets does.
 func (c *Cluster) InjectReplicaTargets(epoch uint64, rep [][]float64) {
 	err := c.applyReplicaTargets(epoch, rep)
-	if err != nil && err != ErrStaleEpoch && c.reg != nil {
-		c.reg.Counter("retarget_rejects_total", nil).Inc()
+	if err != nil && err != ErrStaleEpoch {
+		if c.reg != nil {
+			c.reg.Counter("retarget_rejects_total", nil).Inc()
+		}
+		return
 	}
+	if err == nil {
+		c.relayTargetsDown()
+		c.updateEpochLag()
+	}
+	c.ackTargetsUp()
 }
 
 func (c *Cluster) applyReplicaTargets(epoch uint64, rep [][]float64) error {

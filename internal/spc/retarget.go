@@ -80,15 +80,26 @@ func (c *Cluster) SetTargets(epoch uint64, cpu []float64) error {
 
 // InjectTargets applies a target set received from a peer process. Stale
 // epochs are dropped silently — re-dissemination makes duplicates routine,
-// not errors — and nothing is re-broadcast (the coordinator owns
-// dissemination; echoing would make target storms).
+// not errors — and nothing is re-broadcast toward flat peers (the
+// coordinator owns dissemination; echoing would make target storms). A
+// tree relay is the exception: a FRESH epoch is pushed on to this
+// process's children, and every received frame (fresh or stale) is acked
+// upward so the parent tracks the subtree's applied epoch.
 func (c *Cluster) InjectTargets(epoch uint64, cpu []float64) {
 	err := c.applyTargets(epoch, cpu)
-	if err != nil && !errors.Is(err, ErrStaleEpoch) && c.reg != nil {
+	if err != nil && !errors.Is(err, ErrStaleEpoch) {
 		// Malformed vectors from a peer are a deployment bug worth a trace
 		// in telemetry, but never worth crashing the data plane over.
-		c.reg.Counter("retarget_rejects_total", nil).Inc()
+		if c.reg != nil {
+			c.reg.Counter("retarget_rejects_total", nil).Inc()
+		}
+		return
 	}
+	if err == nil {
+		c.relayTargetsDown()
+		c.updateEpochLag()
+	}
+	c.ackTargetsUp()
 }
 
 // applyTargets validates and swaps in a new LOGICAL target set. A logical
@@ -146,6 +157,14 @@ func (c *Cluster) applyEpoch(peers []*peRuntime, tgt *targetSet) {
 func (c *Cluster) BroadcastTargets() { c.broadcastTargets() }
 
 func (c *Cluster) broadcastTargets() {
+	// A tree position overrides the flat fan-out: the root (or a relay
+	// that originated an epoch, e.g. a concurrent retarget loop) pushes to
+	// its children and lets each relay push onward, instead of addressing
+	// every peer itself.
+	if c.hierEnabled() {
+		c.relayTargetsDown()
+		return
+	}
 	ts := c.targets.Load()
 	// Best effort by contract: the next periodic broadcast repairs a loss.
 	// A replica-form set goes out through the elastic extension when the
@@ -216,6 +235,11 @@ type RetargetConfig struct {
 	// new targets (testing and logging hook; called from the loop
 	// goroutine).
 	OnRetarget func(epoch uint64, cpu []float64)
+	// Hier, when set, replaces the monolithic re-solve with the
+	// hierarchical control plane: region-decomposed solves coordinated
+	// through cut-edge prices (internal/hier). The decomposition is
+	// computed once at StartRetarget and reused every epoch.
+	Hier *HierRetarget
 }
 
 // StartRetarget launches the adaptive loop on this process: every Every
@@ -231,6 +255,14 @@ func (c *Cluster) StartRetarget(rc RetargetConfig) error {
 		return fmt.Errorf("spc: RetargetConfig.Every must be positive, got %g", rc.Every)
 	}
 	cal := optimize.NewCalibrator(c.cfg.Topo, rc.Lambda, rc.MinSamples)
+	var dec *hierDecomposition
+	if rc.Hier != nil {
+		d, err := buildHierDecomposition(c, rc.Hier)
+		if err != nil {
+			return err
+		}
+		dec = d
+	}
 	wall := time.Duration(rc.Every / c.scale * float64(time.Second))
 	// The loop joins rtWG, not the data plane's wg: Stop waits this
 	// goroutine out FIRST, so a re-solve can never overlap buffer
@@ -246,7 +278,11 @@ func (c *Cluster) StartRetarget(rc RetargetConfig) error {
 				return
 			case <-ticker.C:
 			}
-			c.retargetOnce(cal, rc)
+			if dec != nil {
+				c.hierRetargetOnce(cal, rc, dec)
+			} else {
+				c.retargetOnce(cal, rc)
+			}
 		}
 	}()
 	return nil
@@ -276,6 +312,7 @@ func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
 			c.broadcastTargets()
 			return
 		}
+		c.noteSolve(ea.SolveMillis, ea.Iterations)
 		if err := c.SetReplicaTargets(cur.epoch+1, ea.Replica); err != nil {
 			c.broadcastTargets()
 			return
@@ -293,6 +330,7 @@ func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
 		c.broadcastTargets()
 		return
 	}
+	c.noteSolve(alloc.SolveMillis, alloc.Iterations)
 	if err := c.SetTargets(cur.epoch+1, alloc.CPU); err != nil {
 		// Lost a race with a concurrent retarget; its targets stand.
 		// Re-disseminate whatever is current so peers converge regardless.

@@ -383,6 +383,17 @@ type Cluster struct {
 	// replica-addressed SDO forwarding and replica target dissemination.
 	els ElasticLink
 	rts ReplicaTargetSender
+	// hier is the dissemination-tree state (inert for flat deployments);
+	// see EnableHierRelay. framesSent counts target frames pushed to tree
+	// children; lastSolveMs/lastSolveIters snapshot the most recent
+	// tier-1 re-solve for the report and the solve_ms/solve_iters gauges.
+	hier           hierRelay
+	framesSent     atomic.Int64
+	lastSolveMs    atomic.Uint64 // float64 bits
+	lastSolveIters atomic.Int64
+	gSolveMs       *obs.Gauge
+	gSolveIters    *obs.Gauge
+	gEpochLag      *obs.Gauge
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -654,6 +665,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if c.reg != nil {
 		c.gEpoch = c.reg.Gauge("retarget_epoch", nil)
+		c.gSolveMs = c.reg.Gauge("solve_ms", nil)
+		c.gSolveIters = c.reg.Gauge("solve_iters", nil)
+		c.gEpochLag = c.reg.Gauge("retarget_epoch_lag", nil)
 	}
 	return c, nil
 }
@@ -1307,6 +1321,9 @@ func (c *Cluster) Report(now float64) metrics.Report {
 	ts := c.targets.Load()
 	rep.TargetEpoch = ts.epoch
 	rep.Retargets = c.retargets.Load()
+	rep.SolveMillis = c.LastSolveMillis()
+	rep.TargetFramesSent = c.framesSent.Load()
+	rep.TargetEpochLag = c.EpochLag()
 	for j := range c.replicas {
 		if n := c.ActiveReplicas(sdo.PEID(j)); n > rep.ActiveReplicas {
 			rep.ActiveReplicas = n

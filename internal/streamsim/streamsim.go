@@ -329,6 +329,8 @@ type Engine struct {
 	netRing   [][]netItem
 	tickNo    int
 	netDrops  int64
+	// retargets counts the tier-1 target sets StartRetarget installed.
+	retargets int
 	// Observability (nil when disabled).
 	tracer *obs.Tracer
 	reg    *obs.Registry
@@ -841,6 +843,38 @@ func (e *Engine) MovePE(j sdo.PEID, to sdo.NodeID) error {
 	e.nodes[to] = append(e.nodes[to], ps)
 	return nil
 }
+
+// StartRetarget schedules a periodic tier-1 re-solve on the simulation
+// clock — the simulator analogue of the live runtime's adaptive loop.
+// Every `every` simulated seconds, solve is called with the 1-based epoch
+// and a copy of the current targets; a non-nil result is installed via
+// SetTargets, nil keeps the incumbent. The solve runs in wall time while
+// simulated time stands still, so even an expensive re-solve costs the
+// simulated system nothing; pair it with a solver deadline to study what
+// a bounded epoch budget would have produced. Call before Run; the
+// returned stop cancels the schedule.
+func (e *Engine) StartRetarget(every float64, solve func(epoch int, cpu []float64) []float64) (stop func(), err error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("streamsim: StartRetarget period %g, want > 0", every)
+	}
+	if solve == nil {
+		return nil, fmt.Errorf("streamsim: StartRetarget requires a solve callback")
+	}
+	return e.sim.Every(every, func(float64) {
+		cur := make([]float64, len(e.cfg.CPU))
+		copy(cur, e.cfg.CPU)
+		next := solve(e.retargets+1, cur)
+		if next == nil {
+			return
+		}
+		if err := e.SetTargets(next); err == nil {
+			e.retargets++
+		}
+	}), nil
+}
+
+// Retargets returns how many target sets StartRetarget has installed.
+func (e *Engine) Retargets() int { return e.retargets }
 
 // SetTargets replaces the tier-1 CPU targets mid-run: the paper's tier 1
 // re-optimizes "periodically, to support changing workload and resource

@@ -340,6 +340,37 @@ func (rc *ResilientConn) PeerSupportsElastic() bool {
 	return cur != nil && cur.PeerSupportsElastic()
 }
 
+// SendTargetAck enqueues one upward dissemination ack, with the same
+// silent-discard contract as SendTargets: an ack lost to a dead link is
+// repaired by the ack that follows the next target broadcast, while a
+// queued stale ack would only understate the peer's progress. Never
+// blocks.
+func (rc *ResilientConn) SendTargetAck(a TargetAck) error {
+	rc.mu.Lock()
+	cur := rc.cur
+	closed := rc.closed
+	rc.mu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	if cur == nil || !cur.PeerSupportsHier() {
+		return nil
+	}
+	bp := getBuf()
+	body := encodeTargetAck((*bp)[:0], a)
+	*bp = body
+	return rc.enqueue(outFrame{kind: KindTargetAck, body: body, buf: bp})
+}
+
+// PeerSupportsHier reports whether the current connection's peer
+// advertised dissemination-tree support (false while disconnected).
+func (rc *ResilientConn) PeerSupportsHier() bool {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	return cur != nil && cur.PeerSupportsHier()
+}
+
 func (rc *ResilientConn) enqueue(f outFrame) error {
 	select {
 	case <-rc.done:
@@ -454,7 +485,7 @@ func (rc *ResilientConn) invalidate(gen int) {
 // heartbeat and retarget decoding are intrinsic to this protocol version,
 // batch framing is opt-in.
 func (rc *ResilientConn) localFeatures() uint64 {
-	f := FeatureHeartbeat | FeatureRetarget | FeatureElastic
+	f := FeatureHeartbeat | FeatureRetarget | FeatureElastic | FeatureHier
 	if rc.opts.BatchMax > 1 {
 		f |= FeatureBatch
 	}

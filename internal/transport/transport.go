@@ -13,6 +13,7 @@
 //	tgt    := epoch(u64) count(u32) cpu(f64 bits) × count
 //	rep    := pe(i32) replica(i32) data
 //	rtgt   := epoch(u64) peCount(u32) { slots(u32) cpu(f64 bits)×slots } × peCount
+//	tack   := origin(i32) epoch(u64)
 //
 // trace is the observability trace ID (0 = unsampled): carrying it inside
 // the routed frame is what lets a per-SDO trace be stitched across the
@@ -85,6 +86,13 @@ const (
 	// Control path (never batched), FeatureElastic-gated, same stale-epoch
 	// rejection as KindTargets.
 	KindReplicaTargets
+	// KindTargetAck flows UP the dissemination tree of the hierarchical
+	// control plane: a node that applied (or relayed) an epoch reports
+	// {origin node, epoch} to its parent, which forwards it unchanged
+	// toward the root. The root uses the per-origin acked epoch to expose
+	// dissemination lag (retarget_epoch_lag). Control path, never batched,
+	// FeatureHier-gated.
+	KindTargetAck
 )
 
 // protocolVersion is announced in hello frames. Version 2 adds batch
@@ -105,6 +113,12 @@ const FeatureRetarget uint64 = 1 << 2
 // FeatureElastic advertises that this endpoint decodes KindReplica and
 // KindReplicaTargets frames and hosts replica groups.
 const FeatureElastic uint64 = 1 << 3
+
+// FeatureHier advertises that this endpoint understands the hierarchical
+// dissemination-tree semantics: it re-relays received target frames to
+// its own children and emits/forwards KindTargetAck frames upward. Flat
+// v1/v2 peers never set the bit and never see ack frames.
+const FeatureHier uint64 = 1 << 4
 
 // Feedback is a control-plane advertisement: PE j accepts at most RMax
 // SDOs per control tick.
@@ -139,6 +153,14 @@ type ReplicaTargets struct {
 	CPU   [][]float64
 }
 
+// TargetAck reports, up the dissemination tree, that node Origin has
+// applied targets through Epoch. Relaying parents forward it unchanged,
+// so the root sees every descendant's applied epoch.
+type TargetAck struct {
+	Origin int32
+	Epoch  uint64
+}
+
 // Message is a decoded frame: exactly one of SDO/Feedback/Heartbeat/
 // Targets is meaningful per Kind; To is set for routed frames. Batch
 // frames are decoded into their members, so Recv only ever yields
@@ -150,6 +172,7 @@ type Message struct {
 	Heartbeat      Heartbeat
 	Targets        Targets
 	ReplicaTargets ReplicaTargets
+	TargetAck      TargetAck
 	// To is the destination PE of a KindRouted or KindReplica frame.
 	To sdo.PEID
 	// Rep is the destination replica slot of a KindReplica frame.
@@ -280,6 +303,13 @@ func (c *Conn) PeerSupportsRetarget() bool {
 // replica-frame decoding. False until a hello arrives.
 func (c *Conn) PeerSupportsElastic() bool {
 	return c.peerFeatures.Load()&FeatureElastic != 0
+}
+
+// PeerSupportsHier reports whether the peer's hello advertised the
+// hierarchical dissemination-tree semantics (target relaying and ack
+// frames). False until a hello arrives.
+func (c *Conn) PeerSupportsHier() bool {
+	return c.peerFeatures.Load()&FeatureHier != 0
 }
 
 // setPeerFeatures force-sets the peer feature bits (tests that need
@@ -510,6 +540,24 @@ func decodeReplicaTargets(body []byte) (ReplicaTargets, error) {
 	return rt, nil
 }
 
+// SendTargetAck writes one upward ack frame. Control-path contract
+// matches SendTargets: own frame, never batched. Callers must gate on
+// PeerSupportsHier — a flat peer has no tree position to account acks to.
+func (c *Conn) SendTargetAck(a TargetAck) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	body := encodeTargetAck((*bp)[:0], a)
+	*bp = body[:0]
+	return c.send(KindTargetAck, body)
+}
+
+// encodeTargetAck appends the ack-frame body: origin(i32) epoch(u64).
+func encodeTargetAck(dst []byte, a TargetAck) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(a.Origin))
+	dst = binary.BigEndian.AppendUint64(dst, a.Epoch)
+	return dst
+}
+
 // send writes one frame and flushes: the contract for direct Conn users
 // (including the control path, whose feedback frames must reach the peer
 // sub-Δt, not sit in a 64 KiB buffer). Writers that know more work is
@@ -681,6 +729,14 @@ func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, e
 			return Message{}, false, err
 		}
 		return Message{Kind: KindReplicaTargets, ReplicaTargets: rt}, false, nil
+	case KindTargetAck:
+		if len(body) != 12 {
+			return Message{}, false, fmt.Errorf("transport: bad target-ack frame (%d bytes)", len(body))
+		}
+		return Message{Kind: KindTargetAck, TargetAck: TargetAck{
+			Origin: int32(binary.BigEndian.Uint32(body[0:4])),
+			Epoch:  binary.BigEndian.Uint64(body[4:12]),
+		}}, false, nil
 	case KindBatch:
 		if err := c.decodeBatch(body); err != nil {
 			return Message{}, false, err

@@ -114,6 +114,21 @@ type (
 	// ElasticAllocation is the elastic tier-1 result: per-replica-slot CPU
 	// targets plus the chosen replica count per PE.
 	ElasticAllocation = optimize.ElasticAllocation
+	// GradientMode selects the solver's gradient engine
+	// (OptimizeConfig.Gradient).
+	GradientMode = optimize.GradientMode
+)
+
+// Gradient engines for OptimizeConfig.Gradient.
+const (
+	// GradientAnalytic (the default) computes the exact subgradient by one
+	// reverse-mode sweep over the fluid DAG per iteration — O(edges)
+	// instead of one propagation per PE.
+	GradientAnalytic = optimize.GradientAnalytic
+	// GradientFiniteDiff is the central-difference reference engine the
+	// analytic adjoint is validated against; it costs p propagations per
+	// iteration and exists for cross-checks, not production solves.
+	GradientFiniteDiff = optimize.GradientFiniteDiff
 )
 
 // Optimize computes time-averaged CPU targets maximizing the weighted

@@ -23,6 +23,11 @@ func TestRunHierMiniature(t *testing.T) {
 		SimPEs:      60,
 		SimDuration: 2,
 		SimEvery:    0.8,
+		// Keep the grad row miniature too: the test checks plumbing, not
+		// the p=1000 acceptance measurement.
+		GradPEs:        60,
+		GradIters:      200,
+		GradFDDeadline: 3 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +51,14 @@ func TestRunHierMiniature(t *testing.T) {
 	}
 	if res.Sim.UniformWT <= 0 || res.Sim.MonoWT <= 0 || res.Sim.HierWT <= 0 {
 		t.Errorf("sim throughputs: %+v", res.Sim)
+	}
+	if res.Grad.PEs != 60 || res.Grad.AnWT <= 0 || res.Grad.FDWT <= 0 ||
+		res.Grad.AnEvals <= 0 || res.Grad.FDEvals <= 0 {
+		t.Errorf("grad row not populated: %+v", res.Grad)
+	}
+	if res.Grad.FDEvals <= res.Grad.AnEvals {
+		t.Errorf("finite-diff used %d evals ≤ analytic's %d — FD engine not exercised",
+			res.Grad.FDEvals, res.Grad.AnEvals)
 	}
 
 	var sb strings.Builder
@@ -84,5 +97,22 @@ func TestCompareHierGates(t *testing.T) {
 	// Disjoint ladders cannot be compared.
 	if err := CompareHier(base, mk([]int{300, 600}, []float64{50, 110}, 0.97)); err == nil {
 		t.Error("disjoint ladder accepted")
+	}
+
+	// Gradient-engine row: gated absolutely on the current run.
+	ok := mk([]int{500, 1000}, []float64{100, 215}, 0.97)
+	ok.Grad = GradScaleRow{PEs: 1000, Frac: 0.997, Speedup: 60}
+	if err := CompareHier(base, ok); err != nil {
+		t.Errorf("healthy grad row flagged: %v", err)
+	}
+	badFrac := ok
+	badFrac.Grad = GradScaleRow{PEs: 1000, Frac: 0.95, Speedup: 60}
+	if err := CompareHier(base, badFrac); err == nil {
+		t.Error("grad frac 0.95 not flagged")
+	}
+	badSpeed := ok
+	badSpeed.Grad = GradScaleRow{PEs: 1000, Frac: 0.997, Speedup: 4}
+	if err := CompareHier(base, badSpeed); err == nil {
+		t.Error("grad speedup 4× not flagged")
 	}
 }

@@ -48,7 +48,9 @@ const minSourceRate = 1e-9
 type Config struct {
 	// Optimize is the base per-region solver configuration. MaxIters is
 	// the per-region, per-sweep iteration budget BEFORE the root's
-	// reallocation (default 400); WarmStart/WarmStartReplica, when
+	// reallocation (default 1200 — an adjoint-gradient iteration costs a
+	// handful of propagations instead of p, so the budget buys real
+	// convergence, not wall time); WarmStart/WarmStartReplica, when
 	// shaped for the FULL topology, seed every region from the incumbent.
 	Optimize optimize.Config
 	// Sweeps bounds the dual-ascent iterations (default 3).
@@ -74,7 +76,8 @@ type Config struct {
 	// short monolithic solve warm-started from the assembled regional
 	// solution closes the structural dual gap of the decomposition
 	// (regional solves alone plateau a few percent below monolithic).
-	// Default 80; negative disables. The polish is skipped under elastic
+	// Default 400 (cheap under the analytic gradient); negative
+	// disables. The polish is skipped under elastic
 	// solves (a global pass would re-open replica slots outside their
 	// PE's region) and when the deadline is already spent.
 	RefineIters int
@@ -85,7 +88,12 @@ type Config struct {
 
 func (c *Config) fillDefaults() {
 	if c.Optimize.MaxIters <= 0 {
-		c.Optimize.MaxIters = 400
+		// Sized for the analytic gradient engine: the same budget under
+		// finite differences would cost ~p propagations per iteration and
+		// blow any realistic epoch deadline (the self-pacing would skip
+		// most sweeps); callers pinning GradientFiniteDiff should size
+		// MaxIters down themselves.
+		c.Optimize.MaxIters = 1200
 	}
 	if c.Sweeps <= 0 {
 		c.Sweeps = 3
@@ -100,7 +108,7 @@ func (c *Config) fillDefaults() {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.RefineIters == 0 {
-		c.RefineIters = 80
+		c.RefineIters = 400
 	}
 }
 

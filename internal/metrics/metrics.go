@@ -141,6 +141,11 @@ type Report struct {
 	// SolveMillis is the wall time of the most recent tier-1 re-solve on
 	// this process (0 when no retarget loop ran).
 	SolveMillis float64 `json:"solve_ms,omitempty"`
+	// ColdSolves counts adaptive-loop re-solves that fell back to a cold
+	// start because their warm start was missing or wrong-shaped (e.g.
+	// stale after a topology change) — each one pays a full ascent
+	// against the epoch deadline.
+	ColdSolves int64 `json:"cold_solves,omitempty"`
 	// TargetFramesSent counts target frames this process relayed to its
 	// dissemination-tree children (0 for flat deployments).
 	TargetFramesSent int64 `json:"target_frames_sent,omitempty"`

@@ -36,6 +36,14 @@ type ElasticAllocation struct {
 	WeightedThroughput float64
 	// Iterations actually used by the solver.
 	Iterations int
+	// Evals counts full fluid propagations the solver performed.
+	Evals int
+	// ColdStart reports that the solver started from the demand-
+	// proportional cold point: no WarmStartReplica was supplied, or its
+	// shape did not match the topology's replica placement (the silent
+	// fallback the retarget loop surfaces through the
+	// retarget_cold_solves_total counter).
+	ColdStart bool
 	// SolveMillis is the wall-clock solve time in milliseconds.
 	SolveMillis float64
 	// DeadlineExceeded is set when Config.Deadline cut the ascent short.
@@ -92,8 +100,11 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 	}
 	ns := len(slotPE)
 
+	pj := newSlotProjector(nodeSlots)
+	cold := !warmShapeOK(cfg.WarmStartReplica, slotOf)
 	x := make([]float64, ns)
-	if warm := cfg.WarmStartReplica; warmShapeOK(warm, slotOf) {
+	if !cold {
+		warm := cfg.WarmStartReplica
 		for j := 0; j < p; j++ {
 			for r, i := range slotOf[j] {
 				v := warm[j][r]
@@ -103,7 +114,7 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 				x[i] = v
 			}
 		}
-		projectSlots(nodeSlots, x, cfg.Headroom)
+		pj.project(x, cfg.Headroom)
 	} else {
 		// Cold start: spread each node's budget across its slots, blending
 		// demand-proportional shares with a uniform floor. The floor keeps
@@ -132,20 +143,15 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 		}
 	}
 
-	eval := func(x []float64) float64 {
-		_, rout := propagateElastic(t, order, slotOf, x)
-		obj := 0.0
-		for j := 0; j < p; j++ {
-			if w := t.PEs[j].Weight; w > 0 {
-				obj += w * cfg.Utility.Value(rout[j])
-			}
-		}
-		return obj
-	}
+	ws := newAdjoint(t, order, slotOf)
+	eval := func(x []float64) float64 { return ws.eval(x, cfg.Utility) }
 
 	best := make([]float64, ns)
 	copy(best, x)
 	bestObj := eval(x)
+	// As in Solve, the accepted trial's objective is carried forward so
+	// each iteration skips the redundant base re-evaluation.
+	curObj := bestObj
 	objWindow := bestObj
 
 	grad := make([]float64, ns)
@@ -157,23 +163,28 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 			break
 		}
 		iters = it
-		base := eval(x)
-		// The deadline is polled inside the gradient too (one gradient is
-		// ns evals); a truncated gradient abandons the iteration.
-		const h = 1e-7
-		truncated := false
-		for i := 0; i < ns; i++ {
-			if i%64 == 63 && expired() {
-				truncated = true
+		var base float64
+		if cfg.Gradient == GradientFiniteDiff {
+			base = curObj
+			// The deadline is polled inside the gradient too (one gradient is
+			// ns evals); a truncated gradient abandons the iteration.
+			const h = 1e-7
+			truncated := false
+			for i := 0; i < ns; i++ {
+				if i%64 == 63 && expired() {
+					truncated = true
+					break
+				}
+				old := x[i]
+				x[i] = old + h
+				grad[i] = (eval(x) - base) / h
+				x[i] = old
+			}
+			if truncated {
 				break
 			}
-			old := x[i]
-			x[i] = old + h
-			grad[i] = (eval(x) - base) / h
-			x[i] = old
-		}
-		if truncated {
-			break
+		} else {
+			base = ws.evalGrad(x, cfg.Utility, grad)
 		}
 		gnorm := 0.0
 		for _, g := range grad {
@@ -188,9 +199,10 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 			for i := 0; i < ns; i++ {
 				trial[i] = x[i] + step*grad[i]/gnorm
 			}
-			projectSlots(nodeSlots, trial, cfg.Headroom)
+			pj.project(trial, cfg.Headroom)
 			if obj := eval(trial); obj > base {
 				copy(x, trial)
+				curObj = obj
 				if obj > bestObj {
 					bestObj = obj
 					copy(best, x)
@@ -224,28 +236,36 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 	if subIters > 3000 {
 		subIters = 3000
 	}
+	stepped := false
 	for it := 1; it <= subIters; it++ {
 		if expired() {
 			break
 		}
 		iters++
-		const h = 1e-7
-		truncated := false
-		for i := 0; i < ns; i++ {
-			if i%64 == 63 && expired() {
-				truncated = true
+		if cfg.Gradient == GradientFiniteDiff {
+			const h = 1e-7
+			truncated := false
+			for i := 0; i < ns; i++ {
+				if i%64 == 63 && expired() {
+					truncated = true
+					break
+				}
+				old := x[i]
+				x[i] = old + h
+				up := eval(x)
+				x[i] = old - h
+				down := eval(x)
+				x[i] = old
+				grad[i] = (up - down) / (2 * h)
+			}
+			if truncated {
 				break
 			}
-			old := x[i]
-			x[i] = old + h
-			up := eval(x)
-			x[i] = old - h
-			down := eval(x)
-			x[i] = old
-			grad[i] = (up - down) / (2 * h)
-		}
-		if truncated {
-			break
+		} else {
+			if obj := ws.evalGrad(x, cfg.Utility, grad); obj > bestObj {
+				bestObj = obj
+				copy(best, x)
+			}
 		}
 		gnorm := 0.0
 		for _, g := range grad {
@@ -259,7 +279,16 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 		for i := 0; i < ns; i++ {
 			x[i] += alpha * grad[i] / gnorm
 		}
-		projectSlots(nodeSlots, x, cfg.Headroom)
+		pj.project(x, cfg.Headroom)
+		stepped = true
+		if cfg.Gradient == GradientFiniteDiff {
+			if obj := eval(x); obj > bestObj {
+				bestObj = obj
+				copy(best, x)
+			}
+		}
+	}
+	if cfg.Gradient != GradientFiniteDiff && stepped {
 		if obj := eval(x); obj > bestObj {
 			bestObj = obj
 			copy(best, x)
@@ -300,15 +329,24 @@ func SolveElastic(t *graph.Topology, cfg Config) (*ElasticAllocation, error) {
 		}
 	}
 
-	rin, rout := propagateElastic(t, order, slotOf, best)
+	// The returned Objective is recomputed from the PRUNED slot vector:
+	// parsimony removes replicas whose absence costs up to tol objective
+	// (and dust-snapping a little more) without ever decrementing bestObj,
+	// so echoing bestObj would overstate what the returned Replica matrix
+	// achieves.
+	ws.forward(best)
+	rin := append([]float64(nil), ws.rin...)
+	rout := append([]float64(nil), ws.rout...)
 	ea := &ElasticAllocation{
 		Replica:          make([][]float64, p),
 		CPU:              make([]float64, p),
 		Replicas:         make([]int, p),
 		RIn:              rin,
 		ROut:             rout,
-		Objective:        bestObj,
+		Objective:        ws.objective(cfg.Utility),
 		Iterations:       iters,
+		Evals:            ws.evals,
+		ColdStart:        cold,
 		SolveMillis:      float64(time.Since(start)) / float64(time.Millisecond),
 		DeadlineExceeded: deadlineHit,
 	}
@@ -392,36 +430,6 @@ func propagateElastic(t *graph.Topology, order []sdo.PEID, slotOf [][]int, x []f
 		}
 	}
 	return rin, rout
-}
-
-// projectSlots projects the slot allocation of every node onto its
-// capacity simplex {x ≥ 0, Σ x ≤ headroom}.
-func projectSlots(nodeSlots [][]int, x []float64, headroom float64) {
-	for _, ids := range nodeSlots {
-		if len(ids) == 0 {
-			continue
-		}
-		vals := make([]float64, len(ids))
-		sum := 0.0
-		for i, id := range ids {
-			v := x[id]
-			if v < 0 {
-				v = 0
-			}
-			vals[i] = v
-			sum += v
-		}
-		if sum <= headroom {
-			for i, id := range ids {
-				x[id] = vals[i]
-			}
-			continue
-		}
-		proj := projectSimplex(vals, headroom)
-		for i, id := range ids {
-			x[id] = proj[i]
-		}
-	}
 }
 
 // PropagateElastic exposes the replica-group fluid model for external

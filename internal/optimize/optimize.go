@@ -21,7 +21,6 @@ package optimize
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"aces/internal/graph"
@@ -104,6 +103,15 @@ type Allocation struct {
 	WeightedThroughput float64
 	// Iterations actually used by the solver.
 	Iterations int
+	// Evals counts full fluid propagations the solver performed — its
+	// dominant cost unit. One analytic-gradient iteration costs a handful
+	// (gradient + line search); one finite-difference iteration costs p.
+	Evals int
+	// ColdStart reports that the solver started from the demand-
+	// proportional cold point: no WarmStart was supplied, or its shape did
+	// not match the topology (a silent fallback the retarget loop surfaces
+	// through the retarget_cold_solves_total counter).
+	ColdStart bool
 	// SolveMillis is the wall-clock solve time in milliseconds.
 	SolveMillis float64
 	// DeadlineExceeded is set when Config.Deadline cut the ascent short:
@@ -141,6 +149,11 @@ type Config struct {
 	// slot incumbents, shaped like the topology's replica placement. Solve
 	// ignores it.
 	WarmStartReplica [][]float64
+	// Gradient selects the gradient engine: GradientAnalytic (the zero
+	// value) computes each gradient with one adjoint backward sweep;
+	// GradientFiniteDiff retains the O(p²) difference-quotient reference
+	// the gradient-check harness pins the adjoint against.
+	Gradient GradientMode
 	// Deadline bounds the solver's wall-clock time (0 = unbounded). When
 	// it expires the solver stops at the end of the current iteration and
 	// returns the best iterate found so far with DeadlineExceeded set —
@@ -192,15 +205,17 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 	// feasible by projection), otherwise each node's budget is allocated
 	// proportionally to the unit-load CPU demand of its PEs — feasible and
 	// in the interior.
+	pj := newNodeProjector(t)
+	cold := len(cfg.WarmStart) != p
 	c := make([]float64, p)
-	if len(cfg.WarmStart) == p {
+	if !cold {
 		copy(c, cfg.WarmStart)
 		for j := range c {
 			if c[j] < 0 || math.IsNaN(c[j]) {
 				c[j] = 0
 			}
 		}
-		projectNodes(t, c, cfg.Headroom)
+		pj.project(c, cfg.Headroom)
 	} else {
 		demand, err := t.UnitDemand()
 		if err != nil {
@@ -216,20 +231,19 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 		}
 	}
 
-	eval := func(c []float64) float64 {
-		_, rout := propagate(t, order, c)
-		obj := 0.0
-		for j := 0; j < p; j++ {
-			if w := t.PEs[j].Weight; w > 0 {
-				obj += w * cfg.Utility.Value(rout[j])
-			}
-		}
-		return obj
-	}
+	ws := newAdjoint(t, order, nil)
+	eval := func(c []float64) float64 { return ws.eval(c, cfg.Utility) }
 
 	best := make([]float64, p)
 	copy(best, c)
 	bestObj := eval(c)
+	// curObj tracks eval(c) across iterations: the accepted line-search
+	// trial already produced it, so re-deriving the base objective at the
+	// top of each iteration would waste one full propagation per
+	// iteration. eval is deterministic, so the carried value is exactly
+	// what the re-evaluation would return — identical iterates, one fewer
+	// eval.
+	curObj := bestObj
 	objWindow := bestObj
 
 	grad := make([]float64, p)
@@ -241,27 +255,34 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 			break
 		}
 		iters = it
-		base := eval(c)
-		// Forward-difference gradient. The objective is piecewise smooth
-		// (min compositions); forward differences give a valid ascent
-		// direction almost everywhere. One gradient is p evals — at large
-		// p that alone can dwarf the deadline, so the deadline is also
-		// polled inside the loop and a truncated gradient abandons the
-		// iteration (best holds the last complete iterate).
-		const h = 1e-7
-		truncated := false
-		for j := 0; j < p; j++ {
-			if j%64 == 63 && expired() {
-				truncated = true
+		var base float64
+		if cfg.Gradient == GradientFiniteDiff {
+			base = curObj
+			// Forward-difference gradient. The objective is piecewise smooth
+			// (min compositions); forward differences give a valid ascent
+			// direction almost everywhere. One gradient is p evals — at large
+			// p that alone can dwarf the deadline, so the deadline is also
+			// polled inside the loop and a truncated gradient abandons the
+			// iteration (best holds the last complete iterate).
+			const h = 1e-7
+			truncated := false
+			for j := 0; j < p; j++ {
+				if j%64 == 63 && expired() {
+					truncated = true
+					break
+				}
+				old := c[j]
+				c[j] = old + h
+				grad[j] = (eval(c) - base) / h
+				c[j] = old
+			}
+			if truncated {
 				break
 			}
-			old := c[j]
-			c[j] = old + h
-			grad[j] = (eval(c) - base) / h
-			c[j] = old
-		}
-		if truncated {
-			break
+		} else {
+			// Adjoint gradient: one forward pass (which doubles as the base
+			// evaluation) plus one backward sweep, independent of p.
+			base = ws.evalGrad(c, cfg.Utility, grad)
 		}
 		// Normalize the step by the gradient's scale so progress is
 		// uniform across problem sizes.
@@ -278,9 +299,10 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 			for j := 0; j < p; j++ {
 				trial[j] = c[j] + step*grad[j]/gnorm
 			}
-			projectNodes(t, trial, cfg.Headroom)
+			pj.project(trial, cfg.Headroom)
 			if obj := eval(trial); obj > base {
 				copy(c, trial)
+				curObj = obj
 				if obj > bestObj {
 					bestObj = obj
 					copy(best, c)
@@ -310,36 +332,50 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 
 	// Phase 2: the adaptive phase stalls on the non-differentiable ridges
 	// the min() composition creates (sharp with linear utility). A
-	// diminishing-step subgradient pass with central differences walks
-	// along those ridges; per subgradient-method theory the best iterate
-	// converges even though individual steps may not improve.
+	// diminishing-step subgradient pass walks along those ridges; per
+	// subgradient-method theory the best iterate converges even though
+	// individual steps may not improve. The analytic engine takes its
+	// adjoint subgradient (one propagation per step, with the evaluation
+	// of the previous step's iterate folded into the same forward pass);
+	// the reference engine keeps central differences.
 	copy(c, best)
 	subIters := cfg.MaxIters - iters
 	if subIters > 3000 {
 		subIters = 3000
 	}
+	stepped := false
 	for it := 1; it <= subIters; it++ {
 		if expired() {
 			break
 		}
 		iters++
-		const h = 1e-7
-		truncated := false
-		for j := 0; j < p; j++ {
-			if j%64 == 63 && expired() {
-				truncated = true
+		if cfg.Gradient == GradientFiniteDiff {
+			const h = 1e-7
+			truncated := false
+			for j := 0; j < p; j++ {
+				if j%64 == 63 && expired() {
+					truncated = true
+					break
+				}
+				old := c[j]
+				c[j] = old + h
+				up := eval(c)
+				c[j] = old - h
+				down := eval(c)
+				c[j] = old
+				grad[j] = (up - down) / (2 * h)
+			}
+			if truncated {
 				break
 			}
-			old := c[j]
-			c[j] = old + h
-			up := eval(c)
-			c[j] = old - h
-			down := eval(c)
-			c[j] = old
-			grad[j] = (up - down) / (2 * h)
-		}
-		if truncated {
-			break
+		} else {
+			// The forward half of the gradient also scores the previous
+			// step's iterate, so each analytic subgradient step costs ONE
+			// propagation total.
+			if obj := ws.evalGrad(c, cfg.Utility, grad); obj > bestObj {
+				bestObj = obj
+				copy(best, c)
+			}
 		}
 		gnorm := 0.0
 		for _, g := range grad {
@@ -353,7 +389,18 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 		for j := 0; j < p; j++ {
 			c[j] += alpha * grad[j] / gnorm
 		}
-		projectNodes(t, c, cfg.Headroom)
+		pj.project(c, cfg.Headroom)
+		stepped = true
+		if cfg.Gradient == GradientFiniteDiff {
+			if obj := eval(c); obj > bestObj {
+				bestObj = obj
+				copy(best, c)
+			}
+		}
+	}
+	if cfg.Gradient != GradientFiniteDiff && stepped {
+		// The analytic loop scores each iterate at the TOP of the next
+		// step; the last stepped point still needs its evaluation.
 		if obj := eval(c); obj > bestObj {
 			bestObj = obj
 			copy(best, c)
@@ -363,18 +410,28 @@ func Solve(t *graph.Topology, cfg Config) (*Allocation, error) {
 	if cfg.MinShare > 0 {
 		applyMinShare(t, best, cfg.MinShare, cfg.Headroom)
 	}
-	rin, rout := propagate(t, order, best)
-	wt := 0.0
+	// The returned Objective is recomputed from the FINAL allocation:
+	// applyMinShare mutates best after bestObj was captured, so echoing
+	// bestObj could overstate what the returned CPU vector achieves.
+	ws.forward(best)
+	rin := append([]float64(nil), ws.rin...)
+	rout := append([]float64(nil), ws.rout...)
+	obj, wt := 0.0, 0.0
 	for j := 0; j < p; j++ {
+		if w := t.PEs[j].Weight; w > 0 {
+			obj += w * cfg.Utility.Value(rout[j])
+		}
 		wt += t.PEs[j].Weight * rout[j]
 	}
 	return &Allocation{
 		CPU:                best,
 		RIn:                rin,
 		ROut:               rout,
-		Objective:          bestObj,
+		Objective:          obj,
 		WeightedThroughput: wt,
 		Iterations:         iters,
+		Evals:              ws.evals,
+		ColdStart:          cold,
 		SolveMillis:        float64(time.Since(start)) / float64(time.Millisecond),
 		DeadlineExceeded:   deadlineHit,
 	}, nil
@@ -488,57 +545,20 @@ func propagate(t *graph.Topology, order []sdo.PEID, c []float64) (rin, rout []fl
 
 // projectNodes projects the allocation of every node onto the capacity
 // simplex {c ≥ 0, Σ c ≤ headroom} using the standard Euclidean simplex
-// projection.
+// projection. One-shot convenience; the solvers hold a projector so the
+// node index and scratch persist across the ascent loop.
 func projectNodes(t *graph.Topology, c []float64, headroom float64) {
-	for n := 0; n < t.NumNodes; n++ {
-		ids := t.OnNode(sdo.NodeID(n))
-		if len(ids) == 0 {
-			continue
-		}
-		vals := make([]float64, len(ids))
-		sum := 0.0
-		for i, id := range ids {
-			v := c[id]
-			if v < 0 {
-				v = 0
-			}
-			vals[i] = v
-			sum += v
-		}
-		if sum <= headroom {
-			for i, id := range ids {
-				c[id] = vals[i]
-			}
-			continue
-		}
-		proj := projectSimplex(vals, headroom)
-		for i, id := range ids {
-			c[id] = proj[i]
-		}
-	}
+	newNodeProjector(t).project(c, headroom)
 }
 
 // projectSimplex returns the Euclidean projection of v onto
 // {x ≥ 0, Σ x = z} (Duchi et al. 2008).
 func projectSimplex(v []float64, z float64) []float64 {
-	n := len(v)
-	u := make([]float64, n)
-	copy(u, v)
-	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
-	var css, cssAtRho float64
-	rho := -1
-	for i := 0; i < n; i++ {
-		css += u[i]
-		if u[i]-(css-z)/float64(i+1) > 0 {
-			rho = i
-			cssAtRho = css
-		}
+	out := make([]float64, len(v))
+	theta, feasible := simplexThreshold(v, z, nil)
+	if !feasible {
+		return out
 	}
-	if rho < 0 {
-		return make([]float64, n)
-	}
-	theta := (cssAtRho - z) / float64(rho+1)
-	out := make([]float64, n)
 	for i, x := range v {
 		if x-theta > 0 {
 			out[i] = x - theta

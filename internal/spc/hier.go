@@ -192,6 +192,22 @@ func (c *Cluster) LastSolveMillis() float64 {
 	return math.Float64frombits(c.lastSolveMs.Load())
 }
 
+// noteColdSolve records that a re-solve cold-started: the solver reported
+// that its warm start was missing or mis-shaped (Allocation.ColdStart), so
+// the loop paid a full ascent. Surfaced as the retarget_cold_solves_total
+// counter and Report.ColdSolves — a run that keeps cold-starting after a
+// topology change is burning its epoch deadline on avoidable work.
+func (c *Cluster) noteColdSolve() {
+	c.coldSolves.Add(1)
+	if c.reg != nil {
+		c.reg.Counter("retarget_cold_solves_total", nil).Inc()
+	}
+}
+
+// ColdSolves returns how many adaptive-loop re-solves cold-started on
+// this process.
+func (c *Cluster) ColdSolves() int64 { return c.coldSolves.Load() }
+
 // HierRetarget switches the adaptive loop's re-solve to the hierarchical
 // control plane (internal/hier): the calibrated topology is decomposed
 // into regions once at StartRetarget, and every epoch re-solves the

@@ -313,6 +313,9 @@ func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
 			return
 		}
 		c.noteSolve(ea.SolveMillis, ea.Iterations)
+		if ea.ColdStart {
+			c.noteColdSolve()
+		}
 		if err := c.SetReplicaTargets(cur.epoch+1, ea.Replica); err != nil {
 			c.broadcastTargets()
 			return
@@ -331,6 +334,9 @@ func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
 		return
 	}
 	c.noteSolve(alloc.SolveMillis, alloc.Iterations)
+	if alloc.ColdStart {
+		c.noteColdSolve()
+	}
 	if err := c.SetTargets(cur.epoch+1, alloc.CPU); err != nil {
 		// Lost a race with a concurrent retarget; its targets stand.
 		// Re-disseminate whatever is current so peers converge regardless.

@@ -261,3 +261,42 @@ func TestStartRetargetAdaptsToCostStep(t *testing.T) {
 		t.Errorf("adaptive target %.3f vs oracle %.3f for stepped PE", got[a], want.CPU[a])
 	}
 }
+
+// TestRetargetColdSolveCounter pins the cold-start surfacing: the
+// deployment-time target set is logical (no replica matrix), so the FIRST
+// elastic re-solve has no WarmStartReplica and must cold-start — silently,
+// before Allocation.ColdStart existed. The loop must count it once, then
+// warm-start from the replica-form epoch it just installed; the monolithic
+// path always has the incumbent logical vector and never cold-starts.
+func TestRetargetColdSolveCounter(t *testing.T) {
+	topo := elasticChain(t, 200, 0.002)
+	c, err := NewCluster(Config{Topo: topo, Policy: policy.ACES, CPU: []float64{0.3, 0.4, 0.3}, TimeScale: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.cancel()
+	cal := optimize.NewCalibrator(topo, 0, 0)
+	oc := optimize.Config{Utility: optimize.LinearUtility{}, MaxIters: 200}
+
+	// Monolithic re-solve: warm-started from the incumbent logical vector.
+	c.retargetOnce(cal, RetargetConfig{Every: 1, Optimize: oc})
+	if got := c.ColdSolves(); got != 0 {
+		t.Fatalf("monolithic re-solve cold-started: ColdSolves = %d, want 0", got)
+	}
+
+	// First elastic re-solve: the applied set is logical, cur.rep == nil.
+	c.retargetOnce(cal, RetargetConfig{Every: 1, Elastic: true, Optimize: oc})
+	if got := c.ColdSolves(); got != 1 {
+		t.Fatalf("first elastic re-solve: ColdSolves = %d, want 1", got)
+	}
+
+	// Second elastic re-solve warm-starts from the installed replica set.
+	c.retargetOnce(cal, RetargetConfig{Every: 1, Elastic: true, Optimize: oc})
+	if got := c.ColdSolves(); got != 1 {
+		t.Fatalf("second elastic re-solve: ColdSolves = %d, want 1 (still)", got)
+	}
+
+	if rep := c.Report(c.Now()); rep.ColdSolves != 1 {
+		t.Errorf("Report.ColdSolves = %d, want 1", rep.ColdSolves)
+	}
+}

@@ -378,7 +378,12 @@ type Cluster struct {
 	targets   atomic.Pointer[targetSet]
 	tgs       TargetSender
 	retargets atomic.Int64
-	gEpoch    *obs.Gauge
+	// coldSolves counts adaptive-loop re-solves that fell back to a cold
+	// start (missing or wrong-shaped warm start after a topology change) —
+	// each one pays a full ascent against the epoch deadline, so silence
+	// here would hide a real latency regression.
+	coldSolves atomic.Int64
+	gEpoch     *obs.Gauge
 	// els and rts are the uplink's elastic extensions (nil if unsupported):
 	// replica-addressed SDO forwarding and replica target dissemination.
 	els ElasticLink
@@ -1322,6 +1327,7 @@ func (c *Cluster) Report(now float64) metrics.Report {
 	rep.TargetEpoch = ts.epoch
 	rep.Retargets = c.retargets.Load()
 	rep.SolveMillis = c.LastSolveMillis()
+	rep.ColdSolves = c.coldSolves.Load()
 	rep.TargetFramesSent = c.framesSent.Load()
 	rep.TargetEpochLag = c.EpochLag()
 	for j := range c.replicas {

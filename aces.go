@@ -290,11 +290,36 @@ type (
 	// scheduled virtual time — the canonical workload drift for exercising
 	// the adaptive loop.
 	StepCost = spc.StepCost
+	// FailoverConfig configures Cluster.StartFailover, the standby watch
+	// that claims the next controller term after incumbent silence and
+	// resumes the retarget loop warm from the last applied target set.
+	FailoverConfig = spc.FailoverConfig
+	// SafetyConfig configures ClusterConfig.Safety, the stale-target
+	// safety mode: with no fresh target epoch within After, each tick
+	// blends the applied allocation a bounded Step further toward the
+	// declared-model allocation, hitlessly.
+	SafetyConfig = spc.SafetyConfig
+	// HierRepair configures Cluster.EnableHierRepair, the self-healing
+	// dissemination tree: ordered backup parents adopted on parent
+	// silence, plus ack-lag-driven retransmission to descendants.
+	HierRepair = spc.HierRepair
+	// TermTargetSender is the uplink extension carrying term-stamped CPU
+	// target sets (implemented by Link, Router and ResilientLink).
+	TermTargetSender = spc.TermTargetSender
+	// TermReplicaTargetSender is the term-stamped replica-target variant.
+	TermReplicaTargetSender = spc.TermReplicaTargetSender
+	// TermAckSender is the term-stamped dissemination-ack variant.
+	TermAckSender = spc.TermAckSender
 )
 
 // ErrStaleEpoch reports a SetTargets whose epoch is not strictly newer
 // than the applied one.
 var ErrStaleEpoch = spc.ErrStaleEpoch
+
+// ErrDeposedTerm reports a target set carrying an older controller term
+// than the applied one; it wraps ErrStaleEpoch so existing stale-frame
+// handling drops it silently.
+var ErrDeposedTerm = spc.ErrDeposedTerm
 
 // NewCluster builds a live cluster; Run(duration) executes it.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return spc.NewCluster(cfg) }

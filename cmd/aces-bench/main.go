@@ -33,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aces-bench", flag.ContinueOnError)
 	var (
 		quick  = fs.Bool("quick", false, "reduced scale for a fast pass")
-		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|retarget|elastic|hier|all")
+		exps   = fs.String("exp", "all", "comma-separated: fig2|fig3|fig4|fig5|smallbuf|robust|stability|calibrate|ablations|transport|chaos|retarget|elastic|hier|failover|all")
 		csvDir = fs.String("csv", "", "also write plotting-ready CSVs into this directory")
 		jsonTo = fs.String("json", "", "also write per-experiment results as machine-readable JSON to this file")
 		pes    = fs.Int("pes", 0, "override topology PE count")
@@ -49,6 +49,8 @@ func run(args []string) error {
 		retargetSeed = fs.Int64("retarget-seed", 7, "retarget experiment: deployment seed")
 
 		elasticSeed = fs.Int64("elastic-seed", 7, "elastic experiment: deployment seed")
+
+		failoverSeed = fs.Int64("failover-seed", 7, "failover experiment: deployment seed")
 
 		hierSeed     = fs.Int64("hier-seed", 13, "hier experiment: topology seed")
 		hierDeadline = fs.Duration("hier-deadline", 0, "hier experiment: per-epoch solve deadline (0 = default)")
@@ -270,6 +272,23 @@ func run(args []string) error {
 			if !row.Recovered {
 				return fmt.Errorf("elastic loop did not absorb the hotspot (elastic %.0f%%, frozen %.0f%% of oracle, %d replicas, peer epoch %d)",
 					100*row.ElasticFrac, 100*row.FrozenFrac, row.ActiveReplicas, row.PeerEpoch)
+			}
+			return nil
+		}},
+		{"failover", func() error {
+			// Like retarget, no -quick override: the run is already short
+			// and the acceptance margins depend on wall-clock calibration
+			// windows that further time-scaling would squeeze.
+			fo := experiments.FailoverOptions{Seed: *failoverSeed}
+			row, err := experiments.RunFailover(fo)
+			if err != nil {
+				return err
+			}
+			addJSON("failover", []experiments.FailoverRow{row})
+			experiments.FormatFailover(w, row)
+			if !row.Recovered {
+				return fmt.Errorf("standby did not recover control (took over %v, claim %.2f, missed %.1f epochs, leaf term %d, fenced %d, failover %.0f%% of baseline)",
+					row.TookOver, row.ClaimAt, row.MissedEpochs, row.LeafTerm, row.Fenced, 100*row.FailoverFrac)
 			}
 			return nil
 		}},

@@ -31,6 +31,17 @@
 //
 //	aces-spc -mode local -retarget-every 2 -elastic -replicas-max 3
 //
+// The control plane itself can be made fault tolerant: -standby-rank
+// arms a partition as a ranked standby controller that claims the next
+// term and resumes the adaptive loop when the incumbent's target frames
+// go silent, and -safety-after enables the stale-target safety mode (a
+// partition cut off from every controller blends its targets toward the
+// declared-model allocation instead of trusting stale calibration
+// forever):
+//
+//	aces-spc -mode node -topo t.json -local-nodes 2,3 -connect host:7071 \
+//	  -retarget-every 2 -standby-rank 0 -safety-after 10
+//
 // Local and node modes optionally expose live inspection endpoints
 // (/debug/report, /debug/telemetry, /debug/traces, /debug/graph,
 // /debug/health) and sampled per-SDO tracing:
@@ -88,21 +99,29 @@ func run(args []string) error {
 		rtEvery    = fs.Float64("retarget-every", 0, "re-solve tier-1 targets from calibrated rate models every this many virtual seconds (local/node; 0 = off)")
 		rtElastic  = fs.Bool("elastic", false, "let the adaptive loop also choose per-PE replica counts (local/node; needs -retarget-every and replica slots from the topology or -replicas-max)")
 		repMax     = fs.Int("replicas-max", 0, "give every non-join PE this many replica slots, overriding the topology's max_replicas (local/node; unpinned slots place round-robin across nodes; 0 = as declared)")
+		sbRank     = fs.Int("standby-rank", -1, "arm this process as a ranked standby controller: after rank-staggered target silence it claims the next term and resumes the adaptive loop (local/node; needs -retarget-every; -1 = off)")
+		sbSilence  = fs.Float64("standby-silence", 0, "virtual seconds of controller silence before this standby's base claim deadline (0 = 4×retarget-every)")
+		safAfter   = fs.Float64("safety-after", 0, "stale-target safety mode: with no fresh target epoch for this many virtual seconds, blend targets a bounded step per tick toward the declared-model allocation (local/node; 0 = off)")
+		safStep    = fs.Float64("safety-step", 0, "safety-mode blend increment per scheduler tick in (0, 1] (0 = default 0.05)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ob := obsOpts{debugAddr: *debugAddr, traceEvery: *traceEvery, traceBuf: *traceBuf, traceOut: *traceOut}
 	el := elasticOpts{elastic: *rtElastic, replicasMax: *repMax}
+	co := ctrlOpts{standbyRank: *sbRank, standbySilence: *sbSilence, safetyAfter: *safAfter, safetyStep: *safStep}
 	if el.elastic && *rtEvery <= 0 {
 		return fmt.Errorf("-elastic needs the adaptive loop: set -retarget-every")
 	}
+	if co.standbyRank >= 0 && *rtEvery <= 0 {
+		return fmt.Errorf("-standby-rank needs the adaptive loop: set -retarget-every")
+	}
 	switch *mode {
 	case "local":
-		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, *rtEvery, el, ob)
+		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, *rtEvery, el, co, ob)
 	case "node":
 		up := uplinkOpts{queue: *upQueue, timeout: *upTimeout, batchMax: *batchMax, batchLinger: *batchLing}
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, *rtEvery, up, el, ob)
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, *rtEvery, up, el, co, ob)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -158,6 +177,63 @@ func (e elasticOpts) startRetarget(cl *aces.Cluster, rtEvery float64) error {
 		fmt.Printf("adaptive loop on: re-solving calibrated targets every %gs virtual\n", rtEvery)
 	}
 	return nil
+}
+
+// ctrlOpts bundles the control-plane resilience flags shared by local
+// and node modes.
+type ctrlOpts struct {
+	standbyRank    int
+	standbySilence float64
+	safetyAfter    float64
+	safetyStep     float64
+}
+
+// safety returns the ClusterConfig.Safety block the flags ask for (nil
+// when the mode is off).
+func (co ctrlOpts) safety() *aces.SafetyConfig {
+	if co.safetyAfter <= 0 {
+		return nil
+	}
+	return &aces.SafetyConfig{After: co.safetyAfter, Step: co.safetyStep}
+}
+
+// start arms the adaptive loop: the active controller by default, or a
+// ranked standby (silence-watching, term-claiming) when -standby-rank is
+// set — the standby only starts retargeting after a successful claim.
+func (co ctrlOpts) start(cl *aces.Cluster, rtEvery float64, el elasticOpts) error {
+	if co.standbyRank < 0 {
+		return el.startRetarget(cl, rtEvery)
+	}
+	if rtEvery <= 0 {
+		return nil
+	}
+	silence := co.standbySilence
+	if silence <= 0 {
+		silence = 4 * rtEvery
+	}
+	err := cl.StartFailover(aces.FailoverConfig{
+		Rank: co.standbyRank, SilenceAfter: silence,
+		Retarget: aces.RetargetConfig{Every: rtEvery, Elastic: el.elastic},
+		OnClaim: func(term uint64) {
+			fmt.Printf("standby claimed controller term %d — resuming the adaptive loop\n", term)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("standby controller armed: rank %d, claiming after %.1fs of target silence\n",
+		co.standbyRank, silence)
+	return nil
+}
+
+// report prints the control-plane outcome once the run is over.
+func (co ctrlOpts) report(rep aces.Report) {
+	if rep.TargetTerm > 0 {
+		fmt.Printf("controller term     %d\n", rep.TargetTerm)
+	}
+	if rep.FencedFrames > 0 {
+		fmt.Printf("fenced frames       %d (deposed-term targets rejected)\n", rep.FencedFrames)
+	}
 }
 
 // report prints the replication outcome once the run is over.
@@ -242,7 +318,7 @@ func (o obsOpts) serve(cl *aces.Cluster, topo *aces.Topology, title string,
 	}, nil
 }
 
-func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale, rtEvery float64, el elasticOpts, ob obsOpts) error {
+func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale, rtEvery float64, el elasticOpts, co ctrlOpts, ob obsOpts) error {
 	pol, err := aces.ParsePolicy(polName)
 	if err != nil {
 		return err
@@ -287,7 +363,7 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 	tr, reg, sink := ob.build(seed)
 	cl, err := aces.NewCluster(aces.ClusterConfig{
 		Topo: topo, Policy: pol, CPU: cpu, TimeScale: scale, Warmup: duration / 5, Seed: seed,
-		Tracer: tr, Telemetry: reg,
+		Tracer: tr, Telemetry: reg, Safety: co.safety(),
 	})
 	if err != nil {
 		return err
@@ -297,7 +373,7 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 		return err
 	}
 	defer cleanup()
-	if err := el.startRetarget(cl, rtEvery); err != nil {
+	if err := co.start(cl, rtEvery, el); err != nil {
 		return err
 	}
 	fmt.Printf("running %d PEs on %d nodes under %s for %.0fs virtual (%.0f× wall speed)...\n",
@@ -313,6 +389,7 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 	if rep.Retargets > 0 {
 		fmt.Printf("retargets           %d (final epoch %d)\n", rep.Retargets, rep.TargetEpoch)
 	}
+	co.report(rep)
 	el.report(rep.ActiveReplicas)
 	return nil
 }
@@ -387,7 +464,7 @@ type uplinkOpts struct {
 // never block the PE emit path or the Δt scheduler, and a stalled or
 // severed peer triggers automatic reconnection while the local partition
 // keeps running.
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery, rtEvery float64, up uplinkOpts, el elasticOpts, ob obsOpts) error {
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery, rtEvery float64, up uplinkOpts, el elasticOpts, co ctrlOpts, ob obsOpts) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -463,7 +540,7 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 		Topo: doc.Topology, Policy: pol, CPU: doc.CPU,
 		TimeScale: scale, Warmup: duration / 5, Seed: seed,
 		LocalNodes: nodes, Uplink: link, Health: hc,
-		Tracer: tr, Telemetry: reg,
+		Tracer: tr, Telemetry: reg, Safety: co.safety(),
 	})
 	if err != nil {
 		return err
@@ -480,7 +557,9 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	// The adaptive loop calibrates local PEs only, so every partition may
 	// run it; epoch ordering keeps concurrent re-solves consistent. New
 	// epochs ride the same uplink as heartbeats (v1 peers are skipped).
-	if err := el.startRetarget(cl, rtEvery); err != nil {
+	// With -standby-rank this partition instead watches the incumbent and
+	// claims the next controller term on silence.
+	if err := co.start(cl, rtEvery, el); err != nil {
 		return err
 	}
 	fmt.Printf("hosting nodes %v of %d-PE topology under %s for %.0fs virtual...\n",
@@ -506,6 +585,7 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 	if rep.Retargets > 0 {
 		fmt.Printf("retargets           %d (final epoch %d)\n", rep.Retargets, rep.TargetEpoch)
 	}
+	co.report(rep)
 	el.report(rep.ActiveReplicas)
 	return nil
 }

@@ -29,6 +29,17 @@ const (
 	// its process stops beating and its links drop, so peers should
 	// declare it suspect/dead and route around it until it returns.
 	KillNode
+	// KillProcess permanently terminates the targeted process (no Duration
+	// — it does not come back): the control-plane failover fault. Standby
+	// controllers are expected to claim the next term; tree descendants to
+	// re-parent.
+	KillProcess
+	// SeverControlLink cuts the targeted CONTROL link (dissemination-tree
+	// edge) for Duration virtual seconds while data links stay up: target
+	// frames and acks stop crossing the edge, so the subtree below should
+	// ride its last applied epoch (stale-target safety) and re-parent or
+	// re-sync when the edge heals.
+	SeverControlLink
 )
 
 // String implements fmt.Stringer.
@@ -40,14 +51,20 @@ func (k Kind) String() string {
 		return "sever_link"
 	case KillNode:
 		return "kill_node"
+	case KillProcess:
+		return "kill_process"
+	case SeverControlLink:
+		return "sever_control_link"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Event is one scheduled fault. At is virtual seconds from run start;
-// Target is a PE ID (PanicPE), link index (SeverLink) or node ID
-// (KillNode); Duration is the outage length for the kinds that have one.
+// Target is a PE ID (PanicPE), link index (SeverLink, SeverControlLink),
+// node ID (KillNode) or process index (KillProcess); Duration is the
+// outage length for the kinds that have one (KillProcess has none — the
+// process never returns).
 type Event struct {
 	At       float64 `json:"at"`
 	Kind     Kind    `json:"kind"`
@@ -85,15 +102,21 @@ type Injector interface {
 	SeverLink(link int32, d float64)
 	// KillNode takes node `node` down for d virtual seconds.
 	KillNode(node int32, d float64)
+	// KillProcess terminates process `proc` permanently.
+	KillProcess(proc int32)
+	// SeverControlLink cuts control link `link` for d virtual seconds.
+	SeverControlLink(link int32, d float64)
 }
 
-// FuncInjector adapts three closures to Injector; nil fields make the
+// FuncInjector adapts closures to Injector; nil fields make the
 // corresponding fault a no-op, so a harness can opt out of kinds its
 // deployment cannot express.
 type FuncInjector struct {
-	OnPanicPE   func(pe int32)
-	OnSeverLink func(link int32, d float64)
-	OnKillNode  func(node int32, d float64)
+	OnPanicPE          func(pe int32)
+	OnSeverLink        func(link int32, d float64)
+	OnKillNode         func(node int32, d float64)
+	OnKillProcess      func(proc int32)
+	OnSeverControlLink func(link int32, d float64)
 }
 
 // PanicPE implements Injector.
@@ -114,6 +137,20 @@ func (f FuncInjector) SeverLink(link int32, d float64) {
 func (f FuncInjector) KillNode(node int32, d float64) {
 	if f.OnKillNode != nil {
 		f.OnKillNode(node, d)
+	}
+}
+
+// KillProcess implements Injector.
+func (f FuncInjector) KillProcess(proc int32) {
+	if f.OnKillProcess != nil {
+		f.OnKillProcess(proc)
+	}
+}
+
+// SeverControlLink implements Injector.
+func (f FuncInjector) SeverControlLink(link int32, d float64) {
+	if f.OnSeverControlLink != nil {
+		f.OnSeverControlLink(link, d)
 	}
 }
 
@@ -147,6 +184,10 @@ func (r *Runner) Step(now float64, inj Injector) []Event {
 			inj.SeverLink(e.Target, e.Duration)
 		case KillNode:
 			inj.KillNode(e.Target, e.Duration)
+		case KillProcess:
+			inj.KillProcess(e.Target)
+		case SeverControlLink:
+			inj.SeverControlLink(e.Target, e.Duration)
 		}
 	}
 	return r.events[start:r.next]
@@ -168,9 +209,12 @@ type GenConfig struct {
 	Start, End float64
 	// Panics, Severs, Kills are the number of events of each kind.
 	Panics, Severs, Kills int
-	// PEs, Links, Nodes list the eligible targets per kind. A kind with
-	// a positive count but no targets is an error.
-	PEs, Links, Nodes []int32
+	// ProcKills and CtrlSevers are the number of control-plane faults:
+	// permanent process terminations and control-link severs.
+	ProcKills, CtrlSevers int
+	// PEs, Links, Nodes, Procs, CtrlLinks list the eligible targets per
+	// kind. A kind with a positive count but no targets is an error.
+	PEs, Links, Nodes, Procs, CtrlLinks []int32
 	// OutageMin and OutageMax bound SeverLink/KillNode outage durations
 	// (virtual seconds). OutageMax < OutageMin is an error.
 	OutageMin, OutageMax float64
@@ -194,8 +238,14 @@ func Generate(cfg GenConfig) (Schedule, error) {
 	if cfg.Kills > 0 && len(cfg.Nodes) == 0 {
 		return Schedule{}, fmt.Errorf("chaos: %d kills requested but no node targets", cfg.Kills)
 	}
-	// One substream per kind: adding panics to a config does not perturb
-	// where the severs land.
+	if cfg.ProcKills > 0 && len(cfg.Procs) == 0 {
+		return Schedule{}, fmt.Errorf("chaos: %d process kills requested but no process targets", cfg.ProcKills)
+	}
+	if cfg.CtrlSevers > 0 && len(cfg.CtrlLinks) == 0 {
+		return Schedule{}, fmt.Errorf("chaos: %d control severs requested but no control-link targets", cfg.CtrlSevers)
+	}
+	// One substream per kind (the kind value doubles as the substream id):
+	// adding panics to a config does not perturb where the severs land.
 	s := Schedule{Seed: cfg.Seed}
 	draw := func(id uint64, n int, targets []int32, outage bool) {
 		rng := sim.Substream(cfg.Seed, id)
@@ -214,6 +264,8 @@ func Generate(cfg GenConfig) (Schedule, error) {
 	draw(uint64(PanicPE), cfg.Panics, cfg.PEs, false)
 	draw(uint64(SeverLink), cfg.Severs, cfg.Links, true)
 	draw(uint64(KillNode), cfg.Kills, cfg.Nodes, true)
+	draw(uint64(KillProcess), cfg.ProcKills, cfg.Procs, false)
+	draw(uint64(SeverControlLink), cfg.CtrlSevers, cfg.CtrlLinks, true)
 	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
 	return s, nil
 }

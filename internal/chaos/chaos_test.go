@@ -110,11 +110,96 @@ func TestGenerateValidation(t *testing.T) {
 		{Seed: 1, Start: 0, End: 1, Panics: 1},
 		{Seed: 1, Start: 0, End: 1, Severs: 1},
 		{Seed: 1, Start: 0, End: 1, Kills: 1},
+		{Seed: 1, Start: 0, End: 1, ProcKills: 1},
+		{Seed: 1, Start: 0, End: 1, CtrlSevers: 1},
 	}
 	for i, cfg := range bad {
 		if _, err := Generate(cfg); err == nil {
 			t.Errorf("config %d: expected error", i)
 		}
+	}
+}
+
+// The control-plane fault kinds: generated on their own substreams (so
+// adding them never perturbs the data-plane faults), dispatched to the
+// right injector hooks, and KillProcess carries no outage — the process
+// never comes back.
+func TestControlPlaneFaultKinds(t *testing.T) {
+	base := GenConfig{
+		Seed: 9, Start: 2, End: 10,
+		Panics: 2, Severs: 1, Kills: 1,
+		PEs: []int32{0, 1}, Links: []int32{0}, Nodes: []int32{1},
+		OutageMin: 0.5, OutageMax: 2,
+	}
+	a, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := base
+	ctrl.ProcKills = 2
+	ctrl.CtrlSevers = 1
+	ctrl.Procs = []int32{0, 1, 2}
+	ctrl.CtrlLinks = []int32{0, 1}
+	b, err := Generate(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != len(a.Events)+3 {
+		t.Fatalf("got %d events, want %d", len(b.Events), len(a.Events)+3)
+	}
+	// Substream isolation: the data-plane events must be bit-identical
+	// with and without the control-plane kinds in the config.
+	strip := func(evs []Event) []Event {
+		var out []Event
+		for _, e := range evs {
+			if e.Kind != KillProcess && e.Kind != SeverControlLink {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(b.Events), a.Events) {
+		t.Errorf("adding control-plane faults perturbed the data-plane schedule")
+	}
+	var kills, severs int
+	for _, e := range b.Events {
+		switch e.Kind {
+		case KillProcess:
+			kills++
+			if e.Duration != 0 {
+				t.Errorf("KillProcess carries outage %g, want 0 (permanent)", e.Duration)
+			}
+			if e.Kind.String() != "kill_process" {
+				t.Errorf("String() = %q", e.Kind.String())
+			}
+		case SeverControlLink:
+			severs++
+			if e.Duration < ctrl.OutageMin || e.Duration >= ctrl.OutageMax {
+				t.Errorf("SeverControlLink outage %g outside [%g, %g)", e.Duration, ctrl.OutageMin, ctrl.OutageMax)
+			}
+			if e.Kind.String() != "sever_control_link" {
+				t.Errorf("String() = %q", e.Kind.String())
+			}
+		}
+	}
+	if kills != 2 || severs != 1 {
+		t.Fatalf("kills=%d severs=%d, want 2/1", kills, severs)
+	}
+	// Dispatch: the runner routes the new kinds to the new hooks, and nil
+	// hooks stay no-ops.
+	var gotKill, gotSever []int32
+	r := NewRunner(b)
+	r.Step(100, FuncInjector{
+		OnKillProcess:      func(p int32) { gotKill = append(gotKill, p) },
+		OnSeverControlLink: func(l int32, d float64) { gotSever = append(gotSever, l) },
+	})
+	if len(gotKill) != 2 || len(gotSever) != 1 {
+		t.Errorf("dispatched kills=%d severs=%d, want 2/1", len(gotKill), len(gotSever))
+	}
+	r2 := NewRunner(b)
+	r2.Step(100, FuncInjector{}) // must not panic
+	if !r2.Done() {
+		t.Errorf("nil-hook runner left events pending")
 	}
 }
 

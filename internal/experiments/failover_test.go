@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The acceptance test for control-plane fault tolerance (E14): the
+// controller process is killed mid-run by a seeded chaos script, and
+// the rank-0 standby must claim the next term within 3 missed epochs,
+// disseminate the takeover through the relay to the tree leaf, fence
+// the deposed controller's higher-epoch zombie frames, and still absorb
+// the cost step that lands after the takeover — finishing within 90% of
+// an identical run whose control plane was never interrupted.
+func TestFailoverRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover runs take a few wall seconds")
+	}
+	row, err := RunFailover(FailoverOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kill=%.1f claim=%.2f term=%d missed=%.1f leaf=%d fenced=%d baseline=%.0f failover=%.0f frac=%.2f",
+		row.KillAt, row.ClaimAt, row.ClaimTerm, row.MissedEpochs,
+		row.LeafTerm, row.Fenced, row.BaselineRate, row.FailoverRate, row.FailoverFrac)
+
+	if row.BaselineRate <= 0 {
+		t.Fatalf("BaselineRate = %g, want > 0 (deployment never reached steady state)", row.BaselineRate)
+	}
+	if !row.TookOver {
+		t.Fatal("standby never claimed control")
+	}
+	// The takeover must be a reaction to the kill, not a false positive
+	// against a healthy controller.
+	if row.ClaimAt <= row.KillAt {
+		t.Errorf("claim at %.2f precedes the kill at %.1f — silence deadline false-positived", row.ClaimAt, row.KillAt)
+	}
+	if row.MissedEpochs > 3 {
+		t.Errorf("standby rode out %.1f missed epochs before claiming, want ≤ 3", row.MissedEpochs)
+	}
+	// The claimed term must have reached the far end of the tree.
+	if row.LeafTerm != row.ClaimTerm {
+		t.Errorf("leaf ended on term %d, claim was term %d — takeover did not disseminate", row.LeafTerm, row.ClaimTerm)
+	}
+	// Zombie frames with epochs far above the takeover epoch were
+	// injected; the fencing rule must have rejected every one.
+	if row.Fenced == 0 {
+		t.Errorf("no deposed-term frames fenced — the zombie injection proved nothing")
+	}
+	if row.FailoverFrac < 0.90 {
+		t.Errorf("failover run at %.0f%% of the uninterrupted baseline, want ≥ 90%%", 100*row.FailoverFrac)
+	}
+	if !row.Recovered {
+		t.Errorf("run verdict = not recovered")
+	}
+}

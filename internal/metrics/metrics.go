@@ -132,6 +132,14 @@ type Report struct {
 	// TargetEpoch is the tier-1 target epoch applied at report time
 	// (0 = the deployment-time allocation, never retargeted).
 	TargetEpoch uint64 `json:"target_epoch,omitempty"`
+	// TargetTerm is the controller term of the applied target set (0 = the
+	// deployment-time controller; a positive term means a standby claimed
+	// control during the run).
+	TargetTerm uint64 `json:"target_term,omitempty"`
+	// FencedFrames counts target frames rejected for carrying a deposed
+	// controller term — nonzero proves the fencing rule fired against a
+	// zombie or partitioned ex-controller.
+	FencedFrames int64 `json:"fenced_frames,omitempty"`
 	// Retargets counts the target epochs this process accepted during the
 	// run (its own re-solves plus disseminations from peers).
 	Retargets int64 `json:"retargets,omitempty"`
@@ -182,6 +190,11 @@ type LinkStats struct {
 	// FramesDropped counts frames lost at this endpoint (outbox overflow
 	// or write failure); data-frame drops also appear as in-flight loss.
 	FramesDropped int64 `json:"frames_dropped"`
+	// ControlDropped counts control frames (feedback, heartbeats, targets,
+	// replica targets, acks) among FramesDropped. Control frames ride a
+	// reserved lane, so this should stay 0 under pure data floods; nonzero
+	// means the control plane itself is saturating or the link is down.
+	ControlDropped int64 `json:"control_frames_dropped,omitempty"`
 	// Reconnects counts link re-establishments after the first connect.
 	Reconnects int64 `json:"reconnects"`
 	// QueueLen/QueueCap snapshot the outbox at report time.

@@ -47,16 +47,24 @@ func (l *Link) SendReplicaSDO(to sdo.PEID, rep int32, s sdo.SDO) error {
 	return l.conn.SendReplica(to, rep, s)
 }
 
-// SendReplicaTargets implements ReplicaTargetSender: disseminates a
-// per-replica target matrix. Peers without FeatureElastic get the logical
-// (collapsed) vector over the v2 targets frame when they support it, and
-// nothing otherwise — exactly one control frame per epoch either way.
+// SendReplicaTargets implements ReplicaTargetSender under collapsed
+// term<<32|epoch semantics (a plain epoch is term 0).
 func (l *Link) SendReplicaTargets(epoch uint64, cpu [][]float64) error {
+	term, e := transport.SplitTermEpoch(epoch)
+	return l.SendTermReplicaTargets(term, e, cpu)
+}
+
+// SendTermReplicaTargets implements TermReplicaTargetSender: disseminates
+// a per-replica target matrix. Peers without FeatureElastic get the
+// logical (collapsed) vector over the targets frame when they support it,
+// and nothing otherwise — exactly one control frame per epoch either way.
+// The conn collapses (term, epoch) for peers without FeatureTerm.
+func (l *Link) SendTermReplicaTargets(term, epoch uint64, cpu [][]float64) error {
 	if l.conn.PeerSupportsElastic() {
-		return l.conn.SendReplicaTargets(transport.ReplicaTargets{Epoch: epoch, CPU: cpu})
+		return l.conn.SendReplicaTargets(transport.ReplicaTargets{Term: term, Epoch: epoch, CPU: cpu})
 	}
 	if l.conn.PeerSupportsRetarget() {
-		return l.conn.SendTargets(transport.Targets{Epoch: epoch, CPU: collapseTargets(cpu)})
+		return l.conn.SendTargets(transport.Targets{Term: term, Epoch: epoch, CPU: collapseTargets(cpu)})
 	}
 	return nil
 }
@@ -76,26 +84,41 @@ func (l *Link) SendHeartbeat(node int32, seq uint64) error {
 	return l.conn.SendHeartbeat(transport.Heartbeat{Node: node, Seq: seq})
 }
 
-// SendTargets implements TargetSender: disseminates an epoch-stamped CPU
-// target vector. Silently skipped when the peer has not negotiated
-// FeatureRetarget (a v1 binary has no vocabulary for the frame); the
-// periodic re-broadcast repairs the gap if the peer upgrades.
+// SendTargets implements TargetSender under collapsed term<<32|epoch
+// semantics (a plain epoch is term 0).
 func (l *Link) SendTargets(epoch uint64, cpu []float64) error {
+	term, e := transport.SplitTermEpoch(epoch)
+	return l.SendTermTargets(term, e, cpu)
+}
+
+// SendTermTargets implements TermTargetSender: disseminates a
+// (term, epoch)-stamped CPU target vector. Silently skipped when the peer
+// has not negotiated FeatureRetarget (a v1 binary has no vocabulary for
+// the frame); the periodic re-broadcast repairs the gap if the peer
+// upgrades. The conn collapses the pair for peers without FeatureTerm.
+func (l *Link) SendTermTargets(term, epoch uint64, cpu []float64) error {
 	if !l.conn.PeerSupportsRetarget() {
 		return nil
 	}
-	return l.conn.SendTargets(transport.Targets{Epoch: epoch, CPU: cpu})
+	return l.conn.SendTargets(transport.Targets{Term: term, Epoch: epoch, CPU: cpu})
 }
 
-// SendTargetAck implements EpochAckSender: reports a descendant's
-// applied epoch up the dissemination tree. Silently skipped when the
-// peer has not negotiated FeatureHier (a flat peer has no tree position
-// to account acks to).
+// SendTargetAck implements EpochAckSender under collapsed term<<32|epoch
+// semantics.
 func (l *Link) SendTargetAck(origin int32, epoch uint64) error {
+	term, e := transport.SplitTermEpoch(epoch)
+	return l.SendTermTargetAck(origin, term, e)
+}
+
+// SendTermTargetAck implements TermAckSender: reports a descendant's
+// applied (term, epoch) up the dissemination tree. Silently skipped when
+// the peer has not negotiated FeatureHier (a flat peer has no tree
+// position to account acks to).
+func (l *Link) SendTermTargetAck(origin int32, term, epoch uint64) error {
 	if !l.conn.PeerSupportsHier() {
 		return nil
 	}
-	return l.conn.SendTargetAck(transport.TargetAck{Origin: origin, Epoch: epoch})
+	return l.conn.SendTargetAck(transport.TargetAck{Origin: origin, Term: term, Epoch: epoch})
 }
 
 // Serve pumps incoming frames from the peer into the cluster until the
@@ -121,13 +144,15 @@ func (l *Link) Serve(c *Cluster) error {
 		case transport.KindHeartbeat:
 			c.InjectHeartbeat(msg.Heartbeat.Node)
 		case transport.KindTargets:
-			c.InjectTargets(msg.Targets.Epoch, msg.Targets.CPU)
+			c.InjectTermTargets(msg.Targets.Term, msg.Targets.Epoch, msg.Targets.CPU)
 		case transport.KindReplica:
 			c.InjectReplicaSDO(msg.To, msg.Rep, msg.SDO)
 		case transport.KindReplicaTargets:
-			c.InjectReplicaTargets(msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
+			c.InjectTermReplicaTargets(msg.ReplicaTargets.Term, msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
 		case transport.KindTargetAck:
-			c.InjectTargetAck(msg.TargetAck.Origin, msg.TargetAck.Epoch)
+			// The link itself is the delivering sender: a lagging origin's
+			// repair frames go straight back down this connection.
+			c.InjectTargetAckFrom(msg.TargetAck.Origin, msg.TargetAck.Term, msg.TargetAck.Epoch, l)
 		}
 	}
 }
@@ -211,12 +236,20 @@ func (l *ResilientLink) SendHeartbeat(node int32, seq uint64) error {
 	return l.rc.SendHeartbeat(transport.Heartbeat{Node: node, Seq: seq})
 }
 
-// SendTargets implements TargetSender. It never blocks; frames are
-// silently withheld while the link is down or the peer predates the
-// retarget feature — the periodic re-broadcast converges the peer once it
-// (re)connects with a capable hello.
+// SendTargets implements TargetSender under collapsed term<<32|epoch
+// semantics (a plain epoch is term 0).
 func (l *ResilientLink) SendTargets(epoch uint64, cpu []float64) error {
-	return l.rc.SendTargets(transport.Targets{Epoch: epoch, CPU: cpu})
+	term, e := transport.SplitTermEpoch(epoch)
+	return l.SendTermTargets(term, e, cpu)
+}
+
+// SendTermTargets implements TermTargetSender. It never blocks; frames
+// are silently withheld while the link is down or the peer predates the
+// retarget feature — the periodic re-broadcast converges the peer once it
+// (re)connects with a capable hello. The conn collapses (term, epoch)
+// for peers without FeatureTerm.
+func (l *ResilientLink) SendTermTargets(term, epoch uint64, cpu []float64) error {
+	return l.rc.SendTargets(transport.Targets{Term: term, Epoch: epoch, CPU: cpu})
 }
 
 // SendReplicaSDO implements ElasticLink. It never blocks; the underlying
@@ -228,21 +261,35 @@ func (l *ResilientLink) SendReplicaSDO(to sdo.PEID, rep int32, s sdo.SDO) error 
 	return l.rc.SendReplica(to, rep, s)
 }
 
-// SendReplicaTargets implements ReplicaTargetSender. It never blocks;
-// non-elastic-but-retarget-capable peers get the collapsed logical vector
-// so the two frame kinds never double-deliver one epoch.
+// SendReplicaTargets implements ReplicaTargetSender under collapsed
+// term<<32|epoch semantics.
 func (l *ResilientLink) SendReplicaTargets(epoch uint64, cpu [][]float64) error {
-	if l.rc.PeerSupportsElastic() {
-		return l.rc.SendReplicaTargets(transport.ReplicaTargets{Epoch: epoch, CPU: cpu})
-	}
-	return l.rc.SendTargets(transport.Targets{Epoch: epoch, CPU: collapseTargets(cpu)})
+	term, e := transport.SplitTermEpoch(epoch)
+	return l.SendTermReplicaTargets(term, e, cpu)
 }
 
-// SendTargetAck implements EpochAckSender. It never blocks; acks are
+// SendTermReplicaTargets implements TermReplicaTargetSender. It never
+// blocks; non-elastic-but-retarget-capable peers get the collapsed
+// logical vector so the two frame kinds never double-deliver one epoch.
+func (l *ResilientLink) SendTermReplicaTargets(term, epoch uint64, cpu [][]float64) error {
+	if l.rc.PeerSupportsElastic() {
+		return l.rc.SendReplicaTargets(transport.ReplicaTargets{Term: term, Epoch: epoch, CPU: cpu})
+	}
+	return l.rc.SendTargets(transport.Targets{Term: term, Epoch: epoch, CPU: collapseTargets(cpu)})
+}
+
+// SendTargetAck implements EpochAckSender under collapsed term<<32|epoch
+// semantics.
+func (l *ResilientLink) SendTargetAck(origin int32, epoch uint64) error {
+	term, e := transport.SplitTermEpoch(epoch)
+	return l.SendTermTargetAck(origin, term, e)
+}
+
+// SendTermTargetAck implements TermAckSender. It never blocks; acks are
 // silently discarded while the link is down or the peer predates
 // FeatureHier — the ack after the next target frame repairs the view.
-func (l *ResilientLink) SendTargetAck(origin int32, epoch uint64) error {
-	return l.rc.SendTargetAck(transport.TargetAck{Origin: origin, Epoch: epoch})
+func (l *ResilientLink) SendTermTargetAck(origin int32, term, epoch uint64) error {
+	return l.rc.SendTargetAck(transport.TargetAck{Origin: origin, Term: term, Epoch: epoch})
 }
 
 // Serve pumps incoming frames into the cluster, riding across peer
@@ -265,13 +312,13 @@ func (l *ResilientLink) Serve(c *Cluster) error {
 		case transport.KindHeartbeat:
 			c.InjectHeartbeat(msg.Heartbeat.Node)
 		case transport.KindTargets:
-			c.InjectTargets(msg.Targets.Epoch, msg.Targets.CPU)
+			c.InjectTermTargets(msg.Targets.Term, msg.Targets.Epoch, msg.Targets.CPU)
 		case transport.KindReplica:
 			c.InjectReplicaSDO(msg.To, msg.Rep, msg.SDO)
 		case transport.KindReplicaTargets:
-			c.InjectReplicaTargets(msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
+			c.InjectTermReplicaTargets(msg.ReplicaTargets.Term, msg.ReplicaTargets.Epoch, msg.ReplicaTargets.CPU)
 		case transport.KindTargetAck:
-			c.InjectTargetAck(msg.TargetAck.Origin, msg.TargetAck.Epoch)
+			c.InjectTargetAckFrom(msg.TargetAck.Origin, msg.TargetAck.Term, msg.TargetAck.Epoch, l)
 		}
 	}
 }
@@ -280,13 +327,14 @@ func (l *ResilientLink) Serve(c *Cluster) error {
 func (l *ResilientLink) LinkStats() metrics.LinkStats {
 	s := l.rc.Stats()
 	return metrics.LinkStats{
-		FramesSent:    s.FramesSent,
-		FramesDropped: s.FramesDropped,
-		Reconnects:    s.Reconnects,
-		QueueLen:      s.QueueLen,
-		QueueCap:      s.QueueCap,
-		BatchesSent:   s.BatchesSent,
-		BatchedFrames: s.BatchedFrames,
+		FramesSent:     s.FramesSent,
+		FramesDropped:  s.FramesDropped,
+		ControlDropped: s.ControlDropped,
+		Reconnects:     s.Reconnects,
+		QueueLen:       s.QueueLen,
+		QueueCap:       s.QueueCap,
+		BatchesSent:    s.BatchesSent,
+		BatchedFrames:  s.BatchedFrames,
 	}
 }
 
@@ -366,10 +414,18 @@ func (r *Router) SendReplicaSDO(to sdo.PEID, rep int32, s sdo.SDO) error {
 	return link.SendSDO(to, s)
 }
 
-// SendReplicaTargets implements ReplicaTargetSender: the matrix is
-// broadcast to every peer; links without replica vocabulary get the
-// collapsed logical vector when they can carry targets at all.
+// SendReplicaTargets implements ReplicaTargetSender under collapsed
+// term<<32|epoch semantics (a plain epoch is term 0).
 func (r *Router) SendReplicaTargets(epoch uint64, cpu [][]float64) error {
+	term, e := transport.SplitTermEpoch(epoch)
+	return r.SendTermReplicaTargets(term, e, cpu)
+}
+
+// SendTermReplicaTargets implements TermReplicaTargetSender: the matrix
+// is broadcast to every peer; links without replica vocabulary get the
+// collapsed logical vector when they can carry targets at all, and links
+// without term vocabulary get the collapsed (term, epoch) scalar.
+func (r *Router) SendTermReplicaTargets(term, epoch uint64, cpu [][]float64) error {
 	r.mu.RLock()
 	peers := r.peers
 	r.mu.RUnlock()
@@ -377,10 +433,14 @@ func (r *Router) SendReplicaTargets(epoch uint64, cpu [][]float64) error {
 	for _, p := range peers {
 		var err error
 		switch l := p.(type) {
+		case TermReplicaTargetSender:
+			err = l.SendTermReplicaTargets(term, epoch, cpu)
 		case ReplicaTargetSender:
-			err = l.SendReplicaTargets(epoch, cpu)
+			err = l.SendReplicaTargets(transport.CollapseTermEpoch(term, epoch), cpu)
+		case TermTargetSender:
+			err = l.SendTermTargets(term, epoch, collapseTargets(cpu))
 		case TargetSender:
-			err = l.SendTargets(epoch, collapseTargets(cpu))
+			err = l.SendTargets(transport.CollapseTermEpoch(term, epoch), collapseTargets(cpu))
 		default:
 			continue
 		}
@@ -425,42 +485,67 @@ func (r *Router) SendHeartbeat(node int32, seq uint64) error {
 	return firstErr
 }
 
-// SendTargets implements TargetSender: target sets are broadcast to every
-// peer link that supports them (receivers enforce epoch ordering, so a
-// peer seeing the same set twice is harmless).
+// SendTargets implements TargetSender under collapsed term<<32|epoch
+// semantics (a plain epoch is term 0).
 func (r *Router) SendTargets(epoch uint64, cpu []float64) error {
+	term, e := transport.SplitTermEpoch(epoch)
+	return r.SendTermTargets(term, e, cpu)
+}
+
+// SendTermTargets implements TermTargetSender: target sets are broadcast
+// to every peer link that supports them (receivers enforce (term, epoch)
+// ordering, so a peer seeing the same set twice is harmless). Links
+// without term vocabulary get the collapsed scalar.
+func (r *Router) SendTermTargets(term, epoch uint64, cpu []float64) error {
 	r.mu.RLock()
 	peers := r.peers
 	r.mu.RUnlock()
 	var firstErr error
 	for _, p := range peers {
-		ts, ok := p.(TargetSender)
-		if !ok {
+		var err error
+		switch l := p.(type) {
+		case TermTargetSender:
+			err = l.SendTermTargets(term, epoch, cpu)
+		case TargetSender:
+			err = l.SendTargets(transport.CollapseTermEpoch(term, epoch), cpu)
+		default:
 			continue
 		}
-		if err := ts.SendTargets(epoch, cpu); err != nil && firstErr == nil {
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// SendTargetAck implements EpochAckSender: acks are broadcast to every
+// SendTargetAck implements EpochAckSender under collapsed term<<32|epoch
+// semantics.
+func (r *Router) SendTargetAck(origin int32, epoch uint64) error {
+	term, e := transport.SplitTermEpoch(epoch)
+	return r.SendTermTargetAck(origin, term, e)
+}
+
+// SendTermTargetAck implements TermAckSender: acks are broadcast to every
 // peer that can carry them. In a well-formed tree the router's peers are
 // this process's parent (and children, which ignore acks addressed
 // upward only in the sense that they simply record them — recording a
 // descendant epoch twice is harmless).
-func (r *Router) SendTargetAck(origin int32, epoch uint64) error {
+func (r *Router) SendTermTargetAck(origin int32, term, epoch uint64) error {
 	r.mu.RLock()
 	peers := r.peers
 	r.mu.RUnlock()
 	var firstErr error
 	for _, p := range peers {
-		as, ok := p.(EpochAckSender)
-		if !ok {
+		var err error
+		switch l := p.(type) {
+		case TermAckSender:
+			err = l.SendTermTargetAck(origin, term, epoch)
+		case EpochAckSender:
+			err = l.SendTargetAck(origin, transport.CollapseTermEpoch(term, epoch))
+		default:
 			continue
 		}
-		if err := as.SendTargetAck(origin, epoch); err != nil && firstErr == nil {
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -490,4 +575,14 @@ var (
 	_ EpochAckSender = (*Link)(nil)
 	_ EpochAckSender = (*Router)(nil)
 	_ EpochAckSender = (*ResilientLink)(nil)
+
+	_ TermTargetSender        = (*Link)(nil)
+	_ TermTargetSender        = (*Router)(nil)
+	_ TermTargetSender        = (*ResilientLink)(nil)
+	_ TermReplicaTargetSender = (*Link)(nil)
+	_ TermReplicaTargetSender = (*Router)(nil)
+	_ TermReplicaTargetSender = (*ResilientLink)(nil)
+	_ TermAckSender           = (*Link)(nil)
+	_ TermAckSender           = (*Router)(nil)
+	_ TermAckSender           = (*ResilientLink)(nil)
 )

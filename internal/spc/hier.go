@@ -18,6 +18,7 @@ import (
 
 	"aces/internal/hier"
 	"aces/internal/optimize"
+	"aces/internal/transport"
 )
 
 // hierDecomposition lets retarget.go hold the prebuilt partition without
@@ -44,6 +45,27 @@ type hierRelay struct {
 	// acked[o] is the newest epoch acked by descendant origin o.
 	acked   map[int32]uint64
 	enabled bool
+
+	// Self-healing state (EnableHierRepair; all zero when disabled).
+	repair bool
+	// backups is the ordered standby-parent list; a parent-silence verdict
+	// promotes the head and re-acks the whole subtree through it.
+	backups []EpochAckSender
+	// silenceAfter is the parent-death timeout in virtual seconds.
+	silenceAfter float64
+	// retransLag / retransEvery bound the lag-based retransmission: a
+	// descendant acked more than retransLag epochs behind the applied set
+	// gets the current frames again, at most once per retransEvery.
+	retransLag   uint64
+	retransEvery float64
+	// lastReparent is when the parent slot last changed (or a silence
+	// probe last re-acked); the silence clock restarts here so one dead
+	// window cannot burn through the whole backup list at once.
+	lastReparent float64
+	// nextRetrans rate-limits the lag-based retransmission.
+	nextRetrans float64
+	// reparents counts promoted backup parents (tests and telemetry).
+	reparents int64
 }
 
 // EnableHierRelay places this process in the dissemination tree: acks go
@@ -68,10 +90,169 @@ func (c *Cluster) hierEnabled() bool {
 	return c.hier.enabled && len(c.hier.children) > 0
 }
 
-// relayTargetsDown pushes the applied target set to every tree child:
-// replica form to children with the elastic extension, the collapsed
-// logical vector otherwise — the same per-peer degradation as the flat
-// path. Each frame increments retarget_frames_sent.
+// HierRepair configures the dissemination tree's self-healing: backup
+// parents to promote when the configured parent goes silent, and
+// lag-based retransmission of the current epoch to descendants whose
+// acks fall behind.
+type HierRepair struct {
+	// Backups is the ordered standby-parent list (may be empty: a node
+	// with no alternatives still gets lag-based retransmission and the
+	// periodic re-ack probe).
+	Backups []EpochAckSender
+	// ParentSilenceAfter is how long (virtual seconds) without a
+	// controller frame before the parent is declared dead and the head
+	// backup promoted. Must exceed the retarget period — fresh frames
+	// arrive every Every, so anything shorter false-positives on a
+	// healthy tree. Required > 0 when Backups is non-empty.
+	ParentSilenceAfter float64
+	// RetransmitLag is the acked-epoch gap beyond which a descendant gets
+	// the current epoch retransmitted (default 1 — the "lagging more than
+	// one epoch" rule).
+	RetransmitLag uint64
+	// RetransmitEvery rate-limits retransmission bursts, virtual seconds
+	// (default 0.25).
+	RetransmitEvery float64
+}
+
+// EnableHierRepair arms the tree's self-healing on this process. Call
+// after EnableHierRelay (it extends the same tree position). Safe before
+// Start only, like EnableHierRelay.
+func (c *Cluster) EnableHierRepair(hr HierRepair) error {
+	if len(hr.Backups) > 0 && hr.ParentSilenceAfter <= 0 {
+		return fmt.Errorf("spc: HierRepair.ParentSilenceAfter must be positive with backups, got %g", hr.ParentSilenceAfter)
+	}
+	if hr.RetransmitLag == 0 {
+		hr.RetransmitLag = 1
+	}
+	if hr.RetransmitEvery <= 0 {
+		hr.RetransmitEvery = 0.25
+	}
+	now := c.clock.Now()
+	c.lastCtrlFrame.CompareAndSwap(0, math.Float64bits(now))
+	c.hier.mu.Lock()
+	defer c.hier.mu.Unlock()
+	c.hier.repair = true
+	c.hier.backups = append([]EpochAckSender(nil), hr.Backups...)
+	c.hier.silenceAfter = hr.ParentSilenceAfter
+	c.hier.retransLag = hr.RetransmitLag
+	c.hier.retransEvery = hr.RetransmitEvery
+	c.hier.lastReparent = now
+	return nil
+}
+
+// Reparents returns how many backup parents this process has promoted.
+func (c *Cluster) Reparents() int64 {
+	c.hier.mu.Lock()
+	defer c.hier.mu.Unlock()
+	return c.hier.reparents
+}
+
+// hierMaintain is the tree's periodic self-healing sweep, run from the
+// snapshot node's scheduler. Two mechanisms, covering the two ways a
+// subtree starves: (1) lag-based retransmission — a descendant whose ack
+// trails the applied epoch by more than RetransmitLag gets the current
+// frames relayed again (repairs lost frames below an ALIVE relay); and
+// (2) parent-silence re-parenting — no controller frame for
+// ParentSilenceAfter promotes the head backup parent and replays the
+// subtree's whole ack map through it, so the new parent both learns
+// where this subtree stands and (via its own lagging-ack push) re-feeds
+// it the current epoch (repairs a DEAD parent, no adoption protocol
+// needed). With no backups left, the replay repeats each silence window
+// as a keepalive probe toward whoever still listens.
+func (c *Cluster) hierMaintain(now float64) {
+	h := &c.hier
+	h.mu.Lock()
+	if !h.repair {
+		h.mu.Unlock()
+		return
+	}
+	ts := c.targets.Load()
+	needRelay := false
+	if len(h.children) > 0 && now >= h.nextRetrans {
+		for _, e := range h.acked {
+			if ts.epoch > e && ts.epoch-e > h.retransLag {
+				needRelay = true
+				h.nextRetrans = now + h.retransEvery
+				break
+			}
+		}
+	}
+	var reparentTo EpochAckSender
+	var origin int32
+	var replay map[int32]uint64
+	if h.parent != nil && h.silenceAfter > 0 {
+		last := math.Float64frombits(c.lastCtrlFrame.Load())
+		if h.lastReparent > last {
+			last = h.lastReparent
+		}
+		if now-last > h.silenceAfter {
+			if len(h.backups) > 0 {
+				h.parent = h.backups[0]
+				h.backups = h.backups[1:]
+				h.reparents++
+				if c.reg != nil {
+					c.reg.Counter("hier_reparents_total", nil).Inc()
+				}
+			}
+			h.lastReparent = now
+			reparentTo = h.parent
+			origin = h.origin
+			replay = make(map[int32]uint64, len(h.acked))
+			for o, e := range h.acked {
+				replay[o] = e
+			}
+		}
+	}
+	h.mu.Unlock()
+	if needRelay {
+		c.relayTargetsDown()
+	}
+	if reparentTo != nil {
+		// Re-ack own position first, then the descendants: the new parent
+		// sees this subtree's applied epoch before any (older) descendant
+		// epochs, so its lagging-ack push fires at most once.
+		sendAckTo(reparentTo, origin, ts.term, ts.epoch)
+		for o, e := range replay {
+			if o == origin {
+				continue
+			}
+			sendAckTo(reparentTo, o, ts.term, e)
+		}
+	}
+}
+
+// sendTargetsTo pushes one target set to one peer at the richest
+// vocabulary the peer speaks: replica form when it has the elastic
+// extension, distinct (term, epoch) when it is term-aware, the collapsed
+// term<<32|epoch scalar otherwise — the same per-peer degradation as the
+// flat path.
+func sendTargetsTo(peer TargetSender, ts *targetSet) error {
+	if ts.rep != nil {
+		if trs, ok := peer.(TermReplicaTargetSender); ok {
+			return trs.SendTermReplicaTargets(ts.term, ts.epoch, ts.rep)
+		}
+		if rts, ok := peer.(ReplicaTargetSender); ok {
+			return rts.SendReplicaTargets(transport.CollapseTermEpoch(ts.term, ts.epoch), ts.rep)
+		}
+	}
+	if tts, ok := peer.(TermTargetSender); ok {
+		return tts.SendTermTargets(ts.term, ts.epoch, ts.cpu)
+	}
+	return peer.SendTargets(transport.CollapseTermEpoch(ts.term, ts.epoch), ts.cpu)
+}
+
+// sendAckTo reports one descendant's applied (term, epoch) to a tree
+// parent, collapsing for parents that predate the term feature.
+func sendAckTo(parent EpochAckSender, origin int32, term, epoch uint64) {
+	if ta, ok := parent.(TermAckSender); ok {
+		_ = ta.SendTermTargetAck(origin, term, epoch)
+		return
+	}
+	_ = parent.SendTargetAck(origin, transport.CollapseTermEpoch(term, epoch))
+}
+
+// relayTargetsDown pushes the applied target set to every tree child.
+// Each frame increments retarget_frames_sent.
 func (c *Cluster) relayTargetsDown() {
 	c.hier.mu.Lock()
 	children := c.hier.children
@@ -81,17 +262,7 @@ func (c *Cluster) relayTargetsDown() {
 	}
 	ts := c.targets.Load()
 	for _, child := range children {
-		var err error
-		if ts.rep != nil {
-			if rts, ok := child.(ReplicaTargetSender); ok {
-				err = rts.SendReplicaTargets(ts.epoch, ts.rep)
-			} else {
-				err = child.SendTargets(ts.epoch, ts.cpu)
-			}
-		} else {
-			err = child.SendTargets(ts.epoch, ts.cpu)
-		}
-		if err != nil {
+		if err := sendTargetsTo(child, ts); err != nil {
 			continue // best effort; the next epoch or re-broadcast repairs it
 		}
 		c.framesSent.Add(1)
@@ -101,10 +272,10 @@ func (c *Cluster) relayTargetsDown() {
 	}
 }
 
-// ackTargetsUp reports the applied epoch to the tree parent (no-op at
-// the root). Sent on EVERY received target frame, stale or fresh, so a
-// parent that re-broadcasts after a reconnect always re-learns where the
-// subtree stands.
+// ackTargetsUp reports the applied (term, epoch) to the tree parent
+// (no-op at the root). Sent on EVERY received target frame, stale or
+// fresh, so a parent that re-broadcasts after a reconnect always
+// re-learns where the subtree stands.
 func (c *Cluster) ackTargetsUp() {
 	c.hier.mu.Lock()
 	parent := c.hier.parent
@@ -113,25 +284,56 @@ func (c *Cluster) ackTargetsUp() {
 	if parent == nil {
 		return
 	}
-	_ = parent.SendTargetAck(origin, c.targets.Load().epoch)
+	ts := c.targets.Load()
+	sendAckTo(parent, origin, ts.term, ts.epoch)
 }
 
-// InjectTargetAck records a descendant's applied epoch and forwards the
-// ack toward the root unchanged, so every ancestor sees it. Called by
-// the link layer for KindTargetAck frames.
+// InjectTargetAck records a descendant's applied epoch under collapsed
+// term<<32|epoch semantics (legacy links and flat peers).
 func (c *Cluster) InjectTargetAck(origin int32, epoch uint64) {
-	c.hier.mu.Lock()
-	if c.hier.acked == nil {
-		c.hier.acked = make(map[int32]uint64)
+	term, e := transport.SplitTermEpoch(epoch)
+	c.InjectTargetAckFrom(origin, term, e, nil)
+}
+
+// InjectTargetAckFrom records a descendant's applied (term, epoch) and
+// forwards FRESH acks toward the root, so every ancestor sees them.
+// Already-seen (origin, epoch) pairs are deduped before forwarding — a
+// flapping subtree re-acking the same epoch on every re-delivered frame
+// must not amplify into an ack storm up the tree. `from`, when non-nil,
+// is the link the ack arrived on: with repair enabled, an origin acking
+// more than RetransmitLag epochs behind the applied set gets the current
+// targets pushed straight back down that link — which is what re-delivers
+// epochs to an orphan that re-parented onto us, without anyone having to
+// adopt it as a configured child. Called by the link layer for
+// KindTargetAck frames.
+func (c *Cluster) InjectTargetAckFrom(origin int32, term, epoch uint64, from TargetSender) {
+	h := &c.hier
+	h.mu.Lock()
+	if h.acked == nil {
+		h.acked = make(map[int32]uint64)
 	}
-	if epoch > c.hier.acked[origin] {
-		c.hier.acked[origin] = epoch
+	prev, seen := h.acked[origin]
+	fresh := !seen || epoch > prev
+	if epoch > prev {
+		h.acked[origin] = epoch
 	}
-	parent := c.hier.parent
-	c.hier.mu.Unlock()
+	parent := h.parent
+	repair := h.repair
+	lagBound := h.retransLag
+	h.mu.Unlock()
 	c.updateEpochLag()
-	if parent != nil {
-		_ = parent.SendTargetAck(origin, epoch)
+	if repair && from != nil {
+		if ts := c.targets.Load(); ts.epoch > epoch && ts.epoch-epoch > lagBound {
+			if err := sendTargetsTo(from, ts); err == nil {
+				c.framesSent.Add(1)
+				if c.reg != nil {
+					c.reg.Counter("retarget_frames_sent", nil).Inc()
+				}
+			}
+		}
+	}
+	if fresh && parent != nil {
+		sendAckTo(parent, origin, term, epoch)
 	}
 }
 
@@ -232,6 +434,9 @@ type HierRetarget struct {
 // observe/apply/disseminate contract as retargetOnce, with the solve
 // delegated to hier.Solve over the prebuilt decomposition.
 func (c *Cluster) hierRetargetOnce(cal *optimize.Calibrator, rc RetargetConfig, dec *hier.Decomposition) {
+	if c.abdicated() {
+		return
+	}
 	for _, pr := range c.prs {
 		if pr.breaker.Load() {
 			continue

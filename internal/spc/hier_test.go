@@ -208,7 +208,7 @@ func TestHierEpochLagTracksSlowDescendant(t *testing.T) {
 		t.Fatal(err)
 	}
 	root.EnableHierRelay(0, nil)
-	if err := root.applyTargets(3, cpu); err != nil {
+	if err := root.applyTargets(0, 3, cpu); err != nil {
 		t.Fatal(err)
 	}
 	root.InjectTargetAck(1, 3)

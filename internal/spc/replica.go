@@ -17,11 +17,13 @@
 package spc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"aces/internal/obs"
 	"aces/internal/sdo"
+	"aces/internal/transport"
 )
 
 // repKey composes the feedback-board key of replica slot (j, rep). Slot 0's
@@ -117,10 +119,10 @@ func (c *Cluster) ref(j sdo.PEID, r int32) replicaRef {
 // singleton primary ring and group, which reproduces the pre-elastic
 // runtime exactly — routing still has somewhere to put an SDO, and the
 // bounds still watch the (forgotten or silent) primary key.
-func (c *Cluster) makeTargetSet(epoch uint64, cpu []float64, rep [][]float64) *targetSet {
+func (c *Cluster) makeTargetSet(term, epoch uint64, cpu []float64, rep [][]float64) *targetSet {
 	t := c.cfg.Topo
 	p := t.NumPEs()
-	ts := &targetSet{epoch: epoch, cpu: cpu, rep: rep}
+	ts := &targetSet{term: term, epoch: epoch, cpu: cpu, rep: rep}
 	ts.route = make([][]replicaRef, p)
 	ts.groupKeys = make([][]int32, p)
 	for j := 0; j < p; j++ {
@@ -245,7 +247,7 @@ func (c *Cluster) sendReplicaSDO(d sdo.PEID, rep int32, s sdo.SDO) error {
 // next tick. Epoch semantics match SetTargets: strictly newer or
 // ErrStaleEpoch.
 func (c *Cluster) SetReplicaTargets(epoch uint64, rep [][]float64) error {
-	if err := c.applyReplicaTargets(epoch, rep); err != nil {
+	if err := c.applyReplicaTargets(c.ctrlTerm.Load(), epoch, rep); err != nil {
 		return err
 	}
 	c.broadcastTargets()
@@ -253,12 +255,21 @@ func (c *Cluster) SetReplicaTargets(epoch uint64, rep [][]float64) error {
 }
 
 // InjectReplicaTargets applies a replica target set received from a peer
-// process. Stale epochs are dropped silently; nothing is re-broadcast
-// toward flat peers. Tree relays forward fresh epochs to their children
-// and ack every received frame upward, exactly as InjectTargets does.
+// process under collapsed term<<32|epoch semantics (v1/v2-flat peers).
 func (c *Cluster) InjectReplicaTargets(epoch uint64, rep [][]float64) {
-	err := c.applyReplicaTargets(epoch, rep)
-	if err != nil && err != ErrStaleEpoch {
+	term, e := transport.SplitTermEpoch(epoch)
+	c.InjectTermReplicaTargets(term, e, rep)
+}
+
+// InjectTermReplicaTargets applies a replica target set received from a
+// peer process. Stale epochs and deposed terms are dropped silently;
+// nothing is re-broadcast toward flat peers. Tree relays forward fresh
+// epochs to their children and ack every received frame upward, exactly
+// as InjectTermTargets does.
+func (c *Cluster) InjectTermReplicaTargets(term, epoch uint64, rep [][]float64) {
+	c.noteCtrlFrame(term)
+	err := c.applyReplicaTargets(term, epoch, rep)
+	if err != nil && !errors.Is(err, ErrStaleEpoch) {
 		if c.reg != nil {
 			c.reg.Counter("retarget_rejects_total", nil).Inc()
 		}
@@ -271,7 +282,7 @@ func (c *Cluster) InjectReplicaTargets(epoch uint64, rep [][]float64) {
 	c.ackTargetsUp()
 }
 
-func (c *Cluster) applyReplicaTargets(epoch uint64, rep [][]float64) error {
+func (c *Cluster) applyReplicaTargets(term, epoch uint64, rep [][]float64) error {
 	t := c.cfg.Topo
 	if len(rep) != t.NumPEs() {
 		return fmt.Errorf("spc: replica targets have %d rows, topology has %d PEs", len(rep), t.NumPEs())
@@ -292,18 +303,24 @@ func (c *Cluster) applyReplicaTargets(epoch uint64, rep [][]float64) error {
 			cpu[j] += v
 		}
 	}
-	return c.installTargets(c.makeTargetSet(epoch, cpu, clean))
+	return c.installTargets(c.makeTargetSet(term, epoch, cpu, clean))
 }
 
-// installTargets CASes a built target set in (strictly newer epochs only)
-// and forgets the feedback keys of every slot the new epoch deactivates —
-// without that, a decommissioned replica's ghost r_max would feed its
-// group's bound forever, since it will never advertise a retraction.
+// installTargets CASes a built target set in (strictly newer (term,
+// epoch) pairs only — lexicographic, so a new term admits ANY epoch and
+// a deposed term is fenced at ANY epoch) and forgets the feedback keys of
+// every slot the new epoch deactivates — without that, a decommissioned
+// replica's ghost r_max would feed its group's bound forever, since it
+// will never advertise a retraction.
 func (c *Cluster) installTargets(ts *targetSet) error {
 	t := c.cfg.Topo
 	for {
 		cur := c.targets.Load()
-		if ts.epoch <= cur.epoch {
+		if ts.term < cur.term {
+			c.noteFenced()
+			return ErrDeposedTerm
+		}
+		if ts.term == cur.term && ts.epoch <= cur.epoch {
 			return ErrStaleEpoch
 		}
 		if !c.targets.CompareAndSwap(cur, ts) {
@@ -317,12 +334,32 @@ func (c *Cluster) installTargets(ts *targetSet) error {
 			}
 		}
 		c.retargets.Add(1)
+		// Stamp the freshness clock the stale-target safety mode watches:
+		// a fresh (term, epoch) just landed, so any degradation blend in
+		// progress unwinds on the next scheduler tick.
+		c.lastFresh.Store(math.Float64bits(c.clock.Now()))
 		if c.gEpoch != nil {
 			c.gEpoch.Set(float64(ts.epoch))
+		}
+		if c.gTerm != nil {
+			c.gTerm.Set(float64(ts.term))
 		}
 		return nil
 	}
 }
+
+// noteFenced counts one frame rejected for carrying a deposed controller
+// term — the observable proof that fencing is working.
+func (c *Cluster) noteFenced() {
+	c.fenced.Add(1)
+	if c.reg != nil {
+		c.reg.Counter("retarget_fenced_total", nil).Inc()
+	}
+}
+
+// FencedFrames returns how many deposed-term target frames this process
+// has fenced.
+func (c *Cluster) FencedFrames() int64 { return c.fenced.Load() }
 
 // drainReplica empties a deactivated slot's buffer through the NEW epoch's
 // routes (scheduler goroutine of the slot's node only, right after the

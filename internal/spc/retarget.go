@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"aces/internal/optimize"
+	"aces/internal/transport"
 )
 
 // targetSet is an immutable epoch-stamped CPU target vector. The cluster
@@ -23,6 +24,11 @@ import (
 // sets, so a tick sees either the old targets or the new ones, never a
 // half-written mix.
 type targetSet struct {
+	// term is the controller term that originated this set; epochs are
+	// ordered lexicographically by (term, epoch), so a failover claim
+	// (term+1) outranks ANY epoch of the deposed controller — the fencing
+	// rule that makes a zombie ex-controller harmless.
+	term  uint64
 	epoch uint64
 	// cpu holds the LOGICAL per-PE targets (sum over replica slots).
 	cpu []float64
@@ -46,14 +52,46 @@ type TargetSender interface {
 	SendTargets(epoch uint64, cpu []float64) error
 }
 
+// TermTargetSender is the term-aware extension of TargetSender: links
+// whose peer advertised transport.FeatureTerm carry the controller term
+// as a distinct wire field. Senders without it receive the collapsed
+// term<<32|epoch scalar in the legacy epoch argument — numerically the
+// same lexicographic order, so flat v1/v2 peers fence correctly without
+// knowing terms exist.
+type TermTargetSender interface {
+	SendTermTargets(term, epoch uint64, cpu []float64) error
+}
+
+// TermReplicaTargetSender is the term-aware ReplicaTargetSender.
+type TermReplicaTargetSender interface {
+	SendTermReplicaTargets(term, epoch uint64, cpu [][]float64) error
+}
+
+// TermAckSender is the term-aware EpochAckSender: dissemination acks
+// carry the acker's applied (term, epoch) pair.
+type TermAckSender interface {
+	SendTermTargetAck(origin int32, term, epoch uint64) error
+}
+
 // ErrStaleEpoch reports a SetTargets whose epoch is not strictly newer
 // than the applied one — a late or duplicate dissemination, dropped so an
 // out-of-order frame can never roll the cluster back to old targets.
 var ErrStaleEpoch = errors.New("spc: stale target epoch")
 
+// ErrDeposedTerm reports a target set carrying an OLDER controller term
+// than the applied one: a deposed (zombie, partitioned) ex-controller is
+// still disseminating. It wraps ErrStaleEpoch — a deposed frame is a
+// stale frame with a name — so every errors.Is(err, ErrStaleEpoch) site
+// treats it as routine; fencing is additionally counted in FencedFrames.
+var ErrDeposedTerm = fmt.Errorf("spc: deposed controller term: %w", ErrStaleEpoch)
+
 // TargetsEpoch returns the epoch of the currently applied target set
 // (0 = the deployment-time targets from Config.CPU).
 func (c *Cluster) TargetsEpoch() uint64 { return c.targets.Load().epoch }
+
+// TargetsTerm returns the controller term of the currently applied
+// target set (0 = the deployment-time controller).
+func (c *Cluster) TargetsTerm() uint64 { return c.targets.Load().term }
 
 // Targets returns the applied epoch and a copy of its CPU target vector.
 func (c *Cluster) Targets() (uint64, []float64) {
@@ -67,26 +105,38 @@ func (c *Cluster) Retargets() int64 { return c.retargets.Load() }
 // SetTargets applies a new CPU target vector under the given epoch and
 // broadcasts it to peer processes (when the uplink supports targets). The
 // epoch must be strictly greater than the applied one; stale epochs return
-// ErrStaleEpoch and change nothing. Application is hitless: node
-// schedulers fold the new rates into their token buckets on the next tick,
-// buffers and in-flight SDOs are untouched, and no PE restarts.
+// ErrStaleEpoch and change nothing. The set is stamped with this process's
+// controller term (0 until ClaimControl raises it). Application is
+// hitless: node schedulers fold the new rates into their token buckets on
+// the next tick, buffers and in-flight SDOs are untouched, and no PE
+// restarts.
 func (c *Cluster) SetTargets(epoch uint64, cpu []float64) error {
-	if err := c.applyTargets(epoch, cpu); err != nil {
+	if err := c.applyTargets(c.ctrlTerm.Load(), epoch, cpu); err != nil {
 		return err
 	}
 	c.broadcastTargets()
 	return nil
 }
 
-// InjectTargets applies a target set received from a peer process. Stale
-// epochs are dropped silently — re-dissemination makes duplicates routine,
-// not errors — and nothing is re-broadcast toward flat peers (the
-// coordinator owns dissemination; echoing would make target storms). A
-// tree relay is the exception: a FRESH epoch is pushed on to this
-// process's children, and every received frame (fresh or stale) is acked
-// upward so the parent tracks the subtree's applied epoch.
+// InjectTargets applies a target set received from a peer process under
+// collapsed term<<32|epoch semantics (v1/v2-flat peers; a plain epoch is
+// term 0, so the pre-term wire behaves identically).
 func (c *Cluster) InjectTargets(epoch uint64, cpu []float64) {
-	err := c.applyTargets(epoch, cpu)
+	term, e := transport.SplitTermEpoch(epoch)
+	c.InjectTermTargets(term, e, cpu)
+}
+
+// InjectTermTargets applies a target set received from a peer process.
+// Stale epochs and deposed terms are dropped silently — re-dissemination
+// makes duplicates routine, not errors — and nothing is re-broadcast
+// toward flat peers (the coordinator owns dissemination; echoing would
+// make target storms). A tree relay is the exception: a FRESH epoch is
+// pushed on to this process's children, and every received frame (fresh
+// or stale) is acked upward so the parent tracks the subtree's applied
+// epoch.
+func (c *Cluster) InjectTermTargets(term, epoch uint64, cpu []float64) {
+	c.noteCtrlFrame(term)
+	err := c.applyTargets(term, epoch, cpu)
 	if err != nil && !errors.Is(err, ErrStaleEpoch) {
 		// Malformed vectors from a peer are a deployment bug worth a trace
 		// in telemetry, but never worth crashing the data plane over.
@@ -102,12 +152,22 @@ func (c *Cluster) InjectTargets(epoch uint64, cpu []float64) {
 	c.ackTargetsUp()
 }
 
+// noteCtrlFrame refreshes the controller-liveness clock that failover
+// watchers and the tree-repair silence check read. Frames from a DEPOSED
+// term are excluded: a zombie ex-controller's chatter must not convince a
+// standby that the control plane is alive.
+func (c *Cluster) noteCtrlFrame(term uint64) {
+	if term >= c.targets.Load().term {
+		c.lastCtrlFrame.Store(math.Float64bits(c.clock.Now()))
+	}
+}
+
 // applyTargets validates and swaps in a new LOGICAL target set. A logical
-// epoch collapses every replica group onto its primary (a v1 coordinator
-// wins outright — the epoch order is the only authority); slots the
-// collapse deactivates are forgotten on the feedback board and drained by
-// their node schedulers exactly as an elastic scale-in would.
-func (c *Cluster) applyTargets(epoch uint64, cpu []float64) error {
+// epoch collapses every replica group onto its primary (a flat coordinator
+// wins outright — the (term, epoch) order is the only authority); slots
+// the collapse deactivates are forgotten on the feedback board and drained
+// by their node schedulers exactly as an elastic scale-in would.
+func (c *Cluster) applyTargets(term, epoch uint64, cpu []float64) error {
 	if len(cpu) != len(c.pes) {
 		return fmt.Errorf("spc: target vector has %d entries, topology has %d PEs", len(cpu), len(c.pes))
 	}
@@ -118,7 +178,7 @@ func (c *Cluster) applyTargets(epoch uint64, cpu []float64) error {
 		}
 		clean[j] = v
 	}
-	return c.installTargets(c.makeTargetSet(epoch, clean, nil))
+	return c.installTargets(c.makeTargetSet(term, epoch, clean, nil))
 }
 
 // applyEpoch re-tunes one node's token buckets to a new target epoch. The
@@ -170,15 +230,25 @@ func (c *Cluster) broadcastTargets() {
 	// A replica-form set goes out through the elastic extension when the
 	// uplink has one — the link layer collapses per peer as needed, so a
 	// dual-capable peer sees exactly one frame per epoch. Without the
-	// extension, every peer gets the collapsed logical vector.
+	// extension, every peer gets the collapsed logical vector. Term-aware
+	// uplinks carry (term, epoch) distinctly; the rest get the collapsed
+	// scalar, which orders identically.
 	if ts.rep != nil && c.rts != nil {
-		_ = c.rts.SendReplicaTargets(ts.epoch, ts.rep)
+		if trs, ok := c.rts.(TermReplicaTargetSender); ok {
+			_ = trs.SendTermReplicaTargets(ts.term, ts.epoch, ts.rep)
+		} else {
+			_ = c.rts.SendReplicaTargets(transport.CollapseTermEpoch(ts.term, ts.epoch), ts.rep)
+		}
 		return
 	}
 	if c.tgs == nil {
 		return
 	}
-	_ = c.tgs.SendTargets(ts.epoch, ts.cpu)
+	if tts, ok := c.tgs.(TermTargetSender); ok {
+		_ = tts.SendTermTargets(ts.term, ts.epoch, ts.cpu)
+	} else {
+		_ = c.tgs.SendTargets(transport.CollapseTermEpoch(ts.term, ts.epoch), ts.cpu)
+	}
 }
 
 // calAccumulate charges one processed SDO to the PE's calibration window.
@@ -291,6 +361,9 @@ func (c *Cluster) StartRetarget(rc RetargetConfig) error {
 // retargetOnce runs one iteration of the adaptive loop: observe, re-solve,
 // apply, disseminate.
 func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
+	if c.abdicated() {
+		return
+	}
 	// Every local replica slot's window is one sample for its LOGICAL PE's
 	// rate model: replicas run the same code on the same stream, so each
 	// (CPU spent, SDOs processed) pair regresses the same per-instance
@@ -346,4 +419,17 @@ func (c *Cluster) retargetOnce(cal *optimize.Calibrator, rc RetargetConfig) {
 	if rc.OnRetarget != nil {
 		rc.OnRetarget(cur.epoch+1, alloc.CPU)
 	}
+}
+
+// abdicated reports whether a NEWER controller term has been applied than
+// this process ever claimed: a standby took over (or this process is the
+// deposed ex-controller). An abdicated retarget loop stops originating
+// epochs — its solves would be fenced everywhere anyway — and instead
+// helps disseminate the incumbent's targets.
+func (c *Cluster) abdicated() bool {
+	if c.targets.Load().term <= c.ctrlTerm.Load() {
+		return false
+	}
+	c.broadcastTargets()
+	return true
 }

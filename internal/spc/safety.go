@@ -1,0 +1,110 @@
+// Stale-target safety mode: a process cut off from the control plane
+// (dead controller before failover completes, severed tree link) keeps
+// running its last applied targets — which were calibrated for a world
+// that, after long enough, no longer exists. Rather than trusting them
+// indefinitely, the node schedulers degrade the EFFECTIVE targets toward
+// the declared-model allocation (Config.CPU, the solve that needs no
+// measurements) by a bounded step per tick. The blend is hitless both
+// ways: only token-bucket rates and advertised targets move — no drain,
+// no restart, no routing change — and the first fresh epoch snaps the
+// blend back to zero, restoring the installed targets exactly.
+package spc
+
+import (
+	"fmt"
+	"math"
+
+	"aces/internal/sdo"
+)
+
+// SafetyConfig parameterizes the stale-target safety mode.
+type SafetyConfig struct {
+	// After is the staleness bound in virtual seconds (required > 0): no
+	// FRESH target epoch applied for this long starts the degradation.
+	// Pick a multiple of the deployment's retarget period (K×Every) large
+	// enough to ride out a controller failover.
+	After float64
+	// Step is the per-scheduler-tick blend increment in (0, 1] (default
+	// 0.05): the bounded rate at which effective targets walk from the
+	// installed set toward the declared allocation.
+	Step float64
+}
+
+func (sc *SafetyConfig) fillDefaults() error {
+	if sc.After <= 0 {
+		return fmt.Errorf("spc: SafetyConfig.After must be positive, got %g", sc.After)
+	}
+	if sc.Step <= 0 {
+		sc.Step = 0.05
+	}
+	if sc.Step > 1 {
+		sc.Step = 1
+	}
+	return nil
+}
+
+// SafeModeActive reports whether any node scheduler is currently running
+// a non-zero stale-target safety blend.
+func (c *Cluster) SafeModeActive() bool { return c.safeOn.Load() }
+
+// lastFreshEpoch returns the virtual time the last FRESH target epoch
+// was applied (the arming time before any).
+func (c *Cluster) lastFreshEpoch() float64 {
+	return math.Float64frombits(c.lastFresh.Load())
+}
+
+// safetyTick advances one node's safety blend and, when it moves,
+// re-tunes the node's token buckets to the blended effective targets.
+// Runs at the top of schedulerTick, after any epoch application: a fresh
+// epoch both resets the blend and re-tunes via applyEpoch, so the two
+// never fight. Steady state (blend pinned at 0 or 1) costs one atomic
+// load and two compares.
+func (c *Cluster) safetyTick(peers []*peRuntime, scr *schedScratch, tgt *targetSet, now float64) {
+	b := scr.safeBlend
+	if now-c.lastFreshEpoch() > c.cfg.Safety.After {
+		b += c.cfg.Safety.Step
+		if b > 1 {
+			b = 1
+		}
+	} else {
+		b = 0
+	}
+	if b == scr.safeBlend {
+		return
+	}
+	scr.safeBlend = b
+	c.safeOn.Store(b > 0)
+	if c.gSafeBlend != nil {
+		c.gSafeBlend.Set(b)
+	}
+	for _, pr := range peers {
+		if pr.parked {
+			continue
+		}
+		pr.bucket.SetRate(c.effSlot(tgt, pr.id, pr.rep, b))
+	}
+}
+
+// effSlot returns the slot's EFFECTIVE CPU target under safety blend b.
+// The whole replica group scales toward the declared logical target
+// while preserving intra-group proportions — routing rings still follow
+// the installed set, so scaling slots independently (e.g. blending
+// replicas toward the declared primary-only allocation) would starve
+// replicas that keep receiving routed SDOs. A group the installed set
+// zeroed ramps the declared share back on the primary: that is exactly
+// the slot the installed singleton fallback ring routes to.
+func (c *Cluster) effSlot(ts *targetSet, j sdo.PEID, rep int32, b float64) float64 {
+	s := ts.slot(j, rep)
+	if b <= 0 {
+		return s
+	}
+	cur := ts.cpu[j]
+	decl := c.cfg.CPU[j]
+	if cur <= 0 {
+		if rep == 0 {
+			return (1-b)*s + b*decl
+		}
+		return s
+	}
+	return s * (((1-b)*cur + b*decl) / cur)
+}

@@ -81,6 +81,14 @@ type Config struct {
 	// suspect or dead peer nodes are treated as r_max = 0 in the Eq. 8
 	// bounds. nil disables membership (unpartitioned runs need none).
 	Health *HealthConfig
+	// Safety enables the stale-target safety mode: a process that has not
+	// applied a FRESH target epoch within Safety.After virtual seconds
+	// degrades its effective targets toward the declared-model allocation
+	// (Config.CPU) by a bounded step per scheduler tick, instead of
+	// running indefinitely on targets calibrated for a world that no
+	// longer exists. nil disables (runs without an adaptive loop need
+	// none). See SafetyConfig.
+	Safety *SafetyConfig
 }
 
 // RemoteLink transports SDOs and feedback to peer processes hosting the
@@ -130,6 +138,11 @@ func (c *Config) fillDefaults() error {
 	c.Supervisor.fillDefaults()
 	if c.Health != nil {
 		c.Health.fillDefaults(c.Dt)
+	}
+	if c.Safety != nil {
+		if err := c.Safety.fillDefaults(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -400,6 +413,24 @@ type Cluster struct {
 	gSolveIters    *obs.Gauge
 	gEpochLag      *obs.Gauge
 
+	// Failover and fencing state: ctrlTerm is the controller term this
+	// process stamps on epochs it originates (0 = the deployment-time
+	// controller; ClaimControl raises it), fenced counts frames rejected
+	// for carrying a deposed term. lastCtrlFrame and lastFresh are
+	// float64-bit virtual timestamps: the last controller frame received
+	// from a live (non-deposed) term — the silence clock failover watchers
+	// and tree repair read — and the last FRESH epoch applied — the
+	// staleness clock the safety mode reads.
+	ctrlTerm      atomic.Uint64
+	fenced        atomic.Int64
+	lastCtrlFrame atomic.Uint64 // float64 bits
+	lastFresh     atomic.Uint64 // float64 bits
+	// safeOn mirrors whether any node scheduler currently runs a non-zero
+	// safety blend (SafeModeActive).
+	safeOn     atomic.Bool
+	gTerm      *obs.Gauge
+	gSafeBlend *obs.Gauge
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -656,9 +687,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.hbs = hbs
 		}
 	}
-	// Epoch 0 is the deployment-time allocation; schedulers apply later
-	// epochs hitlessly as SetTargets/InjectTargets install them.
-	c.targets.Store(c.makeTargetSet(0, append([]float64(nil), cfg.CPU...), nil))
+	// Term 0 / epoch 0 is the deployment-time allocation; schedulers apply
+	// later epochs hitlessly as SetTargets/InjectTargets install them.
+	c.targets.Store(c.makeTargetSet(0, 0, append([]float64(nil), cfg.CPU...), nil))
 	if tgs, ok := cfg.Uplink.(TargetSender); ok {
 		c.tgs = tgs
 	}
@@ -673,6 +704,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.gSolveMs = c.reg.Gauge("solve_ms", nil)
 		c.gSolveIters = c.reg.Gauge("solve_iters", nil)
 		c.gEpochLag = c.reg.Gauge("retarget_epoch_lag", nil)
+		c.gTerm = c.reg.Gauge("retarget_term", nil)
+		if cfg.Safety != nil {
+			c.gSafeBlend = c.reg.Gauge("safe_mode_blend", nil)
+		}
 	}
 	return c, nil
 }
@@ -685,6 +720,11 @@ func (c *Cluster) Start() error {
 		return fmt.Errorf("spc: cluster already started")
 	}
 	c.started = true
+	// Arm the staleness and silence clocks at launch; CompareAndSwap
+	// keeps a StartFailover/EnableHierRepair arming done before Start.
+	now := math.Float64bits(c.clock.Now())
+	c.lastFresh.CompareAndSwap(0, now)
+	c.lastCtrlFrame.CompareAndSwap(0, now)
 	for _, pr := range c.prs {
 		pr := pr
 		c.wg.Add(1)
@@ -852,13 +892,20 @@ type schedScratch struct {
 	ticks   []controller.PETick
 	costs   []float64
 	planner controller.Planner
-	// appliedEpoch is the target epoch this node's token buckets are
-	// currently tuned to. schedulerTick compares it against the cluster's
-	// atomic target set at the top of every tick — one pointer load and an
-	// integer compare on the steady-state path — and folds a newer epoch's
-	// rates into the buckets in place, which is the whole hitless-retarget
-	// mechanism: no drain, no restart, no pause.
+	// appliedTerm/appliedEpoch identify the target set this node's token
+	// buckets are currently tuned to. schedulerTick compares them against
+	// the cluster's atomic target set at the top of every tick — one
+	// pointer load and two integer compares on the steady-state path — and
+	// folds a newer set's rates into the buckets in place, which is the
+	// whole hitless-retarget mechanism: no drain, no restart, no pause.
+	appliedTerm  uint64
 	appliedEpoch uint64
+	// safeBlend is the node's stale-target safety blend in [0, 1]: 0 runs
+	// the installed targets untouched, 1 the declared-model allocation.
+	// It ramps by Safety.Step per tick while the applied set is stale and
+	// snaps to 0 the tick after a fresh epoch lands (hitless both ways —
+	// only bucket rates move).
+	safeBlend float64
 }
 
 func newSchedScratch(n int) *schedScratch {
@@ -921,6 +968,10 @@ func (c *Cluster) runScheduler(n int) {
 				pr.calSample(now)
 			}
 			if n == c.snapNode {
+				// Tree self-healing sweeps ride the sampling cadence (every
+				// 10th tick): silence timeouts and retransmission windows
+				// are orders of magnitude longer than 10 Δt.
+				c.hierMaintain(now)
 				c.sampleLinks()
 				// One node owns the registry flush so the time series is a
 				// clean sequence of frames, not interleaved per-node
@@ -944,9 +995,13 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 	// epoch change re-tunes the token buckets before any planning happens,
 	// so a tick never mixes old rates with new targets.
 	tgt := c.targets.Load()
-	if tgt.epoch != scr.appliedEpoch {
+	if tgt.epoch != scr.appliedEpoch || tgt.term != scr.appliedTerm {
 		c.applyEpoch(peers, tgt)
+		scr.appliedTerm = tgt.term
 		scr.appliedEpoch = tgt.epoch
+	}
+	if c.cfg.Safety != nil {
+		c.safetyTick(peers, scr, tgt, now)
 	}
 	ticks := scr.ticks[:len(peers)]
 	costs := scr.costs[:len(peers)]
@@ -995,7 +1050,7 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 			capFrac = controller.RateToCPU(c.fb.groupedMinBound(tgt.groupKeys, pr.downID)*elapsedTicks, cost, mult, dt)
 		}
 		ticks[i] = controller.PETick{
-			Target: tgt.slot(pr.id, pr.rep),
+			Target: c.effSlot(tgt, pr.id, pr.rep, scr.safeBlend),
 			// Bucket levels are in Δt-fractions; express them as a
 			// fraction of this planning period.
 			Tokens:    pr.bucket.Level() / elapsedTicks,
@@ -1061,7 +1116,7 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 				// token surplus folds into ρ over a short horizon, exactly
 				// as in the simulator, so throttled PEs advertise the burst
 				// capacity they actually hold.
-				cpuRate := tgt.slot(pr.id, pr.rep)
+				cpuRate := c.effSlot(tgt, pr.id, pr.rep, scr.safeBlend)
 				if surplus := pr.bucket.Level() - cpuRate; surplus > 0 {
 					cpuRate += surplus / 5
 				}
@@ -1242,6 +1297,7 @@ type linkGauges struct {
 	sent, dropped, reconnects *obs.Gauge
 	queueLen                  *obs.Gauge
 	batchFrames, perBatch     *obs.Gauge
+	ctlDropped                *obs.Gauge
 }
 
 // AttachLink registers an uplink whose counters should appear in this
@@ -1265,6 +1321,7 @@ func (c *Cluster) AttachLink(s LinkStatsSource) {
 			queueLen:    c.reg.Gauge("link_queue_len", labels),
 			batchFrames: c.reg.Gauge("batch_frames", labels),
 			perBatch:    c.reg.Gauge("sdos_per_batch", labels),
+			ctlDropped:  c.reg.Gauge("control_frames_dropped_total", labels),
 		})
 	}
 }
@@ -1284,6 +1341,7 @@ func (c *Cluster) sampleLinks() {
 		g.reconnects.Set(float64(s.Reconnects))
 		g.queueLen.Set(float64(s.QueueLen))
 		g.batchFrames.Set(float64(s.BatchesSent))
+		g.ctlDropped.Set(float64(s.ControlDropped))
 		fill := 0.0
 		if s.BatchesSent > 0 {
 			fill = float64(s.BatchedFrames) / float64(s.BatchesSent)
@@ -1325,6 +1383,8 @@ func (c *Cluster) Report(now float64) metrics.Report {
 	}
 	ts := c.targets.Load()
 	rep.TargetEpoch = ts.epoch
+	rep.TargetTerm = ts.term
+	rep.FencedFrames = c.fenced.Load()
 	rep.Retargets = c.retargets.Load()
 	rep.SolveMillis = c.LastSolveMillis()
 	rep.ColdSolves = c.coldSolves.Load()

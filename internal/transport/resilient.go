@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
@@ -91,6 +92,23 @@ func (o *ResilientOptions) fillDefaults() {
 // instead of tripping the frame limit.
 const maxBatchBytes = 1 << 20
 
+// ctlLaneCap bounds the reserved control lane. Control traffic is tiny
+// and periodic (feedback, heartbeats, targets, acks), so a small lane
+// holds every in-flight control frame; what the bound really buys is
+// isolation — a data burst that fills the outbox can no longer crowd a
+// retarget or a liveness beacon out of the link.
+const ctlLaneCap = 64
+
+// isControlKind reports whether a frame kind rides the control lane.
+func isControlKind(k Kind) bool {
+	switch k {
+	case KindFeedback, KindHeartbeat, KindTargets, KindReplicaTargets,
+		KindTargetAck, KindTermTargets, KindTermReplicaTargets, KindTermTargetAck:
+		return true
+	}
+	return false
+}
+
 // LinkStats is a point-in-time snapshot of a ResilientConn's counters.
 // Frame counts are logical: a batch that carries N SDOs counts N sent
 // (or, on a failed write, N dropped) — loss accounting is per member SDO,
@@ -111,6 +129,12 @@ type LinkStats struct {
 	// BatchedFrames counts logical frames that rode inside batches;
 	// BatchedFrames/BatchesSent is the mean batch fill.
 	BatchedFrames int64
+	// ControlDropped counts control frames (feedback, heartbeats,
+	// targets, replica targets, acks) lost at this endpoint — control
+	// lane overflow plus write failures and frames abandoned at Close.
+	// Control frames have a reserved lane, so a data flood alone can
+	// never grow this counter.
+	ControlDropped int64
 	// QueueLen and QueueCap describe the outbox at snapshot time.
 	QueueLen, QueueCap int
 }
@@ -152,6 +176,11 @@ type ResilientConn struct {
 	dial DialFunc
 	opts ResilientOptions
 	out  chan outFrame
+	// ctl is the reserved control lane: feedback, heartbeats, targets,
+	// replica targets and acks enqueue here, and the writer drains it
+	// with head-of-burst priority — so an outbox full of SDOs can delay
+	// a control frame by at most one write burst, never drop it.
+	ctl  chan outFrame
 	done chan struct{}
 
 	mu     sync.Mutex
@@ -167,12 +196,13 @@ type ResilientConn struct {
 
 	wg sync.WaitGroup
 
-	statsMu   sync.Mutex
-	sent      int64
-	dropped   int64
-	reconnect int64
-	batches   int64
-	batched   int64
+	statsMu    sync.Mutex
+	sent       int64
+	dropped    int64
+	reconnect  int64
+	batches    int64
+	batched    int64
+	ctlDropped int64
 }
 
 // NewResilientConn starts the manager and writer goroutines and returns
@@ -183,6 +213,7 @@ func NewResilientConn(dial DialFunc, opts ResilientOptions) *ResilientConn {
 		dial: dial,
 		opts: opts,
 		out:  make(chan outFrame, opts.QueueSize),
+		ctl:  make(chan outFrame, ctlLaneCap),
 		done: make(chan struct{}),
 	}
 	rc.cond = sync.NewCond(&rc.mu)
@@ -237,12 +268,13 @@ func (rc *ResilientConn) SendReplica(to sdo.PEID, rep int32, s sdo.SDO) error {
 	return rc.enqueue(outFrame{kind: KindReplica, body: body, buf: bp, hops: s.Hops, trace: s.Trace})
 }
 
-// SendFeedback enqueues one control frame. It never blocks.
+// SendFeedback enqueues one control frame on the reserved control lane.
+// It never blocks.
 func (rc *ResilientConn) SendFeedback(f Feedback) error {
 	bp := getBuf()
 	body := encodeFeedback((*bp)[:0], f)
 	*bp = body
-	return rc.enqueue(outFrame{kind: KindFeedback, body: body, buf: bp})
+	return rc.enqueueCtl(outFrame{kind: KindFeedback, body: body, buf: bp})
 }
 
 // SendHeartbeat enqueues one liveness beacon, or silently discards it
@@ -264,7 +296,7 @@ func (rc *ResilientConn) SendHeartbeat(hb Heartbeat) error {
 	bp := getBuf()
 	body := encodeHeartbeat((*bp)[:0], hb)
 	*bp = body
-	return rc.enqueue(outFrame{kind: KindHeartbeat, body: body, buf: bp})
+	return rc.enqueueCtl(outFrame{kind: KindHeartbeat, body: body, buf: bp})
 }
 
 // PeerSupportsHeartbeat reports whether the current connection's peer
@@ -276,12 +308,14 @@ func (rc *ResilientConn) PeerSupportsHeartbeat() bool {
 	return cur != nil && cur.PeerSupportsHeartbeat()
 }
 
-// SendTargets enqueues one epoch-numbered target vector, or silently
-// discards it when there is no live connection or the peer has not (yet)
-// advertised FeatureRetarget — target dissemination is periodic and
-// epoch-idempotent, so the next broadcast after the peer's hello repairs
-// it, while queueing targets for a dead link would only deliver a stale
-// epoch after reconnect. Never blocks.
+// SendTargets enqueues one (term, epoch)-numbered target vector on the
+// control lane, or silently discards it when there is no live connection
+// or the peer has not (yet) advertised FeatureRetarget — target
+// dissemination is periodic and epoch-idempotent, so the next broadcast
+// after the peer's hello repairs it, while queueing targets for a dead
+// link would only deliver a stale epoch after reconnect. The term rides
+// a KindTermTargets frame against FeatureTerm peers and collapses into
+// the legacy epoch scalar otherwise. Never blocks.
 func (rc *ResilientConn) SendTargets(t Targets) error {
 	rc.mu.Lock()
 	cur := rc.cur
@@ -294,9 +328,17 @@ func (rc *ResilientConn) SendTargets(t Targets) error {
 		return nil
 	}
 	bp := getBuf()
-	body := encodeTargets((*bp)[:0], t)
+	var body []byte
+	kind := KindTargets
+	if cur.PeerSupportsTerm() {
+		kind = KindTermTargets
+		body = binary.BigEndian.AppendUint64((*bp)[:0], t.Term)
+		body = encodeTargets(body, Targets{Epoch: t.Epoch, CPU: t.CPU})
+	} else {
+		body = encodeTargets((*bp)[:0], Targets{Epoch: CollapseTermEpoch(t.Term, t.Epoch), CPU: t.CPU})
+	}
 	*bp = body
-	return rc.enqueue(outFrame{kind: KindTargets, body: body, buf: bp})
+	return rc.enqueueCtl(outFrame{kind: kind, body: body, buf: bp})
 }
 
 // PeerSupportsRetarget reports whether the current connection's peer
@@ -326,9 +368,17 @@ func (rc *ResilientConn) SendReplicaTargets(rt ReplicaTargets) error {
 		return nil
 	}
 	bp := getBuf()
-	body := encodeReplicaTargets((*bp)[:0], rt)
+	var body []byte
+	kind := KindReplicaTargets
+	if cur.PeerSupportsTerm() {
+		kind = KindTermReplicaTargets
+		body = binary.BigEndian.AppendUint64((*bp)[:0], rt.Term)
+		body = encodeReplicaTargets(body, ReplicaTargets{Epoch: rt.Epoch, CPU: rt.CPU})
+	} else {
+		body = encodeReplicaTargets((*bp)[:0], ReplicaTargets{Epoch: CollapseTermEpoch(rt.Term, rt.Epoch), CPU: rt.CPU})
+	}
 	*bp = body
-	return rc.enqueue(outFrame{kind: KindReplicaTargets, body: body, buf: bp})
+	return rc.enqueueCtl(outFrame{kind: kind, body: body, buf: bp})
 }
 
 // PeerSupportsElastic reports whether the current connection's peer
@@ -338,6 +388,15 @@ func (rc *ResilientConn) PeerSupportsElastic() bool {
 	cur := rc.cur
 	rc.mu.Unlock()
 	return cur != nil && cur.PeerSupportsElastic()
+}
+
+// PeerSupportsTerm reports whether the current connection's peer
+// advertised controller-term framing (false while disconnected).
+func (rc *ResilientConn) PeerSupportsTerm() bool {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	return cur != nil && cur.PeerSupportsTerm()
 }
 
 // SendTargetAck enqueues one upward dissemination ack, with the same
@@ -357,9 +416,17 @@ func (rc *ResilientConn) SendTargetAck(a TargetAck) error {
 		return nil
 	}
 	bp := getBuf()
-	body := encodeTargetAck((*bp)[:0], a)
+	var body []byte
+	kind := KindTargetAck
+	if cur.PeerSupportsTerm() {
+		kind = KindTermTargetAck
+		body = binary.BigEndian.AppendUint64((*bp)[:0], a.Term)
+		body = encodeTargetAck(body, TargetAck{Origin: a.Origin, Epoch: a.Epoch})
+	} else {
+		body = encodeTargetAck((*bp)[:0], TargetAck{Origin: a.Origin, Epoch: CollapseTermEpoch(a.Term, a.Epoch)})
+	}
 	*bp = body
-	return rc.enqueue(outFrame{kind: KindTargetAck, body: body, buf: bp})
+	return rc.enqueueCtl(outFrame{kind: kind, body: body, buf: bp})
 }
 
 // PeerSupportsHier reports whether the current connection's peer
@@ -388,6 +455,27 @@ func (rc *ResilientConn) enqueue(f outFrame) error {
 	}
 }
 
+// enqueueCtl enqueues a control frame on the reserved lane; overflow
+// (only possible if control traffic itself floods the lane) drops the
+// frame and counts it under both FramesDropped and ControlDropped.
+func (rc *ResilientConn) enqueueCtl(f outFrame) error {
+	select {
+	case <-rc.done:
+		f.release()
+		return ErrLinkClosed
+	default:
+	}
+	select {
+	case rc.ctl <- f:
+		return nil
+	default:
+		f.release()
+		rc.countDrop(1)
+		rc.countCtlDrop(1)
+		return ErrOutboxFull
+	}
+}
+
 // Recv returns the next frame from the peer, waiting across reconnects.
 // It returns io.EOF only when the ResilientConn itself is closed.
 func (rc *ResilientConn) Recv() (Message, error) {
@@ -409,13 +497,14 @@ func (rc *ResilientConn) Stats() LinkStats {
 	rc.statsMu.Lock()
 	defer rc.statsMu.Unlock()
 	return LinkStats{
-		FramesSent:    rc.sent,
-		FramesDropped: rc.dropped,
-		Reconnects:    rc.reconnect,
-		BatchesSent:   rc.batches,
-		BatchedFrames: rc.batched,
-		QueueLen:      len(rc.out),
-		QueueCap:      cap(rc.out),
+		FramesSent:     rc.sent,
+		FramesDropped:  rc.dropped,
+		Reconnects:     rc.reconnect,
+		BatchesSent:    rc.batches,
+		BatchedFrames:  rc.batched,
+		ControlDropped: rc.ctlDropped,
+		QueueLen:       len(rc.out),
+		QueueCap:       cap(rc.out),
 	}
 }
 
@@ -437,9 +526,13 @@ func (rc *ResilientConn) Close() error {
 	rc.mu.Unlock()
 	close(rc.done)
 	rc.wg.Wait()
-	// Frames stranded in the outbox never reached the wire.
+	// Frames stranded in either lane never reached the wire.
 	for {
 		select {
+		case f := <-rc.ctl:
+			f.release()
+			rc.countDrop(1)
+			rc.countCtlDrop(1)
 		case f := <-rc.out:
 			f.release()
 			rc.countDrop(1)
@@ -452,6 +545,12 @@ func (rc *ResilientConn) Close() error {
 func (rc *ResilientConn) countDrop(n int64) {
 	rc.statsMu.Lock()
 	rc.dropped += n
+	rc.statsMu.Unlock()
+}
+
+func (rc *ResilientConn) countCtlDrop(n int64) {
+	rc.statsMu.Lock()
+	rc.ctlDropped += n
 	rc.statsMu.Unlock()
 }
 
@@ -485,7 +584,7 @@ func (rc *ResilientConn) invalidate(gen int) {
 // heartbeat and retarget decoding are intrinsic to this protocol version,
 // batch framing is opt-in.
 func (rc *ResilientConn) localFeatures() uint64 {
-	f := FeatureHeartbeat | FeatureRetarget | FeatureElastic | FeatureHier
+	f := FeatureHeartbeat | FeatureRetarget | FeatureElastic | FeatureHier | FeatureTerm
 	if rc.opts.BatchMax > 1 {
 		f |= FeatureBatch
 	}
@@ -599,10 +698,17 @@ func (rc *ResilientConn) write() {
 	burst := make([]outFrame, 0, rc.burstCap())
 	for {
 		var f outFrame
+		// Control frames take head-of-burst priority: try the control
+		// lane alone before blocking on both lanes.
 		select {
-		case <-rc.done:
-			return
-		case f = <-rc.out:
+		case f = <-rc.ctl:
+		default:
+			select {
+			case <-rc.done:
+				return
+			case f = <-rc.ctl:
+			case f = <-rc.out:
+			}
 		}
 		burst = append(burst[:0], f)
 		rc.fillBurst(&burst)
@@ -623,6 +729,14 @@ func (rc *ResilientConn) write() {
 func (rc *ResilientConn) fillBurst(burst *[]outFrame) {
 	max := rc.burstCap()
 	for len(*burst) < max {
+		// Control lane first: a queued retarget or heartbeat rides the
+		// very next burst even when the data outbox is deep.
+		select {
+		case g := <-rc.ctl:
+			*burst = append(*burst, g)
+			continue
+		default:
+		}
 		select {
 		case g := <-rc.out:
 			*burst = append(*burst, g)
@@ -634,6 +748,10 @@ func (rc *ResilientConn) fillBurst(burst *[]outFrame) {
 		}
 		timer := time.NewTimer(rc.opts.BatchLinger)
 		select {
+		case g := <-rc.ctl:
+			timer.Stop()
+			*burst = append(*burst, g)
+			return
 		case g := <-rc.out:
 			timer.Stop()
 			*burst = append(*burst, g)
@@ -725,10 +843,17 @@ func (rc *ResilientConn) writeBurst(conn *Conn, gen int, burst []outFrame) {
 // frame — and recycles their buffers.
 func (rc *ResilientConn) dropFrames(frames []outFrame, notify bool) {
 	rc.countDrop(int64(len(frames)))
+	var ctl int64
 	for i := range frames {
+		if isControlKind(frames[i].kind) {
+			ctl++
+		}
 		if notify && rc.opts.OnDrop != nil {
 			rc.opts.OnDrop(frames[i].kind, frames[i].hops, frames[i].trace)
 		}
 		frames[i].release()
+	}
+	if ctl > 0 {
+		rc.countCtlDrop(ctl)
 	}
 }

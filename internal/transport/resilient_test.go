@@ -401,3 +401,125 @@ func TestResilientHeartbeatNegotiated(t *testing.T) {
 		t.Errorf("heartbeat node = %d, want 3", lastNode.Load())
 	}
 }
+
+// The reserved control lane: a data burst that fills the outbox must not
+// crowd a target frame off the link. Flood the data lane to overflow
+// against a stalled pipe, then send targets — they must enqueue without
+// ErrOutboxFull, drop nothing on the control counter, and arrive once
+// the stall clears. Only a control-plane flood itself may spill, and
+// when it does the loss is visible as ControlDropped.
+func TestControlLaneSurvivesDataFlood(t *testing.T) {
+	lis, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	type gotTargets struct {
+		term, epoch uint64
+	}
+	targetCh := make(chan gotTargets, 256)
+	var srvWG sync.WaitGroup
+	// Cleanups run after the deferred lis.Close/rc.Close unblock the
+	// accept and read loops, so the Wait cannot deadlock.
+	t.Cleanup(srvWG.Wait)
+	srvWG.Add(1)
+	go func() {
+		defer srvWG.Done()
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			if err := c.SendHello(FeatureHeartbeat | FeatureRetarget | FeatureElastic | FeatureHier | FeatureTerm); err != nil {
+				c.Close()
+				continue
+			}
+			srvWG.Add(1)
+			go func() {
+				defer srvWG.Done()
+				defer c.Close()
+				for {
+					msg, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if msg.Kind == KindTargets {
+						select {
+						case targetCh <- gotTargets{msg.Targets.Term, msg.Targets.Epoch}:
+						default:
+						}
+					}
+				}
+			}()
+		}
+	}()
+
+	var current atomic.Pointer[FlakyConn]
+	rc := NewResilientConn(func() (*Conn, error) {
+		raw, err := net.DialTimeout("tcp", lis.Addr(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		f := WrapFlaky(raw)
+		current.Store(f)
+		return NewConn(f), nil
+	}, ResilientOptions{
+		QueueSize:    8,
+		WriteTimeout: 5 * time.Second, // a stall must fill queues, not retire the conn
+		BackoffMin:   10 * time.Millisecond,
+	})
+	defer rc.Close()
+	go func() {
+		for {
+			if _, err := rc.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		return rc.PeerSupportsRetarget() && rc.PeerSupportsTerm()
+	}, "hello negotiation")
+
+	// Stall the pipe and flood the data lane until it overflows.
+	current.Load().Stall(400 * time.Millisecond)
+	overflowed := false
+	for i := 0; i < 200 && !overflowed; i++ {
+		overflowed = errors.Is(rc.SendSDO(sdo.SDO{Seq: uint64(i), Origin: time.Now()}), ErrOutboxFull)
+	}
+	if !overflowed {
+		t.Fatal("data flood never overflowed an 8-frame outbox against a stalled pipe")
+	}
+	// The control lane still has room: the target frame enqueues cleanly.
+	if err := rc.SendTargets(Targets{Term: 1, Epoch: 7, CPU: []float64{0.5, 0.5}}); err != nil {
+		t.Fatalf("SendTargets with a full data outbox: %v", err)
+	}
+	if st := rc.Stats(); st.ControlDropped != 0 {
+		t.Errorf("pure data flood dropped %d control frames", st.ControlDropped)
+	}
+	// Once the stall clears, head-of-burst priority lands the targets.
+	select {
+	case got := <-targetCh:
+		if got.term != 1 || got.epoch != 7 {
+			t.Errorf("delivered targets (term %d, epoch %d), want (1, 7)", got.term, got.epoch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("target frame never delivered after the flood")
+	}
+
+	// A control-plane flood is the only thing allowed to spill the lane,
+	// and the spill must be visible on the control counter.
+	current.Load().Stall(400 * time.Millisecond)
+	ctlOverflow := false
+	for i := 0; i < 400; i++ {
+		if errors.Is(rc.SendTargets(Targets{Term: 1, Epoch: uint64(100 + i), CPU: []float64{0.5, 0.5}}), ErrOutboxFull) {
+			ctlOverflow = true
+		}
+	}
+	if !ctlOverflow {
+		t.Fatal("400 target frames never overflowed the 64-frame control lane")
+	}
+	if st := rc.Stats(); st.ControlDropped == 0 {
+		t.Errorf("control-lane overflow not counted: %+v", st)
+	}
+}

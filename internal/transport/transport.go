@@ -14,6 +14,7 @@
 //	rep    := pe(i32) replica(i32) data
 //	rtgt   := epoch(u64) peCount(u32) { slots(u32) cpu(f64 bits)×slots } × peCount
 //	tack   := origin(i32) epoch(u64)
+//	ttgt   := term(u64) tgt      (and likewise trtgt/ttack: term(u64) + body)
 //
 // trace is the observability trace ID (0 = unsampled): carrying it inside
 // the routed frame is what lets a per-SDO trace be stitched across the
@@ -93,6 +94,21 @@ const (
 	// dissemination lag (retarget_epoch_lag). Control path, never batched,
 	// FeatureHier-gated.
 	KindTargetAck
+	// KindTermTargets is KindTargets with an explicit controller term
+	// prefixed: targets are ordered by the lexicographic (term, epoch)
+	// pair, so a standby that claimed term+1 fences every frame a deposed
+	// controller may still emit (controller failover). Only sent to peers
+	// that advertised FeatureTerm; against older peers the sender
+	// collapses (term, epoch) into the single legacy epoch scalar as
+	// term<<32 | epoch — a bijection while epoch < 2^32, so flat peers
+	// keep exactly the same ordering.
+	KindTermTargets
+	// KindTermReplicaTargets is KindReplicaTargets with a term prefix;
+	// same FeatureTerm gating and collapse rule as KindTermTargets.
+	KindTermReplicaTargets
+	// KindTermTargetAck is KindTargetAck with a term prefix reporting the
+	// term of the acked target set; same gating and collapse rule.
+	KindTermTargetAck
 )
 
 // protocolVersion is announced in hello frames. Version 2 adds batch
@@ -120,6 +136,14 @@ const FeatureElastic uint64 = 1 << 3
 // v1/v2 peers never set the bit and never see ack frames.
 const FeatureHier uint64 = 1 << 4
 
+// FeatureTerm advertises that this endpoint decodes the term-prefixed
+// control frames (KindTermTargets, KindTermReplicaTargets,
+// KindTermTargetAck) and orders target sets by the lexicographic
+// (term, epoch) pair. Senders collapse the pair into the legacy epoch
+// scalar (term<<32 | epoch) for peers without the bit, so controller
+// failover interoperates with flat v1/v2 peers unchanged.
+const FeatureTerm uint64 = 1 << 5
+
 // Feedback is a control-plane advertisement: PE j accepts at most RMax
 // SDOs per control tick.
 type Feedback struct {
@@ -137,34 +161,47 @@ type Heartbeat struct {
 
 // Targets is an epoch-numbered tier-1 CPU target vector: CPU[j] is the
 // new c̄_j for PE j (the vector always spans the whole topology; nodes
-// apply the entries for their local PEs). Epochs are totally ordered per
-// deployment — a receiver holding epoch e ignores any frame with
-// epoch ≤ e, which makes redelivery and reordering harmless.
+// apply the entries for their local PEs). Target sets are totally
+// ordered per deployment by the lexicographic (Term, Epoch) pair — a
+// receiver holding (t, e) ignores any frame ordered at or below it,
+// which makes redelivery and reordering harmless and fences frames from
+// deposed controllers. Term is 0 until a controller failover bumps it;
+// on the wire it rides KindTermTargets against FeatureTerm peers and is
+// collapsed into the epoch scalar (Term<<32 | Epoch) against older ones.
 type Targets struct {
+	Term  uint64
 	Epoch uint64
 	CPU   []float64
 }
 
 // ReplicaTargets is the elastic target set: CPU[j][r] is the new c̄ of
 // replica slot r of PE j (slot 0 is the primary, so collapsing each row
-// to its sum recovers a Targets vector). Epoch ordering matches Targets.
+// to its sum recovers a Targets vector). (Term, Epoch) ordering and
+// collapse semantics match Targets.
 type ReplicaTargets struct {
+	Term  uint64
 	Epoch uint64
 	CPU   [][]float64
 }
 
 // TargetAck reports, up the dissemination tree, that node Origin has
-// applied targets through Epoch. Relaying parents forward it unchanged,
-// so the root sees every descendant's applied epoch.
+// applied targets through (Term, Epoch). Relaying parents forward it
+// unchanged, so the root sees every descendant's applied epoch. Term is
+// informational (epochs stay globally monotone across failovers); the
+// collapse rule matches Targets.
 type TargetAck struct {
 	Origin int32
+	Term   uint64
 	Epoch  uint64
 }
 
 // Message is a decoded frame: exactly one of SDO/Feedback/Heartbeat/
 // Targets is meaningful per Kind; To is set for routed frames. Batch
 // frames are decoded into their members, so Recv only ever yields
-// data/routed/feedback/heartbeat/targets messages.
+// data/routed/feedback/heartbeat/targets messages. Term-prefixed
+// control frames normalize to their legacy Kind with Term populated
+// (and legacy frames split a collapsed term out of the epoch scalar),
+// so receivers dispatch on one kind per frame family.
 type Message struct {
 	Kind           Kind
 	SDO            sdo.SDO
@@ -178,6 +215,22 @@ type Message struct {
 	// Rep is the destination replica slot of a KindReplica frame.
 	Rep int32
 }
+
+// epochMask is the epoch half of a collapsed (term, epoch) scalar.
+const epochMask = 1<<32 - 1
+
+// CollapseTermEpoch folds a (term, epoch) pair into the single epoch
+// scalar understood by peers without FeatureTerm: term<<32 | epoch.
+// While epoch < 2^32 (a deployment would need centuries of sub-second
+// re-solves to overflow it) the collapse is a bijection that preserves
+// lexicographic order, so legacy stale-epoch rejection fences deposed
+// terms exactly as term-aware peers do.
+func CollapseTermEpoch(term, epoch uint64) uint64 { return term<<32 | epoch&epochMask }
+
+// SplitTermEpoch recovers the (term, epoch) pair from a collapsed
+// scalar. Term-0 values round-trip unchanged, so pre-failover epochs
+// (and every frame from a v1/v2-flat peer) decode exactly as before.
+func SplitTermEpoch(raw uint64) (term, epoch uint64) { return raw >> 32, raw & epochMask }
 
 // maxFrame bounds a frame body; anything larger is a protocol error, not a
 // legitimate SDO.
@@ -312,6 +365,13 @@ func (c *Conn) PeerSupportsHier() bool {
 	return c.peerFeatures.Load()&FeatureHier != 0
 }
 
+// PeerSupportsTerm reports whether the peer's hello advertised
+// term-prefixed control frames. False until a hello arrives; senders
+// then collapse (term, epoch) into the legacy epoch scalar.
+func (c *Conn) PeerSupportsTerm() bool {
+	return c.peerFeatures.Load()&FeatureTerm != 0
+}
+
 // setPeerFeatures force-sets the peer feature bits (tests that need
 // batching active without running a Recv loop on the sender side).
 func (c *Conn) setPeerFeatures(f uint64) { c.peerFeatures.Store(f) }
@@ -438,13 +498,21 @@ func encodeHeartbeat(dst []byte, hb Heartbeat) []byte {
 	return dst
 }
 
-// SendTargets writes one epoch-numbered target vector. Like feedback and
-// heartbeats, target frames keep their own frames (never batched): a
-// retarget must not wait behind a data burst.
+// SendTargets writes one (term, epoch)-numbered target vector. Like
+// feedback and heartbeats, target frames keep their own frames (never
+// batched): a retarget must not wait behind a data burst. Against a
+// FeatureTerm peer the term rides a KindTermTargets frame; otherwise it
+// is collapsed into the legacy epoch scalar.
 func (c *Conn) SendTargets(t Targets) error {
 	bp := getBuf()
 	defer putBuf(bp)
-	body := encodeTargets((*bp)[:0], t)
+	if c.PeerSupportsTerm() {
+		body := binary.BigEndian.AppendUint64((*bp)[:0], t.Term)
+		body = encodeTargets(body, Targets{Epoch: t.Epoch, CPU: t.CPU})
+		*bp = body[:0]
+		return c.send(KindTermTargets, body)
+	}
+	body := encodeTargets((*bp)[:0], Targets{Epoch: CollapseTermEpoch(t.Term, t.Epoch), CPU: t.CPU})
 	*bp = body[:0]
 	return c.send(KindTargets, body)
 }
@@ -480,13 +548,20 @@ func decodeTargets(body []byte) (Targets, error) {
 	return t, nil
 }
 
-// SendReplicaTargets writes one epoch-numbered per-replica target set.
-// Control-path contract matches SendTargets: own frame, never batched.
-// Callers must gate on PeerSupportsElastic.
+// SendReplicaTargets writes one (term, epoch)-numbered per-replica
+// target set. Control-path contract matches SendTargets: own frame,
+// never batched, term collapsed for non-FeatureTerm peers. Callers must
+// gate on PeerSupportsElastic.
 func (c *Conn) SendReplicaTargets(rt ReplicaTargets) error {
 	bp := getBuf()
 	defer putBuf(bp)
-	body := encodeReplicaTargets((*bp)[:0], rt)
+	if c.PeerSupportsTerm() {
+		body := binary.BigEndian.AppendUint64((*bp)[:0], rt.Term)
+		body = encodeReplicaTargets(body, ReplicaTargets{Epoch: rt.Epoch, CPU: rt.CPU})
+		*bp = body[:0]
+		return c.send(KindTermReplicaTargets, body)
+	}
+	body := encodeReplicaTargets((*bp)[:0], ReplicaTargets{Epoch: CollapseTermEpoch(rt.Term, rt.Epoch), CPU: rt.CPU})
 	*bp = body[:0]
 	return c.send(KindReplicaTargets, body)
 }
@@ -541,12 +616,19 @@ func decodeReplicaTargets(body []byte) (ReplicaTargets, error) {
 }
 
 // SendTargetAck writes one upward ack frame. Control-path contract
-// matches SendTargets: own frame, never batched. Callers must gate on
-// PeerSupportsHier — a flat peer has no tree position to account acks to.
+// matches SendTargets: own frame, never batched, term collapsed for
+// non-FeatureTerm peers. Callers must gate on PeerSupportsHier — a flat
+// peer has no tree position to account acks to.
 func (c *Conn) SendTargetAck(a TargetAck) error {
 	bp := getBuf()
 	defer putBuf(bp)
-	body := encodeTargetAck((*bp)[:0], a)
+	if c.PeerSupportsTerm() {
+		body := binary.BigEndian.AppendUint64((*bp)[:0], a.Term)
+		body = encodeTargetAck(body, TargetAck{Origin: a.Origin, Epoch: a.Epoch})
+		*bp = body[:0]
+		return c.send(KindTermTargetAck, body)
+	}
+	body := encodeTargetAck((*bp)[:0], TargetAck{Origin: a.Origin, Epoch: CollapseTermEpoch(a.Term, a.Epoch)})
 	*bp = body[:0]
 	return c.send(KindTargetAck, body)
 }
@@ -716,6 +798,17 @@ func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, e
 		if err != nil {
 			return Message{}, false, err
 		}
+		t.Term, t.Epoch = SplitTermEpoch(t.Epoch)
+		return Message{Kind: KindTargets, Targets: t}, false, nil
+	case KindTermTargets:
+		if len(body) < 8 {
+			return Message{}, false, fmt.Errorf("transport: short term-targets frame (%d bytes)", len(body))
+		}
+		t, err := decodeTargets(body[8:])
+		if err != nil {
+			return Message{}, false, err
+		}
+		t.Term = binary.BigEndian.Uint64(body[0:8])
 		return Message{Kind: KindTargets, Targets: t}, false, nil
 	case KindReplica:
 		to, rep, s, err := decodeReplica(body)
@@ -728,14 +821,36 @@ func (c *Conn) decodeFrame(kind Kind, body []byte) (msg Message, handled bool, e
 		if err != nil {
 			return Message{}, false, err
 		}
+		rt.Term, rt.Epoch = SplitTermEpoch(rt.Epoch)
+		return Message{Kind: KindReplicaTargets, ReplicaTargets: rt}, false, nil
+	case KindTermReplicaTargets:
+		if len(body) < 8 {
+			return Message{}, false, fmt.Errorf("transport: short term-replica-targets frame (%d bytes)", len(body))
+		}
+		rt, err := decodeReplicaTargets(body[8:])
+		if err != nil {
+			return Message{}, false, err
+		}
+		rt.Term = binary.BigEndian.Uint64(body[0:8])
 		return Message{Kind: KindReplicaTargets, ReplicaTargets: rt}, false, nil
 	case KindTargetAck:
 		if len(body) != 12 {
 			return Message{}, false, fmt.Errorf("transport: bad target-ack frame (%d bytes)", len(body))
 		}
+		term, epoch := SplitTermEpoch(binary.BigEndian.Uint64(body[4:12]))
 		return Message{Kind: KindTargetAck, TargetAck: TargetAck{
 			Origin: int32(binary.BigEndian.Uint32(body[0:4])),
-			Epoch:  binary.BigEndian.Uint64(body[4:12]),
+			Term:   term,
+			Epoch:  epoch,
+		}}, false, nil
+	case KindTermTargetAck:
+		if len(body) != 20 {
+			return Message{}, false, fmt.Errorf("transport: bad term-target-ack frame (%d bytes)", len(body))
+		}
+		return Message{Kind: KindTargetAck, TargetAck: TargetAck{
+			Origin: int32(binary.BigEndian.Uint32(body[8:12])),
+			Term:   binary.BigEndian.Uint64(body[0:8]),
+			Epoch:  binary.BigEndian.Uint64(body[12:20]),
 		}}, false, nil
 	case KindBatch:
 		if err := c.decodeBatch(body); err != nil {

@@ -41,6 +41,7 @@ func run(args []string) error {
 		dur    = fs.Float64("duration", 0, "override per-run simulated seconds")
 
 		batchMax    = fs.Int("batch-max", 32, "transport experiment: uplink batch size in SDOs")
+		batchLarge  = fs.Int("batch-max-large", 256, "transport experiment: gathered-write mode batch size in SDOs")
 		batchLinger = fs.Duration("batch-linger", 0, "transport experiment: writer linger before a non-full batch")
 		baseline    = fs.String("baseline", "", "transport experiment: committed -json output to regress against (>20% ns/SDO or allocs/SDO fails)")
 
@@ -205,7 +206,7 @@ func run(args []string) error {
 			return nil
 		}},
 		{"transport", func() error {
-			to := experiments.TransportOptions{BatchMax: *batchMax, Linger: *batchLinger}
+			to := experiments.TransportOptions{BatchMax: *batchMax, LargeBatchMax: *batchLarge, Linger: *batchLinger}
 			if *quick {
 				to.SDOs = 30000
 			}

@@ -103,6 +103,7 @@ func run(args []string) error {
 		sbSilence  = fs.Float64("standby-silence", 0, "virtual seconds of controller silence before this standby's base claim deadline (0 = 4×retarget-every)")
 		safAfter   = fs.Float64("safety-after", 0, "stale-target safety mode: with no fresh target epoch for this many virtual seconds, blend targets a bounded step per tick toward the declared-model allocation (local/node; 0 = off)")
 		safStep    = fs.Float64("safety-step", 0, "safety-mode blend increment per scheduler tick in (0, 1] (0 = default 0.05)")
+		shards     = fs.Int("sched-shards", 0, "Δt scheduler shards per node (local/node; 0 = auto: one per core, at least 16 PE slots per shard)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,10 +119,10 @@ func run(args []string) error {
 	}
 	switch *mode {
 	case "local":
-		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, *rtEvery, el, co, ob)
+		return runLocal(*topoFile, *pes, *nodes, *seed, *polName, *duration, *scale, *rtEvery, *shards, el, co, ob)
 	case "node":
 		up := uplinkOpts{queue: *upQueue, timeout: *upTimeout, batchMax: *batchMax, batchLinger: *batchLing}
-		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, *rtEvery, up, el, co, ob)
+		return runNode(*topoFile, *localNodes, *listen, *connect2, *seed, *polName, *duration, *scale, *hbEvery, *rtEvery, *shards, up, el, co, ob)
 	case "recv":
 		addr := *listen
 		if addr == "" {
@@ -318,7 +319,7 @@ func (o obsOpts) serve(cl *aces.Cluster, topo *aces.Topology, title string,
 	}, nil
 }
 
-func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale, rtEvery float64, el elasticOpts, co ctrlOpts, ob obsOpts) error {
+func runLocal(topoFile string, pes, nodes int, seed int64, polName string, duration, scale, rtEvery float64, schedShards int, el elasticOpts, co ctrlOpts, ob obsOpts) error {
 	pol, err := aces.ParsePolicy(polName)
 	if err != nil {
 		return err
@@ -363,7 +364,7 @@ func runLocal(topoFile string, pes, nodes int, seed int64, polName string, durat
 	tr, reg, sink := ob.build(seed)
 	cl, err := aces.NewCluster(aces.ClusterConfig{
 		Topo: topo, Policy: pol, CPU: cpu, TimeScale: scale, Warmup: duration / 5, Seed: seed,
-		Tracer: tr, Telemetry: reg, Safety: co.safety(),
+		Tracer: tr, Telemetry: reg, Safety: co.safety(), SchedShards: schedShards,
 	})
 	if err != nil {
 		return err
@@ -464,7 +465,7 @@ type uplinkOpts struct {
 // never block the PE emit path or the Δt scheduler, and a stalled or
 // severed peer triggers automatic reconnection while the local partition
 // keeps running.
-func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery, rtEvery float64, up uplinkOpts, el elasticOpts, co ctrlOpts, ob obsOpts) error {
+func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polName string, duration, scale, hbEvery, rtEvery float64, schedShards int, up uplinkOpts, el elasticOpts, co ctrlOpts, ob obsOpts) error {
 	if topoFile == "" {
 		return fmt.Errorf("node mode requires -topo (shared across all partitions)")
 	}
@@ -540,7 +541,7 @@ func runNode(topoFile, localNodes, listenAddr, peerAddr string, seed int64, polN
 		Topo: doc.Topology, Policy: pol, CPU: doc.CPU,
 		TimeScale: scale, Warmup: duration / 5, Seed: seed,
 		LocalNodes: nodes, Uplink: link, Health: hc,
-		Tracer: tr, Telemetry: reg, Safety: co.safety(),
+		Tracer: tr, Telemetry: reg, Safety: co.safety(), SchedShards: schedShards,
 	})
 	if err != nil {
 		return err

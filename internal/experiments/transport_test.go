@@ -6,29 +6,34 @@ import (
 	"time"
 )
 
-// The transport experiment at reduced scale must produce the three modes
-// with sane rates, and the batched mode must actually batch. The linger
+// The transport experiment at reduced scale must produce the five modes
+// with sane rates, and the batched modes must actually batch. The linger
 // makes batch formation independent of goroutine scheduling: with the
 // default flush-on-idle discipline, a loaded host (e.g. CI under -race)
 // can drain the outbox one frame at a time and never form a batch.
 func TestTransportThroughputRuns(t *testing.T) {
-	rows, err := TransportThroughput(TransportOptions{SDOs: 5000, BatchMax: 8, Linger: 200 * time.Microsecond})
+	rows, err := TransportThroughput(TransportOptions{SDOs: 5000, BatchMax: 8, LargeBatchMax: 64, Linger: 200 * time.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("rows = %d, want 3", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
 	}
 	for _, r := range rows {
 		if r.SDOsPerSec <= 0 || r.NsPerSDO <= 0 || r.Seconds <= 0 {
 			t.Errorf("%s: degenerate row %+v", r.Mode, r)
 		}
 	}
-	if rows[0].Mode != "direct/flush-per-sdo" || rows[2].Mode != "resilient/batch-8" {
-		t.Errorf("unexpected mode order: %q, %q, %q", rows[0].Mode, rows[1].Mode, rows[2].Mode)
+	if rows[0].Mode != "direct/flush-per-sdo" || rows[2].Mode != "resilient/batch-8" ||
+		rows[3].Mode != "resilient/batch-64+512B" || rows[4].Mode != "ring/spsc" {
+		t.Errorf("unexpected mode order: %q, %q, %q, %q, %q",
+			rows[0].Mode, rows[1].Mode, rows[2].Mode, rows[3].Mode, rows[4].Mode)
 	}
 	if rows[2].MeanFill < 2 {
 		t.Errorf("batched mode mean fill %.1f, want ≥ 2 (batching never engaged)", rows[2].MeanFill)
+	}
+	if rows[3].MeanFill < 2 {
+		t.Errorf("large-batch mode mean fill %.1f, want ≥ 2 (batching never engaged)", rows[3].MeanFill)
 	}
 	var sb strings.Builder
 	FormatTransport(&sb, rows)

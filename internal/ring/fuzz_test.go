@@ -1,0 +1,77 @@
+package ring
+
+import (
+	"testing"
+)
+
+// FuzzIndexMath drives a ring of fuzzer-chosen capacity through a
+// fuzzer-chosen push/pop/close sequence and checks every observable
+// against a model deque: FIFO order, exact capacity, Len accounting,
+// and the post-Close drain contract. This is the single-threaded
+// correctness net under the concurrency stress tests — it targets the
+// power-of-two masking and lap arithmetic, which are exactly the parts
+// a capacity that is not a power of two can get wrong.
+func FuzzIndexMath(f *testing.F) {
+	f.Add(uint16(1), []byte{0, 1, 0, 1})
+	f.Add(uint16(3), []byte{0, 0, 0, 0, 1, 1, 1, 1})
+	f.Add(uint16(5), []byte{0, 0, 2, 0, 1, 1, 1})
+	f.Add(uint16(8), []byte{0, 0, 0, 1, 0, 0, 1, 1, 1, 1})
+	f.Add(uint16(1000), []byte{0, 1, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, rawCap uint16, ops []byte) {
+		capacity := int(rawCap%1024) + 1
+		for _, mode := range []Mode{MPMC, SPSC, SingleProducer, SingleConsumer} {
+			r := New[int](capacity, mode)
+			var model []int
+			next := 0
+			closed := false
+			for _, op := range ops {
+				switch op % 3 {
+				case 0: // push
+					ok := r.TryPush(next)
+					wantOK := !closed && len(model) < capacity
+					if ok != wantOK {
+						t.Fatalf("cap=%d mode=%d: TryPush(%d) = %v with %d queued, closed=%v",
+							capacity, mode, next, ok, len(model), closed)
+					}
+					if ok {
+						model = append(model, next)
+					}
+					next++
+				case 1: // pop
+					v, ok := r.TryPop()
+					if len(model) == 0 {
+						if ok {
+							t.Fatalf("cap=%d mode=%d: TryPop succeeded on empty ring (got %d)", capacity, mode, v)
+						}
+					} else {
+						if !ok || v != model[0] {
+							t.Fatalf("cap=%d mode=%d: TryPop = (%d, %v), want (%d, true)",
+								capacity, mode, v, ok, model[0])
+						}
+						model = model[1:]
+					}
+				case 2: // close (idempotent; later pushes must fail, pops drain)
+					r.Close()
+					closed = true
+				}
+				if got := r.Len(); got != len(model) {
+					t.Fatalf("cap=%d mode=%d: Len = %d, model %d", capacity, mode, got, len(model))
+				}
+				if r.Closed() != closed {
+					t.Fatalf("cap=%d mode=%d: Closed = %v, want %v", capacity, mode, r.Closed(), closed)
+				}
+			}
+			// Whatever the sequence, a full drain must return the model's
+			// remainder in order — including after Close.
+			for i, want := range model {
+				v, ok := r.TryPop()
+				if !ok || v != want {
+					t.Fatalf("cap=%d mode=%d: drain pop %d = (%d, %v), want (%d, true)", capacity, mode, i, v, ok, want)
+				}
+			}
+			if _, ok := r.TryPop(); ok {
+				t.Fatalf("cap=%d mode=%d: ring non-empty after drain", capacity, mode)
+			}
+		}
+	})
+}

@@ -327,14 +327,15 @@ func (l *ResilientLink) Serve(c *Cluster) error {
 func (l *ResilientLink) LinkStats() metrics.LinkStats {
 	s := l.rc.Stats()
 	return metrics.LinkStats{
-		FramesSent:     s.FramesSent,
-		FramesDropped:  s.FramesDropped,
-		ControlDropped: s.ControlDropped,
-		Reconnects:     s.Reconnects,
-		QueueLen:       s.QueueLen,
-		QueueCap:       s.QueueCap,
-		BatchesSent:    s.BatchesSent,
-		BatchedFrames:  s.BatchedFrames,
+		FramesSent:        s.FramesSent,
+		FramesDropped:     s.FramesDropped,
+		ControlDropped:    s.ControlDropped,
+		CtlFeatureDropped: s.CtlFeatureDropped,
+		Reconnects:        s.Reconnects,
+		QueueLen:          s.QueueLen,
+		QueueCap:          s.QueueCap,
+		BatchesSent:       s.BatchesSent,
+		BatchedFrames:     s.BatchedFrames,
 	}
 }
 

@@ -2,8 +2,8 @@ package spc
 
 import (
 	"context"
-	"sync"
 
+	"aces/internal/ring"
 	"aces/internal/sdo"
 )
 
@@ -11,125 +11,62 @@ import (
 // blocks (UDP / max-flow semantics: a full buffer drops); Push blocks until
 // space or context cancellation (lock-step semantics). Pop blocks until an
 // SDO is available or the context is done.
+//
+// Since ISSUE 10 the implementation is a lock-free ring (internal/ring)
+// instead of a mutex+cond deque: the steady-state push/pop cost is a
+// couple of uncontended atomics, and blocked producers/consumers park on
+// a cond var only after spinning out. Capacity semantics are unchanged
+// and exact — shed thresholds and drop rates see the same occupancy the
+// old implementation reported.
+//
+// The push side is always multi-producer: upstream PE emitters, sources,
+// bridge injection and the replica drain can all target one buffer, and
+// the exported Inject* APIs mean single-producer ownership is never
+// provable from the topology alone. The pop side runs the ring's
+// single-consumer fast path for primary slots (rep 0), whose only
+// consumer is the PE goroutine; replica slots (rep > 0) are also popped
+// by the scheduler's scale-in drain, so they stay multi-consumer.
 type Buffer struct {
-	mu       sync.Mutex
-	notFull  *sync.Cond
-	notEmpty *sync.Cond
-	items    []sdo.SDO
-	head     int
-	capacity int
-	closed   bool
+	r *ring.Ring[sdo.SDO]
 }
 
-// NewBuffer creates a buffer with the given capacity in SDOs.
-func NewBuffer(capacity int) *Buffer {
+// NewBuffer creates a buffer with the given capacity in SDOs. It is safe
+// for any number of concurrent producers and consumers.
+func NewBuffer(capacity int) *Buffer { return newBufferMode(capacity, ring.MPMC) }
+
+// newBufferMode creates a buffer with an explicit ring mode; the cluster
+// uses it to claim the single-consumer fast path for primary slots.
+func newBufferMode(capacity int, mode ring.Mode) *Buffer {
 	if capacity <= 0 {
 		panic("spc: buffer capacity must be positive")
 	}
-	b := &Buffer{capacity: capacity}
-	b.notFull = sync.NewCond(&b.mu)
-	b.notEmpty = sync.NewCond(&b.mu)
-	return b
+	return &Buffer{r: ring.New[sdo.SDO](capacity, mode)}
 }
 
 // Len returns the current occupancy.
-func (b *Buffer) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.items) - b.head
-}
+func (b *Buffer) Len() int { return b.r.Len() }
 
 // Cap returns the capacity.
-func (b *Buffer) Cap() int { return b.capacity }
+func (b *Buffer) Cap() int { return b.r.Cap() }
 
 // TryPush appends s if space is available and reports success.
-func (b *Buffer) TryPush(s sdo.SDO) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed || len(b.items)-b.head >= b.capacity {
-		return false
-	}
-	b.push(s)
-	return true
-}
+func (b *Buffer) TryPush(s sdo.SDO) bool { return b.r.TryPush(s) }
 
 // Push blocks until space is available or ctx is done; it returns false
-// when the buffer closed or the context was cancelled.
-func (b *Buffer) Push(ctx context.Context, s sdo.SDO) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	var stop func() bool
-	for !b.closed && ctx.Err() == nil && len(b.items)-b.head >= b.capacity {
-		if stop == nil && ctx.Done() != nil {
-			// Cond has no context support: wake-ups come from Pop and
-			// from Close. The cluster's Stop does close every buffer,
-			// but Push must not hang if a caller cancels without
-			// closing, so the slow path arms a waker that broadcasts
-			// on cancellation. Armed only once per blocked Push, and
-			// only after the fast path has already failed.
-			waker := func() {
-				b.mu.Lock()
-				b.notFull.Broadcast()
-				b.mu.Unlock()
-			}
-			stop = context.AfterFunc(ctx, waker)
-		}
-		b.notFull.Wait()
-	}
-	if stop != nil {
-		// Does not wait for an in-flight waker: the callback only
-		// broadcasts, which is harmless after we return.
-		stop()
-	}
-	if b.closed || ctx.Err() != nil {
-		return false
-	}
-	b.push(s)
-	return true
-}
+// when the buffer closed or the context was cancelled. A blocked Push
+// arms a cancellation waker, so a caller that cancels without closing
+// the buffer cannot hang.
+func (b *Buffer) Push(ctx context.Context, s sdo.SDO) bool { return b.r.Push(ctx, s) }
 
 // Pop blocks until an SDO is available; ok is false when the buffer is
-// closed and drained, or the context is done.
-func (b *Buffer) Pop(ctx context.Context) (s sdo.SDO, ok bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for len(b.items)-b.head == 0 {
-		if b.closed || ctx.Err() != nil {
-			return sdo.SDO{}, false
-		}
-		b.notEmpty.Wait()
-	}
-	s = b.advanceHead()
-	b.notFull.Signal()
-	return s, true
-}
+// closed and drained, or the context is done. Like Push, a blocked Pop
+// arms a cancellation waker — cancelling the context alone unblocks it
+// (the PR 3 implementation armed the waker only on the push side, so a
+// cancelled consumer on an idle buffer hung forever).
+func (b *Buffer) Pop(ctx context.Context) (s sdo.SDO, ok bool) { return b.r.Pop(ctx) }
 
 // TryPop removes the head SDO without blocking.
-func (b *Buffer) TryPop() (s sdo.SDO, ok bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.items)-b.head == 0 {
-		return sdo.SDO{}, false
-	}
-	s = b.advanceHead()
-	b.notFull.Signal()
-	return s, true
-}
-
-// advanceHead removes and returns the head SDO and compacts the backing
-// array once the dead prefix dominates it, keeping memory bounded no
-// matter which pop path the consumer uses. Callers hold b.mu.
-func (b *Buffer) advanceHead() sdo.SDO {
-	s := b.items[b.head]
-	b.items[b.head] = sdo.SDO{} // release payload reference
-	b.head++
-	if b.head > 256 && b.head*2 >= len(b.items) {
-		n := copy(b.items, b.items[b.head:])
-		b.items = b.items[:n]
-		b.head = 0
-	}
-	return s
-}
+func (b *Buffer) TryPop() (s sdo.SDO, ok bool) { return b.r.TryPop() }
 
 // Close marks the buffer closed and wakes all waiters. It is idempotent:
 // closing an already-closed buffer is a no-op (the supervisor and the
@@ -143,18 +80,4 @@ func (b *Buffer) advanceHead() sdo.SDO {
 //   - Pop and TryPop keep draining the items buffered before Close —
 //     shutdown does not forfeit accepted data — and only report failure
 //     once the buffer is empty.
-func (b *Buffer) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return
-	}
-	b.closed = true
-	b.notFull.Broadcast()
-	b.notEmpty.Broadcast()
-}
-
-func (b *Buffer) push(s sdo.SDO) {
-	b.items = append(b.items, s)
-	b.notEmpty.Signal()
-}
+func (b *Buffer) Close() { b.r.Close() }

@@ -10,9 +10,11 @@ import (
 	"aces/internal/sdo"
 )
 
-// A TryPop-only consumer must not grow the backing array without bound:
-// both pop paths share the compaction in advanceHead.
-func TestTryPopCompactsBackingArray(t *testing.T) {
+// A small buffer cycled far past its size must preserve FIFO order and
+// exact capacity across every wraparound of the ring's position math.
+// (The mutex-era version of this test checked deque compaction; the ring
+// has a fixed backing array, so the bound it asserts is structural.)
+func TestWraparoundPreservesFIFO(t *testing.T) {
 	b := NewBuffer(4)
 	const n = 100000
 	for i := 0; i < n; i++ {
@@ -24,18 +26,19 @@ func TestTryPopCompactsBackingArray(t *testing.T) {
 			t.Fatalf("pop %d = (%v, %v)", i, s.Seq, ok)
 		}
 	}
-	b.mu.Lock()
-	backing := len(b.items)
-	head := b.head
-	b.mu.Unlock()
-	if backing > 1024 {
-		t.Errorf("backing array holds %d entries after %d TryPops (head=%d); compaction never ran", backing, n, head)
+	if got := b.Len(); got != 0 {
+		t.Errorf("Len after %d cycles = %d, want 0", n, got)
 	}
 }
 
-// Interleaving the two pop paths must preserve FIFO order and compaction.
+// Interleaving the two pop paths must preserve FIFO order; a non-power-
+// of-two capacity keeps the logical capacity misaligned with the ring's
+// backing array, exercising the exact-capacity check on every lap.
 func TestPopAndTryPopInterleaved(t *testing.T) {
-	b := NewBuffer(8)
+	b := NewBuffer(7)
+	if b.Cap() != 7 {
+		t.Fatalf("Cap() = %d, want the exact requested capacity 7", b.Cap())
+	}
 	want := uint64(0)
 	for i := 0; i < 20000; i++ {
 		b.TryPush(sdo.SDO{Seq: uint64(i)})
@@ -50,12 +53,6 @@ func TestPopAndTryPopInterleaved(t *testing.T) {
 			t.Fatalf("at %d: got seq %d ok=%v, want %d", i, s.Seq, ok, want)
 		}
 		want++
-	}
-	b.mu.Lock()
-	backing := len(b.items)
-	b.mu.Unlock()
-	if backing > 1024 {
-		t.Errorf("interleaved pops left %d backing entries", backing)
 	}
 }
 
@@ -122,6 +119,44 @@ func TestBlockedPushReturnsOnCancelWithoutClose(t *testing.T) {
 	}
 	if !b.Push(context.Background(), sdo.SDO{Seq: 3}) {
 		t.Error("Push refused after an unrelated cancellation")
+	}
+}
+
+// A blocked Pop must return promptly on context cancellation when
+// nothing ever closes the buffer or pushes into it. This mirrors the
+// blocked-Push cancel test above and is the ISSUE 10 regression test:
+// PR 3 armed the AfterFunc waker only on Push's slow path, so a consumer
+// whose context was cancelled while waiting on an idle buffer hung
+// forever (the supervisor only escaped it because Stop also closes every
+// buffer — a cancel-only shutdown wedged).
+func TestBlockedPopReturnsOnCancelWithoutClose(t *testing.T) {
+	b := NewBuffer(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := b.Pop(ctx)
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		t.Fatalf("Pop returned %v before cancel on an empty buffer", ok)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel() // no Close, no Push: only the waker can unblock the Pop
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("cancelled Pop reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Pop hung after cancel; AfterFunc waker missing")
+	}
+	// The buffer must remain usable after an unrelated cancellation.
+	if !b.TryPush(sdo.SDO{Seq: 7}) {
+		t.Fatal("TryPush failed after a cancelled Pop")
+	}
+	if s, ok := b.Pop(context.Background()); !ok || s.Seq != 7 {
+		t.Fatalf("Pop after recovery = (%d, %v), want (7, true)", s.Seq, ok)
 	}
 }
 

@@ -149,6 +149,12 @@ func (c *Cluster) makeTargetSet(term, epoch uint64, cpu []float64, rep [][]float
 		}
 		ts.route[j] = c.buildRing(sdo.PEID(j), act, w)
 	}
+	ts.nodeSum = make([]float64, len(c.nodes))
+	for n, peers := range c.nodes {
+		for _, pr := range peers {
+			ts.nodeSum[n] += ts.slot(pr.id, pr.rep)
+		}
+	}
 	return ts
 }
 

@@ -41,6 +41,11 @@ type targetSet struct {
 	// ring entries hold this process's runtime pointers.
 	route     [][]replicaRef
 	groupKeys [][]int32
+	// nodeSum[n] is the sum of this set's slot targets over the local PE
+	// slots hosted on node n. Sharded schedulers divide it into their
+	// planning-capacity shares at epoch fold-in; a single-shard node never
+	// reads it.
+	nodeSum []float64
 }
 
 // TargetSender is the uplink extension for target dissemination, the

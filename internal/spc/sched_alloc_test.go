@@ -44,3 +44,114 @@ func TestSchedulerTickZeroAllocs(t *testing.T) {
 		c.cancel()
 	}
 }
+
+// TestSchedulerTickZeroAllocsSharded re-proves the zero-alloc gate per
+// scheduler shard: a sharded node runs one schedulerTick per shard over
+// a disjoint slice of its slots, and each of those ticks must stay
+// allocation-free in steady state (the capShare refresh rides the epoch
+// fold-in, never the hot path). It also pins the capacity-conservation
+// invariant: the shards' planning shares sum to the node's whole 1.0.
+func TestSchedulerTickZeroAllocsSharded(t *testing.T) {
+	const stages = 8
+	topo := buildChain(t, stages, 1, 0.001, 100)
+	cpu := make([]float64, stages)
+	for i := range cpu {
+		cpu[i] = 0.1
+	}
+	for _, pol := range []policy.Policy{policy.ACES, policy.LockStep} {
+		c, err := NewCluster(Config{Topo: topo, Policy: pol, CPU: cpu, TimeScale: 20, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers := c.nodes[0]
+		const shards = 2
+		scrs := make([]*schedScratch, shards)
+		slices := make([][]*peRuntime, shards)
+		for s := 0; s < shards; s++ {
+			lo, hi := shardRange(len(peers), shards, s)
+			slices[s] = peers[lo:hi]
+			scrs[s] = newShardScratch(len(slices[s]), 0, len(peers))
+		}
+		next := make([]float64, stages)
+		for i := range next {
+			next[i] = 0.08
+		}
+		if err := c.SetTargets(1, next); err != nil {
+			t.Fatal(err)
+		}
+		dt := c.cfg.Dt
+		now := c.clock.Now()
+		var shareSum float64
+		for s := 0; s < shards; s++ {
+			// Warm-up tick folds in the epoch (computing the shard's
+			// capacity share) and inserts the one-time feedback-map keys.
+			c.schedulerTick(slices[s], scrs[s], now, dt)
+			shareSum += scrs[s].capShare
+			s := s
+			allocs := testing.AllocsPerRun(100, func() {
+				now += dt
+				c.schedulerTick(slices[s], scrs[s], now, dt)
+			})
+			if allocs != 0 {
+				t.Errorf("%v shard %d: schedulerTick allocates %.1f times per tick, want 0", pol, s, allocs)
+			}
+		}
+		if diff := shareSum - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%v: shard capacity shares sum to %v, want exactly the node's 1.0", pol, shareSum)
+		}
+		c.cancel()
+	}
+}
+
+// TestShardRangeCoversDisjoint pins the shard-slicing arithmetic: every
+// slot belongs to exactly one shard, shards are contiguous, and sizes
+// differ by at most one.
+func TestShardRangeCoversDisjoint(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for shards := 1; shards <= n; shards++ {
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := shardRange(n, shards, s)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, s, lo, prev)
+				}
+				if size := hi - lo; size < n/shards || size > n/shards+1 {
+					t.Fatalf("n=%d shards=%d: shard %d size %d not within one of even", n, shards, s, size)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: shards end at %d, want %d", n, shards, prev, n)
+			}
+		}
+	}
+}
+
+// TestClusterRunsSharded runs a whole cluster with an explicit multi-
+// shard Δt loop and checks it still delivers: sharding must change
+// planning concurrency, not semantics.
+func TestClusterRunsSharded(t *testing.T) {
+	const stages = 8
+	topo := buildChain(t, stages, 1, 0.001, 100)
+	cpu := make([]float64, stages)
+	for i := range cpu {
+		cpu[i] = 0.1
+	}
+	c, err := NewCluster(Config{
+		Topo: topo, Policy: policy.ACES, CPU: cpu,
+		TimeScale: 20, Warmup: 0.25, Seed: 1, SchedShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.schedShardsFor(stages); got != 2 {
+		t.Fatalf("schedShardsFor(%d) = %d with SchedShards=2", stages, got)
+	}
+	rep, err := c.Run(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deliveries == 0 {
+		t.Error("sharded cluster delivered nothing")
+	}
+}

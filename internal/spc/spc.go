@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"aces/internal/metrics"
 	"aces/internal/obs"
 	"aces/internal/policy"
+	"aces/internal/ring"
 	"aces/internal/sdo"
 	"aces/internal/sim"
 	"aces/internal/stats"
@@ -89,6 +91,18 @@ type Config struct {
 	// longer exists. nil disables (runs without an adaptive loop need
 	// none). See SafetyConfig.
 	Safety *SafetyConfig
+	// SchedShards splits each node's Δt scheduler into this many shards,
+	// each a goroutine owning a disjoint slice of the node's PE slots with
+	// its own tick scratch and planner — the Δt loop stops serializing
+	// every co-located PE on one goroutine. Each shard plans against its
+	// share of the node's 1.0 CPU (proportional to its slots' installed
+	// targets, recomputed at every epoch fold-in), so the shards jointly
+	// enforce the same node capacity a single scheduler did. 0 (the
+	// default) sizes automatically: one shard per available core, but
+	// never more than one per 16 PE slots — small nodes keep the exact
+	// single-scheduler behaviour. Values above the node's slot count are
+	// clamped.
+	SchedShards int
 }
 
 // RemoteLink transports SDOs and feedback to peer processes hosting the
@@ -535,6 +549,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			if r == 0 {
 				target0 = cfg.CPU[j]
 			}
+			// Primary slots have exactly one consumer — the PE goroutine's
+			// Pop loop — so they run the ring's single-consumer fast path.
+			// Replica slots are also drained by the scheduler on scale-in
+			// (drainReplica), so they stay multi-consumer. The push side is
+			// always multi-producer; see Buffer's doc comment.
+			bufMode := ring.MPMC
+			if r == 0 {
+				bufMode = ring.SingleConsumer
+			}
 			pr := &peRuntime{
 				id:     sdo.PEID(j),
 				rep:    int32(r),
@@ -542,7 +565,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				egress: len(t.Down(sdo.PEID(j))) == 0,
 				node:   node,
 				weight: pe.Weight,
-				buf:    NewBuffer(bufCap),
+				buf:    newBufferMode(bufCap, bufMode),
 				bucket: controller.NewTokenBucket(target0, cfg.BurstTicks),
 				// Calibration windows close every 10th tick; the nominal
 				// interval only matters for Tick(), which the live scheduler
@@ -738,11 +761,20 @@ func (c *Cluster) Start() error {
 			continue
 		}
 		n := n
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			c.runScheduler(n)
-		}()
+		// Shard the node's Δt loop across cores: each shard owns a
+		// disjoint contiguous slice of the node's slots with its own
+		// ticker, scratch and token-bucket updates. Defaults keep small
+		// nodes (and every existing test) on a single whole-node
+		// scheduler.
+		shards := c.schedShardsFor(len(c.nodes[n]))
+		for s := 0; s < shards; s++ {
+			s := s
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.runScheduler(n, s, shards)
+			}()
+		}
 	}
 	for si := range c.cfg.Topo.Sources {
 		src := c.cfg.Topo.Sources[si]
@@ -906,21 +938,111 @@ type schedScratch struct {
 	// snaps to 0 the tick after a fresh epoch lands (hitless both ways —
 	// only bucket rates move).
 	safeBlend float64
+	// capShare is the fraction of the node's 1.0 CPU this scheduler plans
+	// against: 1 for a whole-node scheduler (the historical behaviour),
+	// and the shard's proportional share of the node's installed targets
+	// when the Δt loop is sharded. Recomputed at every epoch fold-in —
+	// a pointer-compare miss already pays for applyEpoch, so the share
+	// refresh adds nothing to the steady-state tick.
+	capShare float64
+	// sharded marks a scratch owned by one shard of a multi-shard node;
+	// node/nodeLen feed the share computation (nodeLen is the node's total
+	// slot count, the fallback ratio when the installed targets sum to 0).
+	sharded bool
+	node    int
+	nodeLen int
 }
 
 func newSchedScratch(n int) *schedScratch {
 	return &schedScratch{
-		ticks: make([]controller.PETick, n),
-		costs: make([]float64, n),
+		ticks:    make([]controller.PETick, n),
+		costs:    make([]float64, n),
+		capShare: 1,
 	}
 }
 
-// runScheduler is one node's Δt control loop.
-func (c *Cluster) runScheduler(n int) {
-	peers := c.nodes[n]
+// newShardScratch builds the scratch for shard peers of node n, which
+// plans against its proportional share of the node's CPU instead of the
+// whole 1.0.
+func newShardScratch(nPeers, node, nodeLen int) *schedScratch {
+	scr := newSchedScratch(nPeers)
+	scr.sharded = true
+	scr.node = node
+	scr.nodeLen = nodeLen
+	return scr
+}
+
+// shardShare is the fraction of its node's CPU a shard plans against:
+// the shard's installed slot-target sum over the node's. When the node's
+// targets sum to zero the split falls back to slot counts, so an
+// all-idle node still divides its capacity instead of planning against
+// zero everywhere.
+func shardShare(tgt *targetSet, peers []*peRuntime, node, nodeLen int) float64 {
+	var sum float64
+	for _, pr := range peers {
+		sum += tgt.slot(pr.id, pr.rep)
+	}
+	total := tgt.nodeSum[node]
+	if total <= 0 {
+		return float64(len(peers)) / float64(nodeLen)
+	}
+	share := sum / total
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+// schedShardsFor picks the shard count for a node hosting nPeers slots:
+// the configured SchedShards, or — when auto — one per available core
+// with at least 16 slots per shard, so small nodes keep the exact
+// single-goroutine scheduler they always had.
+func (c *Cluster) schedShardsFor(nPeers int) int {
+	s := c.cfg.SchedShards
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+		if perCore := (nPeers + 15) / 16; s > perCore {
+			s = perCore
+		}
+	}
+	if s > nPeers {
+		s = nPeers
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardRange returns the [lo, hi) slice of n items owned by shard s of
+// `shards`: contiguous, disjoint, and within one item of even.
+func shardRange(n, shards, s int) (lo, hi int) {
+	return s * n / shards, (s + 1) * n / shards
+}
+
+// runScheduler is one shard of one node's Δt control loop: it owns a
+// disjoint slice of the node's PE slots, its own ticker and its own
+// planning scratch. Shard 0 additionally owns the node's (and, on the
+// snapshot node, the process's) periodic duties — health beacons,
+// detector sweeps, tree self-healing, link sampling, registry flushes —
+// so sharding multiplies planning throughput without duplicating any
+// once-per-node work. Single-shard nodes reproduce the historical
+// whole-node scheduler exactly (capShare pinned to 1).
+func (c *Cluster) runScheduler(n, shard, shards int) {
+	nodePeers := c.nodes[n]
+	lo, hi := shardRange(len(nodePeers), shards, shard)
+	peers := nodePeers[lo:hi]
+	if len(peers) == 0 {
+		return
+	}
 	tick, stopTick := c.clock.Tick(c.cfg.Dt)
 	defer stopTick()
-	scr := newSchedScratch(len(peers))
+	var scr *schedScratch
+	if shards > 1 {
+		scr = newShardScratch(len(peers), n, len(nodePeers))
+	} else {
+		scr = newSchedScratch(len(peers))
+	}
 	sample := 0
 	last := c.clock.Now()
 	for _, pr := range peers {
@@ -928,9 +1050,9 @@ func (c *Cluster) runScheduler(n int) {
 		pr.calLast = last
 		pr.mu.Unlock()
 	}
-	// The snapshot node's scheduler owns the failure domain's periodic
+	// The snapshot node's first shard owns the failure domain's periodic
 	// work: sending liveness beacons and sweeping the detector.
-	healthOwner := n == c.snapNode && c.det != nil
+	healthOwner := n == c.snapNode && shard == 0 && c.det != nil
 	lastBeat := math.Inf(-1)
 	for {
 		select {
@@ -967,13 +1089,13 @@ func (c *Cluster) runScheduler(n int) {
 				// virtual time — rate-model samples for the adaptive loop.
 				pr.calSample(now)
 			}
-			if n == c.snapNode {
+			if n == c.snapNode && shard == 0 {
 				// Tree self-healing sweeps ride the sampling cadence (every
 				// 10th tick): silence timeouts and retransmission windows
 				// are orders of magnitude longer than 10 Δt.
 				c.hierMaintain(now)
 				c.sampleLinks()
-				// One node owns the registry flush so the time series is a
+				// One shard owns the registry flush so the time series is a
 				// clean sequence of frames, not interleaved per-node
 				// partials.
 				if c.reg != nil {
@@ -999,6 +1121,13 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 		c.applyEpoch(peers, tgt)
 		scr.appliedTerm = tgt.term
 		scr.appliedEpoch = tgt.epoch
+		// A shard plans against its proportional share of the node's CPU,
+		// fixed per epoch so concurrent shards never chase each other's
+		// allocations. A single-shard node keeps capShare = 1 — the exact
+		// historical whole-node planning capacity.
+		if scr.sharded {
+			scr.capShare = shardShare(tgt, peers, scr.node, scr.nodeLen)
+		}
 	}
 	if c.cfg.Safety != nil {
 		c.safetyTick(peers, scr, tgt, now)
@@ -1063,23 +1192,23 @@ func (c *Cluster) schedulerTick(peers []*peRuntime, scr *schedScratch, now, dt f
 	var alloc []float64
 	switch pol {
 	case policy.ACES, policy.ACESMinFlow:
-		alloc = scr.planner.PlanACES(ticks, 1)
+		alloc = scr.planner.PlanACES(ticks, scr.capShare)
 	case policy.ACESStrictCPU:
 		for i := range ticks {
 			if ticks[i].Cap < ticks[i].Work {
 				ticks[i].Work = ticks[i].Cap
 			}
 		}
-		alloc = scr.planner.PlanStrict(ticks, 1)
+		alloc = scr.planner.PlanStrict(ticks, scr.capShare)
 	case policy.UDP, policy.LoadShed:
 		// System 2 (and the load-shedding comparator): traditional
 		// strict/velocity enforcement — unused slices are lost, no
 		// banking (mirrors the simulator).
-		alloc = scr.planner.PlanStrict(ticks, 1)
+		alloc = scr.planner.PlanStrict(ticks, scr.capShare)
 	default:
 		// System 3: targets enforced per tick; only sleeping (blocked)
 		// PEs' slices are redistributed.
-		alloc = scr.planner.PlanLockStep(ticks, 1)
+		alloc = scr.planner.PlanLockStep(ticks, scr.capShare)
 	}
 	for i, pr := range peers {
 		if pr.parked {
@@ -1298,6 +1427,7 @@ type linkGauges struct {
 	queueLen                  *obs.Gauge
 	batchFrames, perBatch     *obs.Gauge
 	ctlDropped                *obs.Gauge
+	ctlFeatDropped            *obs.Gauge
 }
 
 // AttachLink registers an uplink whose counters should appear in this
@@ -1315,13 +1445,14 @@ func (c *Cluster) AttachLink(s LinkStatsSource) {
 	if c.reg != nil {
 		labels := obs.Labels{"link": fmt.Sprintf("%d", len(c.links)-1)}
 		c.linkGauges = append(c.linkGauges, linkGauges{
-			sent:        c.reg.Gauge("link_frames_sent", labels),
-			dropped:     c.reg.Gauge("link_frames_dropped", labels),
-			reconnects:  c.reg.Gauge("link_reconnects", labels),
-			queueLen:    c.reg.Gauge("link_queue_len", labels),
-			batchFrames: c.reg.Gauge("batch_frames", labels),
-			perBatch:    c.reg.Gauge("sdos_per_batch", labels),
-			ctlDropped:  c.reg.Gauge("control_frames_dropped_total", labels),
+			sent:           c.reg.Gauge("link_frames_sent", labels),
+			dropped:        c.reg.Gauge("link_frames_dropped", labels),
+			reconnects:     c.reg.Gauge("link_reconnects", labels),
+			queueLen:       c.reg.Gauge("link_queue_len", labels),
+			batchFrames:    c.reg.Gauge("batch_frames", labels),
+			perBatch:       c.reg.Gauge("sdos_per_batch", labels),
+			ctlDropped:     c.reg.Gauge("control_frames_dropped_total", labels),
+			ctlFeatDropped: c.reg.Gauge("ctl_feature_dropped_total", labels),
 		})
 	}
 }
@@ -1342,6 +1473,7 @@ func (c *Cluster) sampleLinks() {
 		g.queueLen.Set(float64(s.QueueLen))
 		g.batchFrames.Set(float64(s.BatchesSent))
 		g.ctlDropped.Set(float64(s.ControlDropped))
+		g.ctlFeatDropped.Set(float64(s.CtlFeatureDropped))
 		fill := 0.0
 		if s.BatchesSent > 0 {
 			fill = float64(s.BatchedFrames) / float64(s.BatchesSent)

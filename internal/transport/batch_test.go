@@ -327,3 +327,83 @@ func TestMidBatchSeverCountsMemberSDOs(t *testing.T) {
 		return srv.frames.Load() > 2
 	}, "post-sever delivery")
 }
+
+// TestLargeBatchGatheredWrite round-trips a batch big enough to take the
+// net.Buffers (writev) path over real TCP: member payloads must arrive
+// intact and in order, and a frame buffered before the gathered write
+// must hit the wire first (the vec path flushes the bufio writer before
+// bypassing it).
+func TestLargeBatchGatheredWrite(t *testing.T) {
+	client, server := pair(t)
+	// A plain frame parked in the bufio writer, unflushed: the gathered
+	// batch must not overtake it.
+	first := sdo.SDO{Stream: 1, Seq: 1000, Origin: time.Unix(0, 1)}
+	fb, err := encodeSDO(nil, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.writeFrame(KindData, fb, false); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 64
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	members := make([]outFrame, n)
+	total := 4
+	for i := range members {
+		members[i] = member(t, KindData, 0, sdo.SDO{
+			Stream: 2, Seq: uint64(i), Origin: time.Unix(0, 1),
+			Payload: append([]byte(nil), payload...), Bytes: len(payload),
+		})
+		total += 5 + len(members[i].body)
+	}
+	if total < vecMinBytes {
+		t.Fatalf("test batch is %d bytes, below the %d gathered-write threshold", total, vecMinBytes)
+	}
+	if err := client.sendBatch(members, true); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SDO.Seq != 1000 {
+		t.Fatalf("gathered batch overtook the buffered frame: first seq %d, want 1000", m.SDO.Seq)
+	}
+	for i := 0; i < n; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if m.Kind != KindData || m.SDO.Seq != uint64(i) {
+			t.Fatalf("member %d arrived as kind %v seq %d", i, m.Kind, m.SDO.Seq)
+		}
+		got, ok := m.SDO.Payload.([]byte)
+		if !ok || len(got) != len(payload) {
+			t.Fatalf("member %d payload mangled: %T len %d", i, m.SDO.Payload, len(got))
+		}
+		for j := range got {
+			if got[j] != payload[j] {
+				t.Fatalf("member %d payload byte %d = %d, want %d", i, j, got[j], payload[j])
+			}
+		}
+	}
+	// A second gathered batch reuses the scratch; it must not carry stale
+	// member references or headers.
+	if err := client.sendBatch(members[:8], true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.SDO.Seq != uint64(i) {
+			t.Fatalf("second batch member %d arrived with seq %d", i, m.SDO.Seq)
+		}
+	}
+}

@@ -108,6 +108,45 @@ func TestDecodePathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestGatheredWritePathZeroAllocs gates the writev emission path: a
+// batch big enough to cross both gathered-write thresholds (total ≥
+// vecMinBytes, mean member ≥ vecMinSeg) must leave through
+// sendBatchVec without allocating once the header and iovec scratch
+// are warm. Real TCP matters here — net.Pipe has no writev fast path,
+// and poll.FD's cached iovec array is what makes repeats allocation-
+// free.
+func TestGatheredWritePathZeroAllocs(t *testing.T) {
+	addr := drainServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	body := make([]byte, 512)
+	members := make([]outFrame, 32)
+	for i := range members {
+		members[i] = outFrame{kind: KindData, body: body}
+	}
+	total := 4 + len(members)*(5+len(body))
+	if total < vecMinBytes || total < len(members)*vecMinSeg {
+		t.Fatalf("batch of %d bytes does not reach the gathered-write thresholds", total)
+	}
+	// Warm the header scratch, iovec scratch and poll.FD's iovec cache.
+	for i := 0; i < 8; i++ {
+		if err := c.sendBatch(members, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.sendBatch(members, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("gathered batch write allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
 func BenchmarkEncodeSDO(b *testing.B) {
 	s := benchSDO()
 	buf := make([]byte, 0, 256)

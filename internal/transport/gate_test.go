@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aces/internal/sdo"
+)
+
+// allFeatures is the full local feature set a v2 endpoint announces.
+const allFeatures = FeatureBatch | FeatureHeartbeat | FeatureRetarget |
+	FeatureElastic | FeatureHier | FeatureTerm
+
+// gateRC builds a ResilientConn that never connects — enough to call
+// gateFrame, which only touches counters.
+func gateRC(t *testing.T) *ResilientConn {
+	t.Helper()
+	rc := NewResilientConn(func() (*Conn, error) {
+		return nil, net.ErrClosed
+	}, ResilientOptions{BackoffMin: time.Hour})
+	t.Cleanup(func() { rc.Close() })
+	return rc
+}
+
+// TestGateFrameDowngrades pins the write-time re-gate's lossless
+// downgrade encodings: each term framing gated against a peer without
+// FeatureTerm must rewrite, in place, into exactly the bytes the enqueue
+// path would have produced for that peer.
+func TestGateFrameDowngrades(t *testing.T) {
+	rc := gateRC(t)
+
+	t.Run("term targets to legacy", func(t *testing.T) {
+		want := encodeTargets(nil, Targets{Epoch: CollapseTermEpoch(3, 5), CPU: []float64{0.25, 0.75}})
+		body := appendUint64(nil, 3)
+		body = encodeTargets(body, Targets{Epoch: 5, CPU: []float64{0.25, 0.75}})
+		f := outFrame{kind: KindTermTargets, body: body}
+		if !rc.gateFrame(FeatureRetarget, &f) {
+			t.Fatal("downgradable term-targets frame dropped")
+		}
+		if f.kind != KindTargets || !bytes.Equal(f.body, want) {
+			t.Errorf("downgrade produced kind %v body %x, want KindTargets %x", f.kind, f.body, want)
+		}
+	})
+	t.Run("term targets kept for term peer", func(t *testing.T) {
+		body := appendUint64(nil, 3)
+		body = encodeTargets(body, Targets{Epoch: 5, CPU: []float64{1}})
+		orig := append([]byte(nil), body...)
+		f := outFrame{kind: KindTermTargets, body: body}
+		if !rc.gateFrame(FeatureRetarget|FeatureTerm, &f) {
+			t.Fatal("frame dropped despite full feature match")
+		}
+		if f.kind != KindTermTargets || !bytes.Equal(f.body, orig) {
+			t.Error("matching frame was rewritten")
+		}
+	})
+	t.Run("term replica targets to legacy", func(t *testing.T) {
+		want := encodeReplicaTargets(nil, ReplicaTargets{Epoch: CollapseTermEpoch(7, 9), CPU: [][]float64{{0.5}, {0.2, 0.3}}})
+		body := appendUint64(nil, 7)
+		body = encodeReplicaTargets(body, ReplicaTargets{Epoch: 9, CPU: [][]float64{{0.5}, {0.2, 0.3}}})
+		f := outFrame{kind: KindTermReplicaTargets, body: body}
+		if !rc.gateFrame(FeatureElastic, &f) {
+			t.Fatal("downgradable term-replica-targets frame dropped")
+		}
+		if f.kind != KindReplicaTargets || !bytes.Equal(f.body, want) {
+			t.Errorf("downgrade produced kind %v body %x, want KindReplicaTargets %x", f.kind, f.body, want)
+		}
+	})
+	t.Run("term ack to legacy", func(t *testing.T) {
+		want := encodeTargetAck(nil, TargetAck{Origin: 4, Epoch: CollapseTermEpoch(11, 13)})
+		body := appendUint64(nil, 11)
+		body = encodeTargetAck(body, TargetAck{Origin: 4, Epoch: 13})
+		f := outFrame{kind: KindTermTargetAck, body: body}
+		if !rc.gateFrame(FeatureHier, &f) {
+			t.Fatal("downgradable term-ack frame dropped")
+		}
+		if f.kind != KindTargetAck || !bytes.Equal(f.body, want) {
+			t.Errorf("downgrade produced kind %v body %x, want KindTargetAck %x", f.kind, f.body, want)
+		}
+	})
+	t.Run("replica to routed", func(t *testing.T) {
+		s := sdo.SDO{Stream: 2, Seq: 42, Origin: time.Now()}
+		want, err := encodeRouted(nil, 6, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := encodeReplica(nil, 6, 2, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := outFrame{kind: KindReplica, body: body}
+		if !rc.gateFrame(0, &f) {
+			t.Fatal("replica frame dropped instead of downgraded to routed")
+		}
+		if f.kind != KindRouted || !bytes.Equal(f.body, want) {
+			t.Errorf("downgrade produced kind %v body %x, want KindRouted %x", f.kind, f.body, want)
+		}
+	})
+	t.Run("no downgrade drops and counts", func(t *testing.T) {
+		before := rc.Stats()
+		cases := []outFrame{
+			{kind: KindHeartbeat, body: encodeHeartbeat(nil, Heartbeat{Node: 1, Seq: 2})},
+			{kind: KindTargets, body: encodeTargets(nil, Targets{Epoch: 1, CPU: []float64{1}})},
+			{kind: KindTermTargets, body: encodeTargets(appendUint64(nil, 1), Targets{Epoch: 1, CPU: []float64{1}})},
+			{kind: KindReplicaTargets, body: encodeReplicaTargets(nil, ReplicaTargets{Epoch: 1, CPU: [][]float64{{1}}})},
+			{kind: KindTargetAck, body: encodeTargetAck(nil, TargetAck{Origin: 1, Epoch: 1})},
+		}
+		for i := range cases {
+			if rc.gateFrame(0, &cases[i]) {
+				t.Errorf("%v passed a zero-feature gate", cases[i].kind)
+			}
+		}
+		after := rc.Stats()
+		if got := after.CtlFeatureDropped - before.CtlFeatureDropped; got != int64(len(cases)) {
+			t.Errorf("CtlFeatureDropped grew by %d, want %d", got, len(cases))
+		}
+		if got := after.ControlDropped - before.ControlDropped; got != int64(len(cases)) {
+			t.Errorf("ControlDropped grew by %d, want %d", got, len(cases))
+		}
+	})
+	t.Run("data and feedback always pass", func(t *testing.T) {
+		for _, k := range []Kind{KindData, KindRouted, KindFeedback} {
+			f := outFrame{kind: k, body: []byte{1, 2, 3}}
+			if !rc.gateFrame(0, &f) {
+				t.Errorf("%v gated despite being protocol-intrinsic", k)
+			}
+		}
+	})
+}
+
+func appendUint64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// recordingServer accepts connections in a loop and forwards every
+// received message on a channel.
+type recordingServer struct {
+	l    *Listener
+	msgs chan Message
+}
+
+func newRecordingServer(t *testing.T) *recordingServer {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &recordingServer{l: l, msgs: make(chan Message, 256)}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				for {
+					msg, err := c.Recv()
+					if err != nil {
+						return
+					}
+					select {
+					case s.msgs <- msg:
+					default:
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return s
+}
+
+// downgradeLink dials srv, wrapping each connection in a FlakyConn and
+// stamping generation 1 with full peer features and every later
+// generation with downgraded ones — the signature of a peer process that
+// crashed back to an older binary between two TCP sessions. The linger
+// keeps an enqueued control frame parked in the writer long enough for
+// the test to retire the first connection underneath it.
+func downgradeLink(t *testing.T, srv *recordingServer, downgraded uint64) (*ResilientConn, *atomic.Pointer[FlakyConn]) {
+	t.Helper()
+	var current atomic.Pointer[FlakyConn]
+	var dials atomic.Int64
+	rc := NewResilientConn(func() (*Conn, error) {
+		raw, err := net.DialTimeout("tcp", srv.l.Addr(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		f := WrapFlaky(raw)
+		current.Store(f)
+		c := NewConn(f)
+		if dials.Add(1) == 1 {
+			c.setPeerFeatures(allFeatures)
+		} else {
+			c.setPeerFeatures(downgraded)
+		}
+		return c, nil
+	}, ResilientOptions{
+		BackoffMin:  5 * time.Millisecond,
+		BatchMax:    8,
+		BatchLinger: 400 * time.Millisecond,
+	})
+	t.Cleanup(func() { rc.Close() })
+	return rc, &current
+}
+
+// retireCurrent severs the live FlakyConn and invalidates the installed
+// generation, forcing the manager to redial while the writer still holds
+// parked frames.
+func retireCurrent(rc *ResilientConn, current *atomic.Pointer[FlakyConn]) {
+	rc.mu.Lock()
+	gen := rc.gen
+	rc.mu.Unlock()
+	if f := current.Load(); f != nil {
+		f.Sever()
+	}
+	rc.invalidate(gen)
+}
+
+// TestReconnectDowngradeDropsUnsupportedFrame is the ISSUE 10 regression
+// test for enqueue-time-only feature gating: a control frame that passed
+// its gate against the connection live at enqueue time used to be
+// written verbatim to whatever connection existed at write time. If the
+// link reconnected in between and the new peer no longer advertised the
+// feature, the peer received a frame it could not decode and tore the
+// fresh connection down. The writer must re-check the live connection's
+// features and drop (and count) frames with no lossless downgrade.
+func TestReconnectDowngradeDropsUnsupportedFrame(t *testing.T) {
+	srv := newRecordingServer(t)
+	rc, current := downgradeLink(t, srv, 0) // second hello: no features at all
+	waitFor(t, 5*time.Second, func() bool { return rc.PeerSupportsRetarget() }, "first hello")
+
+	// Enqueue against the fully-featured generation 1; the writer parks
+	// it in the linger window.
+	if err := rc.SendTargets(Targets{Term: 2, Epoch: 6, CPU: []float64{0.5, 0.5}}); err != nil {
+		t.Fatalf("SendTargets: %v", err)
+	}
+	retireCurrent(rc, current)
+	waitFor(t, 5*time.Second, func() bool { return rc.Stats().Reconnects >= 1 }, "reconnect")
+	waitFor(t, 5*time.Second, func() bool { return rc.Stats().CtlFeatureDropped == 1 },
+		"write-time re-gate drop count")
+	st := rc.Stats()
+	if st.ControlDropped != 1 {
+		t.Errorf("ControlDropped = %d, want 1 (the re-gated frame)", st.ControlDropped)
+	}
+	// The frame must not have reached the wire on either connection.
+	select {
+	case msg := <-srv.msgs:
+		t.Errorf("peer received %v despite advertising no features", msg.Kind)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestReconnectDowngradeRewritesTermFrame checks the downgrade half of
+// the write-time re-gate: a term-framed target vector enqueued against a
+// FeatureTerm peer and written after a reconnect to a term-less (but
+// still retarget-capable) peer must arrive as a legacy frame carrying
+// the collapsed term — not be dropped, and not arrive term-framed.
+func TestReconnectDowngradeRewritesTermFrame(t *testing.T) {
+	srv := newRecordingServer(t)
+	rc, current := downgradeLink(t, srv, FeatureRetarget) // second hello: legacy retarget peer
+	waitFor(t, 5*time.Second, func() bool { return rc.PeerSupportsTerm() }, "first hello")
+
+	if err := rc.SendTargets(Targets{Term: 3, Epoch: 5, CPU: []float64{0.25, 0.75}}); err != nil {
+		t.Fatalf("SendTargets: %v", err)
+	}
+	retireCurrent(rc, current)
+	waitFor(t, 5*time.Second, func() bool { return rc.Stats().Reconnects >= 1 }, "reconnect")
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case msg := <-srv.msgs:
+			if msg.Kind != KindTargets {
+				continue
+			}
+			if msg.Targets.Term != 3 || msg.Targets.Epoch != 5 {
+				t.Errorf("delivered (term %d, epoch %d), want (3, 5) recovered from the collapsed scalar",
+					msg.Targets.Term, msg.Targets.Epoch)
+			}
+			if st := rc.Stats(); st.CtlFeatureDropped != 0 {
+				t.Errorf("CtlFeatureDropped = %d for a downgradable frame", st.CtlFeatureDropped)
+			}
+			return
+		case <-deadline:
+			t.Fatal("downgraded target frame never delivered")
+		}
+	}
+}

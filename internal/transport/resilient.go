@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aces/internal/ring"
 	"aces/internal/sdo"
 )
 
@@ -135,6 +136,14 @@ type LinkStats struct {
 	// Control frames have a reserved lane, so a data flood alone can
 	// never grow this counter.
 	ControlDropped int64
+	// CtlFeatureDropped counts control frames dropped by the writer's
+	// write-time feature re-gate: the frame passed its gate when
+	// enqueued, but the connection was replaced before the write and the
+	// new peer's hello no longer advertises the feature (a reconnect
+	// downgrade — e.g. an upgraded peer crashing back to an old binary)
+	// and no lossless downgrade encoding exists. Also counted under
+	// FramesDropped and ControlDropped.
+	CtlFeatureDropped int64
 	// QueueLen and QueueCap describe the outbox at snapshot time.
 	QueueLen, QueueCap int
 }
@@ -175,7 +184,21 @@ func (f *outFrame) release() {
 type ResilientConn struct {
 	dial DialFunc
 	opts ResilientOptions
-	out  chan outFrame
+	// outq is the data outbox: a bounded lock-free ring, multi-producer
+	// (every local PE emitter enqueues) single-consumer (only the writer
+	// pops). Replacing the old buffered channel shaved two channel
+	// operations off every frame on the emit hot path; producers that
+	// find the writer parked ring the doorbell instead.
+	outq *ring.Ring[outFrame]
+	// doorbell wakes the parked writer. Capacity 1: a ring while awake
+	// (or while a previous ring is pending) is a no-op.
+	doorbell chan struct{}
+	// sleeping is the writer's parked flag. The writer raises it before
+	// its final poll of both lanes, so a producer that enqueues after
+	// that poll is guaranteed to observe it and ring the doorbell —
+	// the classic Dekker handshake. In steady state producers pay one
+	// atomic load.
+	sleeping atomic.Bool
 	// ctl is the reserved control lane: feedback, heartbeats, targets,
 	// replica targets and acks enqueue here, and the writer drains it
 	// with head-of-burst priority — so an outbox full of SDOs can delay
@@ -196,13 +219,14 @@ type ResilientConn struct {
 
 	wg sync.WaitGroup
 
-	statsMu    sync.Mutex
-	sent       int64
-	dropped    int64
-	reconnect  int64
-	batches    int64
-	batched    int64
-	ctlDropped int64
+	statsMu        sync.Mutex
+	sent           int64
+	dropped        int64
+	reconnect      int64
+	batches        int64
+	batched        int64
+	ctlDropped     int64
+	ctlFeatDropped int64
 }
 
 // NewResilientConn starts the manager and writer goroutines and returns
@@ -210,11 +234,12 @@ type ResilientConn struct {
 func NewResilientConn(dial DialFunc, opts ResilientOptions) *ResilientConn {
 	opts.fillDefaults()
 	rc := &ResilientConn{
-		dial: dial,
-		opts: opts,
-		out:  make(chan outFrame, opts.QueueSize),
-		ctl:  make(chan outFrame, ctlLaneCap),
-		done: make(chan struct{}),
+		dial:     dial,
+		opts:     opts,
+		outq:     ring.New[outFrame](opts.QueueSize, ring.SingleConsumer),
+		doorbell: make(chan struct{}, 1),
+		ctl:      make(chan outFrame, ctlLaneCap),
+		done:     make(chan struct{}),
 	}
 	rc.cond = sync.NewCond(&rc.mu)
 	rc.wg.Add(2)
@@ -247,6 +272,25 @@ func (rc *ResilientConn) SendRouted(to sdo.PEID, s sdo.SDO) error {
 	}
 	*bp = body
 	return rc.enqueue(outFrame{kind: KindRouted, body: body, buf: bp, hops: s.Hops, trace: s.Trace})
+}
+
+// peerState snapshots the link's liveness and the current connection's
+// advertised feature set in one guarded read: features is 0 while
+// disconnected, connected reports an installed connection, closed a
+// closed link. Every feature decision outside the writer goroutine MUST
+// go through this helper instead of copying rc.cur out of the lock —
+// manage() can replace (and Close) the current connection on redial at
+// any moment, so a conn pointer used after rc.mu is released may consult
+// a connection that no longer exists, deciding frame encodings against
+// the features of a dead generation.
+func (rc *ResilientConn) peerState() (features uint64, connected, closed bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.cur != nil {
+		features = rc.cur.peerFeatures.Load()
+		connected = true
+	}
+	return features, connected, rc.closed
 }
 
 // SendReplica enqueues a data frame addressed to replica slot `rep` of PE
@@ -283,14 +327,11 @@ func (rc *ResilientConn) SendFeedback(f Feedback) error {
 // peer's hello repairs the roster, and queueing beacons for a dead link
 // would only deliver stale liveness claims after reconnect. Never blocks.
 func (rc *ResilientConn) SendHeartbeat(hb Heartbeat) error {
-	rc.mu.Lock()
-	cur := rc.cur
-	closed := rc.closed
-	rc.mu.Unlock()
+	feat, connected, closed := rc.peerState()
 	if closed {
 		return ErrLinkClosed
 	}
-	if cur == nil || !cur.PeerSupportsHeartbeat() {
+	if !connected || feat&FeatureHeartbeat == 0 {
 		return nil
 	}
 	bp := getBuf()
@@ -302,10 +343,8 @@ func (rc *ResilientConn) SendHeartbeat(hb Heartbeat) error {
 // PeerSupportsHeartbeat reports whether the current connection's peer
 // advertised heartbeat membership (false while disconnected).
 func (rc *ResilientConn) PeerSupportsHeartbeat() bool {
-	rc.mu.Lock()
-	cur := rc.cur
-	rc.mu.Unlock()
-	return cur != nil && cur.PeerSupportsHeartbeat()
+	feat, connected, _ := rc.peerState()
+	return connected && feat&FeatureHeartbeat != 0
 }
 
 // SendTargets enqueues one (term, epoch)-numbered target vector on the
@@ -317,20 +356,17 @@ func (rc *ResilientConn) PeerSupportsHeartbeat() bool {
 // a KindTermTargets frame against FeatureTerm peers and collapses into
 // the legacy epoch scalar otherwise. Never blocks.
 func (rc *ResilientConn) SendTargets(t Targets) error {
-	rc.mu.Lock()
-	cur := rc.cur
-	closed := rc.closed
-	rc.mu.Unlock()
+	feat, connected, closed := rc.peerState()
 	if closed {
 		return ErrLinkClosed
 	}
-	if cur == nil || !cur.PeerSupportsRetarget() {
+	if !connected || feat&FeatureRetarget == 0 {
 		return nil
 	}
 	bp := getBuf()
 	var body []byte
 	kind := KindTargets
-	if cur.PeerSupportsTerm() {
+	if feat&FeatureTerm != 0 {
 		kind = KindTermTargets
 		body = binary.BigEndian.AppendUint64((*bp)[:0], t.Term)
 		body = encodeTargets(body, Targets{Epoch: t.Epoch, CPU: t.CPU})
@@ -344,10 +380,8 @@ func (rc *ResilientConn) SendTargets(t Targets) error {
 // PeerSupportsRetarget reports whether the current connection's peer
 // advertised retarget support (false while disconnected).
 func (rc *ResilientConn) PeerSupportsRetarget() bool {
-	rc.mu.Lock()
-	cur := rc.cur
-	rc.mu.Unlock()
-	return cur != nil && cur.PeerSupportsRetarget()
+	feat, connected, _ := rc.peerState()
+	return connected && feat&FeatureRetarget != 0
 }
 
 // SendReplicaTargets enqueues one epoch-numbered per-replica target set,
@@ -357,20 +391,17 @@ func (rc *ResilientConn) PeerSupportsRetarget() bool {
 // logical Targets vector should do so for retarget-only peers. Never
 // blocks.
 func (rc *ResilientConn) SendReplicaTargets(rt ReplicaTargets) error {
-	rc.mu.Lock()
-	cur := rc.cur
-	closed := rc.closed
-	rc.mu.Unlock()
+	feat, connected, closed := rc.peerState()
 	if closed {
 		return ErrLinkClosed
 	}
-	if cur == nil || !cur.PeerSupportsElastic() {
+	if !connected || feat&FeatureElastic == 0 {
 		return nil
 	}
 	bp := getBuf()
 	var body []byte
 	kind := KindReplicaTargets
-	if cur.PeerSupportsTerm() {
+	if feat&FeatureTerm != 0 {
 		kind = KindTermReplicaTargets
 		body = binary.BigEndian.AppendUint64((*bp)[:0], rt.Term)
 		body = encodeReplicaTargets(body, ReplicaTargets{Epoch: rt.Epoch, CPU: rt.CPU})
@@ -384,19 +415,15 @@ func (rc *ResilientConn) SendReplicaTargets(rt ReplicaTargets) error {
 // PeerSupportsElastic reports whether the current connection's peer
 // advertised replica-frame support (false while disconnected).
 func (rc *ResilientConn) PeerSupportsElastic() bool {
-	rc.mu.Lock()
-	cur := rc.cur
-	rc.mu.Unlock()
-	return cur != nil && cur.PeerSupportsElastic()
+	feat, connected, _ := rc.peerState()
+	return connected && feat&FeatureElastic != 0
 }
 
 // PeerSupportsTerm reports whether the current connection's peer
 // advertised controller-term framing (false while disconnected).
 func (rc *ResilientConn) PeerSupportsTerm() bool {
-	rc.mu.Lock()
-	cur := rc.cur
-	rc.mu.Unlock()
-	return cur != nil && cur.PeerSupportsTerm()
+	feat, connected, _ := rc.peerState()
+	return connected && feat&FeatureTerm != 0
 }
 
 // SendTargetAck enqueues one upward dissemination ack, with the same
@@ -405,20 +432,17 @@ func (rc *ResilientConn) PeerSupportsTerm() bool {
 // queued stale ack would only understate the peer's progress. Never
 // blocks.
 func (rc *ResilientConn) SendTargetAck(a TargetAck) error {
-	rc.mu.Lock()
-	cur := rc.cur
-	closed := rc.closed
-	rc.mu.Unlock()
+	feat, connected, closed := rc.peerState()
 	if closed {
 		return ErrLinkClosed
 	}
-	if cur == nil || !cur.PeerSupportsHier() {
+	if !connected || feat&FeatureHier == 0 {
 		return nil
 	}
 	bp := getBuf()
 	var body []byte
 	kind := KindTargetAck
-	if cur.PeerSupportsTerm() {
+	if feat&FeatureTerm != 0 {
 		kind = KindTermTargetAck
 		body = binary.BigEndian.AppendUint64((*bp)[:0], a.Term)
 		body = encodeTargetAck(body, TargetAck{Origin: a.Origin, Epoch: a.Epoch})
@@ -432,10 +456,8 @@ func (rc *ResilientConn) SendTargetAck(a TargetAck) error {
 // PeerSupportsHier reports whether the current connection's peer
 // advertised dissemination-tree support (false while disconnected).
 func (rc *ResilientConn) PeerSupportsHier() bool {
-	rc.mu.Lock()
-	cur := rc.cur
-	rc.mu.Unlock()
-	return cur != nil && cur.PeerSupportsHier()
+	feat, connected, _ := rc.peerState()
+	return connected && feat&FeatureHier != 0
 }
 
 func (rc *ResilientConn) enqueue(f outFrame) error {
@@ -445,13 +467,30 @@ func (rc *ResilientConn) enqueue(f outFrame) error {
 		return ErrLinkClosed
 	default:
 	}
-	select {
-	case rc.out <- f:
-		return nil
-	default:
+	if !rc.outq.TryPush(f) {
 		f.release()
+		if rc.outq.Closed() {
+			return ErrLinkClosed
+		}
 		rc.countDrop(1)
 		return ErrOutboxFull
+	}
+	rc.kick()
+	return nil
+}
+
+// kick wakes the writer if it is parked: the writer raises sleeping
+// before its final poll of both lanes, so a producer whose push landed
+// after that poll necessarily observes the flag (both sides use
+// sequentially consistent atomics) and rings the doorbell. The buffered
+// channel makes ringing an already-rung (or awake) writer a no-op, so
+// the steady-state producer cost is one atomic load.
+func (rc *ResilientConn) kick() {
+	if rc.sleeping.Load() {
+		select {
+		case rc.doorbell <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -497,14 +536,15 @@ func (rc *ResilientConn) Stats() LinkStats {
 	rc.statsMu.Lock()
 	defer rc.statsMu.Unlock()
 	return LinkStats{
-		FramesSent:     rc.sent,
-		FramesDropped:  rc.dropped,
-		Reconnects:     rc.reconnect,
-		BatchesSent:    rc.batches,
-		BatchedFrames:  rc.batched,
-		ControlDropped: rc.ctlDropped,
-		QueueLen:       len(rc.out),
-		QueueCap:       cap(rc.out),
+		FramesSent:        rc.sent,
+		FramesDropped:     rc.dropped,
+		Reconnects:        rc.reconnect,
+		BatchesSent:       rc.batches,
+		BatchedFrames:     rc.batched,
+		ControlDropped:    rc.ctlDropped,
+		CtlFeatureDropped: rc.ctlFeatDropped,
+		QueueLen:          rc.outq.Len(),
+		QueueCap:          rc.outq.Cap(),
 	}
 }
 
@@ -526,16 +566,25 @@ func (rc *ResilientConn) Close() error {
 	rc.mu.Unlock()
 	close(rc.done)
 	rc.wg.Wait()
-	// Frames stranded in either lane never reached the wire.
+	// Frames stranded in either lane never reached the wire. The ring is
+	// closed first so a producer racing Close is refused rather than
+	// admitted after the drain; its post-Close drain contract guarantees
+	// any push that won the race is picked up below.
+	rc.outq.Close()
+	for {
+		f, ok := rc.outq.TryPop()
+		if !ok {
+			break
+		}
+		f.release()
+		rc.countDrop(1)
+	}
 	for {
 		select {
 		case f := <-rc.ctl:
 			f.release()
 			rc.countDrop(1)
 			rc.countCtlDrop(1)
-		case f := <-rc.out:
-			f.release()
-			rc.countDrop(1)
 		default:
 			return nil
 		}
@@ -551,6 +600,12 @@ func (rc *ResilientConn) countDrop(n int64) {
 func (rc *ResilientConn) countCtlDrop(n int64) {
 	rc.statsMu.Lock()
 	rc.ctlDropped += n
+	rc.statsMu.Unlock()
+}
+
+func (rc *ResilientConn) countCtlFeatureDrop(n int64) {
+	rc.statsMu.Lock()
+	rc.ctlFeatDropped += n
 	rc.statsMu.Unlock()
 }
 
@@ -697,18 +752,9 @@ func (rc *ResilientConn) write() {
 	defer rc.wg.Done()
 	burst := make([]outFrame, 0, rc.burstCap())
 	for {
-		var f outFrame
-		// Control frames take head-of-burst priority: try the control
-		// lane alone before blocking on both lanes.
-		select {
-		case f = <-rc.ctl:
-		default:
-			select {
-			case <-rc.done:
-				return
-			case f = <-rc.ctl:
-			case f = <-rc.out:
-			}
+		f, ok := rc.nextFrame()
+		if !ok {
+			return
 		}
 		burst = append(burst[:0], f)
 		rc.fillBurst(&burst)
@@ -722,12 +768,57 @@ func (rc *ResilientConn) write() {
 	}
 }
 
+// nextFrame blocks until a frame is available (control lane first) or
+// the link closes. The fast path is two lock-free polls; the slow path
+// parks on the doorbell after raising sleeping and re-polling, so a
+// producer's kick cannot be lost between the poll and the park.
+func (rc *ResilientConn) nextFrame() (outFrame, bool) {
+	// Control frames take head-of-burst priority: poll the control lane
+	// alone before looking at the data outbox.
+	select {
+	case f := <-rc.ctl:
+		return f, true
+	default:
+	}
+	if f, ok := rc.outq.TryPop(); ok {
+		return f, true
+	}
+	for {
+		rc.sleeping.Store(true)
+		// Final poll with the flag raised: a push that this poll misses
+		// happened after the Store, so its producer sees sleeping and
+		// rings the doorbell we are about to select on.
+		select {
+		case f := <-rc.ctl:
+			rc.sleeping.Store(false)
+			return f, true
+		default:
+		}
+		if f, ok := rc.outq.TryPop(); ok {
+			rc.sleeping.Store(false)
+			return f, true
+		}
+		select {
+		case <-rc.done:
+			rc.sleeping.Store(false)
+			return outFrame{}, false
+		case f := <-rc.ctl:
+			rc.sleeping.Store(false)
+			return f, true
+		case <-rc.doorbell:
+			// Rung by a producer (possibly a stale token from an earlier
+			// wake): loop and re-poll both lanes.
+		}
+	}
+}
+
 // fillBurst drains immediately available frames into the burst, then — if
 // a linger is configured and the burst is not full — waits up to the
 // linger for stragglers. Returning early on done is safe: the caller's
 // current() will fail and account the burst as dropped.
 func (rc *ResilientConn) fillBurst(burst *[]outFrame) {
 	max := rc.burstCap()
+	linger := rc.opts.BatchLinger
 	for len(*burst) < max {
 		// Control lane first: a queued retarget or heartbeat rides the
 		// very next burst even when the data outbox is deep.
@@ -737,40 +828,54 @@ func (rc *ResilientConn) fillBurst(burst *[]outFrame) {
 			continue
 		default:
 		}
-		select {
-		case g := <-rc.out:
+		if g, ok := rc.outq.TryPop(); ok {
 			*burst = append(*burst, g)
 			continue
-		default:
 		}
-		if rc.opts.BatchLinger <= 0 {
+		if linger <= 0 {
 			return
 		}
-		timer := time.NewTimer(rc.opts.BatchLinger)
-		select {
-		case g := <-rc.ctl:
-			timer.Stop()
-			*burst = append(*burst, g)
-			return
-		case g := <-rc.out:
-			timer.Stop()
-			*burst = append(*burst, g)
-			// Straggler arrived: drain whatever came with it, but only
-			// linger once per burst so latency is bounded by one linger.
-			for len(*burst) < max {
-				select {
-				case g := <-rc.out:
-					*burst = append(*burst, g)
-				default:
-					return
-				}
+		// Both lanes idle: wait up to the linger for stragglers, parking
+		// exactly as nextFrame does so producers ring the doorbell. Only
+		// one linger window per burst, so latency stays bounded; a
+		// straggler that arrives re-enters the drain loop above.
+		timer := time.NewTimer(linger)
+		linger = 0
+		got := false
+		for !got {
+			rc.sleeping.Store(true)
+			select {
+			case g := <-rc.ctl:
+				rc.sleeping.Store(false)
+				timer.Stop()
+				*burst = append(*burst, g)
+				got = true
+				continue
+			default:
 			}
-			return
-		case <-timer.C:
-			return
-		case <-rc.done:
-			timer.Stop()
-			return
+			if g, ok := rc.outq.TryPop(); ok {
+				rc.sleeping.Store(false)
+				timer.Stop()
+				*burst = append(*burst, g)
+				got = true
+				continue
+			}
+			select {
+			case <-timer.C:
+				rc.sleeping.Store(false)
+				return
+			case <-rc.done:
+				rc.sleeping.Store(false)
+				timer.Stop()
+				return
+			case g := <-rc.ctl:
+				rc.sleeping.Store(false)
+				timer.Stop()
+				*burst = append(*burst, g)
+				got = true
+			case <-rc.doorbell:
+				// Rung by a producer: re-poll both lanes.
+			}
 		}
 	}
 }
@@ -782,12 +887,133 @@ func (rc *ResilientConn) fillBurst(burst *[]outFrame) {
 // protocol v2, and the sender only emits them post-hello.
 func batchable(k Kind) bool { return k == KindData || k == KindRouted || k == KindReplica }
 
+// gateFrame re-checks a frame's feature gate against the live
+// connection's advertised features at write time. Frames are gated when
+// enqueued, but the connection can be replaced between enqueue and write
+// — and the new generation's peer may have advertised fewer features (a
+// reconnect downgrade: e.g. an upgraded peer crashing back to an old
+// binary). It reports whether the frame may be written, downgrading it
+// in place when a lossless re-encode exists; a false return means the
+// frame was dropped, counted and released.
+//
+// Downgrades rewrite the pooled body in place (every legacy encoding is
+// a strict suffix of its term framing, shifted by the dropped fields):
+//
+//   - KindReplica → KindRouted: the receiver re-routes among its own
+//     replica slots — the same fallback SendReplica takes at enqueue
+//     time against a non-elastic peer.
+//   - KindTerm{Targets,ReplicaTargets,TargetAck} → the legacy frame with
+//     the term collapsed into the epoch scalar, exactly the encoding the
+//     enqueue path would have chosen for a non-term peer.
+//
+// Frames whose gating feature has no downgrade (a heartbeat to a peer
+// without FeatureHeartbeat, targets without FeatureRetarget, replica
+// targets without FeatureElastic, acks without FeatureHier) are dropped:
+// writing them would feed the peer frames it cannot decode, killing the
+// freshly re-established connection.
+func (rc *ResilientConn) gateFrame(feat uint64, f *outFrame) bool {
+	switch f.kind {
+	case KindReplica:
+		if feat&FeatureElastic != 0 {
+			return true
+		}
+		// pe(4) rep(4) sdo → pe(4) sdo
+		copy(f.body[4:], f.body[8:])
+		f.body = f.body[:len(f.body)-4]
+		f.kind = KindRouted
+		return true
+	case KindHeartbeat:
+		if feat&FeatureHeartbeat != 0 {
+			return true
+		}
+	case KindTargets:
+		if feat&FeatureRetarget != 0 {
+			return true
+		}
+	case KindReplicaTargets:
+		if feat&FeatureElastic != 0 {
+			return true
+		}
+	case KindTargetAck:
+		if feat&FeatureHier != 0 {
+			return true
+		}
+	case KindTermTargets:
+		if feat&FeatureRetarget == 0 {
+			break
+		}
+		if feat&FeatureTerm != 0 {
+			return true
+		}
+		// term(8) epoch(8) targets → epoch'(8) targets
+		term := binary.BigEndian.Uint64(f.body[:8])
+		epoch := binary.BigEndian.Uint64(f.body[8:16])
+		binary.BigEndian.PutUint64(f.body[8:16], CollapseTermEpoch(term, epoch))
+		f.body = f.body[8:]
+		f.kind = KindTargets
+		return true
+	case KindTermReplicaTargets:
+		if feat&FeatureElastic == 0 {
+			break
+		}
+		if feat&FeatureTerm != 0 {
+			return true
+		}
+		term := binary.BigEndian.Uint64(f.body[:8])
+		epoch := binary.BigEndian.Uint64(f.body[8:16])
+		binary.BigEndian.PutUint64(f.body[8:16], CollapseTermEpoch(term, epoch))
+		f.body = f.body[8:]
+		f.kind = KindReplicaTargets
+		return true
+	case KindTermTargetAck:
+		if feat&FeatureHier == 0 {
+			break
+		}
+		if feat&FeatureTerm != 0 {
+			return true
+		}
+		// term(8) origin(4) epoch(8) → origin(4) epoch'(8)
+		term := binary.BigEndian.Uint64(f.body[:8])
+		epoch := binary.BigEndian.Uint64(f.body[12:20])
+		binary.BigEndian.PutUint64(f.body[12:20], CollapseTermEpoch(term, epoch))
+		f.body = f.body[8:]
+		f.kind = KindTargetAck
+		return true
+	default:
+		// Data, routed and feedback frames are protocol-intrinsic.
+		return true
+	}
+	rc.countDrop(1)
+	rc.countCtlDrop(1)
+	rc.countCtlFeatureDrop(1)
+	f.release()
+	return false
+}
+
+// idle reports both lanes empty — the flush-on-idle condition. Checking
+// the control lane too piggybacks a pending control frame onto the data
+// burst's flush instead of paying it a flush (and often a syscall) of
+// its own.
+func (rc *ResilientConn) idle() bool {
+	return rc.outq.Len() == 0 && len(rc.ctl) == 0
+}
+
 // writeBurst writes the burst as a sequence of batch frames (runs of
 // batchable frames, when negotiated) and single frames, flushing with the
 // last write iff the outbox is empty. On error the unwritten remainder of
 // the burst is dropped and counted per member SDO.
 func (rc *ResilientConn) writeBurst(conn *Conn, gen int, burst []outFrame) {
-	useBatch := rc.opts.BatchMax > 1 && conn.PeerSupportsBatch()
+	feat := conn.peerFeatures.Load()
+	// Write-time feature re-gate: drop or downgrade frames the live
+	// connection's peer cannot decode (see gateFrame).
+	kept := burst[:0]
+	for i := range burst {
+		if rc.gateFrame(feat, &burst[i]) {
+			kept = append(kept, burst[i])
+		}
+	}
+	burst = kept
+	useBatch := rc.opts.BatchMax > 1 && feat&FeatureBatch != 0
 	i := 0
 	for i < len(burst) {
 		// Group a run of batchable frames, bounded by BatchMax and the
@@ -808,7 +1034,7 @@ func (rc *ResilientConn) writeBurst(conn *Conn, gen int, burst []outFrame) {
 		if j-i >= 2 {
 			n = j - i
 			last := j == len(burst)
-			err = conn.sendBatch(burst[i:j], last && len(rc.out) == 0)
+			err = conn.sendBatch(burst[i:j], last && rc.idle())
 			if err == nil {
 				rc.statsMu.Lock()
 				rc.batches++
@@ -818,7 +1044,7 @@ func (rc *ResilientConn) writeBurst(conn *Conn, gen int, burst []outFrame) {
 		} else {
 			n = 1
 			last := i == len(burst)-1
-			err = conn.writeFrame(burst[i].kind, burst[i].body, last && len(rc.out) == 0)
+			err = conn.writeFrame(burst[i].kind, burst[i].body, last && rc.idle())
 		}
 		if err != nil {
 			rc.invalidate(gen)
